@@ -1,0 +1,105 @@
+//===- bench/common/BenchUtil.h - Shared evaluation harness ------*- C++ -*-//
+//
+// Shared machinery for the figure/table reproduction binaries: dataset
+// loading, parser training (with the train/test discipline of Sec. 7),
+// the iterative-feedback evaluation protocol of Sec. 8.1, and environment
+// knobs for scaling runs (single-core container vs the paper's testbed).
+//
+// Environment variables:
+//   REGEL_BENCH_LIMIT      max benchmarks per dataset (0 = all)
+//   REGEL_BENCH_BUDGET_MS  per-task synthesis budget (default 2500)
+//   REGEL_BENCH_SKETCHES   sketches taken from the parser (default 10)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_BENCH_COMMON_BENCHUTIL_H
+#define REGEL_BENCH_COMMON_BENCHUTIL_H
+
+#include "core/Baselines.h"
+#include "core/Regel.h"
+#include "data/DeepRegexSet.h"
+#include "data/StackOverflowSet.h"
+#include "nlp/Training.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace regel::bench {
+
+/// Reads an integer environment knob with a default.
+int64_t envInt(const char *Name, int64_t Default);
+
+/// Truncates \p Set to the REGEL_BENCH_LIMIT knob (default \p DefaultLimit).
+std::vector<data::Benchmark> limited(std::vector<data::Benchmark> Set,
+                                     unsigned DefaultLimit);
+
+/// Trains a parser for evaluating the DeepRegex-style set: training data
+/// is a disjoint generated split (different seed), mirroring the paper's
+/// train/test separation.
+std::shared_ptr<nlp::SemanticParser> trainedParserForDeepRegex();
+
+/// Trains the NL-only translation model that stands in for DeepRegex:
+/// same grammar, but supervised with the *concrete* regex as the gold
+/// label (a seq2seq translator learns full regexes, not sketches).
+std::shared_ptr<nlp::SemanticParser>
+trainedTranslationParser(const std::vector<data::Benchmark> &TrainSet);
+
+/// Trains one parser per fold for the StackOverflow-style set (the paper's
+/// 5-fold cross-validation): parser[i] was trained without fold i, and
+/// benchmark b belongs to fold (b mod NumFolds).
+std::vector<std::shared_ptr<nlp::SemanticParser>>
+crossValidatedParsers(const std::vector<data::Benchmark> &Set,
+                      unsigned NumFolds = 5);
+
+/// True if any answer is semantically equivalent to the ground truth.
+bool foundIntended(const std::vector<RegexPtr> &Answers,
+                   const RegexPtr &GroundTruth);
+
+/// Evaluation tools compared in Figs. 16/17.
+enum class Tool { Regel, RegelPbe, DeepRegexStyle };
+
+/// Per-benchmark outcome of the iterative protocol.
+struct IterOutcome {
+  int SolvedAtIteration = -1; ///< -1 = never within MaxIterations
+  double TimeMsAtSolve = 0;   ///< tool runtime in the solving iteration
+};
+
+/// Protocol knobs (Sec. 7 "settings for each data set").
+struct ProtocolConfig {
+  unsigned MaxIterations = 4;
+  unsigned TopK = 1;
+  int64_t BudgetMs = 2500;
+  unsigned NumSketches = 10;
+};
+
+/// Runs the Sec. 8.1 protocol for one tool on one benchmark: start from
+/// the initial examples and add one positive + one negative example per
+/// iteration until the intended regex is produced.
+IterOutcome runIterativeProtocol(Tool T, const data::Benchmark &B,
+                                 const std::shared_ptr<nlp::SemanticParser> &P,
+                                 const ProtocolConfig &Cfg);
+
+/// Renders one Fig. 16-style series: cumulative solved counts per
+/// iteration 0..MaxIterations.
+std::vector<unsigned> solvedPerIteration(
+    const std::vector<IterOutcome> &Outcomes, unsigned MaxIterations);
+
+/// Average TimeMsAtSolve over benchmarks solved by iteration I
+/// (Fig. 17-style series). When \p CensorMs > 0, benchmarks not solved by
+/// iteration I contribute CensorMs (the full budget) and the mean runs
+/// over all benchmarks — i.e. the latency a user actually experiences;
+/// without censoring, tools that only solve trivial tasks look fast.
+std::vector<double> avgTimePerIteration(
+    const std::vector<IterOutcome> &Outcomes, unsigned MaxIterations,
+    double CensorMs = 0);
+
+/// Prints a small aligned table: header then one row per iteration.
+void printIterationTable(const std::string &Title,
+                         const std::vector<std::string> &SeriesNames,
+                         const std::vector<std::vector<double>> &Series,
+                         unsigned MaxIterations);
+
+} // namespace regel::bench
+
+#endif // REGEL_BENCH_COMMON_BENCHUTIL_H

@@ -1,0 +1,51 @@
+//===- examples/nl_to_regex.cpp - Explore the semantic parser -------------===//
+//
+// Feeds a handful of English descriptions (or one given on the command
+// line) through the semantic parser and prints the ranked h-sketches plus
+// the NL-only regex reading — the ingredients Figs. 16/17 compare.
+//
+// Usage: nl_to_regex ["your description here"]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Baselines.h"
+#include "regex/Printer.h"
+
+#include <cstdio>
+
+using namespace regel;
+
+int main(int argc, char **argv) {
+  nlp::SemanticParser Parser;
+
+  std::vector<std::string> Inputs;
+  if (argc > 1) {
+    Inputs.push_back(argv[1]);
+  } else {
+    Inputs = {
+        "a letter followed by 3 digits",
+        "strings that start with a capital letter and end with a digit",
+        "numbers separated by commas",
+        "must not contain a space",
+        "either 6 digits or 8 digits",
+        "up to 3 digits followed by a percent sign",
+    };
+  }
+
+  for (const std::string &Text : Inputs) {
+    std::printf("== %s\n", Text.c_str());
+    auto Sketches = Parser.parse(Text, 5);
+    if (Sketches.empty()) {
+      std::printf("   (no parse)\n\n");
+      continue;
+    }
+    for (size_t I = 0; I < Sketches.size(); ++I)
+      std::printf("   sketch %zu [%6.2f]: %s\n", I + 1, Sketches[I].Score,
+                  printSketch(Sketches[I].Sketch).c_str());
+    if (RegexPtr Direct = nlOnlyRegex(Parser, Text))
+      std::printf("   NL-only regex   : %s   (POSIX: %s)\n",
+                  printRegex(Direct).c_str(), printPosix(Direct).c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- examples/regel_cli.cpp - Command-line front end --------------------===//
+//
+// A small CLI over the full pipeline:
+//
+//   regel_cli --desc "3 digits then a dash then 4 digits" \
+//             --pos 123-4567 --pos 000-0000 \
+//             --neg 1234567 --neg 123-456 \
+//             [--budget-ms 10000] [--topk 3] [--weights model.txt]
+//
+// Prints up to k consistent regexes in DSL and POSIX form.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Regel.h"
+#include "regex/Printer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace regel;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s --desc TEXT [--pos STR]... [--neg STR]...\n"
+               "          [--budget-ms N] [--topk K] [--sketches N]\n"
+               "          [--weights FILE]\n",
+               Prog);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Desc, WeightsPath;
+  Examples E;
+  RegelConfig Cfg;
+  Cfg.BudgetMs = 10000;
+  Cfg.TopK = 3;
+  Cfg.NumSketches = 15;
+
+  for (int I = 1; I < argc; ++I) {
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (!std::strcmp(argv[I], "--desc"))
+      Desc = Next();
+    else if (!std::strcmp(argv[I], "--pos"))
+      E.Pos.push_back(Next());
+    else if (!std::strcmp(argv[I], "--neg"))
+      E.Neg.push_back(Next());
+    else if (!std::strcmp(argv[I], "--budget-ms"))
+      Cfg.BudgetMs = std::atoll(Next());
+    else if (!std::strcmp(argv[I], "--topk"))
+      Cfg.TopK = static_cast<unsigned>(std::atoi(Next()));
+    else if (!std::strcmp(argv[I], "--sketches"))
+      Cfg.NumSketches = static_cast<unsigned>(std::atoi(Next()));
+    else if (!std::strcmp(argv[I], "--weights"))
+      WeightsPath = Next();
+    else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (Desc.empty() && E.Pos.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  auto Parser = std::make_shared<nlp::SemanticParser>();
+  if (!WeightsPath.empty() && !Parser->loadWeights(WeightsPath)) {
+    std::fprintf(stderr, "error: cannot load weights from %s\n",
+                 WeightsPath.c_str());
+    return 1;
+  }
+
+  Regel Tool(Parser, Cfg);
+  RegelResult R = Tool.synthesize(Desc, E);
+  if (!R.solved()) {
+    std::printf("no consistent regex found within %lld ms "
+                "(try more examples or a larger --budget-ms)\n",
+                static_cast<long long>(Cfg.BudgetMs));
+    return 1;
+  }
+  for (size_t I = 0; I < R.Answers.size(); ++I) {
+    std::printf("%zu. %s\n", I + 1, printRegex(R.Answers[I].Regex).c_str());
+    std::printf("   POSIX: %s\n", printPosix(R.Answers[I].Regex).c_str());
+  }
+  std::printf("(parse %.0f ms, synthesis %.0f ms)\n", R.ParseMs, R.SynthMs);
+  return 0;
+}

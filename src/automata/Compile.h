@@ -1,0 +1,66 @@
+//===- automata/Compile.h - Regex-to-automaton compilation ------*- C++ -*-===//
+//
+// Part of the Regel reproduction. Compiles regex DSL terms (Fig. 5) into
+// minimized DFAs. Not/And are handled through complement/intersection of
+// the children's DFAs, mirroring how the paper uses the Brics library.
+//
+// A DfaCache memoizes the (structural) regex -> DFA mapping; the PBE engine
+// issues very many membership queries over regexes that share subterms, so
+// this cache is one of the design choices ablated in bench/micro_kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_AUTOMATA_COMPILE_H
+#define REGEL_AUTOMATA_COMPILE_H
+
+#include "automata/Dfa.h"
+#include "regex/Ast.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace regel {
+
+/// Compiles \p R to a minimized complete DFA (no caching).
+Dfa compileRegex(const RegexPtr &R);
+
+/// Structural-hash cache from regex to compiled DFA.
+///
+/// Not thread-safe; the multi-threaded driver gives each worker its own
+/// cache.
+class DfaCache {
+public:
+  /// Returns the DFA for \p R, compiling it on first use.
+  const Dfa &get(const RegexPtr &R);
+
+  /// Membership through the cache.
+  bool matches(const RegexPtr &R, const std::string &Input) {
+    return get(R).matches(Input);
+  }
+
+  /// True if \p R matches every string in \p Examples.
+  bool acceptsAll(const RegexPtr &R, const std::vector<std::string> &Examples);
+
+  /// True if \p R matches no string in \p Examples.
+  bool rejectsAll(const RegexPtr &R, const std::vector<std::string> &Examples);
+
+  size_t size() const { return Cache.size(); }
+  void clear() { Cache.clear(); }
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  std::unordered_map<RegexPtr, std::shared_ptr<const Dfa>, RegexPtrHash,
+                     RegexPtrEq>
+      Cache;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// Semantic equivalence of two DSL regexes (full printable-ASCII alphabet).
+bool regexEquivalent(const RegexPtr &A, const RegexPtr &B);
+
+} // namespace regel
+
+#endif // REGEL_AUTOMATA_COMPILE_H

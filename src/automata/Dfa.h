@@ -1,0 +1,110 @@
+//===- automata/Dfa.h - Deterministic finite automata -----------*- C++ -*-===//
+//
+// Part of the Regel reproduction. Complete DFAs over printable ASCII with a
+// dense transition table, plus the classic constructions the synthesizer
+// needs: determinization, minimization, complement, product, emptiness,
+// shortest witness and equivalence.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_AUTOMATA_DFA_H
+#define REGEL_AUTOMATA_DFA_H
+
+#include "automata/Nfa.h"
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace regel {
+
+/// A complete DFA: every state has a transition for each of the
+/// AlphabetSize input characters (a dead state makes the table total).
+class Dfa {
+public:
+  /// Determinizes \p N by subset construction (the result is complete but
+  /// not minimized).
+  static Dfa determinize(const Nfa &N);
+
+  /// The DFA accepting nothing.
+  static Dfa emptyLanguage();
+
+  uint32_t numStates() const {
+    return static_cast<uint32_t>(Accept.size());
+  }
+  uint32_t start() const { return Start; }
+  bool isAccept(uint32_t S) const { return Accept[S]; }
+
+  /// The successor of state \p S on character \p C; C must be in-alphabet.
+  uint32_t step(uint32_t S, char C) const {
+    unsigned char U = static_cast<unsigned char>(C);
+    assert(U >= MinAlphabetChar && U <= MaxAlphabetChar &&
+           "character outside automaton alphabet");
+    return Table[S * AlphabetSize + (U - MinAlphabetChar)];
+  }
+
+  /// Membership. Strings containing out-of-alphabet characters are
+  /// rejected (the DSL alphabet is printable ASCII).
+  bool matches(const std::string &Input) const;
+
+  /// Language emptiness.
+  bool isEmpty() const;
+
+  /// True if the language is exactly Sigma^* (accepts everything).
+  bool isTotal() const;
+
+  /// Hopcroft-style partition-refinement minimization.
+  Dfa minimize() const;
+
+  /// Complement w.r.t. Sigma^* (the table is already complete).
+  Dfa complement() const;
+
+  /// Product construction; \p AcceptBoth selects intersection (true) or
+  /// union (false) acceptance.
+  static Dfa product(const Dfa &A, const Dfa &B, bool AcceptBoth);
+
+  /// Shortest accepted string (BFS); nullopt if the language is empty.
+  std::optional<std::string> shortestAccepted() const;
+
+  /// Shortest string in exactly one of the two languages; nullopt if the
+  /// automata are equivalent.
+  static std::optional<std::string> distinguishingString(const Dfa &A,
+                                                         const Dfa &B);
+
+  /// Language equivalence.
+  static bool equivalent(const Dfa &A, const Dfa &B) {
+    return !distinguishingString(A, B).has_value();
+  }
+
+  /// Number of accepted strings of length exactly \p Len (saturating at
+  /// 2^62 to avoid overflow). Used by the sampling utilities.
+  uint64_t countStringsOfLength(unsigned Len) const;
+
+private:
+  Dfa() = default;
+
+  uint32_t Start = 0;
+  std::vector<bool> Accept;
+  std::vector<uint32_t> Table; // NumStates x AlphabetSize, row-major.
+
+  friend class DfaBuilder;
+};
+
+/// Incremental builder used by the constructions above.
+class DfaBuilder {
+public:
+  uint32_t addState(bool IsAccept);
+  void setTransition(uint32_t From, unsigned CharIdx, uint32_t To);
+  void setStart(uint32_t S) { Start = S; }
+  Dfa finish();
+
+private:
+  uint32_t Start = 0;
+  std::vector<bool> Accept;
+  std::vector<uint32_t> Table;
+};
+
+} // namespace regel
+
+#endif // REGEL_AUTOMATA_DFA_H

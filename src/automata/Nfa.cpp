@@ -1,0 +1,91 @@
+//===- automata/Nfa.cpp ---------------------------------------------------===//
+
+#include "automata/Nfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+using namespace regel;
+
+Nfa::Nfa() { addState(); }
+
+uint32_t Nfa::addState() {
+  Accept.push_back(false);
+  Edges.emplace_back();
+  Eps.emplace_back();
+  return static_cast<uint32_t>(Edges.size() - 1);
+}
+
+void Nfa::addEdge(uint32_t From, unsigned char Lo, unsigned char Hi,
+                  uint32_t To) {
+  assert(From < numStates() && To < numStates() && "edge endpoint oob");
+  assert(Lo <= Hi && "empty edge label");
+  Edges[From].push_back({Lo, Hi, To});
+}
+
+void Nfa::addClassEdge(uint32_t From, const CharClass &CC, uint32_t To) {
+  for (const CharRange &R : CC.ranges())
+    addEdge(From, R.Lo, R.Hi, To);
+}
+
+void Nfa::addEps(uint32_t From, uint32_t To) {
+  assert(From < numStates() && To < numStates() && "eps endpoint oob");
+  Eps[From].push_back(To);
+}
+
+uint32_t Nfa::absorb(const Nfa &Other) {
+  uint32_t Offset = numStates();
+  for (uint32_t S = 0; S < Other.numStates(); ++S) {
+    uint32_t N = addState();
+    (void)N;
+    Accept[Offset + S] = Other.Accept[S];
+  }
+  for (uint32_t S = 0; S < Other.numStates(); ++S) {
+    for (const NfaEdge &E : Other.Edges[S])
+      addEdge(Offset + S, E.Lo, E.Hi, Offset + E.To);
+    for (uint32_t T : Other.Eps[S])
+      addEps(Offset + S, Offset + T);
+  }
+  return Offset;
+}
+
+std::vector<uint32_t> Nfa::epsClosure(std::vector<uint32_t> States) const {
+  std::vector<bool> Seen(numStates(), false);
+  std::vector<uint32_t> Stack = States;
+  for (uint32_t S : States)
+    Seen[S] = true;
+  while (!Stack.empty()) {
+    uint32_t S = Stack.back();
+    Stack.pop_back();
+    for (uint32_t T : Eps[S]) {
+      if (Seen[T])
+        continue;
+      Seen[T] = true;
+      States.push_back(T);
+      Stack.push_back(T);
+    }
+  }
+  std::sort(States.begin(), States.end());
+  States.erase(std::unique(States.begin(), States.end()), States.end());
+  return States;
+}
+
+bool Nfa::matches(const std::string &Input) const {
+  std::vector<uint32_t> Cur = epsClosure({Start});
+  for (char C : Input) {
+    unsigned char U = static_cast<unsigned char>(C);
+    std::vector<uint32_t> Next;
+    for (uint32_t S : Cur)
+      for (const NfaEdge &E : Edges[S])
+        if (U >= E.Lo && U <= E.Hi)
+          Next.push_back(E.To);
+    if (Next.empty())
+      return false;
+    Cur = epsClosure(std::move(Next));
+  }
+  for (uint32_t S : Cur)
+    if (Accept[S])
+      return true;
+  return false;
+}

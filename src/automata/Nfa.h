@@ -1,0 +1,71 @@
+//===- automata/Nfa.h - Nondeterministic finite automata --------*- C++ -*-===//
+//
+// Part of the Regel reproduction. A small NFA library over the printable
+// ASCII alphabet with character-range edges and epsilon moves. Together
+// with automata/Dfa.h this substitutes for the Brics automaton library the
+// paper uses for membership, complement and intersection queries.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_AUTOMATA_NFA_H
+#define REGEL_AUTOMATA_NFA_H
+
+#include "regex/CharClass.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace regel {
+
+/// A labelled NFA edge: consume any character in [Lo, Hi] and move to To.
+struct NfaEdge {
+  unsigned char Lo;
+  unsigned char Hi;
+  uint32_t To;
+};
+
+/// An NFA under construction. States are dense indices; the start state is
+/// fixed by the builder and acceptance is a per-state flag.
+class Nfa {
+public:
+  /// Creates an automaton with a single (non-accepting) start state.
+  Nfa();
+
+  uint32_t numStates() const { return static_cast<uint32_t>(Edges.size()); }
+  uint32_t start() const { return Start; }
+  void setStart(uint32_t S) { Start = S; }
+
+  /// Adds a fresh state and returns its index.
+  uint32_t addState();
+
+  void setAccept(uint32_t S, bool A = true) { Accept[S] = A; }
+  bool isAccept(uint32_t S) const { return Accept[S]; }
+
+  void addEdge(uint32_t From, unsigned char Lo, unsigned char Hi, uint32_t To);
+  void addClassEdge(uint32_t From, const CharClass &CC, uint32_t To);
+  void addEps(uint32_t From, uint32_t To);
+
+  const std::vector<NfaEdge> &edgesFrom(uint32_t S) const { return Edges[S]; }
+  const std::vector<uint32_t> &epsFrom(uint32_t S) const { return Eps[S]; }
+
+  /// Copies all states/edges of \p Other into this automaton; returns the
+  /// index offset applied to Other's state numbers.
+  uint32_t absorb(const Nfa &Other);
+
+  /// Direct NFA membership (simulation). Used for tests; production code
+  /// goes through the determinized pipeline.
+  bool matches(const std::string &Input) const;
+
+  /// Epsilon closure of a set of states (sorted unique result).
+  std::vector<uint32_t> epsClosure(std::vector<uint32_t> States) const;
+
+private:
+  uint32_t Start = 0;
+  std::vector<bool> Accept;
+  std::vector<std::vector<NfaEdge>> Edges;
+  std::vector<std::vector<uint32_t>> Eps;
+};
+
+} // namespace regel
+
+#endif // REGEL_AUTOMATA_NFA_H

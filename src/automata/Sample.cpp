@@ -1,0 +1,121 @@
+//===- automata/Sample.cpp ------------------------------------------------===//
+
+#include "automata/Sample.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <set>
+
+using namespace regel;
+
+namespace {
+
+/// Feasibility[L][S] is true when some accepting path of length exactly L
+/// starts at state S.
+std::vector<std::vector<bool>> feasibilityTable(const Dfa &D,
+                                                unsigned MaxLen) {
+  std::vector<std::vector<bool>> Table(MaxLen + 1,
+                                       std::vector<bool>(D.numStates()));
+  for (uint32_t S = 0; S < D.numStates(); ++S)
+    Table[0][S] = D.isAccept(S);
+  for (unsigned L = 1; L <= MaxLen; ++L)
+    for (uint32_t S = 0; S < D.numStates(); ++S) {
+      bool Ok = false;
+      for (unsigned C = 0; C < AlphabetSize && !Ok; ++C)
+        Ok = Table[L - 1][D.step(S, static_cast<char>(MinAlphabetChar + C))];
+      Table[L][S] = Ok;
+    }
+  return Table;
+}
+
+} // namespace
+
+std::optional<std::string> regel::sampleAccepted(const Dfa &D, Rng &R,
+                                                 unsigned MaxLen) {
+  auto Table = feasibilityTable(D, MaxLen);
+  std::vector<unsigned> Lengths;
+  for (unsigned L = 0; L <= MaxLen; ++L)
+    if (Table[L][D.start()])
+      Lengths.push_back(L);
+  if (Lengths.empty())
+    return std::nullopt;
+  unsigned Target = Lengths[R.nextBelow(Lengths.size())];
+  std::string Out;
+  uint32_t S = D.start();
+  for (unsigned Remaining = Target; Remaining > 0; --Remaining) {
+    // Weight choices toward characters humans actually put in examples:
+    // alphanumerics first, then common punctuation, then the long tail.
+    std::vector<char> Choices;
+    for (unsigned C = 0; C < AlphabetSize; ++C) {
+      char Ch = static_cast<char>(MinAlphabetChar + C);
+      if (!Table[Remaining - 1][D.step(S, Ch)])
+        continue;
+      unsigned Weight = 1;
+      if (std::isalnum(static_cast<unsigned char>(Ch)))
+        Weight = 8;
+      else if (std::strchr(" .,:-_/", Ch))
+        Weight = 4;
+      Choices.insert(Choices.end(), Weight, Ch);
+    }
+    assert(!Choices.empty() && "feasibility table promised a path");
+    char Ch = Choices[R.nextBelow(Choices.size())];
+    Out.push_back(Ch);
+    S = D.step(S, Ch);
+  }
+  return Out;
+}
+
+std::vector<std::string> regel::sampleAcceptedSet(const Dfa &D, Rng &R,
+                                                  unsigned Count,
+                                                  unsigned MaxLen) {
+  std::set<std::string> Seen;
+  // Allow generous retries so small languages still fill the request when
+  // they can.
+  for (unsigned Attempt = 0; Attempt < Count * 8 + 16 && Seen.size() < Count;
+       ++Attempt) {
+    auto S = sampleAccepted(D, R, MaxLen);
+    if (!S)
+      break;
+    Seen.insert(*S);
+  }
+  return std::vector<std::string>(Seen.begin(), Seen.end());
+}
+
+std::vector<std::string> regel::enumerateAccepted(const Dfa &D,
+                                                  unsigned MaxCount,
+                                                  unsigned MaxLen) {
+  std::vector<std::string> Out;
+  if (MaxCount == 0)
+    return Out;
+  auto Table = feasibilityTable(D, MaxLen);
+  // DFS in length order: for each target length, enumerate lexicographically.
+  for (unsigned L = 0; L <= MaxLen && Out.size() < MaxCount; ++L) {
+    if (!Table[L][D.start()])
+      continue;
+    // Iterative DFS with explicit stack of (state, prefix).
+    struct Item {
+      uint32_t State;
+      std::string Prefix;
+    };
+    std::vector<Item> Stack{{D.start(), ""}};
+    while (!Stack.empty() && Out.size() < MaxCount) {
+      Item Cur = Stack.back();
+      Stack.pop_back();
+      unsigned Remaining = L - static_cast<unsigned>(Cur.Prefix.size());
+      if (Remaining == 0) {
+        if (D.isAccept(Cur.State))
+          Out.push_back(Cur.Prefix);
+        continue;
+      }
+      // Push in reverse so lexicographically smaller characters pop first.
+      for (int C = AlphabetSize - 1; C >= 0; --C) {
+        char Ch = static_cast<char>(MinAlphabetChar + C);
+        uint32_t T = D.step(Cur.State, Ch);
+        if (Table[Remaining - 1][T])
+          Stack.push_back({T, Cur.Prefix + Ch});
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- automata/Sample.h - Sampling strings from automata -------*- C++ -*-===//
+//
+// Part of the Regel reproduction. Generates example strings from a DFA:
+// the dataset builders (src/data) use this to derive positive examples from
+// ground-truth regexes and near-miss negative examples from mutations.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_AUTOMATA_SAMPLE_H
+#define REGEL_AUTOMATA_SAMPLE_H
+
+#include "automata/Dfa.h"
+#include "support/Random.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace regel {
+
+/// Samples one accepted string of length at most \p MaxLen. The target
+/// length is drawn uniformly from the feasible lengths, then the walk picks
+/// uniformly among characters that can still reach acceptance in the
+/// remaining budget. Returns nullopt if no accepted string of length
+/// <= MaxLen exists.
+std::optional<std::string> sampleAccepted(const Dfa &D, Rng &R,
+                                          unsigned MaxLen);
+
+/// Samples up to \p Count distinct accepted strings (best effort).
+std::vector<std::string> sampleAcceptedSet(const Dfa &D, Rng &R,
+                                           unsigned Count, unsigned MaxLen);
+
+/// Enumerates accepted strings in length-then-lexicographic order, up to
+/// \p MaxCount strings of length at most \p MaxLen.
+std::vector<std::string> enumerateAccepted(const Dfa &D, unsigned MaxCount,
+                                           unsigned MaxLen);
+
+} // namespace regel
+
+#endif // REGEL_AUTOMATA_SAMPLE_H

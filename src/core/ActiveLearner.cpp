@@ -1,0 +1,66 @@
+//===- core/ActiveLearner.cpp ---------------------------------------------===//
+
+#include "core/ActiveLearner.h"
+
+#include "regex/Matcher.h"
+
+#include <algorithm>
+
+using namespace regel;
+
+ActiveLearner::ActiveLearner(std::vector<RegexPtr> Candidates) {
+  for (RegexPtr &C : Candidates)
+    if (C)
+      this->Candidates.push_back(std::move(C));
+}
+
+std::optional<std::string> ActiveLearner::nextQuery() {
+  // Find the first pair of semantically distinct candidates; their
+  // shortest distinguishing string is the most informative one-bit
+  // question we can ask.
+  for (size_t I = 0; I < Candidates.size(); ++I) {
+    const Dfa &DI = Cache.get(Candidates[I]);
+    for (size_t J = I + 1; J < Candidates.size(); ++J) {
+      const Dfa &DJ = Cache.get(Candidates[J]);
+      if (auto Witness = Dfa::distinguishingString(DI, DJ))
+        return Witness;
+    }
+  }
+  return std::nullopt;
+}
+
+size_t ActiveLearner::answer(const std::string &Query, bool InLanguage) {
+  size_t Before = Candidates.size();
+  Candidates.erase(
+      std::remove_if(Candidates.begin(), Candidates.end(),
+                     [&](const RegexPtr &C) {
+                       return Cache.get(C).matches(Query) != InLanguage;
+                     }),
+      Candidates.end());
+  if (InLanguage)
+    Learned.Pos.push_back(Query);
+  else
+    Learned.Neg.push_back(Query);
+  return Before - Candidates.size();
+}
+
+bool ActiveLearner::converged() { return !nextQuery().has_value(); }
+
+ActiveResult regel::disambiguate(
+    std::vector<RegexPtr> Candidates,
+    const std::function<bool(const std::string &)> &Oracle,
+    unsigned MaxQueries) {
+  ActiveLearner Learner(std::move(Candidates));
+  ActiveResult Result;
+  while (Result.QueriesAsked < MaxQueries) {
+    std::optional<std::string> Query = Learner.nextQuery();
+    if (!Query)
+      break;
+    ++Result.QueriesAsked;
+    Learner.answer(*Query, Oracle(*Query));
+  }
+  Result.Learned = Learner.learnedExamples();
+  if (!Learner.candidates().empty())
+    Result.Final = Learner.candidates().front();
+  return Result;
+}

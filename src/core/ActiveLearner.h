@@ -1,0 +1,75 @@
+//===- core/ActiveLearner.h - Membership-query disambiguation ----*- C++ -*-//
+//
+// Part of the Regel reproduction; implements the paper's Sec. 10 future
+// work: "a regex synthesis tool that would ask the user membership queries
+// to disambiguate between multiple different solutions that are consistent
+// with the examples."
+//
+// Given the top-k consistent regexes from a synthesis run, the learner
+// repeatedly picks two semantically distinct candidates, derives a
+// shortest distinguishing string from their automata, and asks the user
+// (an oracle) whether that string should match. Each answer eliminates at
+// least one candidate class and yields a new example for re-synthesis.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_CORE_ACTIVELEARNER_H
+#define REGEL_CORE_ACTIVELEARNER_H
+
+#include "automata/Compile.h"
+#include "synth/PartialRegex.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace regel {
+
+/// Interactive disambiguator over a candidate set.
+class ActiveLearner {
+public:
+  /// \p Candidates are regexes already consistent with the user's
+  /// examples (e.g. RegelResult answers). Null entries are dropped.
+  explicit ActiveLearner(std::vector<RegexPtr> Candidates);
+
+  /// The next membership query, or nullopt when the remaining candidates
+  /// are pairwise equivalent (nothing left to distinguish).
+  std::optional<std::string> nextQuery();
+
+  /// Records the oracle's answer for \p Query: candidates disagreeing
+  /// with the answer are eliminated. Returns the number eliminated.
+  size_t answer(const std::string &Query, bool InLanguage);
+
+  /// Candidates still alive, in their original order.
+  const std::vector<RegexPtr> &candidates() const { return Candidates; }
+
+  /// True when every remaining candidate denotes the same language.
+  bool converged();
+
+  /// Examples accumulated from the answered queries (feed these back into
+  /// the synthesizer for another round if the candidate set runs dry).
+  const Examples &learnedExamples() const { return Learned; }
+
+private:
+  std::vector<RegexPtr> Candidates;
+  DfaCache Cache;
+  Examples Learned;
+};
+
+/// Result of running active learning to convergence.
+struct ActiveResult {
+  RegexPtr Final;            ///< a representative of the surviving class
+  unsigned QueriesAsked = 0; ///< membership queries issued
+  Examples Learned;          ///< examples induced by the answers
+};
+
+/// Drives an ActiveLearner with \p Oracle (truth membership) until the
+/// candidates converge or \p MaxQueries is hit.
+ActiveResult disambiguate(std::vector<RegexPtr> Candidates,
+                          const std::function<bool(const std::string &)> &Oracle,
+                          unsigned MaxQueries = 16);
+
+} // namespace regel
+
+#endif // REGEL_CORE_ACTIVELEARNER_H

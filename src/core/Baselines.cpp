@@ -1,0 +1,49 @@
+//===- core/Baselines.cpp -------------------------------------------------===//
+
+#include "core/Baselines.h"
+
+using namespace regel;
+
+SynthResult regel::regelPbe(const Examples &E, SynthConfig Cfg) {
+  Synthesizer Engine(std::move(Cfg));
+  return Engine.run(Sketch::unconstrained(), E);
+}
+
+RegexPtr regel::nlOnlyRegex(const nlp::SemanticParser &Parser,
+                            const std::string &Description) {
+  // Take the best-scoring root whose sketch is fully concrete: that is the
+  // parser's direct "translation" of the description into a regex.
+  //
+  // A sequence-to-sequence translator (the system this baseline stands in
+  // for) consumes the whole sentence; it has no notion of skipping words.
+  // Our chart parser does skip, so to keep the baseline honest we reject
+  // "translations" whose derivation ignored most of the input — those are
+  // sketch-style readings, not translations.
+  std::vector<nlp::Token> Tokens = nlp::tokenize(Description);
+  if (Tokens.empty())
+    return nullptr;
+  std::vector<nlp::Derivation> Roots = Parser.parseDerivations(Description);
+  uint32_t SkipFeature = Parser.featureSpace().skipFeature();
+  for (const nlp::Derivation &D : Roots) {
+    SketchPtr S = D.Val.asSketch();
+    if (!S)
+      continue;
+    RegexPtr R;
+    if (S->getKind() == SketchKind::Concrete)
+      R = S->regex();
+    else if (S->getKind() == SketchKind::Hole &&
+             S->components().size() == 1 &&
+             S->components()[0]->getKind() == SketchKind::Concrete)
+      R = S->components()[0]->regex(); // single-component hole: direct too
+    if (!R)
+      continue;
+    double Skipped = 0;
+    for (const auto &[Id, Val] : D.Features)
+      if (Id == SkipFeature)
+        Skipped = Val;
+    if (Skipped > 0.65 * static_cast<double>(Tokens.size()))
+      continue;
+    return R;
+  }
+  return nullptr;
+}

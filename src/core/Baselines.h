@@ -1,0 +1,31 @@
+//===- core/Baselines.h - Evaluation baselines --------------------*- C++ -*-//
+//
+// Part of the Regel reproduction. The two baselines of Sec. 8.1:
+//
+//  * RegelPbe  — examples only: the PBE engine started from a completely
+//    unconstrained sketch (a single hole).
+//  * NlOnly    — natural language only: the best *concrete* parse of the
+//    description, ignoring examples. This stands in for DeepRegex (a
+//    seq2seq model we cannot train offline); like DeepRegex it is an
+//    example-free NL->regex translator. See DESIGN.md, substitution 4.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_CORE_BASELINES_H
+#define REGEL_CORE_BASELINES_H
+
+#include "core/Regel.h"
+
+namespace regel {
+
+/// Examples-only baseline: synthesize from the unconstrained sketch.
+SynthResult regelPbe(const Examples &E, SynthConfig Cfg);
+
+/// NL-only baseline: the highest-scoring hole-free parse of the
+/// description (null when no concrete parse exists).
+RegexPtr nlOnlyRegex(const nlp::SemanticParser &Parser,
+                     const std::string &Description);
+
+} // namespace regel
+
+#endif // REGEL_CORE_BASELINES_H

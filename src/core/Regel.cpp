@@ -1,0 +1,100 @@
+//===- core/Regel.cpp -----------------------------------------------------===//
+
+#include "core/Regel.h"
+
+#include "support/Timer.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+using namespace regel;
+
+Regel::Regel(std::shared_ptr<nlp::SemanticParser> Parser, RegelConfig Cfg)
+    : Parser(std::move(Parser)), Cfg(std::move(Cfg)) {}
+
+RegelResult Regel::synthesize(const std::string &Description,
+                              const Examples &E) const {
+  Stopwatch ParseWatch;
+  std::vector<nlp::ScoredSketch> Scored =
+      Parser->parse(Description, Cfg.NumSketches);
+  std::vector<SketchPtr> Sketches;
+  for (nlp::ScoredSketch &S : Scored)
+    Sketches.push_back(std::move(S.Sketch));
+  if (Sketches.empty())
+    Sketches.push_back(Sketch::unconstrained()); // fall back to pure PBE
+  double ParseMs = ParseWatch.elapsedMs();
+
+  RegelResult Result = synthesizeFromSketches(Sketches, E);
+  Result.ParseMs = ParseMs;
+  return Result;
+}
+
+RegelResult Regel::synthesizeFromSketches(
+    const std::vector<SketchPtr> &Sketches, const Examples &E) const {
+  RegelResult Result;
+  Result.Sketches = Sketches;
+  Stopwatch SynthWatch;
+  Deadline Total(Cfg.BudgetMs);
+
+  // Per-sketch budget: an equal split of the total, with a floor so early
+  // (better-ranked) sketches get a meaningful slice even for large lists.
+  int64_t PerSketch =
+      Cfg.BudgetMs > 0
+          ? std::max<int64_t>(Cfg.BudgetMs / std::max<size_t>(
+                                                 Sketches.size(), 1),
+                              250)
+          : 0;
+
+  std::mutex Lock;
+  std::unordered_set<size_t> Seen;
+  std::atomic<bool> Done{false};
+  std::atomic<size_t> Next{0};
+
+  auto worker = [&]() {
+    while (!Done.load()) {
+      size_t Idx = Next.fetch_add(1);
+      if (Idx >= Sketches.size() || Total.expired())
+        return;
+      SynthConfig SC = Cfg.Synth;
+      SC.TopK = Cfg.TopK;
+      SC.BudgetMs = PerSketch;
+      if (Cfg.BudgetMs > 0) {
+        int64_t Remaining =
+            Cfg.BudgetMs - static_cast<int64_t>(Total.elapsedMs());
+        if (Remaining <= 0)
+          return;
+        SC.BudgetMs = std::min<int64_t>(PerSketch, Remaining);
+      }
+      Synthesizer Engine(SC);
+      SynthResult SR = Engine.run(Sketches[Idx], E);
+      if (SR.Solutions.empty())
+        continue;
+      std::lock_guard<std::mutex> Guard(Lock);
+      for (RegexPtr &R : SR.Solutions) {
+        if (!Seen.insert(R->hash()).second)
+          continue;
+        Result.Answers.push_back(
+            {std::move(R), static_cast<unsigned>(Idx), Sketches[Idx]});
+        if (Result.Answers.size() >= Cfg.TopK) {
+          Done.store(true);
+          break;
+        }
+      }
+    }
+  };
+
+  if (Cfg.Threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T < Cfg.Threads; ++T)
+      Pool.emplace_back(worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  Result.SynthMs = SynthWatch.elapsedMs();
+  return Result;
+}

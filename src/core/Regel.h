@@ -1,0 +1,72 @@
+//===- core/Regel.h - Multi-modal synthesis driver ----------------*- C++ -*-//
+//
+// Part of the Regel reproduction. The end-to-end tool of Sec. 6: parse the
+// English description into a ranked list of h-sketches, run one PBE engine
+// instance per sketch (the paper runs 25 in parallel; we iterate them under
+// a shared wall-clock budget, optionally on worker threads), and return up
+// to k consistent regexes.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_CORE_REGEL_H
+#define REGEL_CORE_REGEL_H
+
+#include "nlp/SemanticParser.h"
+#include "synth/Synthesizer.h"
+
+#include <memory>
+
+namespace regel {
+
+/// Driver configuration (defaults follow Sec. 6/7).
+struct RegelConfig {
+  unsigned NumSketches = 25;  ///< sketches taken from the parser
+  unsigned TopK = 1;          ///< results shown to the user
+  int64_t BudgetMs = 10000;   ///< total time budget t
+  SynthConfig Synth;          ///< PBE engine settings (BudgetMs is split)
+  unsigned Threads = 1;       ///< PBE instances run on this many workers
+};
+
+/// One synthesized result.
+struct RegelAnswer {
+  RegexPtr Regex;
+  unsigned SketchRank;  ///< which sketch produced it (0-based)
+  SketchPtr Sketch;
+};
+
+/// End-to-end result.
+struct RegelResult {
+  std::vector<RegelAnswer> Answers; ///< up to TopK, discovery order
+  std::vector<SketchPtr> Sketches;  ///< the sketches that were tried
+  double ParseMs = 0;
+  double SynthMs = 0;
+
+  bool solved() const { return !Answers.empty(); }
+};
+
+/// The multi-modal synthesizer.
+class Regel {
+public:
+  /// \p Parser is shared (it carries the trained model weights).
+  explicit Regel(std::shared_ptr<nlp::SemanticParser> Parser,
+                 RegelConfig Cfg = RegelConfig());
+
+  /// Synthesizes regexes from \p Description and \p E.
+  RegelResult synthesize(const std::string &Description,
+                         const Examples &E) const;
+
+  /// Runs the PBE engine over an explicit sketch list (used by the
+  /// ablation benches, which fix the sketches).
+  RegelResult synthesizeFromSketches(const std::vector<SketchPtr> &Sketches,
+                                     const Examples &E) const;
+
+  const RegelConfig &config() const { return Cfg; }
+
+private:
+  std::shared_ptr<nlp::SemanticParser> Parser;
+  RegelConfig Cfg;
+};
+
+} // namespace regel
+
+#endif // REGEL_CORE_REGEL_H

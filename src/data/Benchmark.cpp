@@ -1,0 +1,52 @@
+//===- data/Benchmark.cpp -------------------------------------------------===//
+
+#include "data/Benchmark.h"
+
+#include "regex/Matcher.h"
+#include "regex/Printer.h"
+
+using namespace regel;
+using namespace regel::data;
+
+Examples Benchmark::examplesAt(unsigned Iteration) const {
+  Examples E = Initial;
+  for (unsigned I = 0; I < Iteration; ++I) {
+    if (I < ExtraPos.size())
+      E.Pos.push_back(ExtraPos[I]);
+    if (I < ExtraNeg.size())
+      E.Neg.push_back(ExtraNeg[I]);
+  }
+  return E;
+}
+
+std::string regel::data::validateBenchmark(const Benchmark &B) {
+  if (!B.GroundTruth)
+    return B.Id + ": missing ground truth";
+  DirectMatcher M(B.GroundTruth);
+  auto CheckPos = [&](const std::vector<std::string> &Strs) -> std::string {
+    for (const std::string &S : Strs)
+      if (!M.matches(S))
+        return B.Id + ": ground truth rejects positive \"" + S + "\" (" +
+               printRegex(B.GroundTruth) + ")";
+    return "";
+  };
+  auto CheckNeg = [&](const std::vector<std::string> &Strs) -> std::string {
+    for (const std::string &S : Strs)
+      if (M.matches(S))
+        return B.Id + ": ground truth accepts negative \"" + S + "\" (" +
+               printRegex(B.GroundTruth) + ")";
+    return "";
+  };
+  std::string Err;
+  if (!(Err = CheckPos(B.Initial.Pos)).empty())
+    return Err;
+  if (!(Err = CheckPos(B.ExtraPos)).empty())
+    return Err;
+  if (!(Err = CheckNeg(B.Initial.Neg)).empty())
+    return Err;
+  if (!(Err = CheckNeg(B.ExtraNeg)).empty())
+    return Err;
+  if (B.Initial.Pos.empty() || B.Initial.Neg.empty())
+    return B.Id + ": needs at least one positive and one negative example";
+  return "";
+}

@@ -1,0 +1,44 @@
+//===- data/Benchmark.h - Benchmark representation ---------------*- C++ -*-//
+//
+// Part of the Regel reproduction. One benchmark = English description +
+// positive/negative examples + ground-truth regex (+ annotated gold sketch
+// for parser training, Sec. 7). Extra examples support the iterative
+// feedback protocol of Sec. 8.1 (add two examples per iteration).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_DATA_BENCHMARK_H
+#define REGEL_DATA_BENCHMARK_H
+
+#include "sketch/Sketch.h"
+#include "synth/PartialRegex.h"
+
+#include <string>
+#include <vector>
+
+namespace regel::data {
+
+/// One regex-synthesis benchmark.
+struct Benchmark {
+  std::string Id;
+  std::string Description;
+  Examples Initial;              ///< examples shipped with the benchmark
+  std::vector<std::string> ExtraPos; ///< feedback reserve (Sec. 8.1)
+  std::vector<std::string> ExtraNeg;
+  RegexPtr GroundTruth;
+  SketchPtr GoldSketch; ///< annotation for parser training
+
+  /// Examples visible after \p Iteration rounds of feedback: each round
+  /// reveals one extra positive and one extra negative example ("two
+  /// additional examples" per Sec. 8.1).
+  Examples examplesAt(unsigned Iteration) const;
+};
+
+/// Sanity-checks a benchmark: ground truth accepts all positives and
+/// rejects all negatives (including the feedback reserve). Returns a
+/// diagnostic string, empty when consistent.
+std::string validateBenchmark(const Benchmark &B);
+
+} // namespace regel::data
+
+#endif // REGEL_DATA_BENCHMARK_H

@@ -1,0 +1,30 @@
+//===- data/DeepRegexSet.h - DeepRegex-style benchmark generator -*- C++ -*-//
+//
+// Part of the Regel reproduction. The original DeepRegex set was built by
+// sampling regexes from a synchronous grammar, rendering synthetic English,
+// and having crowd workers paraphrase it (Sec. 7). We regenerate the same
+// flavour of data: a synchronous CFG samples (regex, English) pairs with
+// small paraphrase variation, examples come from the automaton sampler, and
+// the sketch label is the paper's root-operator hole-ification.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_DATA_DEEPREGEXSET_H
+#define REGEL_DATA_DEEPREGEXSET_H
+
+#include "data/Benchmark.h"
+
+namespace regel::data {
+
+/// Generates the DeepRegex-style suite (deterministic for a given seed).
+/// \p Count defaults to the paper's 200 curated benchmarks.
+std::vector<Benchmark> deepRegexSet(unsigned Count = 200,
+                                    uint64_t Seed = 0xdeeb);
+
+/// The paper's sketch-label rule for this set: replace the root operator
+/// with a hole whose components are the operator's arguments.
+SketchPtr rootHoleSketch(const RegexPtr &GroundTruth);
+
+} // namespace regel::data
+
+#endif // REGEL_DATA_DEEPREGEXSET_H

@@ -1,0 +1,122 @@
+//===- data/ExampleGen.cpp ------------------------------------------------===//
+
+#include "data/ExampleGen.h"
+
+#include "automata/Sample.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace regel;
+using namespace regel::data;
+
+namespace {
+
+/// Characters that appear in any accepted string (approximated from the
+/// sampled positives) — negative mutations draw from this alphabet so they
+/// look like near-misses rather than random noise.
+std::vector<char> alphabetOf(const std::vector<std::string> &Strs) {
+  std::set<char> Set;
+  for (const std::string &S : Strs)
+    for (char C : S)
+      Set.insert(C);
+  // Always include a standard pool: languages defined by *absence* of some
+  // characters (e.g. "no digits") need out-of-language characters for
+  // negative examples.
+  for (char C : {'a', 'Z', '0', '9', ' ', '.', ',', '-', '_'})
+    Set.insert(C);
+  return std::vector<char>(Set.begin(), Set.end());
+}
+
+/// One random near-miss mutation of \p S.
+std::string mutate(const std::string &S, const std::vector<char> &Alpha,
+                   Rng &R) {
+  std::string Out = S;
+  switch (R.nextBelow(5)) {
+  case 0: // replace a character
+    if (!Out.empty())
+      Out[R.nextBelow(Out.size())] = Alpha[R.nextBelow(Alpha.size())];
+    break;
+  case 1: // delete a character
+    if (!Out.empty())
+      Out.erase(R.nextBelow(Out.size()), 1);
+    break;
+  case 2: // insert a character
+    Out.insert(R.nextBelow(Out.size() + 1), 1,
+               Alpha[R.nextBelow(Alpha.size())]);
+    break;
+  case 3: // duplicate a chunk (length violations)
+    if (!Out.empty()) {
+      size_t At = R.nextBelow(Out.size());
+      size_t Len = 1 + R.nextBelow(std::min<size_t>(4, Out.size() - At));
+      Out.insert(At, Out.substr(At, Len));
+    }
+    break;
+  case 4: // truncate half
+    Out = Out.substr(0, Out.size() / 2);
+    break;
+  }
+  return Out;
+}
+
+} // namespace
+
+GeneratedExamples regel::data::generateExamples(const RegexPtr &GroundTruth,
+                                                Rng &R,
+                                                const ExampleGenConfig &Cfg) {
+  GeneratedExamples Out;
+  Dfa D = compileRegex(GroundTruth);
+  if (D.isEmpty() || D.isTotal())
+    return Out; // degenerate language: unusable as a benchmark
+
+  // Positives: distinct accepted strings, preferring a spread of lengths.
+  std::vector<std::string> Pos =
+      sampleAcceptedSet(D, R, Cfg.NumPos + Cfg.NumExtra, Cfg.MaxLen);
+  if (Pos.size() < 2)
+    return Out; // language too small for a meaningful PBE task
+  // Drop the empty string as an example: it reads as "no example" to users.
+  Pos.erase(std::remove(Pos.begin(), Pos.end(), std::string()), Pos.end());
+  if (Pos.size() < 2)
+    return Out;
+
+  // Negatives: mutate positives until rejected; pad with random strings.
+  std::vector<char> Alpha = alphabetOf(Pos);
+  std::set<std::string> NegSet;
+  unsigned Want = Cfg.NumNeg + Cfg.NumExtra;
+  for (unsigned Attempt = 0; Attempt < Want * 30 && NegSet.size() < Want;
+       ++Attempt) {
+    std::string Cand = mutate(Pos[R.nextBelow(Pos.size())], Alpha, R);
+    if (Cand.empty() || Cand.size() > Cfg.MaxLen)
+      continue;
+    if (!D.matches(Cand))
+      NegSet.insert(Cand);
+  }
+  for (unsigned Attempt = 0; Attempt < Want * 10 && NegSet.size() < Want;
+       ++Attempt) {
+    // Random string over the positive alphabet.
+    std::string Cand;
+    unsigned Len = 1 + static_cast<unsigned>(R.nextBelow(Cfg.MaxLen));
+    for (unsigned I = 0; I < Len; ++I)
+      Cand.push_back(Alpha[R.nextBelow(Alpha.size())]);
+    if (!D.matches(Cand))
+      NegSet.insert(Cand);
+  }
+  std::vector<std::string> Neg(NegSet.begin(), NegSet.end());
+  if (Neg.size() < 2)
+    return Out;
+
+  // Shuffle deterministically so Initial/Extra splits vary in character.
+  for (size_t I = Pos.size(); I > 1; --I)
+    std::swap(Pos[I - 1], Pos[R.nextBelow(I)]);
+  for (size_t I = Neg.size(); I > 1; --I)
+    std::swap(Neg[I - 1], Neg[R.nextBelow(I)]);
+
+  unsigned NPos = std::min<size_t>(Cfg.NumPos, Pos.size());
+  unsigned NNeg = std::min<size_t>(Cfg.NumNeg, Neg.size());
+  Out.Initial.Pos.assign(Pos.begin(), Pos.begin() + NPos);
+  Out.Initial.Neg.assign(Neg.begin(), Neg.begin() + NNeg);
+  Out.ExtraPos.assign(Pos.begin() + NPos, Pos.end());
+  Out.ExtraNeg.assign(Neg.begin() + NNeg, Neg.end());
+  Out.Ok = true;
+  return Out;
+}

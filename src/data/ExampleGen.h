@@ -1,0 +1,42 @@
+//===- data/ExampleGen.h - Example synthesis from ground truth ---*- C++ -*-//
+//
+// Part of the Regel reproduction. The original datasets come with
+// human-written examples; we regenerate equivalents from each ground-truth
+// regex: positives are sampled from its automaton, negatives are near-miss
+// mutations of positives (plus random strings over the same alphabet) that
+// the automaton rejects. See DESIGN.md, substitution 5.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_DATA_EXAMPLEGEN_H
+#define REGEL_DATA_EXAMPLEGEN_H
+
+#include "automata/Compile.h"
+#include "support/Random.h"
+#include "synth/PartialRegex.h"
+
+namespace regel::data {
+
+/// Example-generation knobs.
+struct ExampleGenConfig {
+  unsigned NumPos = 4;      ///< initial positives (paper: avg 4)
+  unsigned NumNeg = 5;      ///< initial negatives (paper: avg 5)
+  unsigned NumExtra = 8;    ///< feedback reserve per polarity
+  unsigned MaxLen = 24;     ///< maximum example length
+};
+
+/// Generated example sets.
+struct GeneratedExamples {
+  Examples Initial;
+  std::vector<std::string> ExtraPos;
+  std::vector<std::string> ExtraNeg;
+  bool Ok = false; ///< false when the language is too small/degenerate
+};
+
+/// Generates examples for \p GroundTruth. Deterministic given \p R's state.
+GeneratedExamples generateExamples(const RegexPtr &GroundTruth, Rng &R,
+                                   const ExampleGenConfig &Cfg = {});
+
+} // namespace regel::data
+
+#endif // REGEL_DATA_EXAMPLEGEN_H

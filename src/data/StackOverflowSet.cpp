@@ -1,0 +1,385 @@
+//===- data/StackOverflowSet.cpp ------------------------------------------===//
+
+#include "data/StackOverflowSet.h"
+
+#include "data/ExampleGen.h"
+#include "regex/Parser.h"
+#include "sketch/SketchParser.h"
+
+#include <cassert>
+
+using namespace regel;
+using namespace regel::data;
+
+namespace {
+
+/// One curated entry: description, ground truth (DSL text) and the
+/// manually written sketch label (Sec. 7, "we manually write sketch labels
+/// in a way that mimics the structure of the English utterance").
+struct Entry {
+  const char *Id;
+  const char *Desc;
+  const char *Truth;
+  const char *Sketch;
+};
+
+const Entry Entries[] = {
+    {"so-01",
+     "I need a regular expression that validates Decimal(18, 3), which means "
+     "the max number of digits before comma is 15 then accept at max 3 "
+     "numbers after the comma.",
+     "Concat(RepeatRange(<num>,1,15),Optional(Concat(<.>,RepeatRange(<num>,1,"
+     "3))))",
+     "Concat(hole{<num>,<,>},hole{RepeatRange(<num>,1,3),<,>})"},
+    {"so-02",
+     "Trying to validate usernames for my site: they must start with a "
+     "letter and then have 2 to 7 more letters or digits, nothing else is "
+     "allowed.",
+     "Concat(<let>,RepeatRange(Or(<let>,<num>),2,7))",
+     "Concat(hole{<let>},hole{RepeatRange(Or(<let>,<num>),2,7)})"},
+    {"so-03",
+     "Phone extension format for our directory: exactly 3 digits then a "
+     "dash then exactly 4 digits, nothing before or after.",
+     "Concat(Repeat(<num>,3),Concat(<->,Repeat(<num>,4)))",
+     "Concat(hole{Repeat(<num>,3)},hole{<->,Repeat(<num>,4)})"},
+    {"so-04",
+     "I want to match a clock style value, one or two digits then a colon "
+     "followed by exactly 2 digits, can anyone help with the expression?",
+     "Concat(RepeatRange(<num>,1,2),Concat(<:>,Repeat(<num>,2)))",
+     "Concat(hole{RepeatRange(<num>,1,2)},hole{<:>,Repeat(<num>,2)})"},
+    {"so-05",
+     "Need to check color codes entered by users, a hash followed by "
+     "exactly 6 hex digits, for example #a0b1c2 should pass.",
+     "Concat(<#>,Repeat(<hex>,6))",
+     "Concat(hole{<#>},hole{Repeat(<hex>,6)})"},
+    {"so-06",
+     "Our password field should accept at least 8 characters, any "
+     "characters are fine, we only check the length on this form.",
+     "RepeatAtLeast(<any>,8)", "hole{RepeatAtLeast(<any>,8)}"},
+    {"so-07",
+     "The code column holds only capital letters and there must be at "
+     "least 2 of them, lowercase or digits should be rejected.",
+     "RepeatAtLeast(<cap>,2)", "hole{RepeatAtLeast(<cap>,2),<let>}"},
+    {"so-08",
+     "Validating postal codes: exactly 5 digits optionally followed by a "
+     "dash and 4 more digits, both 12345 and 12345-6789 are fine.",
+     "Concat(Repeat(<num>,5),Optional(Concat(<->,Repeat(<num>,4))))",
+     "Concat(hole{Repeat(<num>,5)},hole{Optional(Concat(<->,Repeat(<num>,4)))"
+     "})"},
+    {"so-09",
+     "Employee badges look like 2 capital letters followed by 6 digits, I "
+     "need a pattern that accepts those and nothing else.",
+     "Concat(Repeat(<cap>,2),Repeat(<num>,6))",
+     "Concat(hole{Repeat(<cap>,2)},hole{Repeat(<num>,6)})"},
+    {"so-10",
+     "I have a field with numbers separated by commas, like 1,22,333 - one "
+     "or more digits in every part, no spaces anywhere.",
+     "Concat(RepeatAtLeast(<num>,1),KleeneStar(Concat(<,>,RepeatAtLeast(<num>"
+     ",1))))",
+     "hole{Concat(RepeatAtLeast(<num>,1),KleeneStar(Concat(<,>,RepeatAtLeast("
+     "<num>,1)))),<,>}"},
+    {"so-11",
+     "Version strings in our installer are digits separated by dots where "
+     "every part has 1 or 2 digits, like 1.0 or 10.21.3.",
+     "Concat(RepeatRange(<num>,1,2),KleeneStar(Concat(<.>,RepeatRange(<num>,"
+     "1,2))))",
+     "hole{Concat(RepeatRange(<num>,1,2),KleeneStar(Concat(<.>,RepeatRange(<"
+     "num>,1,2)))),<.>}"},
+    {"so-12",
+     "How do I write an expression for strings that do not contain a space "
+     "anywhere? Tabs are not an issue, just plain spaces.",
+     "Not(Contains(<space>))", "hole{Not(Contains(<space>)),<space>}"},
+    {"so-13",
+     "Sentences in the import file must start with a capital letter and "
+     "end with a period, everything in between is free form.",
+     "And(StartsWith(<cap>),EndsWith(<.>))",
+     "hole{StartsWith(<cap>),EndsWith(<.>)}"},
+    {"so-14",
+     "The input box should accept only if either first 2 letters alpha + 6 "
+     "numeric or 8 numeric.",
+     "Or(Concat(Repeat(<let>,2),Repeat(<num>,6)),Repeat(<num>,8))",
+     "Or(hole{Repeat(<let>,2),Repeat(<num>,6)},hole{Repeat(<num>,8)})"},
+    {"so-15",
+     "Money amounts: one or more digits then optionally a dot and exactly "
+     "2 digits for the cents, like 12 or 12.50.",
+     "Concat(RepeatAtLeast(<num>,1),Optional(Concat(<.>,Repeat(<num>,2))))",
+     "Concat(hole{RepeatAtLeast(<num>,1)},hole{Optional(Concat(<.>,Repeat(<"
+     "num>,2)))})"},
+    {"so-16",
+     "Percent field: up to 3 digits followed by a percent sign, so 5%, 99% "
+     "and 100% are all valid entries.",
+     "Concat(RepeatRange(<num>,1,3),<%>)",
+     "Concat(hole{RepeatRange(<num>,1,3)},hole{<%>})"},
+    {"so-17",
+     "File names in the upload are one or more letters then a dot then an "
+     "extension of 2 or 3 letters, no other characters.",
+     "Concat(RepeatAtLeast(<let>,1),Concat(<.>,RepeatRange(<let>,2,3)))",
+     "Concat(hole{RepeatAtLeast(<let>,1)},hole{<.>,RepeatRange(<let>,2,3)})"},
+    {"so-18",
+     "Account identifiers are either 6 digits or 8 digits, 7 digits is not "
+     "a thing in our system, how to express that?",
+     "Or(Repeat(<num>,6),Repeat(<num>,8))",
+     "Or(hole{Repeat(<num>,6)},hole{Repeat(<num>,8)})"},
+    {"so-19",
+     "Dates come in as 2 digits slash 2 digits slash 4 digits and I want "
+     "to reject anything that does not match that shape.",
+     "Concat(Repeat(<num>,2),Concat(</>,Concat(Repeat(<num>,2),Concat(</>,"
+     "Repeat(<num>,4)))))",
+     "Concat(hole{Repeat(<num>,2),</>},hole{Repeat(<num>,2),</>,Repeat(<num>"
+     ",4)})"},
+    {"so-20",
+     "Integers with an optional plus sign in front, so +42 and 42 are both "
+     "accepted, but the sign alone is not.",
+     "Concat(Optional(<+>),RepeatAtLeast(<num>,1))",
+     "Concat(hole{Optional(<+>)},hole{RepeatAtLeast(<num>,1)})"},
+    {"so-21",
+     "City names in this dataset are letters only, between 3 and 10 of "
+     "them, punctuation or digits mean bad data.",
+     "RepeatRange(<let>,3,10)", "hole{RepeatRange(<let>,3,10)}"},
+    {"so-22",
+     "Initials are written as a capital letter followed by a dot, repeated "
+     "one or more times, such as J.R.R.",
+     "RepeatAtLeast(Concat(<cap>,<.>),1)",
+     "hole{RepeatAtLeast(Concat(<cap>,<.>),1),<.>}"},
+    {"so-23",
+     "Silly one: the field should contain vowels only, one or more, "
+     "anything else should fail the check.",
+     "RepeatAtLeast(<vow>,1)", "hole{RepeatAtLeast(<vow>,1)}"},
+    {"so-24",
+     "Names must not contain digits at all, any other characters are "
+     "acceptable in this field, how do I say that?",
+     "Not(Contains(<num>))", "hole{Not(Contains(<num>)),<num>}"},
+    {"so-25",
+     "Variable names here start with an underscore or a letter, the rest "
+     "does not matter for this quick check.",
+     "StartsWith(Or(<_>,<let>))", "hole{StartsWith(Or(<_>,<let>))}"},
+    {"so-26",
+     "Each statement line must end with a semicolon, I just need to verify "
+     "the ending, the content before is anything.",
+     "EndsWith(<;>)", "hole{EndsWith(<;>),<;>}"},
+    {"so-27",
+     "Password rule number one: the string has to contain at least one "
+     "digit somewhere, that is the only requirement for now.",
+     "Contains(<num>)", "hole{Contains(<num>),<num>}"},
+    {"so-28",
+     "Course codes are 2 letters then a dash then 2 digits, for example "
+     "CS-10, case does not matter for the letters.",
+     "Concat(Repeat(<let>,2),Concat(<->,Repeat(<num>,2)))",
+     "Concat(hole{Repeat(<let>,2)},hole{<->,Repeat(<num>,2)})"},
+    {"so-29",
+     "License plates in this region are 3 capital letters followed by 3 or "
+     "4 digits, like ABC123 or XYZ9876.",
+     "Concat(Repeat(<cap>,3),RepeatRange(<num>,3,4))",
+     "Concat(hole{Repeat(<cap>,3)},hole{RepeatRange(<num>,3,4)})"},
+    {"so-30",
+     "Keys are a single lower case letter followed by an underscore then "
+     "one or more digits, e.g. a_12 or q_3.",
+     "Concat(<low>,Concat(<_>,RepeatAtLeast(<num>,1)))",
+     "Concat(hole{<low>},hole{<_>,RepeatAtLeast(<num>,1)})"},
+    {"so-31",
+     "Signed decimals: an optional dash, then one or more digits, then a "
+     "dot, then one or more digits, like -3.14 or 2.5.",
+     "Concat(Optional(<->),Concat(RepeatAtLeast(<num>,1),Concat(<.>,"
+     "RepeatAtLeast(<num>,1))))",
+     "Concat(hole{Optional(<->),<->},hole{RepeatAtLeast(<num>,1),<.>})"},
+    {"so-32",
+     "Identifiers are lower case words separated by underscores, such as "
+     "foo_bar_baz, each word has one or more letters.",
+     "Concat(RepeatAtLeast(<low>,1),KleeneStar(Concat(<_>,RepeatAtLeast(<low>"
+     ",1))))",
+     "hole{Concat(RepeatAtLeast(<low>,1),KleeneStar(Concat(<_>,RepeatAtLeast("
+     "<low>,1)))),<_>}"},
+    {"so-33",
+     "Unicode escapes in our config are exactly 4 hex digits, nothing more "
+     "and nothing less, can you help me validate them?",
+     "Repeat(<hex>,4)", "hole{Repeat(<hex>,4)}"},
+    {"so-34",
+     "Quantity strings are digits optionally split by one comma, so 1234 "
+     "or 12,34 pass but 1,2,3 should not.",
+     "Concat(RepeatAtLeast(<num>,1),Optional(Concat(<,>,RepeatAtLeast(<num>,"
+     "1))))",
+     "Concat(hole{RepeatAtLeast(<num>,1)},hole{Optional(Concat(<,>,"
+     "RepeatAtLeast(<num>,1))),<,>})"},
+    {"so-35",
+     "Octet style address: 1 to 3 digits dot 1 to 3 digits dot 1 to 3 "
+     "digits dot 1 to 3 digits, values are not range checked.",
+     "Concat(RepeatRange(<num>,1,3),Concat(<.>,Concat(RepeatRange(<num>,1,3)"
+     ",Concat(<.>,Concat(RepeatRange(<num>,1,3),Concat(<.>,RepeatRange(<num>"
+     ",1,3)))))))",
+     "hole{Concat(RepeatRange(<num>,1,3),Concat(<.>,RepeatRange(<num>,1,3))),"
+     "<.>,RepeatRange(<num>,1,3)}"},
+    {"so-36",
+     "Short codes are 4 letters or digits followed by a single digit at "
+     "the end, five characters in total.",
+     "Concat(Repeat(<alphanum>,4),<num>)",
+     "Concat(hole{Repeat(<alphanum>,4)},hole{<num>})"},
+    {"so-37",
+     "Log keys are a colon followed by one or more characters of any kind, "
+     "the colon prefix is what identifies them.",
+     "Concat(<:>,RepeatAtLeast(<any>,1))",
+     "Concat(hole{<:>},hole{RepeatAtLeast(<any>,1)})"},
+    {"so-38",
+     "Timer values are 2 digits colon 2 digits colon 2 digits, like "
+     "01:23:45, no shorter or longer forms.",
+     "Concat(Repeat(<num>,2),Concat(<:>,Concat(Repeat(<num>,2),Concat(<:>,"
+     "Repeat(<num>,2)))))",
+     "hole{Concat(Repeat(<num>,2),<:>),Repeat(<num>,2),<:>}"},
+    {"so-39",
+     "Ticket ids start with 'ID' followed by exactly 4 digits, for example "
+     "ID0042, other prefixes should be rejected.",
+     "Concat(Concat(<I>,<D>),Repeat(<num>,4))",
+     "Concat(hole{Concat(<I>,<D>)},hole{Repeat(<num>,4)})"},
+    {"so-40",
+     "The token is one or more groups where each group is a letter "
+     "followed by a digit, like a1b2c3.",
+     "RepeatAtLeast(Concat(<let>,<num>),1)",
+     "hole{RepeatAtLeast(Concat(<let>,<num>),1)}"},
+    {"so-41",
+     "Phone numbers: an optional 3 digit area code then exactly 7 digits, "
+     "so both 5551234 and 2065551234 are fine.",
+     "Concat(Optional(Repeat(<num>,3)),Repeat(<num>,7))",
+     "Concat(hole{Optional(Repeat(<num>,3))},hole{Repeat(<num>,7)})"},
+    {"so-42",
+     "Labels must not start with a digit, anything else afterwards is "
+     "fine, including digits later in the string.",
+     "Not(StartsWith(<num>))", "hole{Not(StartsWith(<num>)),<num>}"},
+    {"so-43",
+     "Match 2 to 4 vowels followed by a semicolon, this is for a weird "
+     "lexer I am building, trust me.",
+     "Concat(RepeatRange(<vow>,2,4),<;>)",
+     "Concat(hole{RepeatRange(<vow>,2,4)},hole{<;>})"},
+    {"so-44",
+     "The comment must contain the word 'cat' somewhere, upper case "
+     "variants do not count for this exercise.",
+     "Contains(Concat(<c>,Concat(<a>,<t>)))",
+     "hole{Contains(Concat(<c>,Concat(<a>,<t>)))}"},
+    {"so-45",
+     "Fields are letters then digits then letters again, each part one or "
+     "more, like ab12cd or x9y.",
+     "Concat(RepeatAtLeast(<let>,1),Concat(RepeatAtLeast(<num>,1),"
+     "RepeatAtLeast(<let>,1)))",
+     "Concat(hole{RepeatAtLeast(<let>,1)},hole{RepeatAtLeast(<num>,1),"
+     "RepeatAtLeast(<let>,1)})"},
+    {"so-46",
+     "Amounts use commas every 3 digits: up to 3 digits first, then groups "
+     "of exactly 3 digits each preceded by a comma.",
+     "Concat(RepeatRange(<num>,1,3),KleeneStar(Concat(<,>,Repeat(<num>,3))))",
+     "Concat(hole{RepeatRange(<num>,1,3)},hole{KleeneStar(Concat(<,>,Repeat(<"
+     "num>,3))),<,>})"},
+    {"so-47",
+     "Proper names: one upper case letter followed by one or more lower "
+     "case letters, simple as that.",
+     "Concat(<cap>,RepeatAtLeast(<low>,1))",
+     "Concat(hole{<cap>},hole{RepeatAtLeast(<low>,1)})"},
+    {"so-48",
+     "Positive integers without leading zeros: one or more digits but the "
+     "string must not start with '0'.",
+     "And(RepeatAtLeast(<num>,1),Not(StartsWith(<0>)))",
+     "hole{RepeatAtLeast(<num>,1),Not(StartsWith(<0>))}"},
+    {"so-49",
+     "Simple address check: letters followed by an at sign then letters "
+     "then a dot and 2 or 3 letters at the end.",
+     "Concat(RepeatAtLeast(<let>,1),Concat(<@>,Concat(RepeatAtLeast(<let>,1)"
+     ",Concat(<.>,RepeatRange(<let>,2,3)))))",
+     "Concat(hole{RepeatAtLeast(<let>,1),<@>},hole{<.>,RepeatRange(<let>,2,3)"
+     "})"},
+    {"so-50",
+     "Discount values: up to 3 digits, optionally a dot and a single "
+     "digit, then a percent sign at the very end.",
+     "Concat(RepeatRange(<num>,1,3),Concat(Optional(Concat(<.>,<num>)),<%>))",
+     "Concat(hole{RepeatRange(<num>,1,3)},hole{Optional(Concat(<.>,<num>)),<%"
+     ">})"},
+    {"so-51",
+     "Country pairs: 2-letter codes separated by semicolons, like DE;FR;US "
+     "with exactly two letters in every code.",
+     "Concat(Repeat(<let>,2),KleeneStar(Concat(<;>,Repeat(<let>,2))))",
+     "hole{Concat(Repeat(<let>,2),KleeneStar(Concat(<;>,Repeat(<let>,2)))),<;"
+     ">}"},
+    {"so-52",
+     "Domain-ish strings: one or more lower case letters followed by "
+     "'.com' exactly, nothing after that.",
+     "Concat(RepeatAtLeast(<low>,1),Concat(<.>,Concat(<c>,Concat(<o>,<m>))))",
+     "Concat(hole{RepeatAtLeast(<low>,1)},hole{Concat(<.>,Concat(<c>,Concat("
+     "<o>,<m>)))})"},
+    {"so-53",
+     "Ranges are written as a 4 digit number, a dash, then another 4 digit "
+     "number, like 1000-2000.",
+     "Concat(Repeat(<num>,4),Concat(<->,Repeat(<num>,4)))",
+     "Concat(hole{Repeat(<num>,4)},hole{<->,Repeat(<num>,4)})"},
+    {"so-54",
+     "Old phone style: an open parenthesis, 3 digits, a close parenthesis, "
+     "a space and then exactly 7 digits.",
+     "Concat(<(>,Concat(Repeat(<num>,3),Concat(<)>,Concat(<space>,Repeat(<"
+     "num>,7)))))",
+     "hole{Concat(<(>,Concat(Repeat(<num>,3),<)>)),<space>,Repeat(<num>,7)}"},
+    {"so-55",
+     "The reference column holds 3 digits, then a dot, then 1 to 2 more "
+     "digits, for example 123.4 or 123.45 but never 1234.5.",
+     "Concat(Repeat(<num>,3),Concat(<.>,RepeatRange(<num>,1,2)))",
+     "Concat(hole{Repeat(<num>,3),<.>},hole{RepeatRange(<num>,1,2)})"},
+    {"so-56",
+     "Short identifiers: a letter first, then optionally 1 to 7 more "
+     "letters, digits or underscores, 8 characters max.",
+     "Concat(<let>,Optional(RepeatRange(Or(<let>,Or(<num>,<_>)),1,7)))",
+     "Concat(hole{<let>},hole{RepeatRange(Or(<let>,Or(<num>,<_>)),1,7)})"},
+    {"so-57",
+     "The value must contain 'abc' somewhere and it must end with one or "
+     "more digits, both conditions together.",
+     "And(Contains(Concat(<a>,Concat(<b>,<c>))),EndsWith(RepeatAtLeast(<num>"
+     ",1)))",
+     "hole{Contains(Concat(<a>,Concat(<b>,<c>))),EndsWith(RepeatAtLeast(<num>"
+     ",1))}"},
+    {"so-58",
+     "Bracketed lists: an open bracket, numbers separated by commas, then "
+     "a close bracket, like [1,22,3].",
+     "Concat(<[>,Concat(Concat(RepeatAtLeast(<num>,1),KleeneStar(Concat(<,>,"
+     "RepeatAtLeast(<num>,1)))),<]>))",
+     "hole{Concat(RepeatAtLeast(<num>,1),KleeneStar(Concat(<,>,RepeatAtLeast("
+     "<num>,1)))),<[>,<]>}"},
+    {"so-59",
+     "Prices start with a dollar sign, then up to 3 digits, then groups of "
+     "3 digits with commas, like $1,200.",
+     "Concat(<$>,Concat(RepeatRange(<num>,1,3),KleeneStar(Concat(<,>,Repeat("
+     "<num>,3)))))",
+     "Concat(hole{<$>},hole{RepeatRange(<num>,1,3),KleeneStar(Concat(<,>,"
+     "Repeat(<num>,3)))})"},
+    {"so-60",
+     "The separator column is exactly one special character, letters, "
+     "digits and spaces should all be rejected there.",
+     "<spec>", "hole{<spec>}"},
+    {"so-61",
+     "Pattern codes are 3 groups, each being a letter followed by a digit, "
+     "so exactly 6 characters like a1b2c3.",
+     "Repeat(Concat(<let>,<num>),3)",
+     "hole{Repeat(Concat(<let>,<num>),3)}"},
+    {"so-62",
+     "Serial keys: 4 alphanumeric characters, a dash, 4 more alphanumeric "
+     "characters, a dash, then 4 final alphanumeric characters.",
+     "Concat(Repeat(<alphanum>,4),Concat(<->,Concat(Repeat(<alphanum>,4),"
+     "Concat(<->,Repeat(<alphanum>,4)))))",
+     "hole{Concat(Repeat(<alphanum>,4),<->),Repeat(<alphanum>,4)}"},
+};
+
+} // namespace
+
+std::vector<Benchmark> regel::data::stackOverflowSet() {
+  std::vector<Benchmark> Out;
+  Rng R(0x50f7);
+  for (const Entry &E : Entries) {
+    Benchmark B;
+    B.Id = E.Id;
+    B.Description = E.Desc;
+    std::string Err;
+    B.GroundTruth = parseRegex(E.Truth, &Err);
+    assert(B.GroundTruth && "curated ground truth must parse");
+    B.GoldSketch = parseSketch(E.Sketch, &Err);
+    assert(B.GoldSketch && "curated sketch label must parse");
+    GeneratedExamples Ex = generateExamples(B.GroundTruth, R);
+    assert(Ex.Ok && "curated ground truth must yield examples");
+    B.Initial = std::move(Ex.Initial);
+    B.ExtraPos = std::move(Ex.ExtraPos);
+    B.ExtraNeg = std::move(Ex.ExtraNeg);
+    Out.push_back(std::move(B));
+  }
+  return Out;
+}

@@ -1,0 +1,24 @@
+//===- data/StackOverflowSet.h - Curated hard benchmark suite ----*- C++ -*-//
+//
+// Part of the Regel reproduction. A hand-curated suite of 62 realistic
+// validation tasks mirroring the paper's StackOverflow set (Sec. 7):
+// longer, noisier English (~26 words avg), larger target regexes (~11 AST
+// nodes avg), and manually written sketch labels that mimic the structure
+// of the utterance. Examples are regenerated from the ground truth
+// (DESIGN.md, substitution 5).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_DATA_STACKOVERFLOWSET_H
+#define REGEL_DATA_STACKOVERFLOWSET_H
+
+#include "data/Benchmark.h"
+
+namespace regel::data {
+
+/// Builds the 62-task suite (deterministic).
+std::vector<Benchmark> stackOverflowSet();
+
+} // namespace regel::data
+
+#endif // REGEL_DATA_STACKOVERFLOWSET_H

@@ -1,0 +1,257 @@
+//===- nlp/ChartParser.cpp ------------------------------------------------===//
+
+#include "nlp/ChartParser.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace regel;
+using namespace regel::nlp;
+
+namespace {
+
+/// One chart cell: derivations bucketed by category, deduplicated by
+/// (category, semantics) with best-score wins.
+struct Cell {
+  std::vector<std::vector<Derivation>> ByCat{NumCats};
+  std::unordered_map<size_t, std::pair<uint16_t, uint32_t>> Index;
+  size_t Count = 0;
+
+  void add(Derivation D) {
+    size_t Key = D.key();
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      Derivation &Old = ByCat[It->second.first][It->second.second];
+      if (Old.Score < D.Score)
+        Old = std::move(D);
+      return;
+    }
+    uint16_t C = D.Category;
+    Index.emplace(Key, std::make_pair(C, static_cast<uint32_t>(
+                                             ByCat[C].size())));
+    ByCat[C].push_back(std::move(D));
+    ++Count;
+  }
+
+  /// Applies the beam per category, so junk in one category can never
+  /// flush another category's derivations out of the cell.
+  void trim(unsigned BeamPerCat) {
+    size_t Kept = 0;
+    for (auto &Bucket : ByCat) {
+      if (Bucket.size() > BeamPerCat) {
+        std::stable_sort(Bucket.begin(), Bucket.end(),
+                         [](const Derivation &A, const Derivation &B) {
+                           return A.Score > B.Score;
+                         });
+        Bucket.resize(BeamPerCat);
+      }
+      Kept += Bucket.size();
+    }
+    Count = Kept;
+    Index.clear(); // stale after trim; cells are only written once anyway
+  }
+};
+
+class ChartSession {
+public:
+  ChartSession(const Grammar &G, const FeatureSpace &FS,
+               const std::vector<Token> &Tokens,
+               const std::vector<double> &Weights, const ParserConfig &Cfg)
+      : G(G), FS(FS), Tokens(Tokens), Weights(Weights), Cfg(Cfg) {
+    N = static_cast<unsigned>(Tokens.size());
+    Chart.resize(static_cast<size_t>(N + 1) * (N + 1));
+    for (const Rule &R : G.rules())
+      RulesByFirst[R.Rhs[0]].push_back(&R);
+  }
+
+  std::vector<Derivation> run() {
+    if (N == 0)
+      return {};
+    seedLexical();
+    for (unsigned Len = 1; Len <= N; ++Len)
+      for (unsigned I = 0; I + Len <= N; ++I)
+        buildCell(I, I + Len);
+    std::vector<Derivation> Roots = cell(0, N).ByCat[CatRoot];
+    std::sort(Roots.begin(), Roots.end(),
+              [](const Derivation &A, const Derivation &B) {
+                return A.Score > B.Score;
+              });
+    return Roots;
+  }
+
+private:
+  Cell &cell(unsigned I, unsigned J) { return Chart[I * (N + 1) + J]; }
+
+  double scoreOf(const FeatureVec &V) const { return dotFeatures(V, Weights); }
+
+  /// Lexical pass: phrases of lemmas, number tokens and quoted literals.
+  void seedLexical() {
+    Lexical.assign(static_cast<size_t>(N + 1) * (N + 1), {});
+    for (unsigned I = 0; I < N; ++I) {
+      for (unsigned J = I + 1; J <= N && J - I <= G.maxPhraseLen(); ++J) {
+        std::string Phrase;
+        for (unsigned K = I; K < J; ++K) {
+          if (K > I)
+            Phrase.push_back(' ');
+          Phrase += Tokens[K].Lemma;
+        }
+        if (const std::vector<LexEntry> *Entries = G.lookup(Phrase)) {
+          for (const LexEntry &E : *Entries) {
+            Derivation D;
+            D.Category = E.Category;
+            D.Val = E.Val;
+            addFeature(D.Features, FS.lexFeature(E.Category), 1.0f);
+            D.Score = scoreOf(D.Features);
+            Lexical[I * (N + 1) + J].push_back(std::move(D));
+          }
+        }
+      }
+      const Token &T = Tokens[I];
+      if (T.Kind == TokenKind::Number) {
+        Derivation D;
+        D.Category = CatInt;
+        D.Val = SemValue::intval(T.Value);
+        addFeature(D.Features, FS.lexFeature(CatInt), 1.0f);
+        D.Score = scoreOf(D.Features);
+        Lexical[I * (N + 1) + (I + 1)].push_back(std::move(D));
+      }
+      if (T.Kind == TokenKind::Quoted && !T.Literal.empty()) {
+        bool Ok = true;
+        std::vector<RegexPtr> Parts;
+        for (char C : T.Literal) {
+          unsigned char U = static_cast<unsigned char>(C);
+          if (U < MinAlphabetChar || U > MaxAlphabetChar) {
+            Ok = false;
+            break;
+          }
+          Parts.push_back(Regex::literal(C));
+        }
+        if (Ok) {
+          Derivation D;
+          D.Category = CatConst;
+          D.Val = SemValue::regex(Regex::concatAll(Parts));
+          addFeature(D.Features, FS.lexFeature(CatConst), 1.0f);
+          D.Score = scoreOf(D.Features);
+          Lexical[I * (N + 1) + (I + 1)].push_back(std::move(D));
+        }
+      }
+    }
+  }
+
+  void tryApply(const Rule &R, const std::vector<const Derivation *> &Kids,
+                unsigned SpanLen, Cell &Out) {
+    std::vector<const SemValue *> Vals;
+    Vals.reserve(Kids.size());
+    for (const Derivation *K : Kids)
+      Vals.push_back(&K->Val);
+    std::optional<SemValue> Res = R.Apply(Vals);
+    if (!Res)
+      return;
+    uint32_t RuleIdx = static_cast<uint32_t>(&R - G.rules().data());
+    Derivation D;
+    D.Category = R.Lhs;
+    D.Val = std::move(*Res);
+    for (const Derivation *K : Kids)
+      mergeFeatures(D.Features, K->Features);
+    addFeature(D.Features, FS.ruleFeature(RuleIdx), 1.0f);
+    addFeature(D.Features, FS.spanFeature(R.Lhs, SpanLen), 1.0f);
+    D.Score = scoreOf(D.Features);
+    Out.add(std::move(D));
+  }
+
+  void buildCell(unsigned I, unsigned J) {
+    Cell &C = cell(I, J);
+    unsigned Len = J - I;
+
+    // Skip-extension: inherit from the two sub-spans one token shorter,
+    // firing the skipped-token feature.
+    if (Len >= 2) {
+      for (const Cell *From : {&cell(I, J - 1), &cell(I + 1, J)})
+        for (const auto &Bucket : From->ByCat)
+          for (const Derivation &D : Bucket) {
+            Derivation E = D;
+            addFeature(E.Features, FS.skipFeature(), 1.0f);
+            E.Score = scoreOf(E.Features);
+            C.add(std::move(E));
+          }
+    }
+
+    // Lexical derivations covering this exact span.
+    for (const Derivation &D : Lexical[I * (N + 1) + J])
+      C.add(D);
+
+    // Binary and ternary composition over exact adjacent splits.
+    for (unsigned K = I + 1; K < J; ++K) {
+      Cell &Left = cell(I, K);
+      for (auto &[FirstCat, Rules] : RulesByFirst) {
+        const std::vector<Derivation> &LeftBucket = Left.ByCat[FirstCat];
+        if (LeftBucket.empty())
+          continue;
+        for (const Rule *R : Rules) {
+          if (R->Rhs.size() == 2) {
+            const auto &RightBucket = cell(K, J).ByCat[R->Rhs[1]];
+            for (const Derivation &L : LeftBucket)
+              for (const Derivation &Rt : RightBucket)
+                tryApply(*R, {&L, &Rt}, Len, C);
+            continue;
+          }
+          if (R->Rhs.size() == 3) {
+            for (unsigned K2 = K + 1; K2 < J; ++K2) {
+              const auto &MidBucket = cell(K, K2).ByCat[R->Rhs[1]];
+              if (MidBucket.empty())
+                continue;
+              const auto &RightBucket = cell(K2, J).ByCat[R->Rhs[2]];
+              for (const Derivation &L : LeftBucket)
+                for (const Derivation &M : MidBucket)
+                  for (const Derivation &Rt : RightBucket)
+                    tryApply(*R, {&L, &M, &Rt}, Len, C);
+            }
+          }
+        }
+      }
+    }
+
+    // Unary closure (CC -> PROGRAM -> LIST -> SKETCH -> ROOT).
+    for (unsigned Round = 0; Round < 4; ++Round) {
+      size_t Before = C.Count;
+      for (unsigned Cat = 0; Cat < NumCats; ++Cat) {
+        auto It = RulesByFirst.find(Cat);
+        if (It == RulesByFirst.end())
+          continue;
+        size_t BucketSize = C.ByCat[Cat].size();
+        for (size_t Idx = 0; Idx < BucketSize; ++Idx) {
+          Derivation D = C.ByCat[Cat][Idx]; // copy: bucket may grow
+          for (const Rule *R : It->second)
+            if (R->Rhs.size() == 1)
+              tryApply(*R, {&D}, Len, C);
+        }
+      }
+      if (C.Count == Before)
+        break;
+    }
+
+    C.trim(Cfg.BeamPerCat);
+  }
+
+  const Grammar &G;
+  const FeatureSpace &FS;
+  const std::vector<Token> &Tokens;
+  const std::vector<double> &Weights;
+  const ParserConfig &Cfg;
+  unsigned N;
+  std::vector<Cell> Chart;
+  std::vector<std::vector<Derivation>> Lexical;
+  std::unordered_map<uint16_t, std::vector<const Rule *>> RulesByFirst;
+};
+
+} // namespace
+
+std::vector<Derivation> regel::nlp::parseChart(
+    const Grammar &G, const FeatureSpace &FS, const std::vector<Token> &Tokens,
+    const std::vector<double> &Weights, const ParserConfig &Cfg) {
+  std::vector<Token> Trimmed = Tokens;
+  if (Trimmed.size() > Cfg.MaxTokens)
+    Trimmed.resize(Cfg.MaxTokens);
+  ChartSession Session(G, FS, Trimmed, Weights, Cfg);
+  return Session.run();
+}

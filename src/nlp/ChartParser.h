@@ -1,0 +1,35 @@
+//===- nlp/ChartParser.h - Bottom-up chart parsing with skipping -*- C++ -*-//
+//
+// Part of the Regel reproduction. The SEMPRE-style chart parser: lexical
+// matches seed spans; compositional rules (arity 1-3) combine adjacent
+// derivations bottom-up with dynamic programming; arbitrary words can be
+// skipped (each skip extends a derivation's span by one token and fires a
+// skip feature); every cell keeps a score beam.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_NLP_CHARTPARSER_H
+#define REGEL_NLP_CHARTPARSER_H
+
+#include "nlp/Derivation.h"
+
+#include <vector>
+
+namespace regel::nlp {
+
+/// Parser configuration.
+struct ParserConfig {
+  unsigned BeamPerCat = 14; ///< derivations kept per category per cell
+  unsigned MaxTokens = 44;  ///< inputs are truncated beyond this
+};
+
+/// Parses \p Tokens under \p Weights; returns the root-category
+/// derivations over the full span, best score first.
+std::vector<Derivation> parseChart(const Grammar &G, const FeatureSpace &FS,
+                                   const std::vector<Token> &Tokens,
+                                   const std::vector<double> &Weights,
+                                   const ParserConfig &Cfg = ParserConfig());
+
+} // namespace regel::nlp
+
+#endif // REGEL_NLP_CHARTPARSER_H

@@ -1,0 +1,31 @@
+//===- nlp/Derivation.h - Chart items ----------------------------*- C++ -*-//
+//
+// Part of the Regel reproduction. A derivation is one chart item: a
+// category plus semantic value over a token span, with its aggregated
+// feature vector and model score.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_NLP_DERIVATION_H
+#define REGEL_NLP_DERIVATION_H
+
+#include "nlp/Features.h"
+
+namespace regel::nlp {
+
+/// One chart item.
+struct Derivation {
+  Cat Category;
+  SemValue Val;
+  FeatureVec Features;
+  double Score = 0;
+
+  /// Dedup key: (category, semantics).
+  size_t key() const {
+    return Val.hash() * 31 + static_cast<size_t>(Category);
+  }
+};
+
+} // namespace regel::nlp
+
+#endif // REGEL_NLP_DERIVATION_H

@@ -1,0 +1,192 @@
+//===- nlp/Lexicon.cpp - Lexical rules (Appendix B.2) ---------------------===//
+//
+// The lexicon maps lemma phrases to base categories: character classes,
+// constant characters, and operator markers. Transcribed from the paper's
+// Appendix B.2 and extended with synonyms needed by realistic
+// StackOverflow-style descriptions (extensions are grouped at the end of
+// each block).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nlp/Grammar.h"
+
+using namespace regel;
+using namespace regel::nlp;
+
+void Grammar::addLex(const char *Phrase, Cat Category, SemValue Val) {
+  std::string P(Phrase);
+  unsigned Words = 1;
+  for (char C : P)
+    if (C == ' ')
+      ++Words;
+  MaxPhraseLen = std::max(MaxPhraseLen, Words);
+  Lexicon[P].push_back({Category, std::move(Val)});
+}
+
+const std::vector<LexEntry> *Grammar::lookup(const std::string &Phrase) const {
+  auto It = Lexicon.find(Phrase);
+  return It == Lexicon.end() ? nullptr : &It->second;
+}
+
+void Grammar::buildLexicon() {
+  auto CC = [&](const char *Phrase, CharClass Class) {
+    addLex(Phrase, CatCC, SemValue::regex(Regex::charClass(Class)));
+  };
+  auto Const = [&](const char *Phrase, char C) {
+    addLex(Phrase, CatConst, SemValue::regex(Regex::literal(C)));
+  };
+  auto Marker = [&](const char *Phrase, Cat Category) {
+    addLex(Phrase, Category, SemValue::none());
+  };
+
+  // --- Character classes ($CC) ---
+  CC("number", CharClass::num());
+  CC("numeric", CharClass::num());
+  CC("numeral", CharClass::num());
+  CC("digit", CharClass::num());
+  CC("decimal", CharClass::num());
+  CC("alphanumeric", CharClass::alphaNum());
+  CC("hexadecimal", CharClass::hex());
+  CC("string", CharClass::any());
+  CC("character", CharClass::any());
+  CC("letter", CharClass::let());
+  CC("alphabet", CharClass::let());
+  CC("lower case letter", CharClass::low());
+  CC("small letter", CharClass::low());
+  CC("upper case letter", CharClass::cap());
+  CC("capital letter", CharClass::cap());
+  CC("vowel", CharClass::vow());
+  CC("special character", CharClass::spec());
+  CC("special char", CharClass::spec());
+  // Extensions:
+  CC("alpha", CharClass::let());
+  CC("char", CharClass::any());
+  CC("symbol", CharClass::spec());
+  CC("punctuation", CharClass::spec());
+  CC("lower case", CharClass::low());
+  CC("upper case", CharClass::cap());
+  CC("capital", CharClass::cap());
+  CC("hex digit", CharClass::hex());
+  CC("hex", CharClass::hex());
+  CC("word character", CharClass::alphaNum());
+  CC("integer", CharClass::num());
+
+  // --- Constants ($CONST) ---
+  Const("comma", ',');
+  Const("colon", ':');
+  Const("semicolon", ';');
+  Const("space", ' ');
+  Const("blank", ' ');
+  Const("underscore", '_');
+  Const("dash", '-');
+  Const("hyphen", '-');
+  Const("minus", '-');
+  Const("percentage sign", '%');
+  Const("percent sign", '%');
+  Const("percent", '%');
+  // Extensions:
+  Const("period", '.');
+  Const("dot", '.');
+  Const("full stop", '.');
+  Const("point", '.');
+  Const("decimal point", '.');
+  Const("slash", '/');
+  Const("forward slash", '/');
+  Const("backslash", '\\');
+  Const("at sign", '@');
+  Const("at symbol", '@');
+  Const("ampersand", '&');
+  Const("plus sign", '+');
+  Const("plus", '+');
+  Const("star", '*');
+  Const("asterisk", '*');
+  Const("question mark", '?');
+  Const("exclamation mark", '!');
+  Const("exclamation point", '!');
+  Const("hash", '#');
+  Const("pound sign", '#');
+  Const("dollar sign", '$');
+  Const("equal sign", '=');
+  Const("apostrophe", '\'');
+  Const("tilde", '~');
+  Const("pipe", '|');
+  Const("caret", '^');
+  Const("open parenthesis", '(');
+  Const("close parenthesis", ')');
+  Const("open bracket", '[');
+  Const("close bracket", ']');
+
+  // --- Operator markers ---
+  Marker("not", CatMNot);
+  Marker("non", CatMNon);
+  Marker("or", CatMOr);
+  Marker("either", CatMOr);
+  Marker("optional", CatMOptional);
+  Marker("optionally", CatMOptional);
+  Marker("maybe", CatMOptional);
+  Marker("not contain", CatMNotContain);
+  Marker("not allow", CatMNotContain);
+  Marker("not include", CatMNotContain);
+  Marker("not have", CatMNotContain);
+  Marker("no", CatMNotContain);
+  Marker("without", CatMNotContain);
+  Marker("contain", CatMContain);
+  Marker("include", CatMContain);
+  Marker("have", CatMContain);
+  Marker("or more", CatMOrMore);
+  Marker("or more time", CatMOrMore);
+  Marker("and more", CatMOrMore);
+  Marker("at least", CatMAtLeast);
+  Marker("minimum of", CatMAtLeast);
+  Marker("min of", CatMAtLeast);
+  Marker("at max", CatMAtMax);
+  Marker("up to", CatMAtMax);
+  Marker("at most", CatMAtMax);
+  Marker("max of", CatMAtMax);
+  Marker("maximum of", CatMAtMax);
+  Marker("no more than", CatMAtMax);
+  Marker("max", CatMAtMax);
+  Marker("exactly", CatMExact);
+  Marker("exact", CatMExact);
+  Marker("decimal", CatMDecimal);
+  Marker("double number", CatMDecimalNum);
+  Marker("decimal number", CatMDecimalNum);
+  Marker("floating point number", CatMDecimalNum);
+  Marker("length", CatMLength);
+  Marker("of length", CatMLength);
+  Marker("long", CatMLength);
+  Marker(",", CatMConstSetUnion);
+  Marker("and", CatMConstSetUnion);
+  Marker("separate", CatMSep);
+  Marker("delimit", CatMSep);
+  Marker("between", CatMBetween);
+  Marker("split by", CatMSplitBy);
+  Marker("divide by", CatMSplitBy);
+  Marker("end with", CatMEndWith);
+  Marker("finish with", CatMEndWith);
+  Marker("end in", CatMEndWith);
+  Marker("end by", CatMEndWith);
+  Marker("terminate", CatMEndWith);
+  Marker("terminate with", CatMEndWith);
+  Marker("at end", CatMAtEnd);
+  Marker("at the end", CatMAtEnd);
+  Marker("start with", CatMStartWith);
+  Marker("start in", CatMStartWith);
+  Marker("start by", CatMStartWith);
+  Marker("begin with", CatMStartWith);
+  Marker("at the begin", CatMStartWith);
+  Marker("before", CatMConcat);
+  Marker("follow by", CatMConcat);
+  Marker("next", CatMConcat);
+  Marker("then", CatMConcat);
+  Marker("then accept", CatMConcat);
+  Marker("prior to", CatMConcat);
+  Marker("precede", CatMConcat);
+  Marker("and then", CatMConcat);
+  Marker("after", CatMFollow);
+  Marker("only", CatMOnly);
+  Marker("only accept", CatMOnly);
+  Marker("to", CatMTo);
+  Marker("-", CatMTo);
+  Marker("through", CatMTo);
+}

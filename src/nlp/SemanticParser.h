@@ -1,0 +1,64 @@
+//===- nlp/SemanticParser.h - NL -> ranked h-sketches ------------*- C++ -*-//
+//
+// Part of the Regel reproduction. The public face of the NLP pipeline:
+// tokenize an English description, chart-parse it under the trained
+// log-linear model, and return a ranked list of deduplicated h-sketches
+// (Sec. 5; the engine consumes the top 25, Sec. 6).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_NLP_SEMANTICPARSER_H
+#define REGEL_NLP_SEMANTICPARSER_H
+
+#include "nlp/ChartParser.h"
+
+#include <memory>
+#include <string>
+
+namespace regel::nlp {
+
+/// A sketch candidate with its model score.
+struct ScoredSketch {
+  SketchPtr Sketch;
+  double Score;
+};
+
+/// Grammar + feature space + weights, with parse and (de)serialization of
+/// weights. Training lives in nlp/Training.h.
+class SemanticParser {
+public:
+  SemanticParser();
+
+  /// Parses \p Utterance into up to \p TopN distinct sketches, best first.
+  /// Duplicate sketches from different derivations are merged (max score).
+  std::vector<ScoredSketch> parse(const std::string &Utterance,
+                                  unsigned TopN = 25) const;
+
+  /// Raw root derivations (training needs features and all candidates).
+  std::vector<Derivation> parseDerivations(const std::string &Utterance) const;
+
+  /// Persists the trained weights to \p Path (plain text: a header with
+  /// the feature-space size, then one weight per line). Returns false on
+  /// I/O failure.
+  bool saveWeights(const std::string &Path) const;
+
+  /// Loads weights written by saveWeights. Returns false on I/O failure
+  /// or a feature-space size mismatch (e.g. the grammar changed).
+  bool loadWeights(const std::string &Path);
+
+  const Grammar &grammar() const { return G; }
+  const FeatureSpace &featureSpace() const { return FS; }
+  std::vector<double> &weights() { return Weights; }
+  const std::vector<double> &weights() const { return Weights; }
+  ParserConfig &config() { return Cfg; }
+
+private:
+  Grammar G;
+  FeatureSpace FS;
+  std::vector<double> Weights;
+  ParserConfig Cfg;
+};
+
+} // namespace regel::nlp
+
+#endif // REGEL_NLP_SEMANTICPARSER_H

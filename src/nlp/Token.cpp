@@ -1,0 +1,170 @@
+//===- nlp/Token.cpp ------------------------------------------------------===//
+
+#include "nlp/Token.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace regel::nlp;
+
+namespace {
+
+/// Irregular or otherwise special lemmas.
+const std::unordered_map<std::string, std::string> &lemmaExceptions() {
+  static const std::unordered_map<std::string, std::string> Map = {
+      {"characters", "character"}, {"dashes", "dash"},
+      {"digits", "digit"},         {"letters", "letter"},
+      {"numbers", "number"},       {"classes", "class"},
+      {"uppercase", "upper case"}, {"lowercase", "lower case"},
+      {"spaces", "space"},         {"alphabets", "alphabet"},
+      {"vowels", "vowel"},         {"commas", "comma"},
+      {"colons", "colon"},         {"semicolons", "semicolon"},
+      {"underscores", "underscore"}, {"times", "time"},
+      {"begins", "begin"},         {"beginning", "begin"},
+      {"starting", "start"},       {"starts", "start"},
+      {"started", "start"},        {"ends", "end"},
+      {"ended", "end"},            {"ending", "end"},
+      {"followed", "follow"},      {"follows", "follow"},
+      {"following", "follow"},     {"preceded", "precede"},
+      {"precedes", "precede"},     {"preceding", "precede"},
+      {"contains", "contain"},     {"containing", "contain"},
+      {"contained", "contain"},    {"separated", "separate"},
+      {"separating", "separate"},  {"delimited", "delimit"},
+      {"divided", "divide"},       {"splitting", "split"},
+      {"validates", "validate"},   {"validating", "validate"},
+      {"accepts", "accept"},       {"accepted", "accept"},
+      {"accepting", "accept"},     {"allows", "allow"},
+      {"allowed", "allow"},        {"allowing", "allow"},
+      {"matches", "match"},        {"matching", "match"},
+      {"matched", "match"},        {"repeated", "repeat"},
+      {"repeating", "repeat"},     {"repeats", "repeat"},
+      {"terminates", "terminate"}, {"terminated", "terminate"},
+      {"terminating", "terminate"}, {"finishes", "finish"},
+      {"finished", "finish"},      {"finishing", "finish"},
+      {"optionally", "optional"},  {"maximum", "max"},
+      {"minimum", "min"},          {"hyphens", "hyphen"},
+      {"dots", "dot"},             {"periods", "period"},
+      {"words", "word"},           {"strings", "string"},
+      {"lines", "line"},           {"groups", "group"},
+      {"parts", "part"},           {"sections", "section"},
+      {"consonants", "consonant"}, {"capitals", "capital"},
+      {"decimals", "decimal"},     {"numerals", "numeral"},
+      {"alphanumerics", "alphanumeric"}, {"symbols", "symbol"},
+      {"points", "point"},         {"slashes", "slash"},
+  };
+  return Map;
+}
+
+/// Number words up to twenty (the grammar's lexical rule 7 maps any word
+/// for an integer to its value).
+const std::unordered_map<std::string, long> &numberWords() {
+  static const std::unordered_map<std::string, long> Map = {
+      {"zero", 0},   {"one", 1},        {"two", 2},       {"three", 3},
+      {"four", 4},   {"five", 5},       {"six", 6},       {"seven", 7},
+      {"eight", 8},  {"nine", 9},       {"ten", 10},      {"eleven", 11},
+      {"twelve", 12}, {"thirteen", 13}, {"fourteen", 14}, {"fifteen", 15},
+      {"sixteen", 16}, {"seventeen", 17}, {"eighteen", 18},
+      {"nineteen", 19}, {"twenty", 20},  {"single", 1},   {"double", 2},
+      {"triple", 3},
+  };
+  return Map;
+}
+
+} // namespace
+
+std::string regel::nlp::lemmatize(const std::string &Word) {
+  auto It = lemmaExceptions().find(Word);
+  if (It != lemmaExceptions().end())
+    return It->second;
+  size_t N = Word.size();
+  // -ies -> -y (entries -> entry)
+  if (N > 4 && Word.compare(N - 3, 3, "ies") == 0)
+    return Word.substr(0, N - 3) + "y";
+  // -sses/-shes/-ches/-xes -> drop "es"
+  if (N > 4 && Word.compare(N - 2, 2, "es") == 0 &&
+      (Word[N - 3] == 's' || Word[N - 3] == 'h' || Word[N - 3] == 'x'))
+    return Word.substr(0, N - 2);
+  // plain plural -s (but not -ss / -us)
+  if (N > 3 && Word.back() == 's' && Word[N - 2] != 's' && Word[N - 2] != 'u')
+    return Word.substr(0, N - 1);
+  return Word;
+}
+
+std::vector<Token> regel::nlp::tokenize(const std::string &Text) {
+  std::vector<Token> Out;
+  size_t I = 0, N = Text.size();
+  while (I < N) {
+    unsigned char C = static_cast<unsigned char>(Text[I]);
+    if (std::isspace(C)) {
+      ++I;
+      continue;
+    }
+    // Quoted literal.
+    if (C == '\'' || C == '"' || C == '`') {
+      char Quote = static_cast<char>(C);
+      size_t End = Text.find(Quote, I + 1);
+      if (End != std::string::npos && End > I + 1 && End - I <= 24) {
+        Token T;
+        T.Kind = TokenKind::Quoted;
+        T.Literal = Text.substr(I + 1, End - I - 1);
+        T.Text = T.Literal;
+        T.Lemma = T.Literal;
+        Out.push_back(std::move(T));
+        I = End + 1;
+        continue;
+      }
+      ++I; // stray quote: skip
+      continue;
+    }
+    if (std::isdigit(C)) {
+      size_t J = I;
+      long V = 0;
+      while (J < N && std::isdigit(static_cast<unsigned char>(Text[J]))) {
+        V = V * 10 + (Text[J] - '0');
+        if (V > 1000000)
+          V = 1000000;
+        ++J;
+      }
+      Token T;
+      T.Kind = TokenKind::Number;
+      T.Text = Text.substr(I, J - I);
+      T.Lemma = T.Text;
+      T.Value = V;
+      Out.push_back(std::move(T));
+      I = J;
+      continue;
+    }
+    if (std::isalpha(C)) {
+      size_t J = I;
+      while (J < N && std::isalpha(static_cast<unsigned char>(Text[J])))
+        ++J;
+      std::string W;
+      for (size_t K = I; K < J; ++K)
+        W.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(Text[K]))));
+      Token T;
+      auto NumIt = numberWords().find(W);
+      if (NumIt != numberWords().end()) {
+        T.Kind = TokenKind::Number;
+        T.Value = NumIt->second;
+        T.Text = W;
+        T.Lemma = W;
+      } else {
+        T.Kind = TokenKind::Word;
+        T.Text = W;
+        T.Lemma = lemmatize(W);
+      }
+      Out.push_back(std::move(T));
+      I = J;
+      continue;
+    }
+    // Punctuation: single character token.
+    Token T;
+    T.Kind = TokenKind::Punct;
+    T.Text = std::string(1, static_cast<char>(C));
+    T.Lemma = T.Text;
+    Out.push_back(std::move(T));
+    ++I;
+  }
+  return Out;
+}

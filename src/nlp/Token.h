@@ -1,0 +1,43 @@
+//===- nlp/Token.h - Tokenization and lemmatization -------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. A lightweight substitute for SEMPRE's
+// linguistic pre-processor: lower-casing, word/number/punctuation/quoted
+// token classification, number-word parsing and rule-based lemmatization
+// (plural stripping, -ing/-ed verb forms, a small exception table).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_NLP_TOKEN_H
+#define REGEL_NLP_TOKEN_H
+
+#include <string>
+#include <vector>
+
+namespace regel::nlp {
+
+enum class TokenKind : uint8_t {
+  Word,   ///< Plain word (Lemma is meaningful).
+  Number, ///< Integer literal or number word (Value is meaningful).
+  Quoted, ///< Quoted literal, e.g. 'G' or "abc" (Literal is meaningful).
+  Punct,  ///< Punctuation character.
+};
+
+/// One input token.
+struct Token {
+  TokenKind Kind;
+  std::string Text;    ///< Original surface form (lower-cased).
+  std::string Lemma;   ///< Lemmatized form (Word) or Text otherwise.
+  long Value = 0;      ///< Numeric value (Number).
+  std::string Literal; ///< Unquoted content (Quoted).
+};
+
+/// Lemmatizes one lower-case word.
+std::string lemmatize(const std::string &Word);
+
+/// Splits \p Text into tokens. Quoted spans ('...', "...", `...`) become
+/// single Quoted tokens; digit runs and number words become Number tokens.
+std::vector<Token> tokenize(const std::string &Text);
+
+} // namespace regel::nlp
+
+#endif // REGEL_NLP_TOKEN_H

@@ -1,0 +1,79 @@
+//===- nlp/Training.cpp ---------------------------------------------------===//
+
+#include "nlp/Training.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace regel;
+using namespace regel::nlp;
+
+TrainReport regel::nlp::trainParser(SemanticParser &Parser,
+                                    const std::vector<TrainExample> &Data,
+                                    const TrainConfig &Cfg) {
+  std::vector<double> &W = Parser.weights();
+  std::vector<double> GradSq(W.size(), 0.0);
+  TrainReport Report;
+
+  for (unsigned Epoch = 0; Epoch < Cfg.Epochs; ++Epoch) {
+    Report = TrainReport();
+    for (const TrainExample &Ex : Data) {
+      ++Report.Examples;
+      std::vector<Derivation> Beam = Parser.parseDerivations(Ex.Utterance);
+      if (Beam.empty())
+        continue;
+
+      // Softmax over the beam.
+      double MaxScore = Beam[0].Score;
+      for (const Derivation &D : Beam)
+        MaxScore = std::max(MaxScore, D.Score);
+      double Z = 0;
+      std::vector<double> P(Beam.size());
+      for (size_t I = 0; I < Beam.size(); ++I) {
+        P[I] = std::exp(Beam[I].Score - MaxScore);
+        Z += P[I];
+      }
+      for (double &V : P)
+        V /= Z;
+
+      // Which beam derivations produce the gold sketch?
+      std::vector<char> IsGold(Beam.size(), 0);
+      double PGold = 0;
+      for (size_t I = 0; I < Beam.size(); ++I) {
+        SketchPtr S = Beam[I].Val.asSketch();
+        if (S && Ex.Gold && sketchEquals(S, Ex.Gold)) {
+          IsGold[I] = 1;
+          PGold += P[I];
+        }
+      }
+      if (PGold <= 0)
+        continue; // gold unreachable in this beam: skip (standard practice)
+      ++Report.Reachable;
+      {
+        SketchPtr Best = Beam[0].Val.asSketch();
+        if (Best && sketchEquals(Best, Ex.Gold))
+          ++Report.Top1Correct;
+      }
+
+      // Gradient of log P(gold): E[phi | gold] - E[phi].
+      std::vector<std::pair<uint32_t, double>> Grad;
+      auto accumulate = [&](const FeatureVec &F, double Coef) {
+        for (const auto &[Id, Val] : F)
+          Grad.push_back({Id, Coef * Val});
+      };
+      for (size_t I = 0; I < Beam.size(); ++I) {
+        double Coef = (IsGold[I] ? P[I] / PGold : 0.0) - P[I];
+        if (Coef != 0.0)
+          accumulate(Beam[I].Features, Coef);
+      }
+
+      // AdaGrad update with L2 shrinkage.
+      for (const auto &[Id, GVal] : Grad) {
+        GradSq[Id] += GVal * GVal;
+        double Step = Cfg.LearningRate / std::sqrt(GradSq[Id] + Cfg.AdaGradEps);
+        W[Id] += Step * (GVal - Cfg.L2 * W[Id]);
+      }
+    }
+  }
+  return Report;
+}

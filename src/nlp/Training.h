@@ -1,0 +1,45 @@
+//===- nlp/Training.h - Log-linear weight learning ---------------*- C++ -*-//
+//
+// Part of the Regel reproduction. Trains the discriminative model of
+// Sec. 5.3: maximize the log-probability of producing the annotated
+// sketch, regardless of derivation, with the distribution normalized over
+// the beam (AdaGrad on the beam-restricted log-likelihood).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_NLP_TRAINING_H
+#define REGEL_NLP_TRAINING_H
+
+#include "nlp/SemanticParser.h"
+
+namespace regel::nlp {
+
+/// One supervised pair: utterance and annotated gold sketch.
+struct TrainExample {
+  std::string Utterance;
+  SketchPtr Gold;
+};
+
+/// Training hyper-parameters.
+struct TrainConfig {
+  unsigned Epochs = 5;
+  double LearningRate = 0.2;
+  double AdaGradEps = 1e-6;
+  double L2 = 1e-4;
+};
+
+/// Per-epoch training telemetry.
+struct TrainReport {
+  unsigned Examples = 0;      ///< examples seen per epoch
+  unsigned Reachable = 0;     ///< examples whose gold sketch was in the beam
+  unsigned Top1Correct = 0;   ///< gold sketch ranked first (last epoch)
+};
+
+/// Trains \p Parser in place; returns telemetry for the final epoch.
+TrainReport trainParser(SemanticParser &Parser,
+                        const std::vector<TrainExample> &Data,
+                        const TrainConfig &Cfg = TrainConfig());
+
+} // namespace regel::nlp
+
+#endif // REGEL_NLP_TRAINING_H

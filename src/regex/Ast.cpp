@@ -1,0 +1,241 @@
+//===- regex/Ast.cpp ------------------------------------------------------===//
+
+#include "regex/Ast.h"
+
+#include <algorithm>
+
+using namespace regel;
+
+unsigned regel::numRegexArgs(RegexKind K) {
+  switch (K) {
+  case RegexKind::CharClassLeaf:
+  case RegexKind::Epsilon:
+  case RegexKind::EmptySet:
+    return 0;
+  case RegexKind::StartsWith:
+  case RegexKind::EndsWith:
+  case RegexKind::Contains:
+  case RegexKind::Not:
+  case RegexKind::Optional:
+  case RegexKind::KleeneStar:
+  case RegexKind::Repeat:
+  case RegexKind::RepeatAtLeast:
+  case RegexKind::RepeatRange:
+    return 1;
+  case RegexKind::Concat:
+  case RegexKind::Or:
+  case RegexKind::And:
+    return 2;
+  }
+  assert(false && "unknown regex kind");
+  return 0;
+}
+
+unsigned regel::numIntArgs(RegexKind K) {
+  switch (K) {
+  case RegexKind::Repeat:
+  case RegexKind::RepeatAtLeast:
+    return 1;
+  case RegexKind::RepeatRange:
+    return 2;
+  default:
+    return 0;
+  }
+}
+
+bool regel::isOperatorKind(RegexKind K) {
+  return K != RegexKind::CharClassLeaf && K != RegexKind::Epsilon &&
+         K != RegexKind::EmptySet;
+}
+
+bool regel::isRepeatFamily(RegexKind K) { return numIntArgs(K) > 0; }
+
+const char *regel::kindName(RegexKind K) {
+  switch (K) {
+  case RegexKind::CharClassLeaf:
+    return "CharClass";
+  case RegexKind::Epsilon:
+    return "eps";
+  case RegexKind::EmptySet:
+    return "empty";
+  case RegexKind::StartsWith:
+    return "StartsWith";
+  case RegexKind::EndsWith:
+    return "EndsWith";
+  case RegexKind::Contains:
+    return "Contains";
+  case RegexKind::Not:
+    return "Not";
+  case RegexKind::Optional:
+    return "Optional";
+  case RegexKind::KleeneStar:
+    return "KleeneStar";
+  case RegexKind::Concat:
+    return "Concat";
+  case RegexKind::Or:
+    return "Or";
+  case RegexKind::And:
+    return "And";
+  case RegexKind::Repeat:
+    return "Repeat";
+  case RegexKind::RepeatAtLeast:
+    return "RepeatAtLeast";
+  case RegexKind::RepeatRange:
+    return "RepeatRange";
+  }
+  assert(false && "unknown regex kind");
+  return "?";
+}
+
+bool regel::kindFromName(const std::string &Name, RegexKind &Out) {
+  static const RegexKind Ops[] = {
+      RegexKind::StartsWith, RegexKind::EndsWith,   RegexKind::Contains,
+      RegexKind::Not,        RegexKind::Optional,   RegexKind::KleeneStar,
+      RegexKind::Concat,     RegexKind::Or,         RegexKind::And,
+      RegexKind::Repeat,     RegexKind::RepeatAtLeast,
+      RegexKind::RepeatRange};
+  for (RegexKind K : Ops) {
+    if (Name == kindName(K)) {
+      Out = K;
+      return true;
+    }
+  }
+  return false;
+}
+
+Regex::Regex(RegexKind Kind, CharClass CC, std::vector<RegexPtr> Children,
+             int K1, int K2)
+    : Kind(Kind), CC(std::move(CC)), Children(std::move(Children)), K1(K1),
+      K2(K2) {
+  size_t H = static_cast<size_t>(Kind) * 0x9e3779b97f4a7c15ull;
+  H ^= this->CC.hash() + 0x9e3779b9 + (H << 6) + (H >> 2);
+  for (const RegexPtr &C : this->Children)
+    H ^= C->hash() + 0x9e3779b9 + (H << 6) + (H >> 2);
+  H ^= static_cast<size_t>(K1) * 0x85ebca6b;
+  H ^= static_cast<size_t>(K2) * 0xc2b2ae35;
+  Hash = H;
+}
+
+unsigned Regex::size() const {
+  unsigned N = 1;
+  for (const RegexPtr &C : Children)
+    N += C->size();
+  return N;
+}
+
+unsigned Regex::depth() const {
+  unsigned D = 0;
+  for (const RegexPtr &C : Children)
+    D = std::max(D, C->depth());
+  return D + 1;
+}
+
+bool Regex::equals(const Regex &Other) const {
+  if (this == &Other)
+    return true;
+  if (Kind != Other.Kind || Hash != Other.Hash || K1 != Other.K1 ||
+      K2 != Other.K2 || Children.size() != Other.Children.size())
+    return false;
+  if (Kind == RegexKind::CharClassLeaf && !(CC == Other.CC))
+    return false;
+  for (size_t I = 0; I < Children.size(); ++I)
+    if (!Children[I]->equals(*Other.Children[I]))
+      return false;
+  return true;
+}
+
+bool regel::regexEquals(const RegexPtr &A, const RegexPtr &B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  return A->equals(*B);
+}
+
+namespace {
+/// Placeholder class stored in nodes that do not carry a character class.
+CharClass emptyCC() { return CharClass({}); }
+} // namespace
+
+RegexPtr Regex::charClass(const CharClass &CC) {
+  return RegexPtr(new Regex(RegexKind::CharClassLeaf, CC, {}, 0, 0));
+}
+
+RegexPtr Regex::epsilon() {
+  return RegexPtr(new Regex(RegexKind::Epsilon, emptyCC(), {}, 0, 0));
+}
+
+RegexPtr Regex::emptySet() {
+  return RegexPtr(new Regex(RegexKind::EmptySet, emptyCC(), {}, 0, 0));
+}
+
+RegexPtr Regex::makeOperator(RegexKind K, std::vector<RegexPtr> Children,
+                             const std::vector<int> &Ints) {
+  assert(Children.size() == numRegexArgs(K) && "operator arity mismatch");
+  assert(Ints.size() == numIntArgs(K) && "integer arity mismatch");
+  for (const RegexPtr &C : Children)
+    assert(C && "null child");
+  int K1 = Ints.size() > 0 ? Ints[0] : 0;
+  int K2 = Ints.size() > 1 ? Ints[1] : 0;
+  if (K == RegexKind::RepeatAtLeast)
+    K2 = RepeatUnbounded;
+  return RegexPtr(new Regex(K, emptyCC(), std::move(Children), K1, K2));
+}
+
+RegexPtr Regex::startsWith(RegexPtr R) {
+  return makeOperator(RegexKind::StartsWith, {std::move(R)});
+}
+RegexPtr Regex::endsWith(RegexPtr R) {
+  return makeOperator(RegexKind::EndsWith, {std::move(R)});
+}
+RegexPtr Regex::contains(RegexPtr R) {
+  return makeOperator(RegexKind::Contains, {std::move(R)});
+}
+RegexPtr Regex::notOf(RegexPtr R) {
+  return makeOperator(RegexKind::Not, {std::move(R)});
+}
+RegexPtr Regex::optional(RegexPtr R) {
+  return makeOperator(RegexKind::Optional, {std::move(R)});
+}
+RegexPtr Regex::kleeneStar(RegexPtr R) {
+  return makeOperator(RegexKind::KleeneStar, {std::move(R)});
+}
+RegexPtr Regex::concat(RegexPtr A, RegexPtr B) {
+  return makeOperator(RegexKind::Concat, {std::move(A), std::move(B)});
+}
+RegexPtr Regex::orOf(RegexPtr A, RegexPtr B) {
+  return makeOperator(RegexKind::Or, {std::move(A), std::move(B)});
+}
+RegexPtr Regex::andOf(RegexPtr A, RegexPtr B) {
+  return makeOperator(RegexKind::And, {std::move(A), std::move(B)});
+}
+RegexPtr Regex::repeat(RegexPtr R, int K) {
+  assert(K >= 1 && "Repeat requires a positive count");
+  return makeOperator(RegexKind::Repeat, {std::move(R)}, {K});
+}
+RegexPtr Regex::repeatAtLeast(RegexPtr R, int K) {
+  assert(K >= 1 && "RepeatAtLeast requires a positive count");
+  return makeOperator(RegexKind::RepeatAtLeast, {std::move(R)}, {K});
+}
+RegexPtr Regex::repeatRange(RegexPtr R, int K1, int K2) {
+  assert(K1 >= 1 && K2 >= K1 && "RepeatRange requires 1 <= k1 <= k2");
+  return makeOperator(RegexKind::RepeatRange, {std::move(R)}, {K1, K2});
+}
+
+RegexPtr Regex::concatAll(const std::vector<RegexPtr> &Parts) {
+  if (Parts.empty())
+    return epsilon();
+  RegexPtr Out = Parts.back();
+  for (size_t I = Parts.size() - 1; I-- > 0;)
+    Out = concat(Parts[I], Out);
+  return Out;
+}
+
+RegexPtr Regex::orAll(const std::vector<RegexPtr> &Parts) {
+  if (Parts.empty())
+    return emptySet();
+  RegexPtr Out = Parts.back();
+  for (size_t I = Parts.size() - 1; I-- > 0;)
+    Out = orOf(Parts[I], Out);
+  return Out;
+}

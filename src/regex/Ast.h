@@ -1,0 +1,172 @@
+//===- regex/Ast.h - Regex DSL abstract syntax ------------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. The regex DSL of Fig. 5:
+//
+//   r := c | eps | empty
+//      | StartsWith(r) | EndsWith(r) | Contains(r) | Not(r)
+//      | Optional(r) | KleeneStar(r)
+//      | Concat(r1,r2) | Or(r1,r2) | And(r1,r2)
+//      | Repeat(r,k) | RepeatAtLeast(r,k) | RepeatRange(r,k1,k2)
+//
+// Nodes are immutable and shared via RegexPtr; structural hashing and
+// equality enable caching (e.g. the DFA cache in src/automata).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_REGEX_AST_H
+#define REGEL_REGEX_AST_H
+
+#include "regex/CharClass.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace regel {
+
+/// Discriminator for regex AST nodes.
+enum class RegexKind : uint8_t {
+  CharClassLeaf,
+  Epsilon,
+  EmptySet,
+  StartsWith,
+  EndsWith,
+  Contains,
+  Not,
+  Optional,
+  KleeneStar,
+  Concat,
+  Or,
+  And,
+  Repeat,
+  RepeatAtLeast,
+  RepeatRange,
+};
+
+/// Number of regex children an operator of kind \p K takes (0 for leaves).
+unsigned numRegexArgs(RegexKind K);
+
+/// Number of integer parameters (Repeat family only).
+unsigned numIntArgs(RegexKind K);
+
+/// True for operator kinds (everything but leaves).
+bool isOperatorKind(RegexKind K);
+
+/// True for the Repeat family (operators carrying integer parameters).
+bool isRepeatFamily(RegexKind K);
+
+/// Printable operator name ("Concat", "RepeatRange", ...).
+const char *kindName(RegexKind K);
+
+/// Inverse of kindName; returns false if \p Name is not an operator.
+bool kindFromName(const std::string &Name, RegexKind &Out);
+
+class Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+/// Sentinel used as K2 of RepeatAtLeast (conceptually "infinity").
+constexpr int RepeatUnbounded = -1;
+
+/// An immutable regex AST node.
+class Regex {
+public:
+  RegexKind getKind() const { return Kind; }
+
+  const CharClass &getCharClass() const {
+    assert(Kind == RegexKind::CharClassLeaf && "not a character class");
+    return CC;
+  }
+
+  unsigned getNumChildren() const { return Children.size(); }
+
+  const RegexPtr &getChild(unsigned I) const {
+    assert(I < Children.size() && "child index out of range");
+    return Children[I];
+  }
+
+  const std::vector<RegexPtr> &children() const { return Children; }
+
+  /// First integer parameter (Repeat family).
+  int getK1() const {
+    assert(isRepeatFamily(Kind) && "no integer parameters");
+    return K1;
+  }
+
+  /// Second integer parameter (RepeatRange) or RepeatUnbounded.
+  int getK2() const {
+    assert(Kind == RegexKind::RepeatRange && "no second integer parameter");
+    return K2;
+  }
+
+  /// Number of AST nodes (the paper's regex "size" metric).
+  unsigned size() const;
+
+  /// Height of the AST (a leaf has depth 1).
+  unsigned depth() const;
+
+  /// Structural hash, cached at construction time.
+  size_t hash() const { return Hash; }
+
+  /// Deep structural equality.
+  bool equals(const Regex &Other) const;
+
+  // Factories. All children must be non-null.
+  static RegexPtr charClass(const CharClass &CC);
+  static RegexPtr literal(char C) { return charClass(CharClass::singleton(C)); }
+  static RegexPtr epsilon();
+  static RegexPtr emptySet();
+  static RegexPtr startsWith(RegexPtr R);
+  static RegexPtr endsWith(RegexPtr R);
+  static RegexPtr contains(RegexPtr R);
+  static RegexPtr notOf(RegexPtr R);
+  static RegexPtr optional(RegexPtr R);
+  static RegexPtr kleeneStar(RegexPtr R);
+  static RegexPtr concat(RegexPtr A, RegexPtr B);
+  static RegexPtr orOf(RegexPtr A, RegexPtr B);
+  static RegexPtr andOf(RegexPtr A, RegexPtr B);
+  static RegexPtr repeat(RegexPtr R, int K);
+  static RegexPtr repeatAtLeast(RegexPtr R, int K);
+  static RegexPtr repeatRange(RegexPtr R, int K1, int K2);
+
+  /// Builds an operator node generically (used by the search engine).
+  /// \p Ints supplies the integer parameters for the Repeat family.
+  static RegexPtr makeOperator(RegexKind K, std::vector<RegexPtr> Children,
+                               const std::vector<int> &Ints = {});
+
+  /// Concatenation of a whole sequence (right-nested); epsilon if empty.
+  static RegexPtr concatAll(const std::vector<RegexPtr> &Parts);
+
+  /// Disjunction of a whole sequence (right-nested); emptySet if empty.
+  static RegexPtr orAll(const std::vector<RegexPtr> &Parts);
+
+private:
+  Regex(RegexKind Kind, CharClass CC, std::vector<RegexPtr> Children, int K1,
+        int K2);
+
+  RegexKind Kind;
+  CharClass CC;
+  std::vector<RegexPtr> Children;
+  int K1 = 0;
+  int K2 = 0;
+  size_t Hash = 0;
+};
+
+/// Convenience deep-equality on shared pointers (null-safe).
+bool regexEquals(const RegexPtr &A, const RegexPtr &B);
+
+/// Hash functor for RegexPtr keyed on structure, for use in hash maps.
+struct RegexPtrHash {
+  size_t operator()(const RegexPtr &R) const { return R ? R->hash() : 0; }
+};
+
+/// Equality functor matching RegexPtrHash.
+struct RegexPtrEq {
+  bool operator()(const RegexPtr &A, const RegexPtr &B) const {
+    return regexEquals(A, B);
+  }
+};
+
+} // namespace regel
+
+#endif // REGEL_REGEX_AST_H

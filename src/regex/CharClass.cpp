@@ -1,0 +1,180 @@
+//===- regex/CharClass.cpp ------------------------------------------------===//
+
+#include "regex/CharClass.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace regel;
+
+CharClass::CharClass(std::vector<CharRange> RawRanges) {
+  std::sort(RawRanges.begin(), RawRanges.end());
+  // Merge overlapping or adjacent ranges into canonical form.
+  for (const CharRange &R : RawRanges) {
+    assert(R.Lo >= MinAlphabetChar && R.Hi <= MaxAlphabetChar && R.Lo <= R.Hi &&
+           "character range outside the printable-ASCII alphabet");
+    if (!Ranges.empty() && R.Lo <= Ranges.back().Hi + 1) {
+      Ranges.back().Hi = std::max(Ranges.back().Hi, R.Hi);
+      continue;
+    }
+    Ranges.push_back(R);
+  }
+}
+
+CharClass CharClass::singleton(char C) {
+  unsigned char U = static_cast<unsigned char>(C);
+  return CharClass({{U, U}});
+}
+
+CharClass CharClass::num() { return CharClass({{'0', '9'}}); }
+
+CharClass CharClass::let() {
+  return CharClass({{'a', 'z'}, {'A', 'Z'}});
+}
+
+CharClass CharClass::low() { return CharClass({{'a', 'z'}}); }
+
+CharClass CharClass::cap() { return CharClass({{'A', 'Z'}}); }
+
+CharClass CharClass::any() {
+  return CharClass({{MinAlphabetChar, MaxAlphabetChar}});
+}
+
+CharClass CharClass::alphaNum() {
+  return CharClass({{'0', '9'}, {'a', 'z'}, {'A', 'Z'}});
+}
+
+CharClass CharClass::hex() {
+  return CharClass({{'0', '9'}, {'a', 'f'}, {'A', 'F'}});
+}
+
+CharClass CharClass::vow() {
+  std::vector<CharRange> Rs;
+  for (char C : {'a', 'e', 'i', 'o', 'u', 'A', 'E', 'I', 'O', 'U'})
+    Rs.push_back({static_cast<unsigned char>(C), static_cast<unsigned char>(C)});
+  return CharClass(std::move(Rs));
+}
+
+CharClass CharClass::spec() {
+  // Printable, non-alphanumeric, non-space: punctuation and symbols.
+  std::vector<CharRange> Rs;
+  for (unsigned C = MinAlphabetChar + 1; C <= MaxAlphabetChar; ++C) {
+    bool IsAlnum = (C >= '0' && C <= '9') || (C >= 'a' && C <= 'z') ||
+                   (C >= 'A' && C <= 'Z');
+    if (!IsAlnum)
+      Rs.push_back({static_cast<unsigned char>(C), static_cast<unsigned char>(C)});
+  }
+  return CharClass(std::move(Rs));
+}
+
+bool CharClass::fromName(const std::string &Name, CharClass &Out) {
+  if (Name == "num") {
+    Out = num();
+    return true;
+  }
+  if (Name == "let") {
+    Out = let();
+    return true;
+  }
+  if (Name == "low") {
+    Out = low();
+    return true;
+  }
+  if (Name == "cap") {
+    Out = cap();
+    return true;
+  }
+  if (Name == "any") {
+    Out = any();
+    return true;
+  }
+  if (Name == "alphanum") {
+    Out = alphaNum();
+    return true;
+  }
+  if (Name == "hex") {
+    Out = hex();
+    return true;
+  }
+  if (Name == "vow") {
+    Out = vow();
+    return true;
+  }
+  if (Name == "spec") {
+    Out = spec();
+    return true;
+  }
+  if (Name == "space") {
+    Out = singleton(' ');
+    return true;
+  }
+  if (Name.size() == 1 && Name[0] >= MinAlphabetChar &&
+      static_cast<unsigned char>(Name[0]) <= MaxAlphabetChar) {
+    Out = singleton(Name[0]);
+    return true;
+  }
+  return false;
+}
+
+bool CharClass::contains(char C) const {
+  unsigned char U = static_cast<unsigned char>(C);
+  for (const CharRange &R : Ranges)
+    if (U >= R.Lo && U <= R.Hi)
+      return true;
+  return false;
+}
+
+bool CharClass::isSingleton() const {
+  return Ranges.size() == 1 && Ranges[0].Lo == Ranges[0].Hi;
+}
+
+unsigned CharClass::size() const {
+  unsigned N = 0;
+  for (const CharRange &R : Ranges)
+    N += R.Hi - R.Lo + 1;
+  return N;
+}
+
+std::string CharClass::name() const {
+  struct Named {
+    const char *Name;
+    CharClass (*Make)();
+  };
+  static const Named Table[] = {
+      {"num", &CharClass::num},           {"let", &CharClass::let},
+      {"low", &CharClass::low},           {"cap", &CharClass::cap},
+      {"any", &CharClass::any},           {"alphanum", &CharClass::alphaNum},
+      {"hex", &CharClass::hex},           {"vow", &CharClass::vow},
+      {"spec", &CharClass::spec},
+  };
+  for (const Named &N : Table)
+    if (*this == N.Make())
+      return N.Name;
+  if (isSingleton()) {
+    char C = static_cast<char>(Ranges[0].Lo);
+    if (C == ' ')
+      return "space";
+    return std::string(1, C);
+  }
+  // Ad-hoc set: print the ranges.
+  std::string Out = "set:";
+  for (const CharRange &R : Ranges) {
+    Out.push_back(static_cast<char>(R.Lo));
+    if (R.Hi != R.Lo) {
+      Out.push_back('-');
+      Out.push_back(static_cast<char>(R.Hi));
+    }
+  }
+  return Out;
+}
+
+std::string CharClass::display() const { return "<" + name() + ">"; }
+
+size_t CharClass::hash() const {
+  size_t H = 0x811c9dc5;
+  for (const CharRange &R : Ranges) {
+    H = (H ^ R.Lo) * 0x01000193;
+    H = (H ^ R.Hi) * 0x01000193;
+  }
+  return H;
+}

@@ -1,0 +1,93 @@
+//===- regex/CharClass.h - Character classes of the regex DSL ---*- C++ -*-===//
+//
+// Part of the Regel reproduction (Chen et al., "Multi-Modal Synthesis of
+// Regular Expressions"). Character classes per Sec. 3.1: either a single
+// printable character (<a>, <1>, <,>) or a predefined family (<num>, <let>,
+// <cap>, <low>, <any>, <alphanum>, <hex>, <vow>, <spec>).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_REGEX_CHARCLASS_H
+#define REGEL_REGEX_CHARCLASS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace regel {
+
+/// The regex alphabet is printable ASCII, [0x20, 0x7e].
+constexpr unsigned char MinAlphabetChar = 0x20;
+constexpr unsigned char MaxAlphabetChar = 0x7e;
+constexpr unsigned AlphabetSize = MaxAlphabetChar - MinAlphabetChar + 1;
+
+/// An inclusive character range [Lo, Hi].
+struct CharRange {
+  unsigned char Lo;
+  unsigned char Hi;
+
+  friend bool operator==(const CharRange &A, const CharRange &B) {
+    return A.Lo == B.Lo && A.Hi == B.Hi;
+  }
+  friend bool operator<(const CharRange &A, const CharRange &B) {
+    return A.Lo != B.Lo ? A.Lo < B.Lo : A.Hi < B.Hi;
+  }
+};
+
+/// A set of characters, stored as sorted, disjoint, non-adjacent ranges.
+///
+/// Instances are immutable after construction. The well-known classes from
+/// the paper are available via the static factories below.
+class CharClass {
+public:
+  /// Builds a class from arbitrary (possibly overlapping) ranges.
+  explicit CharClass(std::vector<CharRange> RawRanges);
+
+  /// The class containing the single character \p C.
+  static CharClass singleton(char C);
+
+  static CharClass num();      ///< [0-9], printed <num>.
+  static CharClass let();      ///< [a-zA-Z], printed <let>.
+  static CharClass low();      ///< [a-z], printed <low>.
+  static CharClass cap();      ///< [A-Z], printed <cap>.
+  static CharClass any();      ///< all printable ASCII, printed <any>.
+  static CharClass alphaNum(); ///< [0-9a-zA-Z], printed <alphanum>.
+  static CharClass hex();      ///< [0-9a-fA-F], printed <hex>.
+  static CharClass vow();      ///< [aeiouAEIOU], printed <vow>.
+  static CharClass spec();     ///< printable non-alphanumeric, non-space.
+
+  /// Parses the printed form (e.g. "num", "let", "a", ",", "space").
+  /// Returns true and sets \p Out on success.
+  static bool fromName(const std::string &Name, CharClass &Out);
+
+  const std::vector<CharRange> &ranges() const { return Ranges; }
+
+  /// Membership test.
+  bool contains(char C) const;
+
+  /// True if this class denotes exactly one character.
+  bool isSingleton() const;
+
+  /// The number of characters in the class.
+  unsigned size() const;
+
+  /// Printed form without the angle brackets ("num", "a", "space", ...).
+  std::string name() const;
+
+  /// Printed form with angle brackets ("<num>", "<a>", ...).
+  std::string display() const;
+
+  /// Structural hash.
+  size_t hash() const;
+
+  friend bool operator==(const CharClass &A, const CharClass &B) {
+    return A.Ranges == B.Ranges;
+  }
+
+private:
+  std::vector<CharRange> Ranges;
+};
+
+} // namespace regel
+
+#endif // REGEL_REGEX_CHARCLASS_H

@@ -1,0 +1,164 @@
+//===- regex/Matcher.cpp --------------------------------------------------===//
+
+#include "regex/Matcher.h"
+
+#include <algorithm>
+
+using namespace regel;
+
+namespace {
+
+void indexNodes(const Regex *R, std::vector<const Regex *> &Nodes,
+                std::vector<uint32_t> &Kids, uint32_t &MaxRepeat) {
+  // Preorder: parent index assigned before children are visited.
+  uint32_t Self = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back(R);
+  Kids.push_back(0);
+  Kids.push_back(0);
+  if (isRepeatFamily(R->getKind())) {
+    MaxRepeat = std::max(MaxRepeat, static_cast<uint32_t>(R->getK1()));
+    if (R->getKind() == RegexKind::RepeatRange)
+      MaxRepeat = std::max(MaxRepeat, static_cast<uint32_t>(R->getK2()));
+  }
+  for (unsigned I = 0; I < R->getNumChildren(); ++I) {
+    Kids[Self * 2 + I] = static_cast<uint32_t>(Nodes.size());
+    indexNodes(R->getChild(I).get(), Nodes, Kids, MaxRepeat);
+  }
+}
+
+} // namespace
+
+DirectMatcher::DirectMatcher(RegexPtr R) : Root(std::move(R)) {
+  assert(Root && "null regex");
+  indexNodes(Root.get(), Nodes, Kids, MaxRepeat);
+  KSlots = MaxRepeat + 2; // 0 = plain match, 1..MaxRepeat = repeat, last = star
+}
+
+bool DirectMatcher::matches(std::string_view Input) {
+  S = Input;
+  uint32_t Len = static_cast<uint32_t>(Input.size());
+  if (Len + 1 > Stride) {
+    Stride = Len + 1;
+    Memo.assign(static_cast<size_t>(Nodes.size()) * KSlots, {});
+    Epoch = 0;
+  }
+  ++Epoch;
+  return match(0, 0, Len);
+}
+
+bool DirectMatcher::match(uint32_t Node, uint32_t I, uint32_t J) {
+  Slot &M = slot(Node, 0, I, J);
+  if (M.Epoch == Epoch)
+    return M.Value;
+  M.Epoch = Epoch;
+  M.Value = false; // break accidental cycles defensively
+  bool Result = compute(Node, I, J);
+  // Recompute the reference: compute() cannot invalidate Memo (no resize),
+  // but keep the access pattern simple and store through slot() again.
+  Slot &M2 = slot(Node, 0, I, J);
+  M2.Epoch = Epoch;
+  M2.Value = Result;
+  return Result;
+}
+
+bool DirectMatcher::matchRepeat(uint32_t Node, uint32_t K, uint32_t I,
+                                uint32_t J) {
+  if (K == 0)
+    return I == J;
+  if (K == 1)
+    return match(Node, I, J);
+  Slot &M = slot(Node, K, I, J);
+  if (M.Epoch == Epoch)
+    return M.Value;
+  M.Epoch = Epoch;
+  bool Result = false;
+  for (uint32_t Mid = I; Mid <= J && !Result; ++Mid)
+    Result = match(Node, I, Mid) && matchRepeat(Node, K - 1, Mid, J);
+  slot(Node, K, I, J).Value = Result;
+  return Result;
+}
+
+bool DirectMatcher::matchStar(uint32_t Node, uint32_t I, uint32_t J) {
+  if (I == J)
+    return true;
+  Slot &M = slot(Node, KSlots - 1, I, J);
+  if (M.Epoch == Epoch)
+    return M.Value;
+  M.Epoch = Epoch;
+  M.Value = false;
+  bool Result = false;
+  // First copy must be nonempty: empty copies add nothing to the language.
+  for (uint32_t Mid = I + 1; Mid <= J && !Result; ++Mid)
+    Result = match(Node, I, Mid) && matchStar(Node, Mid, J);
+  slot(Node, KSlots - 1, I, J).Value = Result;
+  return Result;
+}
+
+bool DirectMatcher::compute(uint32_t Node, uint32_t I, uint32_t J) {
+  const Regex *R = Nodes[Node];
+  uint32_t C0 = Kids[Node * 2];
+  uint32_t C1 = Kids[Node * 2 + 1];
+  switch (R->getKind()) {
+  case RegexKind::CharClassLeaf:
+    return J == I + 1 && R->getCharClass().contains(S[I]);
+  case RegexKind::Epsilon:
+    return I == J;
+  case RegexKind::EmptySet:
+    return false;
+  case RegexKind::StartsWith:
+    for (uint32_t M = I; M <= J; ++M)
+      if (match(C0, I, M))
+        return true;
+    return false;
+  case RegexKind::EndsWith:
+    for (uint32_t M = I; M <= J; ++M)
+      if (match(C0, M, J))
+        return true;
+    return false;
+  case RegexKind::Contains:
+    for (uint32_t A = I; A <= J; ++A)
+      for (uint32_t B = A; B <= J; ++B)
+        if (match(C0, A, B))
+          return true;
+    return false;
+  case RegexKind::Not:
+    return !match(C0, I, J);
+  case RegexKind::Optional:
+    return I == J || match(C0, I, J);
+  case RegexKind::KleeneStar:
+    return matchStar(C0, I, J);
+  case RegexKind::Concat:
+    for (uint32_t M = I; M <= J; ++M)
+      if (match(C0, I, M) && match(C1, M, J))
+        return true;
+    return false;
+  case RegexKind::Or:
+    return match(C0, I, J) || match(C1, I, J);
+  case RegexKind::And:
+    return match(C0, I, J) && match(C1, I, J);
+  case RegexKind::Repeat:
+    return matchRepeat(C0, static_cast<uint32_t>(R->getK1()), I, J);
+  case RegexKind::RepeatAtLeast: {
+    uint32_t K = static_cast<uint32_t>(R->getK1());
+    for (uint32_t M = I; M <= J; ++M)
+      if (matchRepeat(C0, K, I, M) && matchStar(C0, M, J))
+        return true;
+    return false;
+  }
+  case RegexKind::RepeatRange: {
+    for (int K = R->getK1(); K <= R->getK2(); ++K)
+      if (matchRepeat(C0, static_cast<uint32_t>(K), I, J))
+        return true;
+    return false;
+  }
+  }
+  assert(false && "unknown regex kind");
+  return false;
+}
+
+bool regel::matchesDirect(const RegexPtr &R, std::string_view Input) {
+  if (!R)
+    return false;
+  DirectMatcher M(R);
+  return M.matches(Input);
+}

@@ -1,0 +1,70 @@
+//===- regex/Matcher.h - Direct (automaton-free) matching -------*- C++ -*-===//
+//
+// Part of the Regel reproduction. A memoized recursive implementation of the
+// DSL denotational semantics of Fig. 6. It is independent of the automaton
+// pipeline in src/automata, which makes it (a) the oracle for differential
+// property tests and (b) the candidate-checking engine inside the PBE loop,
+// where almost every queried regex is distinct and compiling a DFA per
+// query would be wasted work.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_REGEX_MATCHER_H
+#define REGEL_REGEX_MATCHER_H
+
+#include "regex/Ast.h"
+
+#include <string_view>
+#include <vector>
+
+namespace regel {
+
+/// Matches many strings against one regex. Construction indexes the AST
+/// once; per-string state lives in dense epoch-stamped memo tables, so
+/// repeated matches allocate nothing after warm-up.
+class DirectMatcher {
+public:
+  explicit DirectMatcher(RegexPtr R);
+
+  /// Returns true iff \p Input is in the language of the regex
+  /// (Fig. 6 semantics; concatenation and repetition permit empty pieces,
+  /// as required by the paper's Sec. 2 example).
+  bool matches(std::string_view Input);
+
+private:
+  struct Slot {
+    uint32_t Epoch = 0;
+    bool Value = false;
+  };
+
+  bool match(uint32_t Node, uint32_t I, uint32_t J);
+  bool matchRepeat(uint32_t Node, uint32_t K, uint32_t I, uint32_t J);
+  bool matchStar(uint32_t Node, uint32_t I, uint32_t J);
+  bool compute(uint32_t Node, uint32_t I, uint32_t J);
+
+  /// Lazily allocated memo plane for one (node, repeat-count) pair.
+  Slot &slot(uint32_t Node, uint32_t K, uint32_t I, uint32_t J) {
+    std::vector<Slot> &Plane = Memo[Node * KSlots + K];
+    if (Plane.empty())
+      Plane.assign(static_cast<size_t>(Stride) * Stride, Slot());
+    return Plane[I * Stride + J];
+  }
+
+  RegexPtr Root;
+  std::vector<const Regex *> Nodes; ///< Indexed AST (DFS preorder).
+  std::vector<uint32_t> Kids;       ///< Child indices, 2 per node.
+  uint32_t MaxRepeat = 0;           ///< Largest constant K in the regex.
+  uint32_t KSlots = 2;              ///< 0 = plain, 1..MaxRepeat, last = star.
+
+  std::string_view S;
+  std::vector<std::vector<Slot>> Memo; ///< One plane per (node, K).
+  uint32_t Stride = 0;
+  uint32_t Epoch = 0;
+};
+
+/// One-shot convenience wrapper around DirectMatcher.
+bool matchesDirect(const RegexPtr &R, std::string_view Input);
+
+} // namespace regel
+
+#endif // REGEL_REGEX_MATCHER_H

@@ -1,0 +1,186 @@
+//===- regex/Parser.cpp ---------------------------------------------------===//
+
+#include "regex/Parser.h"
+
+#include <cctype>
+
+using namespace regel;
+
+namespace {
+
+/// Recursive-descent parser over the DSL surface syntax.
+class DslParser {
+public:
+  DslParser(const std::string &Text) : Text(Text) {}
+
+  RegexPtr parse(std::string &Error) {
+    RegexPtr R = parseExpr(Error);
+    if (!R)
+      return nullptr;
+    skipSpace();
+    if (Pos != Text.size()) {
+      Error = "trailing input at offset " + std::to_string(Pos);
+      return nullptr;
+    }
+    return R;
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  /// Reads an identifier made of letters.
+  std::string readWord() {
+    skipSpace();
+    std::string W;
+    while (Pos < Text.size() &&
+           std::isalpha(static_cast<unsigned char>(Text[Pos])))
+      W.push_back(Text[Pos++]);
+    return W;
+  }
+
+  bool readInt(int &Out, std::string &Error) {
+    skipSpace();
+    if (Pos >= Text.size() ||
+        !std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      Error = "expected integer at offset " + std::to_string(Pos);
+      return false;
+    }
+    long V = 0;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      V = V * 10 + (Text[Pos++] - '0');
+      if (V > 1000000) {
+        Error = "integer literal too large";
+        return false;
+      }
+    }
+    Out = static_cast<int>(V);
+    return true;
+  }
+
+  /// Parses a <...> character class token.
+  RegexPtr parseCharClass(std::string &Error) {
+    // Caller consumed '<'. Everything up to the next '>' is the name,
+    // except that "<>>" means the single character '>'.
+    std::string Name;
+    if (Pos < Text.size() && Text[Pos] == '>') {
+      // Could be "<>" (invalid) or "<>>"? We treat "<>" followed by more
+      // input as the '>' singleton only when written as "<>>".
+      if (Pos + 1 < Text.size() && Text[Pos + 1] == '>') {
+        Pos += 2;
+        return Regex::literal('>');
+      }
+    }
+    while (Pos < Text.size() && Text[Pos] != '>')
+      Name.push_back(Text[Pos++]);
+    if (Pos >= Text.size()) {
+      Error = "unterminated character class";
+      return nullptr;
+    }
+    ++Pos; // consume '>'
+    CharClass CC = CharClass::any();
+    if (!CharClass::fromName(Name, CC)) {
+      Error = "unknown character class <" + Name + ">";
+      return nullptr;
+    }
+    return Regex::charClass(CC);
+  }
+
+  RegexPtr parseExpr(std::string &Error) {
+    skipSpace();
+    if (Pos >= Text.size()) {
+      Error = "unexpected end of input";
+      return nullptr;
+    }
+    if (Text[Pos] == '<') {
+      ++Pos;
+      return parseCharClass(Error);
+    }
+    size_t WordStart = Pos;
+    std::string Word = readWord();
+    if (Word.empty()) {
+      Error = "expected operator or leaf at offset " + std::to_string(Pos);
+      return nullptr;
+    }
+    if (Word == "eps")
+      return Regex::epsilon();
+    if (Word == "empty")
+      return Regex::emptySet();
+    RegexKind K;
+    if (!kindFromName(Word, K)) {
+      Error = "unknown operator '" + Word + "' at offset " +
+              std::to_string(WordStart);
+      return nullptr;
+    }
+    if (!consume('(')) {
+      Error = "expected '(' after " + Word;
+      return nullptr;
+    }
+    std::vector<RegexPtr> Children;
+    for (unsigned I = 0; I < numRegexArgs(K); ++I) {
+      if (I && !consume(',')) {
+        Error = "expected ',' in " + Word;
+        return nullptr;
+      }
+      RegexPtr C = parseExpr(Error);
+      if (!C)
+        return nullptr;
+      Children.push_back(std::move(C));
+    }
+    std::vector<int> Ints;
+    for (unsigned I = 0; I < numIntArgs(K); ++I) {
+      if (!consume(',')) {
+        Error = "expected ',' before integer in " + Word;
+        return nullptr;
+      }
+      int V = 0;
+      if (!readInt(V, Error))
+        return nullptr;
+      Ints.push_back(V);
+    }
+    if (!consume(')')) {
+      Error = "expected ')' closing " + Word;
+      return nullptr;
+    }
+    // Validate integer parameters (Repeat family requires positive K and
+    // ordered ranges).
+    if (K == RegexKind::Repeat || K == RegexKind::RepeatAtLeast) {
+      if (Ints[0] < 1) {
+        Error = Word + " requires a positive count";
+        return nullptr;
+      }
+    }
+    if (K == RegexKind::RepeatRange && (Ints[0] < 1 || Ints[1] < Ints[0])) {
+      Error = "RepeatRange requires 1 <= k1 <= k2";
+      return nullptr;
+    }
+    return Regex::makeOperator(K, std::move(Children), Ints);
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+RegexPtr regel::parseRegex(const std::string &Text, std::string *ErrorOut) {
+  std::string Error;
+  DslParser P(Text);
+  RegexPtr R = P.parse(Error);
+  if (!R && ErrorOut)
+    *ErrorOut = Error;
+  return R;
+}

@@ -1,0 +1,28 @@
+//===- regex/Parser.h - Parsing the regex DSL surface syntax ----*- C++ -*-===//
+//
+// Part of the Regel reproduction. Parses the textual DSL form produced by
+// printRegex, e.g.
+//
+//   Concat(RepeatRange(<num>,1,15),Optional(Concat(<.>,RepeatRange(<num>,1,3))))
+//
+// Whitespace between tokens is ignored. On failure, parseRegex returns null
+// and (optionally) reports a diagnostic.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_REGEX_PARSER_H
+#define REGEL_REGEX_PARSER_H
+
+#include "regex/Ast.h"
+
+#include <string>
+
+namespace regel {
+
+/// Parses \p Text into a regex AST. Returns null on malformed input; if
+/// \p ErrorOut is non-null it receives a human-readable diagnostic.
+RegexPtr parseRegex(const std::string &Text, std::string *ErrorOut = nullptr);
+
+} // namespace regel
+
+#endif // REGEL_REGEX_PARSER_H

@@ -1,0 +1,116 @@
+//===- regex/Printer.cpp --------------------------------------------------===//
+
+#include "regex/Printer.h"
+
+using namespace regel;
+
+std::string regel::printRegex(const RegexPtr &R) {
+  if (!R)
+    return "<null>";
+  switch (R->getKind()) {
+  case RegexKind::CharClassLeaf:
+    return R->getCharClass().display();
+  case RegexKind::Epsilon:
+    return "eps";
+  case RegexKind::EmptySet:
+    return "empty";
+  default:
+    break;
+  }
+  std::string Out = kindName(R->getKind());
+  Out.push_back('(');
+  for (unsigned I = 0; I < R->getNumChildren(); ++I) {
+    if (I)
+      Out.push_back(',');
+    Out += printRegex(R->getChild(I));
+  }
+  if (isRepeatFamily(R->getKind())) {
+    Out += ',' + std::to_string(R->getK1());
+    if (R->getKind() == RegexKind::RepeatRange)
+      Out += ',' + std::to_string(R->getK2());
+  }
+  Out.push_back(')');
+  return Out;
+}
+
+namespace {
+
+/// Escapes a character for POSIX output.
+std::string posixChar(char C) {
+  static const std::string Meta = "\\^$.|?*+()[]{}";
+  if (Meta.find(C) != std::string::npos)
+    return std::string("\\") + C;
+  return std::string(1, C);
+}
+
+std::string posixClass(const CharClass &CC) {
+  if (CC == CharClass::any())
+    return ".";
+  if (CC.isSingleton())
+    return posixChar(static_cast<char>(CC.ranges()[0].Lo));
+  std::string Out = "[";
+  for (const CharRange &R : CC.ranges()) {
+    Out += posixChar(static_cast<char>(R.Lo));
+    if (R.Hi != R.Lo) {
+      Out.push_back('-');
+      Out += posixChar(static_cast<char>(R.Hi));
+    }
+  }
+  Out.push_back(']');
+  return Out;
+}
+
+/// Wraps \p S in a non-capturing group when it is not already atomic.
+std::string group(const std::string &S) {
+  if (S.size() == 1 || (S.size() == 2 && S[0] == '\\'))
+    return S;
+  if (S.size() >= 2 && S.front() == '[' && S.find(']') == S.size() - 1)
+    return S;
+  return "(" + S + ")";
+}
+
+} // namespace
+
+std::string regel::printPosix(const RegexPtr &R) {
+  if (!R)
+    return "<null>";
+  switch (R->getKind()) {
+  case RegexKind::CharClassLeaf:
+    return posixClass(R->getCharClass());
+  case RegexKind::Epsilon:
+    return "";
+  case RegexKind::EmptySet:
+    return "(?!)";
+  case RegexKind::StartsWith:
+    return group(printPosix(R->getChild(0))) + ".*";
+  case RegexKind::EndsWith:
+    return ".*" + group(printPosix(R->getChild(0)));
+  case RegexKind::Contains:
+    return ".*" + group(printPosix(R->getChild(0))) + ".*";
+  case RegexKind::Not:
+    return "(?!^" + printPosix(R->getChild(0)) + "$).*";
+  case RegexKind::Optional:
+    return group(printPosix(R->getChild(0))) + "?";
+  case RegexKind::KleeneStar:
+    return group(printPosix(R->getChild(0))) + "*";
+  case RegexKind::Concat:
+    return printPosix(R->getChild(0)) + printPosix(R->getChild(1));
+  case RegexKind::Or:
+    return "(" + printPosix(R->getChild(0)) + "|" + printPosix(R->getChild(1)) +
+           ")";
+  case RegexKind::And:
+    return "(?=^" + printPosix(R->getChild(0)) + "$)" +
+           printPosix(R->getChild(1));
+  case RegexKind::Repeat:
+    return group(printPosix(R->getChild(0))) + "{" +
+           std::to_string(R->getK1()) + "}";
+  case RegexKind::RepeatAtLeast:
+    return group(printPosix(R->getChild(0))) + "{" +
+           std::to_string(R->getK1()) + ",}";
+  case RegexKind::RepeatRange:
+    return group(printPosix(R->getChild(0))) + "{" +
+           std::to_string(R->getK1()) + "," + std::to_string(R->getK2()) + "}";
+  }
+  assert(false && "unknown regex kind");
+  return "?";
+}

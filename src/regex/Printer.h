@@ -1,0 +1,28 @@
+//===- regex/Printer.h - Printing regexes -----------------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. Renders a regex AST either in the DSL
+// surface syntax of Fig. 5 (round-trippable through regex/Parser.h) or as a
+// best-effort POSIX-style pattern for human consumption.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_REGEX_PRINTER_H
+#define REGEL_REGEX_PRINTER_H
+
+#include "regex/Ast.h"
+
+#include <string>
+
+namespace regel {
+
+/// DSL surface form, e.g. "Concat(<num>,Optional(<.>))".
+std::string printRegex(const RegexPtr &R);
+
+/// Best-effort POSIX-ish rendering, e.g. "[0-9](\.)?". Operators with no
+/// POSIX counterpart (And, Not over non-trivial bodies) fall back to a
+/// readable pseudo-syntax.
+std::string printPosix(const RegexPtr &R);
+
+} // namespace regel
+
+#endif // REGEL_REGEX_PRINTER_H

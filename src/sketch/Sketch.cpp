@@ -1,0 +1,205 @@
+//===- sketch/Sketch.cpp --------------------------------------------------===//
+
+#include "sketch/Sketch.h"
+
+#include "regex/Printer.h"
+
+using namespace regel;
+
+Sketch::Sketch(SketchKind Kind, RegexKind OpKind,
+               std::vector<SketchPtr> Children, std::vector<int> Ints,
+               RegexPtr Regex)
+    : Kind(Kind), OpKind(OpKind), Children(std::move(Children)),
+      Ints(std::move(Ints)), Regex(std::move(Regex)) {
+  size_t H = static_cast<size_t>(Kind) * 0x9e3779b97f4a7c15ull +
+             static_cast<size_t>(OpKind) * 0x85ebca6b;
+  for (const SketchPtr &C : this->Children)
+    H ^= C->hash() + 0x9e3779b9 + (H << 6) + (H >> 2);
+  for (int I : this->Ints)
+    H ^= static_cast<size_t>(I) + 0x27d4eb2f + (H << 6) + (H >> 2);
+  if (this->Regex)
+    H ^= this->Regex->hash() + 0x165667b1 + (H << 6) + (H >> 2);
+  Hash = H;
+}
+
+unsigned Sketch::size() const {
+  unsigned N = 1;
+  if (Kind == SketchKind::Concrete)
+    return Regex->size();
+  for (const SketchPtr &C : Children)
+    N += C->size();
+  return N;
+}
+
+bool Sketch::equals(const Sketch &Other) const {
+  if (this == &Other)
+    return true;
+  if (Kind != Other.Kind || Hash != Other.Hash ||
+      Children.size() != Other.Children.size() || Ints != Other.Ints)
+    return false;
+  if (Kind == SketchKind::Op && OpKind != Other.OpKind)
+    return false;
+  if (Kind == SketchKind::Concrete)
+    return regexEquals(Regex, Other.Regex);
+  for (size_t I = 0; I < Children.size(); ++I)
+    if (!Children[I]->equals(*Other.Children[I]))
+      return false;
+  return true;
+}
+
+SketchPtr Sketch::hole(std::vector<SketchPtr> Components) {
+  for ([[maybe_unused]] const SketchPtr &C : Components)
+    assert(C && "null hole component");
+  return SketchPtr(new Sketch(SketchKind::Hole, RegexKind::Concat,
+                              std::move(Components), {}, nullptr));
+}
+
+SketchPtr Sketch::op(RegexKind K, std::vector<SketchPtr> Children,
+                     std::vector<int> Ints) {
+  assert(isOperatorKind(K) && "sketch operator must be a DSL operator");
+  assert(Children.size() == numRegexArgs(K) && "operator arity mismatch");
+  assert((Ints.empty() || Ints.size() == numIntArgs(K)) &&
+         "integer arity mismatch");
+  // If every child is concrete and the integer parameters are present,
+  // fold into a concrete regex node.
+  bool AllConcrete = Ints.size() == numIntArgs(K) || numIntArgs(K) == 0;
+  if (Ints.empty() && numIntArgs(K) > 0)
+    AllConcrete = false;
+  for (const SketchPtr &C : Children) {
+    assert(C && "null sketch child");
+    if (C->getKind() != SketchKind::Concrete)
+      AllConcrete = false;
+  }
+  if (AllConcrete) {
+    std::vector<RegexPtr> Rs;
+    for (const SketchPtr &C : Children)
+      Rs.push_back(C->regex());
+    return concrete(Regex::makeOperator(K, std::move(Rs), Ints));
+  }
+  return SketchPtr(new Sketch(SketchKind::Op, K, std::move(Children),
+                              std::move(Ints), nullptr));
+}
+
+SketchPtr Sketch::concrete(RegexPtr R) {
+  assert(R && "null regex");
+  return SketchPtr(
+      new Sketch(SketchKind::Concrete, RegexKind::Concat, {}, {}, std::move(R)));
+}
+
+std::string regel::printSketch(const SketchPtr &S) {
+  if (!S)
+    return "<null>";
+  switch (S->getKind()) {
+  case SketchKind::Concrete:
+    return printRegex(S->regex());
+  case SketchKind::Hole: {
+    std::string Out = "hole{";
+    const auto &Comps = S->components();
+    for (size_t I = 0; I < Comps.size(); ++I) {
+      if (I)
+        Out.push_back(',');
+      Out += printSketch(Comps[I]);
+    }
+    Out.push_back('}');
+    return Out;
+  }
+  case SketchKind::Op: {
+    std::string Out = kindName(S->getOp());
+    Out.push_back('(');
+    const auto &Kids = S->children();
+    for (size_t I = 0; I < Kids.size(); ++I) {
+      if (I)
+        Out.push_back(',');
+      Out += printSketch(Kids[I]);
+    }
+    unsigned IntArgs = numIntArgs(S->getOp());
+    for (unsigned I = 0; I < IntArgs; ++I) {
+      Out.push_back(',');
+      if (I < S->ints().size())
+        Out += std::to_string(S->ints()[I]);
+      else
+        Out.push_back('?');
+    }
+    Out.push_back(')');
+    return Out;
+  }
+  }
+  assert(false && "unknown sketch kind");
+  return "?";
+}
+
+bool regel::sketchEquals(const SketchPtr &A, const SketchPtr &B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  return A->equals(*B);
+}
+
+namespace {
+
+/// Membership in the language of hole{Components} with depth budget
+/// \p Depth. \p WithClasses marks the Fig. 10 rule-(2) variant whose
+/// component set additionally contains every character class.
+bool admitsHole(const std::vector<SketchPtr> &Components, const RegexPtr &R,
+                unsigned Depth, bool WithClasses) {
+  if (Depth == 0)
+    return false;
+  if (WithClasses && R->getKind() == RegexKind::CharClassLeaf)
+    return true;
+  for (const SketchPtr &C : Components)
+    if (sketchAdmits(C, R, Depth))
+      return true;
+  if (Depth <= 1 || !isOperatorKind(R->getKind()))
+    return false;
+  if (isRepeatFamily(R->getKind()))
+    return admitsHole(Components, R->getChild(0), Depth - 1, WithClasses);
+  unsigned N = R->getNumChildren();
+  for (unsigned Chosen = 0; Chosen < N; ++Chosen) {
+    bool Ok = admitsHole(Components, R->getChild(Chosen), Depth - 1,
+                         WithClasses);
+    for (unsigned J = 0; J < N && Ok; ++J) {
+      if (J == Chosen)
+        continue;
+      Ok = admitsHole(Components, R->getChild(J), Depth - 1,
+                      /*WithClasses=*/true);
+    }
+    if (Ok)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool regel::sketchAdmits(const SketchPtr &S, const RegexPtr &R,
+                         unsigned Depth) {
+  if (!S || !R)
+    return false;
+  switch (S->getKind()) {
+  case SketchKind::Concrete:
+    return regexEquals(S->regex(), R);
+  case SketchKind::Hole:
+    // An unconstrained hole admits anything within the depth budget.
+    if (S->components().empty())
+      return R->depth() <= Depth;
+    return admitsHole(S->components(), R, Depth, /*WithClasses=*/false);
+  case SketchKind::Op: {
+    if (R->getKind() != S->getOp())
+      return false;
+    const auto &Kids = S->children();
+    for (size_t I = 0; I < Kids.size(); ++I)
+      if (!sketchAdmits(Kids[I], R->getChild(static_cast<unsigned>(I)), Depth))
+        return false;
+    if (!S->ints().empty()) {
+      if (S->ints()[0] != R->getK1())
+        return false;
+      if (S->ints().size() > 1 && S->ints()[1] != R->getK2())
+        return false;
+    }
+    return true;
+  }
+  }
+  assert(false && "unknown sketch kind");
+  return false;
+}

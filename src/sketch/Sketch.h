@@ -1,0 +1,114 @@
+//===- sketch/Sketch.h - Hierarchical sketches ------------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. The h-sketch language of Fig. 7:
+//
+//   S := hole{S1,..,Sm}        (constrained hole)
+//      | f(S1,..,Sn)           (operator over sketches)
+//      | g(S, k1,..,kn)        (Repeat-family operator; integers symbolic)
+//      | r                     (concrete regex)
+//
+// Holes produced by the semantic parser carry no explicit depth; the PBE
+// engine's configuration supplies the depth budget d (Sec. 3.2 remark).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SKETCH_SKETCH_H
+#define REGEL_SKETCH_SKETCH_H
+
+#include "regex/Ast.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace regel {
+
+enum class SketchKind : uint8_t {
+  Hole,     ///< hole{components}; empty component list = unconstrained.
+  Op,       ///< DSL operator whose children are sketches.
+  Concrete, ///< A fully concrete regex leaf.
+};
+
+class Sketch;
+using SketchPtr = std::shared_ptr<const Sketch>;
+
+/// An immutable h-sketch node.
+class Sketch {
+public:
+  SketchKind getKind() const { return Kind; }
+
+  /// Hole components (Hole only; may be empty).
+  const std::vector<SketchPtr> &components() const {
+    assert(Kind == SketchKind::Hole && "not a hole");
+    return Children;
+  }
+
+  /// Operator kind (Op only).
+  RegexKind getOp() const {
+    assert(Kind == SketchKind::Op && "not an operator");
+    return OpKind;
+  }
+
+  /// Operator children (Op only).
+  const std::vector<SketchPtr> &children() const {
+    assert(Kind == SketchKind::Op && "not an operator");
+    return Children;
+  }
+
+  /// Concrete integer parameters of a Repeat-family Op node; empty means
+  /// the integers are symbolic (the Fig. 7 default).
+  const std::vector<int> &ints() const {
+    assert(Kind == SketchKind::Op && "not an operator");
+    return Ints;
+  }
+
+  /// The concrete regex (Concrete only).
+  const RegexPtr &regex() const {
+    assert(Kind == SketchKind::Concrete && "not concrete");
+    return Regex;
+  }
+
+  /// Number of sketch nodes.
+  unsigned size() const;
+
+  /// Structural hash (for deduplicating parser output).
+  size_t hash() const { return Hash; }
+
+  /// Deep structural equality.
+  bool equals(const Sketch &Other) const;
+
+  static SketchPtr hole(std::vector<SketchPtr> Components);
+  static SketchPtr op(RegexKind K, std::vector<SketchPtr> Children,
+                      std::vector<int> Ints = {});
+  static SketchPtr concrete(RegexPtr R);
+
+  /// The unconstrained sketch "hole{}" used by the pure-PBE baseline.
+  static SketchPtr unconstrained() { return hole({}); }
+
+private:
+  Sketch(SketchKind Kind, RegexKind OpKind, std::vector<SketchPtr> Children,
+         std::vector<int> Ints, RegexPtr Regex);
+
+  SketchKind Kind;
+  RegexKind OpKind = RegexKind::Concat;
+  std::vector<SketchPtr> Children;
+  std::vector<int> Ints;
+  RegexPtr Regex;
+  size_t Hash = 0;
+};
+
+/// Renders \p S in the textual form accepted by parseSketch, with holes as
+/// "hole{...}" and symbolic integers as "?".
+std::string printSketch(const SketchPtr &S);
+
+/// Deep equality on shared pointers (null-safe).
+bool sketchEquals(const SketchPtr &A, const SketchPtr &B);
+
+/// Membership test r in [[S]] with hole depth budget \p Depth (Fig. 8
+/// semantics). Exponential in the worst case; meant for tests and for
+/// scoring parser output, not the synthesis inner loop.
+bool sketchAdmits(const SketchPtr &S, const RegexPtr &R, unsigned Depth);
+
+} // namespace regel
+
+#endif // REGEL_SKETCH_SKETCH_H

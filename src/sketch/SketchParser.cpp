@@ -1,0 +1,185 @@
+//===- sketch/SketchParser.cpp --------------------------------------------===//
+
+#include "sketch/SketchParser.h"
+
+#include <cctype>
+
+using namespace regel;
+
+namespace {
+
+/// Recursive-descent parser for the sketch surface syntax.
+class SkParser {
+public:
+  SkParser(const std::string &Text) : Text(Text) {}
+
+  SketchPtr parse(std::string &Error) {
+    SketchPtr S = parseExpr(Error);
+    if (!S)
+      return nullptr;
+    skipSpace();
+    if (Pos != Text.size()) {
+      Error = "trailing input at offset " + std::to_string(Pos);
+      return nullptr;
+    }
+    return S;
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::string readWord() {
+    skipSpace();
+    std::string W;
+    while (Pos < Text.size() &&
+           std::isalpha(static_cast<unsigned char>(Text[Pos])))
+      W.push_back(Text[Pos++]);
+    return W;
+  }
+
+  SketchPtr parseCharClass(std::string &Error) {
+    std::string Name;
+    if (Pos + 1 < Text.size() && Text[Pos] == '>' && Text[Pos + 1] == '>') {
+      Pos += 2;
+      return Sketch::concrete(Regex::literal('>'));
+    }
+    while (Pos < Text.size() && Text[Pos] != '>')
+      Name.push_back(Text[Pos++]);
+    if (Pos >= Text.size()) {
+      Error = "unterminated character class";
+      return nullptr;
+    }
+    ++Pos;
+    CharClass CC = CharClass::any();
+    if (!CharClass::fromName(Name, CC)) {
+      Error = "unknown character class <" + Name + ">";
+      return nullptr;
+    }
+    return Sketch::concrete(Regex::charClass(CC));
+  }
+
+  SketchPtr parseExpr(std::string &Error) {
+    skipSpace();
+    if (Pos >= Text.size()) {
+      Error = "unexpected end of input";
+      return nullptr;
+    }
+    if (Text[Pos] == '<') {
+      ++Pos;
+      return parseCharClass(Error);
+    }
+    std::string Word = readWord();
+    if (Word.empty()) {
+      Error = "expected sketch term at offset " + std::to_string(Pos);
+      return nullptr;
+    }
+    if (Word == "eps")
+      return Sketch::concrete(Regex::epsilon());
+    if (Word == "empty")
+      return Sketch::concrete(Regex::emptySet());
+    if (Word == "hole") {
+      if (!consume('{')) {
+        Error = "expected '{' after hole";
+        return nullptr;
+      }
+      std::vector<SketchPtr> Components;
+      skipSpace();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return Sketch::hole({});
+      }
+      while (true) {
+        SketchPtr C = parseExpr(Error);
+        if (!C)
+          return nullptr;
+        Components.push_back(std::move(C));
+        if (consume(','))
+          continue;
+        if (consume('}'))
+          break;
+        Error = "expected ',' or '}' in hole";
+        return nullptr;
+      }
+      return Sketch::hole(std::move(Components));
+    }
+
+    RegexKind K;
+    if (!kindFromName(Word, K)) {
+      Error = "unknown operator '" + Word + "'";
+      return nullptr;
+    }
+    if (!consume('(')) {
+      Error = "expected '(' after " + Word;
+      return nullptr;
+    }
+    std::vector<SketchPtr> Children;
+    for (unsigned I = 0; I < numRegexArgs(K); ++I) {
+      if (I && !consume(',')) {
+        Error = "expected ',' in " + Word;
+        return nullptr;
+      }
+      SketchPtr C = parseExpr(Error);
+      if (!C)
+        return nullptr;
+      Children.push_back(std::move(C));
+    }
+    std::vector<int> Ints;
+    bool Symbolic = false;
+    for (unsigned I = 0; I < numIntArgs(K); ++I) {
+      if (!consume(',')) {
+        Error = "expected ',' before integer in " + Word;
+        return nullptr;
+      }
+      skipSpace();
+      if (Pos < Text.size() && Text[Pos] == '?') {
+        ++Pos;
+        Symbolic = true;
+        continue;
+      }
+      if (Pos >= Text.size() ||
+          !std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+        Error = "expected integer or '?' in " + Word;
+        return nullptr;
+      }
+      int V = 0;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        V = V * 10 + (Text[Pos++] - '0');
+      Ints.push_back(V);
+    }
+    if (Symbolic)
+      Ints.clear(); // Mixed concrete/symbolic collapses to fully symbolic.
+    if (!consume(')')) {
+      Error = "expected ')' closing " + Word;
+      return nullptr;
+    }
+    return Sketch::op(K, std::move(Children), std::move(Ints));
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+SketchPtr regel::parseSketch(const std::string &Text, std::string *ErrorOut) {
+  std::string Error;
+  SkParser P(Text);
+  SketchPtr S = P.parse(Error);
+  if (!S && ErrorOut)
+    *ErrorOut = Error;
+  return S;
+}

@@ -1,0 +1,27 @@
+//===- sketch/SketchParser.h - Textual h-sketch parsing ---------*- C++ -*-===//
+//
+// Part of the Regel reproduction. Parses the textual sketch notation used
+// in tests and in hand-written sketch labels (Sec. 7), e.g.
+//
+//   Concat(hole{<num>,<,>},hole{RepeatRange(<num>,1,3),<,>})
+//
+// Repeat-family integers may be written as '?' for "symbolic".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SKETCH_SKETCHPARSER_H
+#define REGEL_SKETCH_SKETCHPARSER_H
+
+#include "sketch/Sketch.h"
+
+#include <string>
+
+namespace regel {
+
+/// Parses \p Text into an h-sketch; null on failure (diagnostic via
+/// \p ErrorOut when provided).
+SketchPtr parseSketch(const std::string &Text, std::string *ErrorOut = nullptr);
+
+} // namespace regel
+
+#endif // REGEL_SKETCH_SKETCHPARSER_H

@@ -1,0 +1,46 @@
+//===- support/Random.h - Deterministic RNG ---------------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. A small splitmix64-based RNG so dataset
+// generation is reproducible across platforms (std::mt19937 distributions
+// are not portable across standard library implementations).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SUPPORT_RANDOM_H
+#define REGEL_SUPPORT_RANDOM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace regel {
+
+/// Deterministic 64-bit RNG (splitmix64). Identical streams on every
+/// platform for a given seed, which keeps generated datasets stable.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform integer in [0, N). \p N must be positive.
+  uint64_t nextBelow(uint64_t N);
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Bernoulli draw with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den);
+
+  /// Picks a uniformly random element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    return Items[nextBelow(Items.size())];
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace regel
+
+#endif // REGEL_SUPPORT_RANDOM_H

@@ -1,0 +1,81 @@
+//===- support/Strings.cpp ------------------------------------------------===//
+
+#include "support/Strings.h"
+
+#include <cctype>
+
+using namespace regel;
+
+std::vector<std::string> regel::splitString(std::string_view Text,
+                                            std::string_view Seps) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : Text) {
+    if (Seps.find(C) != std::string_view::npos) {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    Cur.push_back(C);
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+std::string regel::toLower(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text)
+    Out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(C))));
+  return Out;
+}
+
+bool regel::isAllDigits(std::string_view Text) {
+  if (Text.empty())
+    return false;
+  for (char C : Text)
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+  return true;
+}
+
+std::string regel::joinStrings(const std::vector<std::string> &Parts,
+                               std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string_view regel::trim(std::string_view Text) {
+  size_t B = 0, E = Text.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(Text[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(Text[E - 1])))
+    --E;
+  return Text.substr(B, E - B);
+}
+
+bool regel::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string regel::escapeString(std::string_view Text) {
+  std::string Out;
+  for (char C : Text) {
+    if (std::isprint(static_cast<unsigned char>(C))) {
+      Out.push_back(C);
+      continue;
+    }
+    char Buf[8];
+    std::snprintf(Buf, sizeof(Buf), "\\x%02x", static_cast<unsigned char>(C));
+    Out += Buf;
+  }
+  return Out;
+}

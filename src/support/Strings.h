@@ -1,0 +1,42 @@
+//===- support/Strings.h - Small string utilities ---------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. String helpers shared across modules.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SUPPORT_STRINGS_H
+#define REGEL_SUPPORT_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace regel {
+
+/// Splits \p Text on any character contained in \p Seps, dropping empty
+/// pieces.
+std::vector<std::string> splitString(std::string_view Text,
+                                     std::string_view Seps);
+
+/// Returns \p Text with ASCII upper-case letters folded to lower case.
+std::string toLower(std::string_view Text);
+
+/// Returns true if \p Text consists solely of ASCII digits (and is nonempty).
+bool isAllDigits(std::string_view Text);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Returns \p Text with leading/trailing ASCII whitespace removed.
+std::string_view trim(std::string_view Text);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Escapes non-printable characters in \p Text for diagnostics.
+std::string escapeString(std::string_view Text);
+
+} // namespace regel
+
+#endif // REGEL_SUPPORT_STRINGS_H

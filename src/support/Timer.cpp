@@ -1,0 +1,5 @@
+//===- support/Timer.cpp --------------------------------------------------===//
+
+#include "support/Timer.h"
+
+// Header-only for now; this translation unit anchors the component.

@@ -1,0 +1,57 @@
+//===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. Deadline/stopwatch utilities used by the
+// search engine (time budgets) and the benchmark harnesses.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SUPPORT_TIMER_H
+#define REGEL_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace regel {
+
+/// A simple monotonic stopwatch.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns elapsed time in milliseconds.
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+        .count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// A deadline that search loops poll to honour a time budget.
+///
+/// A non-positive budget means "no deadline".
+class Deadline {
+public:
+  explicit Deadline(int64_t BudgetMs = 0) : BudgetMs(BudgetMs) {}
+
+  /// Returns true once the budget is exhausted.
+  bool expired() const {
+    return BudgetMs > 0 && Watch.elapsedMs() >= static_cast<double>(BudgetMs);
+  }
+
+  /// Milliseconds spent so far.
+  double elapsedMs() const { return Watch.elapsedMs(); }
+
+private:
+  Stopwatch Watch;
+  int64_t BudgetMs;
+};
+
+} // namespace regel
+
+#endif // REGEL_SUPPORT_TIMER_H

@@ -1,0 +1,196 @@
+//===- synth/Encode.cpp ---------------------------------------------------===//
+
+#include "synth/Encode.h"
+
+using namespace regel;
+using smt::Term;
+using smt::TermPtr;
+
+namespace {
+
+TermPtr zero() { return Term::constant(0); }
+TermPtr one() { return Term::constant(1); }
+TermPtr inf() { return Term::infinity(); }
+
+/// Collapses a set into its hull [min lo, max hi]; empty stays empty.
+SymInterval hull(const SymIntervalSet &Set) {
+  assert(!Set.empty() && "hull of empty set");
+  TermPtr Lo = Set[0].Lo;
+  TermPtr Hi = Set[0].Hi;
+  for (size_t I = 1; I < Set.size(); ++I) {
+    Lo = Term::min(Lo, Set[I].Lo);
+    Hi = Term::max(Hi, Set[I].Hi);
+  }
+  return {Lo, Hi};
+}
+
+/// Caps a set's cardinality by merging into the hull.
+SymIntervalSet capped(SymIntervalSet Set, size_t Cap) {
+  if (Set.size() <= Cap)
+    return Set;
+  return {hull(Set)};
+}
+
+/// The length abstraction of a concrete regex (no symbolic integers);
+/// shares all the operator logic below via the generic node walker, so we
+/// translate the regex into interval sets directly.
+SymIntervalSet encodeRegex(const Regex *R, size_t Cap);
+
+SymIntervalSet concatSets(const SymIntervalSet &A, const SymIntervalSet &B,
+                          size_t Cap) {
+  SymIntervalSet Out;
+  for (const SymInterval &X : A)
+    for (const SymInterval &Y : B)
+      Out.push_back({Term::add(X.Lo, Y.Lo), Term::add(X.Hi, Y.Hi)});
+  return capped(std::move(Out), Cap);
+}
+
+SymIntervalSet unionSets(SymIntervalSet A, const SymIntervalSet &B,
+                         size_t Cap) {
+  A.insert(A.end(), B.begin(), B.end());
+  return capped(std::move(A), Cap);
+}
+
+SymIntervalSet intersectSets(const SymIntervalSet &A, const SymIntervalSet &B,
+                             size_t Cap) {
+  SymIntervalSet Out;
+  for (const SymInterval &X : A)
+    for (const SymInterval &Y : B)
+      Out.push_back({Term::max(X.Lo, Y.Lo), Term::min(X.Hi, Y.Hi)});
+  return capped(std::move(Out), Cap);
+}
+
+/// Applies a repetition with multiplicity bounds [KLo, KHi] (terms).
+SymIntervalSet repeatSet(const SymIntervalSet &A, TermPtr KLo, TermPtr KHi,
+                         size_t Cap) {
+  if (A.empty())
+    return {};
+  SymInterval H = hull(A);
+  (void)Cap;
+  return {{Term::mul(H.Lo, std::move(KLo)), Term::mul(H.Hi, std::move(KHi))}};
+}
+
+/// Shared operator logic, parameterized over already-encoded children and
+/// the integer-slot terms (constants or kappa variables).
+SymIntervalSet encodeOp(RegexKind K, const std::vector<SymIntervalSet> &Kids,
+                        const std::vector<TermPtr> &Ints, size_t Cap) {
+  switch (K) {
+  case RegexKind::StartsWith:
+  case RegexKind::EndsWith:
+  case RegexKind::Contains: {
+    // Fig. 13: x >= x1 (the rest of the string is unconstrained).
+    if (Kids[0].empty())
+      return {};
+    return {{hull(Kids[0]).Lo, inf()}};
+  }
+  case RegexKind::Not:
+    // Fig. 13: true — nothing can be said from lengths alone.
+    return {{zero(), inf()}};
+  case RegexKind::Optional: {
+    SymIntervalSet Out = Kids[0];
+    Out.push_back({zero(), zero()});
+    return capped(std::move(Out), Cap);
+  }
+  case RegexKind::KleeneStar: {
+    if (Kids[0].empty())
+      return {{zero(), zero()}};
+    SymIntervalSet Out{{zero(), zero()}, {hull(Kids[0]).Lo, inf()}};
+    return Out;
+  }
+  case RegexKind::Concat:
+    if (Kids[0].empty() || Kids[1].empty())
+      return {};
+    return concatSets(Kids[0], Kids[1], Cap);
+  case RegexKind::Or:
+    return unionSets(Kids[0], Kids[1], Cap);
+  case RegexKind::And:
+    if (Kids[0].empty() || Kids[1].empty())
+      return {};
+    return intersectSets(Kids[0], Kids[1], Cap);
+  case RegexKind::Repeat:
+    if (Kids[0].empty())
+      return {};
+    return repeatSet(Kids[0], Ints[0], Ints[0], Cap);
+  case RegexKind::RepeatAtLeast: {
+    if (Kids[0].empty())
+      return {};
+    SymInterval H = hull(Kids[0]);
+    return {{Term::mul(H.Lo, Ints[0]), inf()}};
+  }
+  case RegexKind::RepeatRange:
+    if (Kids[0].empty())
+      return {};
+    return repeatSet(Kids[0], Ints[0], Ints[1], Cap);
+  default:
+    break;
+  }
+  assert(false && "not an operator");
+  return {};
+}
+
+SymIntervalSet encodeRegex(const Regex *R, size_t Cap) {
+  switch (R->getKind()) {
+  case RegexKind::CharClassLeaf:
+    return {{one(), one()}};
+  case RegexKind::Epsilon:
+    return {{zero(), zero()}};
+  case RegexKind::EmptySet:
+    return {};
+  default: {
+    std::vector<SymIntervalSet> Kids;
+    for (const RegexPtr &C : R->children())
+      Kids.push_back(encodeRegex(C.get(), Cap));
+    std::vector<TermPtr> Ints;
+    if (isRepeatFamily(R->getKind())) {
+      Ints.push_back(Term::constant(R->getK1()));
+      if (R->getKind() == RegexKind::RepeatRange)
+        Ints.push_back(Term::constant(R->getK2()));
+    }
+    return encodeOp(R->getKind(), Kids, Ints, Cap);
+  }
+  }
+}
+
+} // namespace
+
+SymIntervalSet regel::encodeLengths(const PNodePtr &N, size_t Cap) {
+  switch (N->getKind()) {
+  case PLabelKind::LeafLabel:
+    return encodeRegex(N->leaf().get(), Cap);
+  case PLabelKind::OpLabel: {
+    RegexKind K = N->op();
+    std::vector<SymIntervalSet> Kids;
+    for (unsigned I = 0; I < numRegexArgs(K); ++I)
+      Kids.push_back(encodeLengths(N->children()[I], Cap));
+    std::vector<TermPtr> Ints;
+    for (unsigned I = 0; I < numIntArgs(K); ++I) {
+      const PNodePtr &C = N->children()[numRegexArgs(K) + I];
+      if (C->getKind() == PLabelKind::IntLabel)
+        Ints.push_back(Term::constant(C->intValue()));
+      else
+        Ints.push_back(Term::var(C->symInt()));
+    }
+    return encodeOp(K, Kids, Ints, Cap);
+  }
+  case PLabelKind::SketchLabel:
+    // Open nodes can match anything (InferConstants only sees symbolic
+    // regexes, but be total for robustness).
+    return {{zero(), inf()}};
+  case PLabelKind::SymIntLabel:
+  case PLabelKind::IntLabel:
+    break;
+  }
+  assert(false && "integer slots are handled by their operator");
+  return {{zero(), inf()}};
+}
+
+smt::FormulaPtr regel::lengthMembership(const SymIntervalSet &Set,
+                                        int64_t Len) {
+  using smt::Formula;
+  std::vector<smt::FormulaPtr> Parts;
+  TermPtr L = Term::constant(Len);
+  for (const SymInterval &I : Set)
+    Parts.push_back(Formula::conj(
+        {Formula::ge(L, I.Lo), Formula::le(L, I.Hi)}));
+  return Formula::disj(std::move(Parts));
+}

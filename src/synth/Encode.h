@@ -1,0 +1,43 @@
+//===- synth/Encode.h - Length encoding of symbolic regexes (Fig. 13) -*-C++-*-
+//
+// Part of the Regel reproduction. Encodes a symbolic regex as a constraint
+// on its symbolic integers: for each AST node we derive a small union of
+// symbolic intervals [lo(k), hi(k)] bounding the length of any string the
+// node can match. Substituting the length of a positive example yields the
+// necessary condition the SMT solver prunes with (Sec. 4.2). Compared to
+// Fig. 13 this performs the existential-variable elimination eagerly (the
+// inner x_i variables never reach the solver), using Min/Max terms where
+// the paper's encoding would existentially quantify; the result is still a
+// sound necessary condition (Theorem 10.4's property is preserved, see
+// tests/synth/EncodeTest.cpp).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SYNTH_ENCODE_H
+#define REGEL_SYNTH_ENCODE_H
+
+#include "smt/Formula.h"
+#include "synth/PartialRegex.h"
+
+namespace regel {
+
+/// A symbolic length interval; bounds are terms over the kappa variables.
+struct SymInterval {
+  smt::TermPtr Lo;
+  smt::TermPtr Hi;
+};
+
+/// A union of symbolic intervals (capped; overflow merges into the hull).
+using SymIntervalSet = std::vector<SymInterval>;
+
+/// Derives the length abstraction of a symbolic (or concrete) partial
+/// regex. Symbolic integer kappa_i maps to smt variable id i.
+SymIntervalSet encodeLengths(const PNodePtr &N, size_t Cap = 6);
+
+/// Constraint "a string of length Len can be matched": the disjunction of
+/// lo <= Len <= hi over the interval set.
+smt::FormulaPtr lengthMembership(const SymIntervalSet &Set, int64_t Len);
+
+} // namespace regel
+
+#endif // REGEL_SYNTH_ENCODE_H

@@ -1,0 +1,202 @@
+//===- synth/Expand.cpp ---------------------------------------------------===//
+
+#include "synth/Expand.h"
+
+using namespace regel;
+
+std::vector<CharClass> SynthConfig::defaultClasses() {
+  return {CharClass::num(), CharClass::let(),      CharClass::low(),
+          CharClass::cap(), CharClass::any(),      CharClass::alphaNum(),
+          CharClass::spec()};
+}
+
+namespace {
+
+/// Operators without integer parameters (the F sets of Fig. 10).
+/// Contains precedes StartsWith/EndsWith so that the Sec. 6 subsumption
+/// heuristic (Contains failure implies StartsWith/EndsWith failure) sees
+/// the weakest query first.
+constexpr RegexKind FOps[] = {
+    RegexKind::Contains,   RegexKind::StartsWith, RegexKind::EndsWith,
+    RegexKind::Not,        RegexKind::Optional,   RegexKind::KleeneStar,
+    RegexKind::Concat,     RegexKind::Or,         RegexKind::And,
+};
+
+/// Operators with integer parameters (the G sets of Fig. 10).
+constexpr RegexKind GOps[] = {
+    RegexKind::Repeat,
+    RegexKind::RepeatAtLeast,
+    RegexKind::RepeatRange,
+};
+
+/// Builds the node for a component of a hole / an operator child: concrete
+/// sketches become leaves immediately (saving a worklist round-trip).
+PNodePtr nodeForSketch(const SketchPtr &S, unsigned Depth, bool WithClasses) {
+  if (S->getKind() == SketchKind::Concrete)
+    return PNode::leafNode(S->regex());
+  return PNode::sketchNode(S, Depth, WithClasses);
+}
+
+/// Appends integer-slot children for operator \p G. In symbolic mode each
+/// slot is a fresh symbolic integer; otherwise the caller enumerates.
+void appendSymbolicInts(std::vector<PNodePtr> &Kids, RegexKind G,
+                        uint32_t &NextSym) {
+  for (unsigned I = 0; I < numIntArgs(G); ++I)
+    Kids.push_back(PNode::symIntNode(NextSym++));
+}
+
+/// Emits every expansion of operator \p G with explicitly enumerated
+/// integer parameters (the Regel-Enum / Regel-Approx ablation path).
+template <typename EmitFn>
+void enumerateInts(RegexKind G, int MaxInt, PNodePtr Child, EmitFn Emit) {
+  if (G == RegexKind::RepeatRange) {
+    for (int K1 = 1; K1 <= MaxInt; ++K1)
+      for (int K2 = K1; K2 <= MaxInt; ++K2)
+        Emit(PNode::opNode(
+            G, {Child, PNode::intNode(K1), PNode::intNode(K2)}));
+    return;
+  }
+  for (int K = 1; K <= MaxInt; ++K)
+    Emit(PNode::opNode(G, {Child, PNode::intNode(K)}));
+}
+
+/// True when wrapping a child of \p Parent with operator \p Child yields a
+/// regex that is always equivalent to a smaller one the search generates
+/// anyway. Pruning these (cf. AlphaRegex's redundant-state elimination)
+/// keeps completeness w.r.t. regular languages while shrinking the search
+/// space substantially:
+///   - containment inside containment (StartsWith(Contains(r)) etc.)
+///     collapses to a single containment operator;
+///   - Optional/KleeneStar stacking collapses (Optional(Optional(r)),
+///     KleeneStar(Optional(r)), ...);
+///   - Not(Not(r)) = r.
+bool isRedundantNesting(RegexKind Parent, RegexKind Child) {
+  auto IsContain = [](RegexKind K) {
+    return K == RegexKind::StartsWith || K == RegexKind::EndsWith ||
+           K == RegexKind::Contains;
+  };
+  if (IsContain(Parent) && IsContain(Child))
+    return true;
+  auto IsEpsClosure = [](RegexKind K) {
+    return K == RegexKind::Optional || K == RegexKind::KleeneStar;
+  };
+  if (IsEpsClosure(Parent) && IsEpsClosure(Child))
+    return true;
+  if (Parent == RegexKind::Not && Child == RegexKind::Not)
+    return true;
+  return false;
+}
+
+} // namespace
+
+std::vector<PartialRegex> regel::expandNode(
+    const PartialRegex &P, const NodePath &Path, const SynthConfig &Cfg,
+    const std::vector<CharClass> &Classes) {
+  // Operator kind of the parent node (for redundancy pruning below).
+  RegexKind ParentOp = RegexKind::CharClassLeaf; // sentinel: no parent op
+  if (!Path.empty()) {
+    NodePath ParentPath(Path.begin(), Path.end() - 1);
+    const PNode *Parent = P.nodeAt(ParentPath);
+    if (Parent->getKind() == PLabelKind::OpLabel)
+      ParentOp = Parent->op();
+  }
+  const PNode *V = P.nodeAt(Path);
+  assert(V->getKind() == PLabelKind::SketchLabel && "expanding non-open node");
+  const SketchPtr &S = V->sketch();
+  unsigned Depth = V->sketchDepth();
+  bool WithClasses = V->sketchWithClasses();
+
+  std::vector<PartialRegex> Out;
+  uint32_t BaseSym = P.numSymInts();
+
+  auto emit = [&](PNodePtr NewNode, uint32_t NumSym) {
+    Out.push_back(P.replaceAt(Path, std::move(NewNode), NumSym));
+  };
+
+  switch (S->getKind()) {
+  case SketchKind::Concrete:
+    emit(PNode::leafNode(S->regex()), BaseSym);
+    return Out;
+
+  case SketchKind::Op: {
+    // Rules (3) and (4): instantiate the operator, labelling children with
+    // the component sketches (same depth budget).
+    RegexKind K = S->getOp();
+    std::vector<PNodePtr> Kids;
+    for (const SketchPtr &C : S->children())
+      Kids.push_back(nodeForSketch(C, Depth, /*WithClasses=*/false));
+    if (numIntArgs(K) == 0) {
+      emit(PNode::opNode(K, std::move(Kids)), BaseSym);
+      return Out;
+    }
+    if (!S->ints().empty()) {
+      // Concrete integers recorded in the sketch.
+      for (int I : S->ints())
+        Kids.push_back(PNode::intNode(I));
+      emit(PNode::opNode(K, std::move(Kids)), BaseSym);
+      return Out;
+    }
+    if (Cfg.UseSymbolic) {
+      uint32_t NextSym = BaseSym;
+      appendSymbolicInts(Kids, K, NextSym);
+      emit(PNode::opNode(K, std::move(Kids)), NextSym);
+      return Out;
+    }
+    PNodePtr Child = Kids[0];
+    enumerateInts(K, Cfg.MaxInt, Child,
+                  [&](PNodePtr N) { emit(std::move(N), BaseSym); });
+    return Out;
+  }
+
+  case SketchKind::Hole: {
+    const std::vector<SketchPtr> &Comps = S->components();
+
+    // Pi1: fill the hole with one of its components; when the component
+    // set was widened (rule 2's l'), every character class is a candidate
+    // as well.
+    for (const SketchPtr &C : Comps)
+      emit(nodeForSketch(C, Depth, /*WithClasses=*/false), BaseSym);
+    if (WithClasses)
+      for (const CharClass &CC : Classes)
+        emit(PNode::leafNode(Regex::charClass(CC)), BaseSym);
+
+    if (Depth <= 1)
+      return Out;
+
+    // Pi2: grow an operator without integer parameters. One child keeps
+    // the original component obligation; the others get the widened hole.
+    SketchPtr HoleAgain = S; // same components, depth-1 budget
+    for (RegexKind F : FOps) {
+      if (isRedundantNesting(ParentOp, F))
+        continue;
+      unsigned N = numRegexArgs(F);
+      for (unsigned Chosen = 0; Chosen < N; ++Chosen) {
+        std::vector<PNodePtr> Kids;
+        for (unsigned I = 0; I < N; ++I)
+          Kids.push_back(PNode::sketchNode(
+              HoleAgain, Depth - 1,
+              /*WithClasses=*/I == Chosen ? WithClasses : true));
+        emit(PNode::opNode(F, std::move(Kids)), BaseSym);
+      }
+    }
+
+    // Pi3: grow a Repeat-family operator; the regex child keeps the
+    // obligation and the integer slots become symbolic (or enumerated).
+    for (RegexKind G : GOps) {
+      PNodePtr Child = PNode::sketchNode(HoleAgain, Depth - 1, WithClasses);
+      if (Cfg.UseSymbolic) {
+        std::vector<PNodePtr> Kids{Child};
+        uint32_t NextSym = BaseSym;
+        appendSymbolicInts(Kids, G, NextSym);
+        emit(PNode::opNode(G, std::move(Kids)), NextSym);
+      } else {
+        enumerateInts(G, Cfg.MaxInt, Child,
+                      [&](PNodePtr N) { emit(std::move(N), BaseSym); });
+      }
+    }
+    return Out;
+  }
+  }
+  assert(false && "unknown sketch kind");
+  return Out;
+}

@@ -1,0 +1,28 @@
+//===- synth/Expand.h - Worklist expansion (Fig. 10) ------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. Implements the Expand judgement
+// v : S |- P ~> Pi of Fig. 10: rewriting one open (sketch-labelled) node of
+// a partial regex into the set of its one-step refinements.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SYNTH_EXPAND_H
+#define REGEL_SYNTH_EXPAND_H
+
+#include "synth/Config.h"
+#include "synth/PartialRegex.h"
+
+namespace regel {
+
+/// Expands the open node of \p P at \p Path per the Fig. 10 rules.
+/// \p Classes is the character-class pool C used by rule 2; when
+/// Cfg.UseSymbolic is false, Repeat-family integers are enumerated in
+/// [1, Cfg.MaxInt] instead of becoming symbolic.
+std::vector<PartialRegex> expandNode(const PartialRegex &P,
+                                     const NodePath &Path,
+                                     const SynthConfig &Cfg,
+                                     const std::vector<CharClass> &Classes);
+
+} // namespace regel
+
+#endif // REGEL_SYNTH_EXPAND_H

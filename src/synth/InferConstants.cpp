@@ -1,0 +1,126 @@
+//===- synth/InferConstants.cpp -------------------------------------------===//
+
+#include "synth/InferConstants.h"
+
+#include "smt/Solver.h"
+#include "synth/Approximate.h"
+#include "synth/Encode.h"
+
+using namespace regel;
+
+namespace {
+
+/// Depth-first enumeration of the feasible assignments, in ascending value
+/// order per variable (so the smallest constants — which Regel prefers —
+/// come out first). Equivalent to Fig. 14's model-enumeration-with-blocking
+/// loop, but incremental: instead of re-solving psi_0 with an ever-growing
+/// set of blocking clauses, we walk the assignment tree directly and use
+/// three-valued interval evaluation of psi_0 to skip definitely-infeasible
+/// subtrees. The partial-assignment feasibility check (footnote 4) prunes
+/// whole families of constants exactly as in the paper.
+class InferSession {
+public:
+  InferSession(const PartialRegex &P0, const Examples &E,
+               const SynthConfig &Cfg, FeasibilityChecker &Checker,
+               InferStats &Stats, const Deadline *Budget)
+      : E(E), Cfg(Cfg), Checker(Checker), Stats(Stats), Budget(Budget) {
+    NumVars = P0.numSymInts();
+    Domains.assign(NumVars, {1, Cfg.MaxInt});
+    SymIntervalSet Lengths = encodeLengths(P0.root());
+    for (const std::string &S : E.Pos)
+      Constraints.push_back(
+          lengthMembership(Lengths, static_cast<int64_t>(S.size())));
+    // Well-formedness: RepeatRange(r, k1, k2) requires k1 <= k2.
+    addRangeOrderConstraints(P0.root());
+    enumerate(P0, 0);
+  }
+
+  std::vector<RegexPtr> take() { return std::move(Results); }
+
+private:
+  void addRangeOrderConstraints(const PNodePtr &N) {
+    if (N->getKind() == PLabelKind::OpLabel &&
+        N->op() == RegexKind::RepeatRange) {
+      const PNodePtr &K1 = N->children()[1];
+      const PNodePtr &K2 = N->children()[2];
+      auto toTerm = [](const PNodePtr &C) {
+        return C->getKind() == PLabelKind::IntLabel
+                   ? smt::Term::constant(C->intValue())
+                   : smt::Term::var(C->symInt());
+      };
+      Constraints.push_back(smt::Formula::le(toTerm(K1), toTerm(K2)));
+    }
+    for (const PNodePtr &C : N->children())
+      addRangeOrderConstraints(C);
+  }
+
+  /// True when some constraint is already definitely violated under the
+  /// current variable domains.
+  bool definitelyInfeasible() {
+    ++Stats.SolveCalls;
+    for (const smt::FormulaPtr &C : Constraints)
+      if (C->eval(Domains) == smt::Tri::False)
+        return true;
+    return false;
+  }
+
+  void enumerate(const PartialRegex &P, uint32_t VarIdx) {
+    if (Results.size() >= Cfg.MaxInferResults)
+      return;
+    if (Budget && Budget->expired())
+      return;
+    if (++Stats.Iterations > Cfg.MaxInferIters) {
+      Stats.HitIterationCap = true;
+      return;
+    }
+    if (VarIdx == NumVars) {
+      if (!definitelyInfeasible())
+        Results.push_back(P.toRegex());
+      return;
+    }
+    for (int V = 1; V <= Cfg.MaxInt; ++V) {
+      if (Results.size() >= Cfg.MaxInferResults)
+        break;
+      if (Budget && Budget->expired())
+        break;
+      Domains[VarIdx] = {V, V};
+      // Cheap length-based check before touching automata.
+      if (definitelyInfeasible())
+        continue;
+      PartialRegex PPrime = P.assignSymInt(VarIdx, V);
+      // Partial-assignment feasibility (footnote 4): one infeasible value
+      // of kappa_i prunes every extension at once.
+      if (VarIdx + 1 < NumVars && Cfg.UseApprox &&
+          Checker.infeasible(PPrime)) {
+        ++Stats.PrunedPartialAssignments;
+        continue;
+      }
+      enumerate(PPrime, VarIdx + 1);
+    }
+    Domains[VarIdx] = {1, Cfg.MaxInt};
+  }
+
+  const Examples &E;
+  const SynthConfig &Cfg;
+  FeasibilityChecker &Checker;
+  InferStats &Stats;
+  const Deadline *Budget;
+
+  uint32_t NumVars = 0;
+  std::vector<smt::Interval> Domains;
+  std::vector<smt::FormulaPtr> Constraints;
+  std::vector<RegexPtr> Results;
+};
+
+} // namespace
+
+std::vector<RegexPtr> regel::inferConstants(const PartialRegex &P0,
+                                            const Examples &E,
+                                            const SynthConfig &Cfg,
+                                            FeasibilityChecker &Checker,
+                                            InferStats &Stats,
+                                            const Deadline *Budget) {
+  assert(P0.isSymbolic() && "inferConstants expects a symbolic regex");
+  InferSession Session(P0, E, Cfg, Checker, Stats, Budget);
+  return Session.take();
+}

@@ -1,0 +1,75 @@
+//===- synth/Synthesizer.h - Sketch-guided PBE engine (Fig. 9) --*- C++ -*-===//
+//
+// Part of the Regel reproduction. The Synthesize worklist algorithm:
+// expand open nodes (Fig. 10), prune with over/under-approximations
+// (Sec. 4.1), concretize symbolic integers with SMT-guided inference
+// (Sec. 4.2), and check concrete candidates against the examples (with the
+// subsumption heuristics of Sec. 6).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SYNTH_SYNTHESIZER_H
+#define REGEL_SYNTH_SYNTHESIZER_H
+
+#include "automata/Compile.h"
+#include "synth/Config.h"
+#include "synth/PartialRegex.h"
+
+#include <string>
+#include <vector>
+
+namespace regel {
+
+/// Counters for one synthesis run (reported by benches and tests).
+struct SynthStats {
+  uint64_t Pops = 0;
+  uint64_t Expansions = 0;
+  uint64_t PrunedInfeasible = 0;
+  uint64_t ConcreteChecked = 0;
+  uint64_t SubsumptionSkips = 0;
+  uint64_t SmtSolveCalls = 0;
+  uint64_t InferIterations = 0;
+  double TimeMs = 0;
+};
+
+/// Outcome of one synthesis run.
+struct SynthResult {
+  /// Consistent regexes, in discovery order (up to TopK).
+  std::vector<RegexPtr> Solutions;
+  SynthStats Stats;
+  bool TimedOut = false;   ///< Stopped by the time budget / pop cap.
+  bool Exhausted = false;  ///< Worklist ran dry.
+
+  bool solved() const { return !Solutions.empty(); }
+};
+
+/// The sketch-guided PBE engine. One instance per synthesis task (it owns a
+/// DFA cache that persists across candidate checks within the run).
+class Synthesizer {
+public:
+  explicit Synthesizer(SynthConfig Cfg = SynthConfig());
+
+  /// Runs the Fig. 9 algorithm on sketch \p S and examples \p E.
+  SynthResult run(const SketchPtr &S, const Examples &E);
+
+  /// The regex->DFA cache (exposed so drivers can share/reset it).
+  DfaCache &cache() { return Cache; }
+
+  const SynthConfig &config() const { return Cfg; }
+
+private:
+  bool checkConcrete(const RegexPtr &R, const Examples &E, SynthStats &Stats);
+
+  SynthConfig Cfg;
+  DfaCache Cache;
+
+  /// Subsumption memos (Sec. 6), reset per run: bodies r for which
+  /// Contains(r) failed a positive example, and the smallest k for which
+  /// RepeatAtLeast(r, k) failed.
+  std::unordered_map<RegexPtr, char, RegexPtrHash, RegexPtrEq> ContainsFailed;
+  std::unordered_map<RegexPtr, int, RegexPtrHash, RegexPtrEq> AtLeastFailed;
+};
+
+} // namespace regel
+
+#endif // REGEL_SYNTH_SYNTHESIZER_H

@@ -1,0 +1,113 @@
+//===- tests/automata/CompileTest.cpp -------------------------------------===//
+//
+// The central differential property test: the automaton pipeline and the
+// direct (denotational) matcher must agree on every corpus regex and probe
+// string — they are independent implementations of the Fig. 6 semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Compile.h"
+#include "regex/Matcher.h"
+#include "regex/Parser.h"
+
+#include "../common/TestCorpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+class CompileDifferential : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(CompileDifferential, AutomatonAgreesWithDirectMatcher) {
+  RegexPtr R = parseRegex(GetParam());
+  ASSERT_TRUE(R) << GetParam();
+  Dfa D = compileRegex(R);
+  for (const char *Probe : regel::tests::probeStrings()) {
+    EXPECT_EQ(D.matches(Probe), matchesDirect(R, Probe))
+        << GetParam() << " on \"" << Probe << "\"";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CompileDifferential,
+                         ::testing::ValuesIn(regel::tests::regexCorpus()));
+
+TEST(Compile, EmptySetHasEmptyLanguage) {
+  EXPECT_TRUE(compileRegex(Regex::emptySet()).isEmpty());
+}
+
+TEST(Compile, EpsilonAcceptsOnlyEmpty) {
+  Dfa D = compileRegex(Regex::epsilon());
+  EXPECT_TRUE(D.matches(""));
+  EXPECT_FALSE(D.matches("a"));
+}
+
+TEST(Compile, OutOfAlphabetCharactersRejected) {
+  Dfa D = compileRegex(parseRegex("KleeneStar(<any>)"));
+  EXPECT_FALSE(D.matches("a\tb")); // tab is outside printable ASCII
+  EXPECT_TRUE(D.matches("a b"));
+}
+
+TEST(DfaCache, HitsOnStructurallyEqualRegexes) {
+  DfaCache Cache;
+  RegexPtr A = parseRegex("Concat(<a>,<b>)");
+  RegexPtr B = parseRegex("Concat(<a>,<b>)"); // distinct object, same tree
+  Cache.get(A);
+  EXPECT_EQ(Cache.misses(), 1u);
+  Cache.get(B);
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(DfaCache, AcceptsRejectsHelpers) {
+  DfaCache Cache;
+  RegexPtr R = parseRegex("Repeat(<num>,2)");
+  EXPECT_TRUE(Cache.acceptsAll(R, {"12", "99"}));
+  EXPECT_FALSE(Cache.acceptsAll(R, {"12", "1"}));
+  EXPECT_TRUE(Cache.rejectsAll(R, {"1", "123"}));
+  EXPECT_FALSE(Cache.rejectsAll(R, {"1", "12"}));
+}
+
+TEST(Compile, RegexEquivalentHelper) {
+  EXPECT_TRUE(regexEquivalent(parseRegex("Optional(<a>)"),
+                              parseRegex("Or(eps,<a>)")));
+  EXPECT_FALSE(regexEquivalent(parseRegex("<a>"), parseRegex("<b>")));
+  // Structural equality short-circuit.
+  RegexPtr R = parseRegex("Repeat(<num>,3)");
+  EXPECT_TRUE(regexEquivalent(R, R));
+}
+
+TEST(Compile, NotOfNotIsIdentity) {
+  RegexPtr R = parseRegex("Concat(<a>,KleeneStar(<b>))");
+  RegexPtr NN = Regex::notOf(Regex::notOf(R));
+  EXPECT_TRUE(regexEquivalent(R, NN));
+}
+
+TEST(Compile, DeMorganHolds) {
+  // Not(Or(a,b)) == And(Not(a), Not(b)) over the DSL semantics.
+  RegexPtr Lhs = parseRegex("Not(Or(<a>,<b>))");
+  RegexPtr Rhs = parseRegex("And(Not(<a>),Not(<b>))");
+  EXPECT_TRUE(regexEquivalent(Lhs, Rhs));
+}
+
+TEST(Compile, RepeatUnrollsToConcat) {
+  EXPECT_TRUE(regexEquivalent(parseRegex("Repeat(<a>,3)"),
+                              parseRegex("Concat(<a>,Concat(<a>,<a>))")));
+}
+
+TEST(Compile, RepeatRangeIsUnionOfRepeats) {
+  EXPECT_TRUE(regexEquivalent(
+      parseRegex("RepeatRange(<a>,1,3)"),
+      parseRegex("Or(<a>,Or(Repeat(<a>,2),Repeat(<a>,3)))")));
+}
+
+TEST(Compile, StartsWithIsConcatAnyStar) {
+  EXPECT_TRUE(regexEquivalent(parseRegex("StartsWith(<a>)"),
+                              parseRegex("Concat(<a>,KleeneStar(<any>))")));
+}
+
+TEST(Compile, ContainsSandwich) {
+  EXPECT_TRUE(regexEquivalent(
+      parseRegex("Contains(<a>)"),
+      parseRegex(
+          "Concat(KleeneStar(<any>),Concat(<a>,KleeneStar(<any>)))")));
+}

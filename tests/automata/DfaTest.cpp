@@ -1,0 +1,146 @@
+//===- tests/automata/DfaTest.cpp -----------------------------------------===//
+
+#include "automata/Compile.h"
+#include "automata/Dfa.h"
+#include "regex/Parser.h"
+
+#include "../common/TestCorpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+TEST(Dfa, EmptyLanguage) {
+  Dfa D = Dfa::emptyLanguage();
+  EXPECT_TRUE(D.isEmpty());
+  EXPECT_FALSE(D.matches(""));
+  EXPECT_FALSE(D.matches("a"));
+}
+
+TEST(Dfa, DeterminizePreservesLanguage) {
+  Nfa N;
+  uint32_t S1 = N.addState(), S2 = N.addState();
+  N.addEdge(0, 'a', 'a', S1);
+  N.addEdge(S1, '0', '9', S2);
+  N.addEps(S1, S2); // "a" or "a<digit>"
+  N.setAccept(S2);
+  Dfa D = Dfa::determinize(N);
+  for (const char *S : {"a", "a0", "a9"})
+    EXPECT_EQ(D.matches(S), N.matches(S)) << S;
+  for (const char *S : {"", "b", "aa", "a00"})
+    EXPECT_EQ(D.matches(S), N.matches(S)) << S;
+}
+
+TEST(Dfa, MinimizePreservesLanguageOnCorpus) {
+  for (const char *Pattern : regel::tests::regexCorpus()) {
+    RegexPtr R = parseRegex(Pattern);
+    ASSERT_TRUE(R) << Pattern;
+    Dfa D = compileRegex(R); // already minimized
+    Dfa M = D.minimize();    // idempotence
+    EXPECT_EQ(M.numStates(), D.numStates()) << Pattern;
+    EXPECT_TRUE(Dfa::equivalent(D, M)) << Pattern;
+  }
+}
+
+TEST(Dfa, MinimizeKnownStateCount) {
+  // (ab)* over printable ASCII: 3 live states + dead state.
+  Dfa D = compileRegex(parseRegex("KleeneStar(Concat(<a>,<b>))"));
+  EXPECT_EQ(D.numStates(), 3u);
+  // Exactly 3 digits: states 0,1,2,3 + dead.
+  Dfa E = compileRegex(parseRegex("Repeat(<num>,3)"));
+  EXPECT_EQ(E.numStates(), 5u);
+}
+
+TEST(Dfa, MinimizeRegressionOscillation) {
+  // Regression: Not(Contains(Repeat(<space>,2))) once oscillated forever in
+  // partition refinement due to a weak signature hash.
+  Dfa D = compileRegex(parseRegex("Not(Contains(Repeat(<space>,2)))"));
+  EXPECT_FALSE(D.isEmpty());
+  EXPECT_TRUE(D.matches("a b c"));
+  EXPECT_FALSE(D.matches("a  b"));
+}
+
+TEST(Dfa, ComplementFlipsMembership) {
+  Dfa D = compileRegex(parseRegex("Repeat(<num>,2)"));
+  Dfa C = D.complement();
+  EXPECT_TRUE(D.matches("12"));
+  EXPECT_FALSE(C.matches("12"));
+  EXPECT_FALSE(D.matches("1"));
+  EXPECT_TRUE(C.matches("1"));
+  EXPECT_TRUE(C.matches(""));
+}
+
+TEST(Dfa, ComplementOfComplementIsOriginal) {
+  Dfa D = compileRegex(parseRegex("Or(<a>,<b>)"));
+  EXPECT_TRUE(Dfa::equivalent(D, D.complement().complement()));
+}
+
+TEST(Dfa, ProductIntersection) {
+  Dfa A = compileRegex(parseRegex("StartsWith(<a>)"));
+  Dfa B = compileRegex(parseRegex("EndsWith(<b>)"));
+  Dfa I = Dfa::product(A, B, /*AcceptBoth=*/true);
+  EXPECT_TRUE(I.matches("ab"));
+  EXPECT_TRUE(I.matches("axxb"));
+  EXPECT_FALSE(I.matches("a"));
+  EXPECT_FALSE(I.matches("b"));
+}
+
+TEST(Dfa, ProductUnion) {
+  Dfa A = compileRegex(parseRegex("<a>"));
+  Dfa B = compileRegex(parseRegex("<b>"));
+  Dfa U = Dfa::product(A, B, /*AcceptBoth=*/false);
+  EXPECT_TRUE(U.matches("a"));
+  EXPECT_TRUE(U.matches("b"));
+  EXPECT_FALSE(U.matches("c"));
+}
+
+TEST(Dfa, IsTotal) {
+  EXPECT_TRUE(compileRegex(parseRegex("KleeneStar(<any>)")).isTotal());
+  EXPECT_FALSE(compileRegex(parseRegex("<a>")).isTotal());
+}
+
+TEST(Dfa, ShortestAccepted) {
+  Dfa D = compileRegex(parseRegex("Concat(<a>,Repeat(<b>,2))"));
+  auto S = D.shortestAccepted();
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(*S, "abb");
+}
+
+TEST(Dfa, ShortestAcceptedEmptyString) {
+  Dfa D = compileRegex(parseRegex("KleeneStar(<a>)"));
+  auto S = D.shortestAccepted();
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(*S, "");
+}
+
+TEST(Dfa, ShortestAcceptedNone) {
+  EXPECT_FALSE(Dfa::emptyLanguage().shortestAccepted().has_value());
+}
+
+TEST(Dfa, DistinguishingString) {
+  Dfa A = compileRegex(parseRegex("RepeatRange(<num>,1,3)"));
+  Dfa B = compileRegex(parseRegex("RepeatRange(<num>,1,4)"));
+  auto W = Dfa::distinguishingString(A, B);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(W->size(), 4u);
+  EXPECT_NE(A.matches(*W), B.matches(*W));
+}
+
+TEST(Dfa, EquivalentSyntacticVariants) {
+  // Optional(x) == Or(eps, x); RepeatAtLeast(x,1) == Concat(x, x*).
+  EXPECT_TRUE(Dfa::equivalent(compileRegex(parseRegex("Optional(<a>)")),
+                              compileRegex(parseRegex("Or(eps,<a>)"))));
+  EXPECT_TRUE(Dfa::equivalent(
+      compileRegex(parseRegex("RepeatAtLeast(<a>,1)")),
+      compileRegex(parseRegex("Concat(<a>,KleeneStar(<a>))"))));
+}
+
+TEST(Dfa, CountStringsOfLength) {
+  Dfa D = compileRegex(parseRegex("Repeat(<num>,2)"));
+  EXPECT_EQ(D.countStringsOfLength(2), 100u);
+  EXPECT_EQ(D.countStringsOfLength(1), 0u);
+  EXPECT_EQ(D.countStringsOfLength(3), 0u);
+  Dfa E = compileRegex(parseRegex("KleeneStar(<a>)"));
+  EXPECT_EQ(E.countStringsOfLength(0), 1u);
+  EXPECT_EQ(E.countStringsOfLength(5), 1u);
+}

@@ -1,0 +1,122 @@
+//===- tests/automata/IdentitiesTest.cpp ----------------------------------===//
+//
+// Algebraic-identity property sweep: pairs of DSL terms that must denote
+// the same regular language, checked through the automaton pipeline.
+// These exercise Thompson construction, determinization, minimization and
+// the complement/product paths all at once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Compile.h"
+#include "regex/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+struct IdentityCase {
+  const char *Name;
+  const char *Lhs;
+  const char *Rhs;
+};
+
+class RegexIdentity : public ::testing::TestWithParam<IdentityCase> {};
+
+TEST_P(RegexIdentity, LanguagesCoincide) {
+  RegexPtr L = parseRegex(GetParam().Lhs);
+  RegexPtr R = parseRegex(GetParam().Rhs);
+  ASSERT_TRUE(L) << GetParam().Lhs;
+  ASSERT_TRUE(R) << GetParam().Rhs;
+  EXPECT_TRUE(regexEquivalent(L, R))
+      << GetParam().Lhs << "  !=  " << GetParam().Rhs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algebra, RegexIdentity,
+    ::testing::Values(
+        IdentityCase{"OrCommutes", "Or(<a>,<b>)", "Or(<b>,<a>)"},
+        IdentityCase{"OrAssociates", "Or(Or(<a>,<b>),<c>)",
+                     "Or(<a>,Or(<b>,<c>))"},
+        IdentityCase{"OrIdempotent", "Or(<a>,<a>)", "<a>"},
+        IdentityCase{"AndCommutes", "And(<num>,<hex>)", "And(<hex>,<num>)"},
+        IdentityCase{"AndIdempotent", "And(<a>,<a>)", "<a>"},
+        IdentityCase{"ConcatAssociates", "Concat(Concat(<a>,<b>),<c>)",
+                     "Concat(<a>,Concat(<b>,<c>))"},
+        IdentityCase{"ConcatEpsilonLeft", "Concat(eps,<a>)", "<a>"},
+        IdentityCase{"ConcatEpsilonRight", "Concat(<a>,eps)", "<a>"},
+        IdentityCase{"ConcatEmptyAnnihilates", "Concat(<a>,empty)", "empty"},
+        IdentityCase{"OrEmptyIdentity", "Or(<a>,empty)", "<a>"},
+        IdentityCase{"AndEmptyAnnihilates", "And(<a>,empty)", "empty"},
+        IdentityCase{"ConcatDistributesOverOr",
+                     "Concat(<a>,Or(<b>,<c>))",
+                     "Or(Concat(<a>,<b>),Concat(<a>,<c>))"},
+        IdentityCase{"DoubleNegation", "Not(Not(Concat(<a>,<b>)))",
+                     "Concat(<a>,<b>)"},
+        IdentityCase{"DeMorganOr", "Not(Or(<a>,<b>))",
+                     "And(Not(<a>),Not(<b>))"},
+        IdentityCase{"DeMorganAnd", "Not(And(<a>,<b>))",
+                     "Or(Not(<a>),Not(<b>))"},
+        IdentityCase{"StarOfStar", "KleeneStar(KleeneStar(<a>))",
+                     "KleeneStar(<a>)"},
+        IdentityCase{"StarUnrolls", "KleeneStar(<a>)",
+                     "Or(eps,Concat(<a>,KleeneStar(<a>)))"},
+        IdentityCase{"OptionalOfOptional", "Optional(Optional(<a>))",
+                     "Optional(<a>)"},
+        IdentityCase{"StarOfOptional", "KleeneStar(Optional(<a>))",
+                     "KleeneStar(<a>)"},
+        IdentityCase{"OptionalIsOrEps", "Optional(<a>)", "Or(eps,<a>)"},
+        IdentityCase{"RepeatOneIsIdentity", "Repeat(<a>,1)", "<a>"},
+        IdentityCase{"RepeatSplits", "Repeat(<a>,4)",
+                     "Concat(Repeat(<a>,2),Repeat(<a>,2))"},
+        IdentityCase{"RepeatRangeDegenerate", "RepeatRange(<a>,3,3)",
+                     "Repeat(<a>,3)"},
+        IdentityCase{"AtLeastIsRepeatThenStar", "RepeatAtLeast(<a>,3)",
+                     "Concat(Repeat(<a>,3),KleeneStar(<a>))"},
+        IdentityCase{"KleeneIsOptionalAtLeastOne", "KleeneStar(<a>)",
+                     "Optional(RepeatAtLeast(<a>,1))"},
+        IdentityCase{"ContainsViaSandwich", "Contains(<x>)",
+                     "Concat(KleeneStar(<any>),Concat(<x>,KleeneStar(<any>)))"},
+        IdentityCase{"StartsWithViaConcat", "StartsWith(Repeat(<a>,2))",
+                     "Concat(Repeat(<a>,2),KleeneStar(<any>))"},
+        IdentityCase{"EndsWithViaConcat", "EndsWith(Repeat(<a>,2))",
+                     "Concat(KleeneStar(<any>),Repeat(<a>,2))"},
+        IdentityCase{"ClassUnion", "Or(<low>,<cap>)", "<let>"},
+        IdentityCase{"ClassIntersection", "And(<alphanum>,<let>)", "<let>"},
+        IdentityCase{"HexIsSubsetWitness", "And(<num>,<hex>)", "<num>"},
+        IdentityCase{"NotBotIsTop", "Not(empty)", "KleeneStar(<any>)"}),
+    [](const ::testing::TestParamInfo<IdentityCase> &Info) {
+      return Info.param.Name;
+    });
+
+struct DistinctCase {
+  const char *Name;
+  const char *Lhs;
+  const char *Rhs;
+};
+
+class RegexDistinct : public ::testing::TestWithParam<DistinctCase> {};
+
+TEST_P(RegexDistinct, LanguagesDiffer) {
+  RegexPtr L = parseRegex(GetParam().Lhs);
+  RegexPtr R = parseRegex(GetParam().Rhs);
+  ASSERT_TRUE(L && R);
+  EXPECT_FALSE(regexEquivalent(L, R));
+  // And the distinguishing witness is genuinely one-sided.
+  auto W = Dfa::distinguishingString(compileRegex(L), compileRegex(R));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_NE(compileRegex(L).matches(*W), compileRegex(R).matches(*W));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sanity, RegexDistinct,
+    ::testing::Values(
+        DistinctCase{"ConcatNotCommutative", "Concat(<a>,<b>)",
+                     "Concat(<b>,<a>)"},
+        DistinctCase{"StarVsPlus", "KleeneStar(<a>)", "RepeatAtLeast(<a>,1)"},
+        DistinctCase{"RangeBounds", "RepeatRange(<a>,1,3)",
+                     "RepeatRange(<a>,1,4)"},
+        DistinctCase{"StartsVsContains", "StartsWith(<a>)", "Contains(<a>)"},
+        DistinctCase{"CaseMatters", "<low>", "<cap>"}),
+    [](const ::testing::TestParamInfo<DistinctCase> &Info) {
+      return Info.param.Name;
+    });

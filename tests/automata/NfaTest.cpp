@@ -1,0 +1,93 @@
+//===- tests/automata/NfaTest.cpp -----------------------------------------===//
+
+#include "automata/Nfa.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+namespace {
+
+/// a(b|c) as a hand-built NFA.
+Nfa makeABorC() {
+  Nfa N;
+  uint32_t S1 = N.addState(), S2 = N.addState();
+  N.addEdge(N.start(), 'a', 'a', S1);
+  N.addEdge(S1, 'b', 'c', S2);
+  N.setAccept(S2);
+  return N;
+}
+
+} // namespace
+
+TEST(Nfa, StartsWithOneState) {
+  Nfa N;
+  EXPECT_EQ(N.numStates(), 1u);
+  EXPECT_EQ(N.start(), 0u);
+  EXPECT_FALSE(N.isAccept(0));
+}
+
+TEST(Nfa, SimpleMatch) {
+  Nfa N = makeABorC();
+  EXPECT_TRUE(N.matches("ab"));
+  EXPECT_TRUE(N.matches("ac"));
+  EXPECT_FALSE(N.matches("ad"));
+  EXPECT_FALSE(N.matches("a"));
+  EXPECT_FALSE(N.matches(""));
+  EXPECT_FALSE(N.matches("abb"));
+}
+
+TEST(Nfa, EpsilonMoves) {
+  Nfa N;
+  uint32_t S1 = N.addState(), S2 = N.addState();
+  N.addEps(N.start(), S1);
+  N.addEps(S1, S2);
+  N.setAccept(S2);
+  EXPECT_TRUE(N.matches(""));
+  EXPECT_FALSE(N.matches("x"));
+}
+
+TEST(Nfa, EpsClosureFollowsChains) {
+  Nfa N;
+  uint32_t S1 = N.addState(), S2 = N.addState(), S3 = N.addState();
+  N.addEps(0, S1);
+  N.addEps(S1, S2);
+  N.addEps(S2, S1); // cycle
+  (void)S3;
+  auto Closure = N.epsClosure({0});
+  EXPECT_EQ(Closure.size(), 3u); // 0, S1, S2 — not S3
+}
+
+TEST(Nfa, ClassEdgeCoversRanges) {
+  Nfa N;
+  uint32_t S1 = N.addState();
+  N.addClassEdge(N.start(), CharClass::let(), S1);
+  N.setAccept(S1);
+  EXPECT_TRUE(N.matches("a"));
+  EXPECT_TRUE(N.matches("Z"));
+  EXPECT_FALSE(N.matches("5"));
+}
+
+TEST(Nfa, AbsorbOffsetsStates) {
+  Nfa A = makeABorC();
+  Nfa B;
+  uint32_t Offset = B.absorb(A);
+  EXPECT_EQ(Offset, 1u);
+  EXPECT_EQ(B.numStates(), 1 + A.numStates());
+  // The absorbed accept state keeps its flag at the offset position.
+  EXPECT_TRUE(B.isAccept(Offset + 2));
+}
+
+TEST(Nfa, NondeterministicBranches) {
+  // Start has two 'a' edges to different accepting conditions.
+  Nfa N;
+  uint32_t S1 = N.addState(), S2 = N.addState(), S3 = N.addState();
+  N.addEdge(0, 'a', 'a', S1);
+  N.addEdge(0, 'a', 'a', S2);
+  N.addEdge(S2, 'b', 'b', S3);
+  N.setAccept(S1); // "a"
+  N.setAccept(S3); // "ab"
+  EXPECT_TRUE(N.matches("a"));
+  EXPECT_TRUE(N.matches("ab"));
+  EXPECT_FALSE(N.matches("b"));
+}

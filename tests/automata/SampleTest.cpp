@@ -1,0 +1,79 @@
+//===- tests/automata/SampleTest.cpp --------------------------------------===//
+
+#include "automata/Compile.h"
+#include "automata/Sample.h"
+#include "regex/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace regel;
+
+TEST(Sample, SamplesAreAccepted) {
+  Dfa D = compileRegex(parseRegex("Concat(Repeat(<num>,3),Optional(<->))"));
+  Rng R(1);
+  for (int I = 0; I < 30; ++I) {
+    auto S = sampleAccepted(D, R, 10);
+    ASSERT_TRUE(S.has_value());
+    EXPECT_TRUE(D.matches(*S)) << *S;
+  }
+}
+
+TEST(Sample, RespectsMaxLen) {
+  Dfa D = compileRegex(parseRegex("RepeatAtLeast(<a>,1)"));
+  Rng R(2);
+  for (int I = 0; I < 30; ++I) {
+    auto S = sampleAccepted(D, R, 5);
+    ASSERT_TRUE(S.has_value());
+    EXPECT_LE(S->size(), 5u);
+  }
+}
+
+TEST(Sample, NoneWhenTooShort) {
+  Dfa D = compileRegex(parseRegex("Repeat(<a>,6)"));
+  Rng R(3);
+  EXPECT_FALSE(sampleAccepted(D, R, 5).has_value());
+  EXPECT_TRUE(sampleAccepted(D, R, 6).has_value());
+}
+
+TEST(Sample, SetIsDistinctAndAccepted) {
+  Dfa D = compileRegex(parseRegex("RepeatRange(<num>,1,4)"));
+  Rng R(4);
+  auto Set = sampleAcceptedSet(D, R, 10, 6);
+  std::set<std::string> Unique(Set.begin(), Set.end());
+  EXPECT_EQ(Unique.size(), Set.size());
+  for (const std::string &S : Set)
+    EXPECT_TRUE(D.matches(S));
+  EXPECT_GE(Set.size(), 5u);
+}
+
+TEST(Sample, SmallLanguageSaturates) {
+  // Language {a, b}: at most two distinct samples exist.
+  Dfa D = compileRegex(parseRegex("Or(<a>,<b>)"));
+  Rng R(5);
+  auto Set = sampleAcceptedSet(D, R, 10, 4);
+  EXPECT_LE(Set.size(), 2u);
+  EXPECT_GE(Set.size(), 1u);
+}
+
+TEST(Sample, EnumerateInLengthLexOrder) {
+  Dfa D = compileRegex(parseRegex("RepeatRange(Or(<a>,<b>),1,2)"));
+  auto All = enumerateAccepted(D, 100, 4);
+  ASSERT_EQ(All.size(), 6u); // a,b,aa,ab,ba,bb
+  EXPECT_EQ(All[0], "a");
+  EXPECT_EQ(All[1], "b");
+  EXPECT_EQ(All[2], "aa");
+  EXPECT_EQ(All[5], "bb");
+}
+
+TEST(Sample, EnumerateHonoursMaxCount) {
+  Dfa D = compileRegex(parseRegex("KleeneStar(<num>)"));
+  auto Some = enumerateAccepted(D, 7, 4);
+  EXPECT_EQ(Some.size(), 7u);
+  EXPECT_EQ(Some[0], ""); // the empty string is in the language
+}
+
+TEST(Sample, EnumerateEmptyLanguage) {
+  EXPECT_TRUE(enumerateAccepted(Dfa::emptyLanguage(), 10, 5).empty());
+}

@@ -1,0 +1,117 @@
+//===- tests/core/ActiveLearnerTest.cpp -----------------------------------===//
+//
+// Tests of the Sec. 10 extension: membership-query disambiguation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ActiveLearner.h"
+
+#include "regex/Matcher.h"
+#include "regex/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+namespace {
+
+std::vector<RegexPtr> parseAll(std::initializer_list<const char *> Texts) {
+  std::vector<RegexPtr> Out;
+  for (const char *T : Texts) {
+    RegexPtr R = parseRegex(T);
+    EXPECT_TRUE(R) << T;
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(ActiveLearner, NoQueryForSingleCandidate) {
+  ActiveLearner L(parseAll({"Repeat(<num>,2)"}));
+  EXPECT_FALSE(L.nextQuery().has_value());
+  EXPECT_TRUE(L.converged());
+}
+
+TEST(ActiveLearner, NoQueryForEquivalentCandidates) {
+  // Syntactically different, semantically identical.
+  ActiveLearner L(parseAll({"Optional(<a>)", "Or(eps,<a>)"}));
+  EXPECT_FALSE(L.nextQuery().has_value());
+  EXPECT_TRUE(L.converged());
+  EXPECT_EQ(L.candidates().size(), 2u);
+}
+
+TEST(ActiveLearner, QueryDistinguishesCandidates) {
+  ActiveLearner L(parseAll({"Repeat(<num>,2)", "Repeat(<num>,3)"}));
+  auto Q = L.nextQuery();
+  ASSERT_TRUE(Q.has_value());
+  // The witness must be accepted by exactly one candidate.
+  bool A = matchesDirect(parseRegex("Repeat(<num>,2)"), *Q);
+  bool B = matchesDirect(parseRegex("Repeat(<num>,3)"), *Q);
+  EXPECT_NE(A, B);
+}
+
+TEST(ActiveLearner, AnswerEliminatesDisagreeingCandidates) {
+  ActiveLearner L(parseAll(
+      {"Repeat(<num>,2)", "Repeat(<num>,3)", "RepeatRange(<num>,2,3)"}));
+  // "12" matches candidates 1 and 3 but not 2.
+  size_t Killed = L.answer("12", /*InLanguage=*/true);
+  EXPECT_EQ(Killed, 1u);
+  EXPECT_EQ(L.candidates().size(), 2u);
+  EXPECT_EQ(L.learnedExamples().Pos.size(), 1u);
+}
+
+TEST(ActiveLearner, NegativeAnswerRecorded) {
+  ActiveLearner L(parseAll({"Repeat(<num>,2)", "RepeatRange(<num>,1,2)"}));
+  L.answer("1", /*InLanguage=*/false);
+  EXPECT_EQ(L.candidates().size(), 1u);
+  EXPECT_EQ(L.learnedExamples().Neg.size(), 1u);
+}
+
+TEST(ActiveLearner, DropsNullCandidates) {
+  std::vector<RegexPtr> Cands = parseAll({"<a>"});
+  Cands.push_back(nullptr);
+  ActiveLearner L(std::move(Cands));
+  EXPECT_EQ(L.candidates().size(), 1u);
+}
+
+TEST(Disambiguate, ConvergesToOracleLanguage) {
+  RegexPtr Truth = parseRegex("RepeatRange(<num>,2,3)");
+  DirectMatcher Oracle(Truth);
+  std::vector<RegexPtr> Cands = parseAll(
+      {"Repeat(<num>,2)", "Repeat(<num>,3)", "RepeatRange(<num>,2,3)",
+       "RepeatRange(<num>,2,4)", "RepeatAtLeast(<num>,2)"});
+  ActiveResult R = disambiguate(
+      Cands, [&](const std::string &S) { return Oracle.matches(S); });
+  ASSERT_TRUE(R.Final);
+  EXPECT_TRUE(regexEquivalent(R.Final, Truth));
+  EXPECT_GT(R.QueriesAsked, 0u);
+  EXPECT_LE(R.QueriesAsked, 8u);
+}
+
+TEST(Disambiguate, OracleOutsideCandidatesEmptiesSet) {
+  // The truth matches none of the candidates' answers consistently, so
+  // the learner may end with an empty set but useful learned examples.
+  RegexPtr Truth = parseRegex("Repeat(<let>,2)");
+  DirectMatcher Oracle(Truth);
+  std::vector<RegexPtr> Cands =
+      parseAll({"Repeat(<num>,2)", "Repeat(<num>,3)"});
+  ActiveResult R = disambiguate(
+      Cands, [&](const std::string &S) { return Oracle.matches(S); });
+  EXPECT_FALSE(R.Final && !regexEquivalent(R.Final, Truth) &&
+               R.QueriesAsked == 0);
+  EXPECT_GE(R.Learned.Pos.size() + R.Learned.Neg.size(), R.QueriesAsked);
+}
+
+TEST(Disambiguate, QueryCapRespected) {
+  // Many pairwise-distinct candidates; cap the rounds.
+  std::vector<RegexPtr> Cands;
+  for (int K = 1; K <= 12; ++K)
+    Cands.push_back(Regex::repeat(Regex::charClass(CharClass::num()), K));
+  RegexPtr Truth = parseRegex("Repeat(<num>,12)");
+  DirectMatcher Oracle(Truth);
+  ActiveResult R = disambiguate(
+      Cands, [&](const std::string &S) { return Oracle.matches(S); },
+      /*MaxQueries=*/3);
+  EXPECT_LE(R.QueriesAsked, 3u);
+}

@@ -1,0 +1,91 @@
+//===- tests/nlp/TokenTest.cpp --------------------------------------------===//
+
+#include "nlp/Token.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel::nlp;
+
+TEST(Lemmatize, PluralStripping) {
+  EXPECT_EQ(lemmatize("digits"), "digit");
+  EXPECT_EQ(lemmatize("letters"), "letter");
+  EXPECT_EQ(lemmatize("boxes"), "box");
+  EXPECT_EQ(lemmatize("entries"), "entry");
+}
+
+TEST(Lemmatize, VerbForms) {
+  EXPECT_EQ(lemmatize("followed"), "follow");
+  EXPECT_EQ(lemmatize("starting"), "start");
+  EXPECT_EQ(lemmatize("contains"), "contain");
+  EXPECT_EQ(lemmatize("separated"), "separate");
+  EXPECT_EQ(lemmatize("ends"), "end");
+}
+
+TEST(Lemmatize, NonPluralsUntouched) {
+  EXPECT_EQ(lemmatize("class"), "class");
+  EXPECT_EQ(lemmatize("is"), "is");
+  EXPECT_EQ(lemmatize("a"), "a");
+  EXPECT_EQ(lemmatize("plus"), "plus");
+}
+
+TEST(Tokenize, WordsLowercasedAndLemmatized) {
+  auto Toks = tokenize("Three Digits");
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Number); // "three" is a number word
+  EXPECT_EQ(Toks[0].Value, 3);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Word);
+  EXPECT_EQ(Toks[1].Lemma, "digit");
+}
+
+TEST(Tokenize, DigitsBecomeNumbers) {
+  auto Toks = tokenize("15 digits");
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Number);
+  EXPECT_EQ(Toks[0].Value, 15);
+}
+
+TEST(Tokenize, QuotedLiterals) {
+  auto Toks = tokenize("the word 'dog' appears");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::Quoted);
+  EXPECT_EQ(Toks[2].Literal, "dog");
+}
+
+TEST(Tokenize, DoubleQuotes) {
+  auto Toks = tokenize("prefix \"ID\" then digits");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Quoted);
+  EXPECT_EQ(Toks[1].Literal, "ID");
+}
+
+TEST(Tokenize, PunctuationSeparated) {
+  auto Toks = tokenize("digits, then commas.");
+  // digits , then commas .
+  ASSERT_EQ(Toks.size(), 5u);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Punct);
+  EXPECT_EQ(Toks[1].Text, ",");
+  EXPECT_EQ(Toks[4].Text, ".");
+}
+
+TEST(Tokenize, NumberWordsUpToTwenty) {
+  auto Toks = tokenize("twelve");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_EQ(Toks[0].Value, 12);
+}
+
+TEST(Tokenize, EmptyAndWhitespace) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("   \t  ").empty());
+}
+
+TEST(Tokenize, ApostropheNotQuoteWhenUnclosed) {
+  // A stray apostrophe should not swallow the rest of the sentence.
+  auto Toks = tokenize("don' match");
+  ASSERT_GE(Toks.size(), 2u);
+}
+
+TEST(Tokenize, LargeNumbersClamped) {
+  auto Toks = tokenize("99999999999999");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_LE(Toks[0].Value, 1000000);
+}

@@ -1,0 +1,85 @@
+//===- tests/nlp/WeightsIoTest.cpp ----------------------------------------===//
+
+#include "nlp/SemanticParser.h"
+#include "nlp/Training.h"
+#include "sketch/SketchParser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace regel;
+using namespace regel::nlp;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return std::string(::testing::TempDir()) + "/" + Name;
+}
+
+} // namespace
+
+TEST(WeightsIo, RoundTripPreservesWeights) {
+  SemanticParser P;
+  // Perturb the weights so the round trip is non-trivial.
+  std::vector<TrainExample> Data{
+      {"a letter followed by 3 digits",
+       parseSketch("Concat(<let>,Repeat(<num>,3))")}};
+  trainParser(P, Data, TrainConfig());
+  std::string Path = tempPath("weights_roundtrip.txt");
+  ASSERT_TRUE(P.saveWeights(Path));
+
+  SemanticParser Q;
+  EXPECT_NE(P.weights(), Q.weights());
+  ASSERT_TRUE(Q.loadWeights(Path));
+  EXPECT_EQ(P.weights(), Q.weights());
+  std::remove(Path.c_str());
+}
+
+TEST(WeightsIo, LoadedModelParsesIdentically) {
+  SemanticParser P;
+  std::vector<TrainExample> Data{
+      {"2 digits followed by a comma",
+       parseSketch("Concat(Repeat(<num>,2),<,>)")}};
+  trainParser(P, Data, TrainConfig());
+  std::string Path = tempPath("weights_parse.txt");
+  ASSERT_TRUE(P.saveWeights(Path));
+
+  SemanticParser Q;
+  ASSERT_TRUE(Q.loadWeights(Path));
+  auto A = P.parse("2 digits followed by a comma", 5);
+  auto B = Q.parse("2 digits followed by a comma", 5);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_TRUE(sketchEquals(A[I].Sketch, B[I].Sketch));
+    EXPECT_DOUBLE_EQ(A[I].Score, B[I].Score);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(WeightsIo, MissingFileFails) {
+  SemanticParser P;
+  EXPECT_FALSE(P.loadWeights("/nonexistent/dir/weights.txt"));
+}
+
+TEST(WeightsIo, CorruptHeaderFails) {
+  std::string Path = tempPath("weights_corrupt.txt");
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_TRUE(F);
+  std::fprintf(F, "not-a-weights-file\n1.0\n");
+  std::fclose(F);
+  SemanticParser P;
+  EXPECT_FALSE(P.loadWeights(Path));
+  std::remove(Path.c_str());
+}
+
+TEST(WeightsIo, SizeMismatchFails) {
+  std::string Path = tempPath("weights_mismatch.txt");
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_TRUE(F);
+  std::fprintf(F, "regel-weights 3\n0.1\n0.2\n0.3\n");
+  std::fclose(F);
+  SemanticParser P;
+  EXPECT_FALSE(P.loadWeights(Path));
+  std::remove(Path.c_str());
+}

@@ -1,0 +1,127 @@
+//===- tests/regex/AstTest.cpp --------------------------------------------===//
+
+#include "regex/Ast.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+TEST(Ast, KindMetadata) {
+  EXPECT_EQ(numRegexArgs(RegexKind::CharClassLeaf), 0u);
+  EXPECT_EQ(numRegexArgs(RegexKind::Not), 1u);
+  EXPECT_EQ(numRegexArgs(RegexKind::Concat), 2u);
+  EXPECT_EQ(numIntArgs(RegexKind::Repeat), 1u);
+  EXPECT_EQ(numIntArgs(RegexKind::RepeatRange), 2u);
+  EXPECT_EQ(numIntArgs(RegexKind::Concat), 0u);
+  EXPECT_TRUE(isOperatorKind(RegexKind::Or));
+  EXPECT_FALSE(isOperatorKind(RegexKind::Epsilon));
+  EXPECT_TRUE(isRepeatFamily(RegexKind::RepeatAtLeast));
+  EXPECT_FALSE(isRepeatFamily(RegexKind::KleeneStar));
+}
+
+TEST(Ast, KindNamesRoundTrip) {
+  for (RegexKind K :
+       {RegexKind::StartsWith, RegexKind::EndsWith, RegexKind::Contains,
+        RegexKind::Not, RegexKind::Optional, RegexKind::KleeneStar,
+        RegexKind::Concat, RegexKind::Or, RegexKind::And, RegexKind::Repeat,
+        RegexKind::RepeatAtLeast, RegexKind::RepeatRange}) {
+    RegexKind Out;
+    ASSERT_TRUE(kindFromName(kindName(K), Out)) << kindName(K);
+    EXPECT_EQ(Out, K);
+  }
+  RegexKind Out;
+  EXPECT_FALSE(kindFromName("NotAnOp", Out));
+}
+
+TEST(Ast, LeafConstruction) {
+  RegexPtr Num = Regex::charClass(CharClass::num());
+  EXPECT_EQ(Num->getKind(), RegexKind::CharClassLeaf);
+  EXPECT_EQ(Num->getNumChildren(), 0u);
+  EXPECT_EQ(Num->size(), 1u);
+  EXPECT_EQ(Num->depth(), 1u);
+}
+
+TEST(Ast, OperatorConstruction) {
+  RegexPtr R = Regex::concat(Regex::literal('a'), Regex::literal('b'));
+  EXPECT_EQ(R->getKind(), RegexKind::Concat);
+  EXPECT_EQ(R->getNumChildren(), 2u);
+  EXPECT_EQ(R->size(), 3u);
+  EXPECT_EQ(R->depth(), 2u);
+}
+
+TEST(Ast, RepeatCarriesInts) {
+  RegexPtr R = Regex::repeatRange(Regex::literal('x'), 2, 5);
+  EXPECT_EQ(R->getK1(), 2);
+  EXPECT_EQ(R->getK2(), 5);
+  RegexPtr A = Regex::repeatAtLeast(Regex::literal('x'), 3);
+  EXPECT_EQ(A->getK1(), 3);
+}
+
+TEST(Ast, StructuralEquality) {
+  RegexPtr A = Regex::concat(Regex::literal('a'), Regex::literal('b'));
+  RegexPtr B = Regex::concat(Regex::literal('a'), Regex::literal('b'));
+  RegexPtr C = Regex::concat(Regex::literal('b'), Regex::literal('a'));
+  EXPECT_TRUE(regexEquals(A, B));
+  EXPECT_FALSE(regexEquals(A, C));
+  EXPECT_TRUE(regexEquals(nullptr, nullptr));
+  EXPECT_FALSE(regexEquals(A, nullptr));
+}
+
+TEST(Ast, EqualityDistinguishesIntArgs) {
+  RegexPtr A = Regex::repeat(Regex::literal('a'), 2);
+  RegexPtr B = Regex::repeat(Regex::literal('a'), 3);
+  EXPECT_FALSE(regexEquals(A, B));
+}
+
+TEST(Ast, EqualityDistinguishesKinds) {
+  RegexPtr A = Regex::orOf(Regex::literal('a'), Regex::literal('b'));
+  RegexPtr B = Regex::andOf(Regex::literal('a'), Regex::literal('b'));
+  EXPECT_FALSE(regexEquals(A, B));
+}
+
+TEST(Ast, HashAgreesOnEqualTrees) {
+  RegexPtr A = Regex::optional(Regex::charClass(CharClass::num()));
+  RegexPtr B = Regex::optional(Regex::charClass(CharClass::num()));
+  EXPECT_EQ(A->hash(), B->hash());
+}
+
+TEST(Ast, MakeOperatorGeneric) {
+  RegexPtr R = Regex::makeOperator(RegexKind::RepeatRange,
+                                   {Regex::literal('z')}, {1, 4});
+  EXPECT_EQ(R->getKind(), RegexKind::RepeatRange);
+  EXPECT_EQ(R->getK1(), 1);
+  EXPECT_EQ(R->getK2(), 4);
+}
+
+TEST(Ast, RepeatAtLeastHasUnboundedUpper) {
+  RegexPtr R = Regex::makeOperator(RegexKind::RepeatAtLeast,
+                                   {Regex::literal('z')}, {2});
+  EXPECT_EQ(R->getK1(), 2);
+}
+
+TEST(Ast, ConcatAll) {
+  std::vector<RegexPtr> Parts{Regex::literal('a'), Regex::literal('b'),
+                              Regex::literal('c')};
+  RegexPtr R = Regex::concatAll(Parts);
+  EXPECT_EQ(R->getKind(), RegexKind::Concat);
+  EXPECT_EQ(R->size(), 5u);
+  EXPECT_EQ(Regex::concatAll({})->getKind(), RegexKind::Epsilon);
+  EXPECT_EQ(Regex::concatAll({Regex::literal('q')})->getKind(),
+            RegexKind::CharClassLeaf);
+}
+
+TEST(Ast, OrAll) {
+  EXPECT_EQ(Regex::orAll({})->getKind(), RegexKind::EmptySet);
+  RegexPtr R = Regex::orAll(
+      {Regex::literal('a'), Regex::literal('b'), Regex::literal('c')});
+  EXPECT_EQ(R->getKind(), RegexKind::Or);
+  EXPECT_EQ(R->size(), 5u);
+}
+
+TEST(Ast, DepthOfNestedTree) {
+  RegexPtr R = Regex::kleeneStar(
+      Regex::concat(Regex::literal('a'),
+                    Regex::optional(Regex::literal('b'))));
+  EXPECT_EQ(R->depth(), 4u);
+  EXPECT_EQ(R->size(), 5u);
+}

@@ -1,0 +1,143 @@
+//===- tests/regex/CharClassTest.cpp --------------------------------------===//
+
+#include "regex/CharClass.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+TEST(CharClass, NumContainsDigitsOnly) {
+  CharClass C = CharClass::num();
+  for (char D = '0'; D <= '9'; ++D)
+    EXPECT_TRUE(C.contains(D));
+  EXPECT_FALSE(C.contains('a'));
+  EXPECT_FALSE(C.contains(' '));
+  EXPECT_EQ(C.size(), 10u);
+}
+
+TEST(CharClass, LetIsBothCases) {
+  CharClass C = CharClass::let();
+  EXPECT_TRUE(C.contains('a'));
+  EXPECT_TRUE(C.contains('Z'));
+  EXPECT_FALSE(C.contains('0'));
+  EXPECT_EQ(C.size(), 52u);
+}
+
+TEST(CharClass, AnyCoversPrintableAscii) {
+  CharClass C = CharClass::any();
+  EXPECT_EQ(C.size(), AlphabetSize);
+  EXPECT_TRUE(C.contains(' '));
+  EXPECT_TRUE(C.contains('~'));
+}
+
+TEST(CharClass, SpecExcludesAlnumAndSpace) {
+  CharClass C = CharClass::spec();
+  EXPECT_TRUE(C.contains('!'));
+  EXPECT_TRUE(C.contains('@'));
+  EXPECT_FALSE(C.contains('a'));
+  EXPECT_FALSE(C.contains('5'));
+  EXPECT_FALSE(C.contains(' '));
+}
+
+TEST(CharClass, VowTenCharacters) {
+  CharClass C = CharClass::vow();
+  EXPECT_EQ(C.size(), 10u);
+  EXPECT_TRUE(C.contains('a'));
+  EXPECT_TRUE(C.contains('U'));
+  EXPECT_FALSE(C.contains('b'));
+}
+
+TEST(CharClass, HexCoversBothCases) {
+  CharClass C = CharClass::hex();
+  EXPECT_TRUE(C.contains('f'));
+  EXPECT_TRUE(C.contains('F'));
+  EXPECT_TRUE(C.contains('9'));
+  EXPECT_FALSE(C.contains('g'));
+  EXPECT_EQ(C.size(), 22u);
+}
+
+TEST(CharClass, SingletonBasics) {
+  CharClass C = CharClass::singleton(',');
+  EXPECT_TRUE(C.isSingleton());
+  EXPECT_TRUE(C.contains(','));
+  EXPECT_FALSE(C.contains('.'));
+  EXPECT_EQ(C.size(), 1u);
+}
+
+TEST(CharClass, RangesMergeOverlapping) {
+  CharClass C({{'a', 'f'}, {'d', 'k'}, {'m', 'm'}});
+  ASSERT_EQ(C.ranges().size(), 2u);
+  EXPECT_EQ(C.ranges()[0].Lo, 'a');
+  EXPECT_EQ(C.ranges()[0].Hi, 'k');
+}
+
+TEST(CharClass, RangesMergeAdjacent) {
+  CharClass C({{'a', 'c'}, {'d', 'f'}});
+  ASSERT_EQ(C.ranges().size(), 1u);
+  EXPECT_EQ(C.ranges()[0].Hi, 'f');
+}
+
+TEST(CharClass, EqualityIsStructural) {
+  EXPECT_TRUE(CharClass::num() == CharClass({{'0', '9'}}));
+  EXPECT_FALSE(CharClass::num() == CharClass::let());
+}
+
+TEST(CharClass, HashConsistentWithEquality) {
+  EXPECT_EQ(CharClass::num().hash(), CharClass({{'0', '9'}}).hash());
+}
+
+struct NamedClassCase {
+  const char *Name;
+  CharClass (*Make)();
+};
+
+class CharClassNameTest : public ::testing::TestWithParam<NamedClassCase> {};
+
+TEST_P(CharClassNameTest, NameRoundTripsThroughFromName) {
+  const NamedClassCase &C = GetParam();
+  CharClass Built = C.Make();
+  EXPECT_EQ(Built.name(), C.Name);
+  CharClass Parsed = CharClass::any();
+  ASSERT_TRUE(CharClass::fromName(C.Name, Parsed));
+  EXPECT_TRUE(Parsed == Built);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNamedClasses, CharClassNameTest,
+    ::testing::Values(NamedClassCase{"num", &CharClass::num},
+                      NamedClassCase{"let", &CharClass::let},
+                      NamedClassCase{"low", &CharClass::low},
+                      NamedClassCase{"cap", &CharClass::cap},
+                      NamedClassCase{"any", &CharClass::any},
+                      NamedClassCase{"alphanum", &CharClass::alphaNum},
+                      NamedClassCase{"hex", &CharClass::hex},
+                      NamedClassCase{"vow", &CharClass::vow},
+                      NamedClassCase{"spec", &CharClass::spec}),
+    [](const ::testing::TestParamInfo<NamedClassCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(CharClass, FromNameSingleChar) {
+  CharClass C = CharClass::any();
+  ASSERT_TRUE(CharClass::fromName(",", C));
+  EXPECT_TRUE(C.isSingleton());
+  EXPECT_TRUE(C.contains(','));
+}
+
+TEST(CharClass, FromNameSpaceKeyword) {
+  CharClass C = CharClass::any();
+  ASSERT_TRUE(CharClass::fromName("space", C));
+  EXPECT_TRUE(C.contains(' '));
+  EXPECT_EQ(C.display(), "<space>");
+}
+
+TEST(CharClass, FromNameUnknownFails) {
+  CharClass C = CharClass::any();
+  EXPECT_FALSE(CharClass::fromName("bogus", C));
+  EXPECT_FALSE(CharClass::fromName("", C));
+}
+
+TEST(CharClass, DisplayHasAngleBrackets) {
+  EXPECT_EQ(CharClass::num().display(), "<num>");
+  EXPECT_EQ(CharClass::singleton('x').display(), "<x>");
+}

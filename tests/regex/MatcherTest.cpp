@@ -1,0 +1,164 @@
+//===- tests/regex/MatcherTest.cpp ----------------------------------------===//
+
+#include "regex/Matcher.h"
+#include "regex/Parser.h"
+
+#include "../common/TestCorpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+namespace {
+
+bool matches(const char *Pattern, const char *Input) {
+  RegexPtr R = parseRegex(Pattern);
+  EXPECT_TRUE(R) << Pattern;
+  return matchesDirect(R, Input);
+}
+
+} // namespace
+
+TEST(Matcher, CharClassSingleChar) {
+  EXPECT_TRUE(matches("<num>", "5"));
+  EXPECT_FALSE(matches("<num>", "55"));
+  EXPECT_FALSE(matches("<num>", ""));
+  EXPECT_FALSE(matches("<num>", "a"));
+}
+
+TEST(Matcher, EpsilonAndEmpty) {
+  EXPECT_TRUE(matches("eps", ""));
+  EXPECT_FALSE(matches("eps", "a"));
+  EXPECT_FALSE(matches("empty", ""));
+  EXPECT_FALSE(matches("empty", "a"));
+}
+
+TEST(Matcher, ConcatAllowsEmptyPieces) {
+  // Sec. 2 requires Concat(x, Optional(y)) to accept strings matching just
+  // x; the split must therefore admit empty parts.
+  EXPECT_TRUE(matches("Concat(<a>,Optional(<b>))", "a"));
+  EXPECT_TRUE(matches("Concat(<a>,Optional(<b>))", "ab"));
+  EXPECT_FALSE(matches("Concat(<a>,Optional(<b>))", "b"));
+}
+
+TEST(Matcher, ConcatOrder) {
+  EXPECT_TRUE(matches("Concat(<a>,<b>)", "ab"));
+  EXPECT_FALSE(matches("Concat(<a>,<b>)", "ba"));
+}
+
+TEST(Matcher, OrEitherBranch) {
+  EXPECT_TRUE(matches("Or(<num>,<let>)", "7"));
+  EXPECT_TRUE(matches("Or(<num>,<let>)", "q"));
+  EXPECT_FALSE(matches("Or(<num>,<let>)", "!"));
+}
+
+TEST(Matcher, AndRequiresBoth) {
+  EXPECT_TRUE(matches("And(<num>,<hex>)", "9"));
+  EXPECT_FALSE(matches("And(<num>,<hex>)", "c")); // hex but not num
+}
+
+TEST(Matcher, NotComplements) {
+  EXPECT_FALSE(matches("Not(<num>)", "5"));
+  EXPECT_TRUE(matches("Not(<num>)", "55"));
+  EXPECT_TRUE(matches("Not(<num>)", ""));
+  EXPECT_TRUE(matches("Not(<num>)", "x"));
+}
+
+TEST(Matcher, StartsWithPrefix) {
+  EXPECT_TRUE(matches("StartsWith(<cap>)", "Abc"));
+  EXPECT_TRUE(matches("StartsWith(<cap>)", "A"));
+  EXPECT_FALSE(matches("StartsWith(<cap>)", "abc"));
+  EXPECT_FALSE(matches("StartsWith(<cap>)", ""));
+}
+
+TEST(Matcher, EndsWithSuffix) {
+  EXPECT_TRUE(matches("EndsWith(<num>)", "abc9"));
+  EXPECT_TRUE(matches("EndsWith(<num>)", "9"));
+  EXPECT_FALSE(matches("EndsWith(<num>)", "9abc"));
+}
+
+TEST(Matcher, ContainsSubstring) {
+  EXPECT_TRUE(matches("Contains(Concat(<a>,<b>))", "xxabyy"));
+  EXPECT_TRUE(matches("Contains(Concat(<a>,<b>))", "ab"));
+  EXPECT_FALSE(matches("Contains(Concat(<a>,<b>))", "ba"));
+  EXPECT_FALSE(matches("Contains(Concat(<a>,<b>))", "a"));
+}
+
+TEST(Matcher, OptionalMatchesEmptyOrOne) {
+  EXPECT_TRUE(matches("Optional(<a>)", ""));
+  EXPECT_TRUE(matches("Optional(<a>)", "a"));
+  EXPECT_FALSE(matches("Optional(<a>)", "aa"));
+}
+
+TEST(Matcher, KleeneStarZeroOrMore) {
+  EXPECT_TRUE(matches("KleeneStar(<num>)", ""));
+  EXPECT_TRUE(matches("KleeneStar(<num>)", "1"));
+  EXPECT_TRUE(matches("KleeneStar(<num>)", "123456"));
+  EXPECT_FALSE(matches("KleeneStar(<num>)", "12a"));
+}
+
+TEST(Matcher, KleeneStarOfPair) {
+  EXPECT_TRUE(matches("KleeneStar(Concat(<a>,<b>))", "ababab"));
+  EXPECT_FALSE(matches("KleeneStar(Concat(<a>,<b>))", "aba"));
+}
+
+TEST(Matcher, RepeatExactCount) {
+  EXPECT_TRUE(matches("Repeat(<num>,3)", "123"));
+  EXPECT_FALSE(matches("Repeat(<num>,3)", "12"));
+  EXPECT_FALSE(matches("Repeat(<num>,3)", "1234"));
+}
+
+TEST(Matcher, RepeatAtLeast) {
+  EXPECT_FALSE(matches("RepeatAtLeast(<num>,2)", "1"));
+  EXPECT_TRUE(matches("RepeatAtLeast(<num>,2)", "12"));
+  EXPECT_TRUE(matches("RepeatAtLeast(<num>,2)", "123456789"));
+}
+
+TEST(Matcher, RepeatRangeWindow) {
+  EXPECT_FALSE(matches("RepeatRange(<num>,2,4)", "1"));
+  EXPECT_TRUE(matches("RepeatRange(<num>,2,4)", "12"));
+  EXPECT_TRUE(matches("RepeatRange(<num>,2,4)", "1234"));
+  EXPECT_FALSE(matches("RepeatRange(<num>,2,4)", "12345"));
+}
+
+TEST(Matcher, Section2TargetRegex) {
+  const char *Target =
+      "Concat(RepeatRange(<num>,1,15),Optional(Concat(<.>,RepeatRange(<num>,"
+      "1,3))))";
+  for (const char *Pos :
+       {"123456789.123", "123456789123456.12", "12345.1", "123456789123456"})
+    EXPECT_TRUE(matches(Target, Pos)) << Pos;
+  for (const char *Neg :
+       {"1234567891234567", "123.1234", ".1234", "12345."})
+    EXPECT_FALSE(matches(Target, Neg)) << Neg;
+}
+
+TEST(Matcher, ReusedMatcherIsConsistent) {
+  RegexPtr R = parseRegex("RepeatRange(<num>,2,4)");
+  ASSERT_TRUE(R);
+  DirectMatcher M(R);
+  // Interleave different lengths to exercise the epoch-stamped memo reuse.
+  EXPECT_TRUE(M.matches("12"));
+  EXPECT_FALSE(M.matches("1"));
+  EXPECT_TRUE(M.matches("1234"));
+  EXPECT_FALSE(M.matches("12345"));
+  EXPECT_TRUE(M.matches("123"));
+  EXPECT_TRUE(M.matches("12"));
+}
+
+// Property sweep: the direct matcher agrees with itself across probe
+// strings when queried through a fresh or a reused matcher.
+class MatcherCorpus : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(MatcherCorpus, FreshAndReusedMatchersAgree) {
+  RegexPtr R = parseRegex(GetParam());
+  ASSERT_TRUE(R);
+  DirectMatcher Reused(R);
+  for (const char *Probe : regel::tests::probeStrings()) {
+    EXPECT_EQ(Reused.matches(Probe), matchesDirect(R, Probe))
+        << GetParam() << " on \"" << Probe << "\"";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, MatcherCorpus,
+                         ::testing::ValuesIn(regel::tests::regexCorpus()));

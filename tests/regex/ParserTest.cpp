@@ -1,0 +1,79 @@
+//===- tests/regex/ParserTest.cpp -----------------------------------------===//
+
+#include "regex/Parser.h"
+#include "regex/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+class ParserRoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ParserRoundTrip, PrintThenParseIsIdentity) {
+  std::string Err;
+  RegexPtr R = parseRegex(GetParam(), &Err);
+  ASSERT_TRUE(R) << GetParam() << ": " << Err;
+  std::string Printed = printRegex(R);
+  RegexPtr Again = parseRegex(Printed, &Err);
+  ASSERT_TRUE(Again) << Printed << ": " << Err;
+  EXPECT_TRUE(regexEquals(R, Again)) << Printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ParserRoundTrip,
+    ::testing::Values(
+        "<num>", "<a>", "<,>", "<space>", "eps", "empty",
+        "Concat(<a>,<b>)", "Or(<num>,<let>)", "And(<num>,<hex>)",
+        "Not(<num>)", "Optional(<->)", "KleeneStar(<low>)",
+        "StartsWith(<cap>)", "EndsWith(<.>)", "Contains(<_>)",
+        "Repeat(<num>,3)", "RepeatAtLeast(<num>,2)",
+        "RepeatRange(<num>,1,15)",
+        "Concat(RepeatRange(<num>,1,15),Optional(Concat(<.>,RepeatRange(<num>"
+        ",1,3))))",
+        "And(StartsWith(<cap>),EndsWith(<.>))",
+        "Not(Contains(Repeat(<space>,2)))",
+        "Or(Concat(Repeat(<let>,2),Repeat(<num>,6)),Repeat(<num>,8))"));
+
+TEST(Parser, AcceptsWhitespace) {
+  RegexPtr R = parseRegex("  Concat( <a> , <b> )  ");
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->getKind(), RegexKind::Concat);
+}
+
+TEST(Parser, ParsesCharClassBracketChar) {
+  RegexPtr R = parseRegex("<(>");
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->getCharClass().contains('('));
+}
+
+TEST(Parser, ParsesGreaterThanSingleton) {
+  RegexPtr R = parseRegex("<>>");
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->getCharClass().contains('>'));
+}
+
+struct BadInput {
+  const char *Text;
+  const char *Why;
+};
+
+class ParserRejects : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ParserRejects, MalformedInputYieldsNull) {
+  std::string Err;
+  EXPECT_FALSE(parseRegex(GetParam().Text, &Err)) << GetParam().Why;
+  EXPECT_FALSE(Err.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ParserRejects,
+    ::testing::Values(BadInput{"", "empty input"},
+                      BadInput{"Concat(<a>)", "missing argument"},
+                      BadInput{"Concat(<a>,<b>", "unclosed paren"},
+                      BadInput{"Bogus(<a>)", "unknown operator"},
+                      BadInput{"<nope>", "unknown class"},
+                      BadInput{"Repeat(<a>)", "missing count"},
+                      BadInput{"Repeat(<a>,0)", "zero count"},
+                      BadInput{"RepeatRange(<a>,3,2)", "inverted range"},
+                      BadInput{"Concat(<a>,<b>)x", "trailing input"},
+                      BadInput{"<a", "unterminated class"}));

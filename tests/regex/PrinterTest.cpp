@@ -1,0 +1,58 @@
+//===- tests/regex/PrinterTest.cpp ----------------------------------------===//
+
+#include "regex/Parser.h"
+#include "regex/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+TEST(Printer, LeafForms) {
+  EXPECT_EQ(printRegex(Regex::charClass(CharClass::num())), "<num>");
+  EXPECT_EQ(printRegex(Regex::literal('x')), "<x>");
+  EXPECT_EQ(printRegex(Regex::epsilon()), "eps");
+  EXPECT_EQ(printRegex(Regex::emptySet()), "empty");
+  EXPECT_EQ(printRegex(nullptr), "<null>");
+}
+
+TEST(Printer, OperatorForms) {
+  EXPECT_EQ(printRegex(Regex::concat(Regex::literal('a'), Regex::literal('b'))),
+            "Concat(<a>,<b>)");
+  EXPECT_EQ(printRegex(Regex::repeatRange(Regex::charClass(CharClass::num()),
+                                          1, 15)),
+            "RepeatRange(<num>,1,15)");
+  EXPECT_EQ(printRegex(Regex::repeatAtLeast(Regex::literal('z'), 2)),
+            "RepeatAtLeast(<z>,2)");
+}
+
+TEST(Printer, PosixBasics) {
+  EXPECT_EQ(printPosix(Regex::charClass(CharClass::num())), "[0-9]");
+  EXPECT_EQ(printPosix(Regex::charClass(CharClass::any())), ".");
+  EXPECT_EQ(printPosix(Regex::literal('a')), "a");
+  EXPECT_EQ(printPosix(Regex::literal('.')), "\\.");
+}
+
+TEST(Printer, PosixOperators) {
+  RegexPtr Num = Regex::charClass(CharClass::num());
+  EXPECT_EQ(printPosix(Regex::repeat(Num, 3)), "[0-9]{3}");
+  EXPECT_EQ(printPosix(Regex::repeatAtLeast(Num, 2)), "[0-9]{2,}");
+  EXPECT_EQ(printPosix(Regex::repeatRange(Num, 1, 5)), "[0-9]{1,5}");
+  EXPECT_EQ(printPosix(Regex::optional(Num)), "[0-9]?");
+  EXPECT_EQ(printPosix(Regex::kleeneStar(Num)), "[0-9]*");
+  EXPECT_EQ(printPosix(Regex::orOf(Num, Regex::literal('x'))), "([0-9]|x)");
+}
+
+TEST(Printer, PosixContainment) {
+  RegexPtr A = Regex::literal('a');
+  EXPECT_EQ(printPosix(Regex::startsWith(A)), "a.*");
+  EXPECT_EQ(printPosix(Regex::endsWith(A)), ".*a");
+  EXPECT_EQ(printPosix(Regex::contains(A)), ".*a.*");
+}
+
+TEST(Printer, PosixSection2Example) {
+  RegexPtr R = parseRegex(
+      "Concat(RepeatRange(<num>,1,15),Optional(Concat(<.>,RepeatRange(<num>,"
+      "1,3))))");
+  ASSERT_TRUE(R);
+  EXPECT_EQ(printPosix(R), "[0-9]{1,15}(\\.[0-9]{1,3})?");
+}

@@ -1,0 +1,124 @@
+//===- tests/sketch/AdmitsTest.cpp ----------------------------------------===//
+//
+// Tests of the h-sketch semantics (Fig. 8), including the paper's
+// Example 3.1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Parser.h"
+#include "sketch/Sketch.h"
+#include "sketch/SketchParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+namespace {
+
+bool admits(const char *SketchText, const char *RegexText, unsigned Depth) {
+  SketchPtr S = parseSketch(SketchText);
+  RegexPtr R = parseRegex(RegexText);
+  EXPECT_TRUE(S) << SketchText;
+  EXPECT_TRUE(R) << RegexText;
+  return sketchAdmits(S, R, Depth);
+}
+
+} // namespace
+
+TEST(Admits, ConcreteSketchAdmitsOnlyItself) {
+  EXPECT_TRUE(admits("<num>", "<num>", 1));
+  EXPECT_FALSE(admits("<num>", "<let>", 1));
+  EXPECT_FALSE(admits("<num>", "Repeat(<num>,2)", 3));
+}
+
+TEST(Admits, DepthOneHoleIsComponentChoice) {
+  EXPECT_TRUE(admits("hole{<num>,<,>}", "<num>", 1));
+  EXPECT_TRUE(admits("hole{<num>,<,>}", "<,>", 1));
+  EXPECT_FALSE(admits("hole{<num>,<,>}", "<let>", 1));
+  EXPECT_FALSE(admits("hole{<num>,<,>}", "Contains(<,>)", 1));
+}
+
+TEST(Admits, PaperExample31) {
+  // Example 3.1: Concat(<num>, Contains(<,>)) is in the language of
+  // Concat(hole1{<,>,<num>}, hole2{<,>, RepeatRange(<num>,1,3)}) when the
+  // second hole has depth 2, but not when it has depth 1. Our holes take
+  // their depth from the membership query, so we test the two halves.
+  SketchPtr Hole2 = parseSketch("hole{<,>,RepeatRange(<num>,1,3)}");
+  RegexPtr ContainsComma = parseRegex("Contains(<,>)");
+  EXPECT_TRUE(sketchAdmits(Hole2, ContainsComma, 2));
+  EXPECT_FALSE(sketchAdmits(Hole2, ContainsComma, 1));
+
+  SketchPtr Full = parseSketch(
+      "Concat(hole{<,>,<num>},hole{<,>,RepeatRange(<num>,1,3)})");
+  RegexPtr Program = parseRegex("Concat(<num>,Contains(<,>))");
+  EXPECT_TRUE(sketchAdmits(Full, Program, 2));
+  EXPECT_FALSE(sketchAdmits(Full, Program, 1));
+}
+
+TEST(Admits, DeeperHoleAdmitsGrownOperators) {
+  // hole{<num>} at depth 2 admits ops over the component.
+  EXPECT_TRUE(admits("hole{<num>}", "Optional(<num>)", 2));
+  EXPECT_TRUE(admits("hole{<num>}", "RepeatAtLeast(<num>,3)", 2));
+  EXPECT_FALSE(admits("hole{<num>}", "Optional(<num>)", 1));
+}
+
+TEST(Admits, ComponentTreatedAsLeaf) {
+  // The component counts as a single leaf for the depth budget: wrapping
+  // a size-3 component still fits in depth 2.
+  EXPECT_TRUE(
+      admits("hole{RepeatRange(<num>,1,3)}", "Optional(RepeatRange(<num>,1,3))",
+             2));
+}
+
+TEST(Admits, BinaryGrowthNeedsComponentInOneChild) {
+  // Concat grown from hole{<,>}: one child must trace to the component,
+  // the other may be any character class.
+  EXPECT_TRUE(admits("hole{<,>}", "Concat(<,>,<num>)", 2));
+  EXPECT_TRUE(admits("hole{<,>}", "Concat(<num>,<,>)", 2));
+  // Neither child contains the comma component: rejected.
+  EXPECT_FALSE(admits("hole{<,>}", "Concat(<num>,<num>)", 2));
+}
+
+TEST(Admits, NonClassLeavesNotFreeFill) {
+  // The widened child may be a class, but not an arbitrary sub-regex.
+  EXPECT_FALSE(
+      admits("hole{<,>}", "Concat(Optional(<num>),<,>)", 2));
+  EXPECT_TRUE(admits("hole{<,>}", "Concat(Optional(<num>),<,>)", 3));
+}
+
+TEST(Admits, SketchOpRequiresMatchingRoot) {
+  EXPECT_TRUE(admits("Concat(hole{<a>},hole{<b>})", "Concat(<a>,<b>)", 1));
+  EXPECT_FALSE(admits("Concat(hole{<a>},hole{<b>})", "Or(<a>,<b>)", 1));
+  EXPECT_FALSE(admits("Concat(hole{<a>},hole{<b>})", "Concat(<b>,<a>)", 1));
+}
+
+TEST(Admits, SymbolicIntsAdmitAnyConstant) {
+  EXPECT_TRUE(admits("Repeat(hole{<num>},?)", "Repeat(<num>,7)", 1));
+  EXPECT_TRUE(admits("Repeat(hole{<num>},?)", "Repeat(<num>,2)", 1));
+}
+
+TEST(Admits, ConcreteIntsMustMatch) {
+  EXPECT_TRUE(admits("RepeatRange(hole{<num>},1,3)",
+                     "RepeatRange(<num>,1,3)", 1));
+  EXPECT_FALSE(admits("RepeatRange(hole{<num>},1,3)",
+                      "RepeatRange(<num>,1,4)", 1));
+}
+
+TEST(Admits, UnconstrainedHoleDepthBounded) {
+  SketchPtr S = Sketch::unconstrained();
+  EXPECT_TRUE(sketchAdmits(S, parseRegex("<a>"), 1));
+  EXPECT_TRUE(sketchAdmits(S, parseRegex("Concat(<a>,<b>)"), 2));
+  EXPECT_FALSE(sketchAdmits(S, parseRegex("Concat(<a>,Optional(<b>))"), 2));
+}
+
+TEST(Admits, Section2TargetInEq1Sketch) {
+  // The paper's Sec. 2 narrative: the target regex is a completion of the
+  // Eq. 1 h-sketch (with enough depth budget).
+  SketchPtr S = parseSketch(
+      "Concat(hole{<num>,<,>},hole{RepeatRange(<num>,1,3),<,>})");
+  RegexPtr Target = parseRegex(
+      "Concat(RepeatRange(<num>,1,15),Optional(Concat(<.>,RepeatRange(<num>,"
+      "1,3))))");
+  EXPECT_TRUE(sketchAdmits(S, Target, 3));
+  EXPECT_FALSE(sketchAdmits(S, Target, 1));
+}

@@ -1,0 +1,113 @@
+//===- tests/sketch/SketchTest.cpp ----------------------------------------===//
+
+#include "sketch/Sketch.h"
+#include "sketch/SketchParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+TEST(Sketch, ConcreteLeaf) {
+  SketchPtr S = Sketch::concrete(Regex::literal('a'));
+  EXPECT_EQ(S->getKind(), SketchKind::Concrete);
+  EXPECT_EQ(S->size(), 1u);
+}
+
+TEST(Sketch, HoleWithComponents) {
+  SketchPtr S = Sketch::hole({Sketch::concrete(Regex::literal('a')),
+                              Sketch::concrete(Regex::literal('b'))});
+  EXPECT_EQ(S->getKind(), SketchKind::Hole);
+  EXPECT_EQ(S->components().size(), 2u);
+}
+
+TEST(Sketch, UnconstrainedHole) {
+  SketchPtr S = Sketch::unconstrained();
+  EXPECT_EQ(S->getKind(), SketchKind::Hole);
+  EXPECT_TRUE(S->components().empty());
+}
+
+TEST(Sketch, OpOverConcreteChildrenFolds) {
+  // Sketch::op folds to a concrete regex when every child is concrete and
+  // the integer parameters are present.
+  SketchPtr S = Sketch::op(RegexKind::Concat,
+                           {Sketch::concrete(Regex::literal('a')),
+                            Sketch::concrete(Regex::literal('b'))});
+  EXPECT_EQ(S->getKind(), SketchKind::Concrete);
+  EXPECT_EQ(S->regex()->getKind(), RegexKind::Concat);
+}
+
+TEST(Sketch, OpWithHoleChildStaysOp) {
+  SketchPtr S = Sketch::op(
+      RegexKind::Concat,
+      {Sketch::hole({}), Sketch::concrete(Regex::literal('b'))});
+  EXPECT_EQ(S->getKind(), SketchKind::Op);
+  EXPECT_EQ(S->getOp(), RegexKind::Concat);
+}
+
+TEST(Sketch, RepeatWithoutIntsStaysSymbolic) {
+  SketchPtr S = Sketch::op(RegexKind::Repeat,
+                           {Sketch::concrete(Regex::literal('a'))});
+  EXPECT_EQ(S->getKind(), SketchKind::Op);
+  EXPECT_TRUE(S->ints().empty());
+}
+
+TEST(Sketch, RepeatWithIntsFolds) {
+  SketchPtr S = Sketch::op(RegexKind::Repeat,
+                           {Sketch::concrete(Regex::literal('a'))}, {3});
+  EXPECT_EQ(S->getKind(), SketchKind::Concrete);
+  EXPECT_EQ(S->regex()->getK1(), 3);
+}
+
+TEST(Sketch, EqualityAndHash) {
+  SketchPtr A = parseSketch("Concat(hole{<num>},hole{<,>})");
+  SketchPtr B = parseSketch("Concat(hole{<num>},hole{<,>})");
+  SketchPtr C = parseSketch("Concat(hole{<,>},hole{<num>})");
+  ASSERT_TRUE(A && B && C);
+  EXPECT_TRUE(sketchEquals(A, B));
+  EXPECT_EQ(A->hash(), B->hash());
+  EXPECT_FALSE(sketchEquals(A, C));
+}
+
+class SketchRoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(SketchRoundTrip, PrintThenParseIsIdentity) {
+  std::string Err;
+  SketchPtr S = parseSketch(GetParam(), &Err);
+  ASSERT_TRUE(S) << GetParam() << ": " << Err;
+  std::string Printed = printSketch(S);
+  SketchPtr Again = parseSketch(Printed, &Err);
+  ASSERT_TRUE(Again) << Printed << ": " << Err;
+  EXPECT_TRUE(sketchEquals(S, Again)) << Printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, SketchRoundTrip,
+    ::testing::Values(
+        "hole{}", "hole{<num>}", "hole{<num>,<,>}", "<num>",
+        "Concat(hole{<num>,<,>},hole{RepeatRange(<num>,1,3),<,>})",
+        "Not(hole{<space>})", "Repeat(hole{<num>},?)",
+        "RepeatRange(hole{<num>},?,?)", "RepeatRange(hole{<num>},1,3)",
+        "Or(hole{Repeat(<let>,2),Repeat(<num>,6)},hole{Repeat(<num>,8)})",
+        "Optional(hole{Concat(<.>,RepeatRange(<num>,1,3))})"));
+
+TEST(SketchParser, RejectsMalformed) {
+  std::string Err;
+  EXPECT_FALSE(parseSketch("hole{", &Err));
+  EXPECT_FALSE(parseSketch("hole{<num>", &Err));
+  EXPECT_FALSE(parseSketch("Concat(hole{})", &Err));
+  EXPECT_FALSE(parseSketch("Bogus(hole{})", &Err));
+  EXPECT_FALSE(parseSketch("", &Err));
+}
+
+TEST(SketchParser, SymbolicIntsPrintAsQuestionMark) {
+  SketchPtr S = parseSketch("Repeat(hole{<num>},?)");
+  ASSERT_TRUE(S);
+  EXPECT_EQ(printSketch(S), "Repeat(hole{<num>},?)");
+}
+
+TEST(Sketch, SizeCountsNodes) {
+  SketchPtr S = parseSketch("Concat(hole{<num>,<,>},hole{<,>})");
+  ASSERT_TRUE(S);
+  // Concat + hole(2 comps: num-, comma-leaves) + hole(comma leaf).
+  EXPECT_EQ(S->size(), 6u);
+}

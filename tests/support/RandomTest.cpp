@@ -1,0 +1,67 @@
+//===- tests/support/RandomTest.cpp ---------------------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace regel;
+
+TEST(Random, DeterministicForSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Random, NextBelowInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(10), 10u);
+}
+
+TEST(Random, NextBelowCoversAllValues) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.nextBelow(5));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(Random, NextInRangeInclusive) {
+  Rng R(11);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 500; ++I) {
+    int64_t V = R.nextInRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(Random, ChanceExtremes) {
+  Rng R(13);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_TRUE(R.chance(1, 1));
+    EXPECT_FALSE(R.chance(0, 1));
+  }
+}
+
+TEST(Random, PickReturnsElement) {
+  Rng R(17);
+  std::vector<int> V{10, 20, 30};
+  for (int I = 0; I < 50; ++I) {
+    int X = R.pick(V);
+    EXPECT_TRUE(X == 10 || X == 20 || X == 30);
+  }
+}

@@ -1,0 +1,65 @@
+//===- tests/support/StringsTest.cpp --------------------------------------===//
+
+#include "support/Strings.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+TEST(Strings, SplitBasic) {
+  auto Parts = splitString("a,b,,c", ",");
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "b");
+  EXPECT_EQ(Parts[2], "c");
+}
+
+TEST(Strings, SplitMultipleSeparators) {
+  auto Parts = splitString("a b\tc", " \t");
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[2], "c");
+}
+
+TEST(Strings, SplitEmpty) { EXPECT_TRUE(splitString("", ",").empty()); }
+
+TEST(Strings, SplitNoSeparator) {
+  auto Parts = splitString("hello", ",");
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "hello");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(toLower("AbC123!"), "abc123!");
+  EXPECT_EQ(toLower(""), "");
+}
+
+TEST(Strings, IsAllDigits) {
+  EXPECT_TRUE(isAllDigits("0123456789"));
+  EXPECT_FALSE(isAllDigits("12a"));
+  EXPECT_FALSE(isAllDigits(""));
+  EXPECT_FALSE(isAllDigits("-1"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+  EXPECT_EQ(joinStrings({"solo"}, ","), "solo");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+  EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(Strings, Escape) {
+  EXPECT_EQ(escapeString("abc"), "abc");
+  EXPECT_EQ(escapeString(std::string(1, '\x01')), "\\x01");
+}

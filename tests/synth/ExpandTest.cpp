@@ -1,0 +1,199 @@
+//===- tests/synth/ExpandTest.cpp -----------------------------------------===//
+//
+// Tests of the Fig. 10 expansion rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Expand.h"
+
+#include "regex/Parser.h"
+#include "sketch/SketchParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+namespace {
+
+std::vector<PartialRegex> expandInitial(const char *SketchText,
+                                        const SynthConfig &Cfg,
+                                        unsigned Depth) {
+  SketchPtr S = parseSketch(SketchText);
+  EXPECT_TRUE(S) << SketchText;
+  PartialRegex P = PartialRegex::initial(S, Depth);
+  auto Path = P.selectOpenNode();
+  EXPECT_TRUE(Path.has_value());
+  std::vector<CharClass> Classes = SynthConfig::defaultClasses();
+  return expandNode(P, *Path, Cfg, Classes);
+}
+
+unsigned countRootOp(const std::vector<PartialRegex> &Ps, RegexKind K) {
+  unsigned N = 0;
+  for (const PartialRegex &P : Ps)
+    if (P.root()->getKind() == PLabelKind::OpLabel && P.root()->op() == K)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(Expand, ConcreteSketchBecomesLeaf) {
+  SynthConfig Cfg;
+  auto Out = expandInitial("<num>", Cfg, 3);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_TRUE(Out[0].isConcrete());
+}
+
+TEST(Expand, SketchOpInstantiatesOperator) {
+  SynthConfig Cfg;
+  auto Out = expandInitial("Concat(hole{<a>},hole{<b>})", Cfg, 3);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].root()->op(), RegexKind::Concat);
+  // Children keep the same depth budget (footnote 3 semantics apply to
+  // holes, not operator sketches).
+  EXPECT_EQ(Out[0].nodeAt({0})->sketchDepth(), 3u);
+}
+
+TEST(Expand, DepthOneHoleOnlyComponents) {
+  SynthConfig Cfg;
+  auto Out = expandInitial("hole{<num>,<,>}", Cfg, 1);
+  // Pi1 only: one expansion per component, no operator growth.
+  ASSERT_EQ(Out.size(), 2u);
+  for (const PartialRegex &P : Out)
+    EXPECT_TRUE(P.isConcrete());
+}
+
+TEST(Expand, DeepHoleGrowsOperators) {
+  SynthConfig Cfg;
+  auto Out = expandInitial("hole{<num>}", Cfg, 2);
+  // Pi1 (1 component) + Pi2 (unary ops x1 position, binary ops x2
+  // positions) + Pi3 (3 repeat ops, symbolic).
+  EXPECT_EQ(countRootOp(Out, RegexKind::Concat), 2u);
+  EXPECT_EQ(countRootOp(Out, RegexKind::Or), 2u);
+  EXPECT_EQ(countRootOp(Out, RegexKind::Not), 1u);
+  EXPECT_EQ(countRootOp(Out, RegexKind::Repeat), 1u);
+  EXPECT_EQ(countRootOp(Out, RegexKind::RepeatRange), 1u);
+  // 1 + (6 unary + 3 binary x 2) + 3 = 16.
+  EXPECT_EQ(Out.size(), 16u);
+}
+
+TEST(Expand, WidenedHoleOffersClasses) {
+  SynthConfig Cfg;
+  SketchPtr S = Sketch::unconstrained();
+  PartialRegex P = PartialRegex::initial(S, 1);
+  std::vector<CharClass> Classes = SynthConfig::defaultClasses();
+  auto Out = expandNode(P, *P.selectOpenNode(), Cfg, Classes);
+  // Depth-1 widened hole: one leaf per class.
+  EXPECT_EQ(Out.size(), Classes.size());
+}
+
+TEST(Expand, GrowingMarksSiblingsWidened) {
+  SynthConfig Cfg;
+  auto Out = expandInitial("hole{<num>}", Cfg, 2);
+  for (const PartialRegex &P : Out) {
+    if (P.root()->getKind() != PLabelKind::OpLabel ||
+        P.root()->op() != RegexKind::Concat)
+      continue;
+    const PNode *C0 = P.nodeAt({0});
+    const PNode *C1 = P.nodeAt({1});
+    // Exactly one child keeps the original (non-widened) obligation.
+    EXPECT_NE(C0->sketchWithClasses(), C1->sketchWithClasses());
+    EXPECT_EQ(C0->sketchDepth(), 1u);
+  }
+}
+
+TEST(Expand, SymbolicModeCreatesSymInts) {
+  SynthConfig Cfg;
+  Cfg.UseSymbolic = true;
+  auto Out = expandInitial("Repeat(hole{<num>},?)", Cfg, 2);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].numSymInts(), 1u);
+  EXPECT_EQ(Out[0].nodeAt({1})->getKind(), PLabelKind::SymIntLabel);
+}
+
+TEST(Expand, EnumerativeModeEnumeratesInts) {
+  SynthConfig Cfg;
+  Cfg.UseSymbolic = false;
+  Cfg.MaxInt = 6;
+  auto Out = expandInitial("Repeat(hole{<num>},?)", Cfg, 2);
+  EXPECT_EQ(Out.size(), 6u); // k = 1..6
+  for (const PartialRegex &P : Out)
+    EXPECT_EQ(P.nodeAt({1})->getKind(), PLabelKind::IntLabel);
+}
+
+TEST(Expand, EnumerativeRepeatRangeOrdersPairs) {
+  SynthConfig Cfg;
+  Cfg.UseSymbolic = false;
+  Cfg.MaxInt = 4;
+  auto Out = expandInitial("RepeatRange(hole{<num>},?,?)", Cfg, 2);
+  EXPECT_EQ(Out.size(), 10u); // pairs with 1 <= k1 <= k2 <= 4
+}
+
+TEST(Expand, ConcreteIntsInSketchRespected) {
+  SynthConfig Cfg;
+  auto Out = expandInitial("RepeatRange(hole{<num>},1,3)", Cfg, 2);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].nodeAt({1})->intValue(), 1);
+  EXPECT_EQ(Out[0].nodeAt({2})->intValue(), 3);
+}
+
+TEST(Expand, RedundantNestingPruned) {
+  // Expanding the child hole of StartsWith must not grow another
+  // containment operator directly below it.
+  SynthConfig Cfg;
+  SketchPtr S = parseSketch("hole{<num>}");
+  PNodePtr Root = PNode::opNode(RegexKind::StartsWith,
+                                {PNode::sketchNode(S, 2, false)});
+  PartialRegex P(Root, 0);
+  std::vector<CharClass> Classes = SynthConfig::defaultClasses();
+  auto Out = expandNode(P, {0}, Cfg, Classes);
+  for (const PartialRegex &Q : Out) {
+    const PNode *Child = Q.nodeAt({0});
+    if (Child->getKind() != PLabelKind::OpLabel)
+      continue;
+    RegexKind K = Child->op();
+    EXPECT_NE(K, RegexKind::StartsWith);
+    EXPECT_NE(K, RegexKind::EndsWith);
+    EXPECT_NE(K, RegexKind::Contains);
+  }
+}
+
+TEST(Expand, OptionalStackingPruned) {
+  SynthConfig Cfg;
+  PNodePtr Root = PNode::opNode(
+      RegexKind::Optional,
+      {PNode::sketchNode(parseSketch("hole{<num>}"), 2, false)});
+  PartialRegex P(Root, 0);
+  std::vector<CharClass> Classes = SynthConfig::defaultClasses();
+  auto Out = expandNode(P, {0}, Cfg, Classes);
+  for (const PartialRegex &Q : Out) {
+    const PNode *Child = Q.nodeAt({0});
+    if (Child->getKind() != PLabelKind::OpLabel)
+      continue;
+    EXPECT_NE(Child->op(), RegexKind::Optional);
+    EXPECT_NE(Child->op(), RegexKind::KleeneStar);
+  }
+}
+
+TEST(Expand, FreshSymIntIdsDoNotCollide) {
+  SynthConfig Cfg;
+  // A partial regex that already uses k0/k1 plus an open hole.
+  PNodePtr Left = PNode::opNode(
+      RegexKind::RepeatRange,
+      {PNode::leafNode(parseRegex("<num>")), PNode::symIntNode(0),
+       PNode::symIntNode(1)});
+  PNodePtr Root = PNode::opNode(
+      RegexKind::Concat,
+      {Left, PNode::sketchNode(parseSketch("hole{<num>}"), 2, false)});
+  PartialRegex P(Root, 2);
+  std::vector<CharClass> Classes = SynthConfig::defaultClasses();
+  auto Out = expandNode(P, {1}, Cfg, Classes);
+  for (const PartialRegex &Q : Out) {
+    if (Q.numSymInts() > 2) {
+      // New symbolic ints got ids 2(+3): no clash with existing k0/k1.
+      const PNode *N = Q.nodeAt({1});
+      ASSERT_EQ(N->getKind(), PLabelKind::OpLabel);
+      EXPECT_GE(N->children()[1]->symInt(), 2u);
+    }
+  }
+}

@@ -1,0 +1,170 @@
+//===- tests/synth/InferConstantsTest.cpp ---------------------------------===//
+//
+// Tests of SMT-guided constant inference (Fig. 14 / Sec. 4.2), including
+// the Theorem 4.7 completeness property on small instances.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/InferConstants.h"
+
+#include "regex/Matcher.h"
+#include "regex/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+namespace {
+
+std::vector<RegexPtr> infer(const PartialRegex &P, Examples E,
+                            SynthConfig Cfg = SynthConfig()) {
+  FeasibilityChecker Checker(E);
+  InferStats Stats;
+  return inferConstants(P, E, Cfg, Checker, Stats);
+}
+
+bool containsRegex(const std::vector<RegexPtr> &Set, const char *Text) {
+  RegexPtr R = parseRegex(Text);
+  for (const RegexPtr &C : Set)
+    if (regexEquals(C, R))
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(InferConstants, SingleVarExact) {
+  // Repeat(<num>, k): positives of lengths 3 force k == 3.
+  PNodePtr Root = PNode::opNode(
+      RegexKind::Repeat,
+      {PNode::leafNode(parseRegex("<num>")), PNode::symIntNode(0)});
+  Examples E;
+  E.Pos = {"123", "456"};
+  auto Out = infer(PartialRegex(Root, 1), E);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_TRUE(containsRegex(Out, "Repeat(<num>,3)"));
+}
+
+TEST(InferConstants, AscendingOrder) {
+  // RepeatAtLeast(<num>, k) with shortest positive of length 2: candidates
+  // come out k = 1, 2 in ascending order.
+  PNodePtr Root = PNode::opNode(
+      RegexKind::RepeatAtLeast,
+      {PNode::leafNode(parseRegex("<num>")), PNode::symIntNode(0)});
+  Examples E;
+  E.Pos = {"12", "123456"};
+  auto Out = infer(PartialRegex(Root, 1), E);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0]->getK1(), 1);
+  EXPECT_EQ(Out[1]->getK1(), 2);
+}
+
+TEST(InferConstants, RangeOrderEnforced) {
+  // RepeatRange(<num>, k1, k2) never yields k1 > k2.
+  PNodePtr Root = PNode::opNode(
+      RegexKind::RepeatRange,
+      {PNode::leafNode(parseRegex("<num>")), PNode::symIntNode(0),
+       PNode::symIntNode(1)});
+  Examples E;
+  E.Pos = {"12", "1234"};
+  SynthConfig Cfg;
+  Cfg.MaxInt = 6;
+  auto Out = infer(PartialRegex(Root, 2), E, Cfg);
+  ASSERT_FALSE(Out.empty());
+  for (const RegexPtr &R : Out) {
+    EXPECT_LE(R->getK1(), R->getK2());
+    EXPECT_LE(R->getK1(), 2);
+    EXPECT_GE(R->getK2(), 4);
+  }
+}
+
+TEST(InferConstants, Section2Decimal) {
+  // The motivating example: the intended constants (1, 15) must be among
+  // the candidates.
+  PNodePtr Left = PNode::opNode(
+      RegexKind::RepeatRange,
+      {PNode::leafNode(parseRegex("<num>")), PNode::symIntNode(0),
+       PNode::symIntNode(1)});
+  PNodePtr Tail = PNode::leafNode(
+      parseRegex("Optional(Concat(<.>,RepeatRange(<num>,1,3)))"));
+  PNodePtr Root = PNode::opNode(RegexKind::Concat, {Left, Tail});
+  Examples E;
+  E.Pos = {"123456789.123", "123456789123456.12", "12345.1",
+           "123456789123456"};
+  E.Neg = {"1234567891234567", "123.1234", "1.12345", ".1234"};
+  auto Out = infer(PartialRegex(Root, 2), E);
+  EXPECT_TRUE(containsRegex(
+      Out, "Concat(RepeatRange(<num>,1,15),Optional(Concat(<.>,RepeatRange(<"
+           "num>,1,3))))"));
+}
+
+TEST(InferConstants, UnsatisfiableLengthsYieldNothing) {
+  // Repeat(Repeat(<num>,2), k): even lengths only; positive of length 3.
+  PNodePtr Root = PNode::opNode(
+      RegexKind::Repeat,
+      {PNode::leafNode(parseRegex("Repeat(<num>,2)")), PNode::symIntNode(0)});
+  Examples E;
+  E.Pos = {"123"};
+  auto Out = infer(PartialRegex(Root, 1), E);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(InferConstants, ResultCapRespected) {
+  PNodePtr Root = PNode::opNode(
+      RegexKind::RepeatAtLeast,
+      {PNode::leafNode(parseRegex("<num>")), PNode::symIntNode(0)});
+  Examples E;
+  E.Pos = {"12345678901234567890"};
+  SynthConfig Cfg;
+  Cfg.MaxInferResults = 3;
+  auto Out = infer(PartialRegex(Root, 1), E, Cfg);
+  EXPECT_EQ(Out.size(), 3u);
+}
+
+// Theorem 4.7 analogue (completeness): every consistent instantiation is
+// in the returned set.
+TEST(InferConstants, CompletenessBruteForce) {
+  PNodePtr Root = PNode::opNode(
+      RegexKind::Concat,
+      {PNode::opNode(RegexKind::Repeat, {PNode::leafNode(parseRegex("<a>")),
+                                         PNode::symIntNode(0)}),
+       PNode::opNode(RegexKind::Repeat, {PNode::leafNode(parseRegex("<b>")),
+                                         PNode::symIntNode(1)})});
+  Examples E;
+  E.Pos = {"aabbb", "aabbb"};
+  E.Neg = {"ab"};
+  SynthConfig Cfg;
+  Cfg.MaxInt = 8;
+  auto Out = infer(PartialRegex(Root, 2), E, Cfg);
+  // Brute force: which (k0,k1) are consistent?
+  unsigned ConsistentCount = 0;
+  for (int K0 = 1; K0 <= 8; ++K0)
+    for (int K1 = 1; K1 <= 8; ++K1) {
+      PartialRegex P(Root, 2);
+      RegexPtr R = P.assignSymInt(0, K0).assignSymInt(1, K1).toRegex();
+      bool Ok = matchesDirect(R, "aabbb") && !matchesDirect(R, "ab");
+      if (!Ok)
+        continue;
+      ++ConsistentCount;
+      EXPECT_TRUE(std::any_of(Out.begin(), Out.end(), [&](const RegexPtr &C) {
+        return regexEquals(C, R);
+      })) << "missing k0=" << K0 << " k1=" << K1;
+    }
+  EXPECT_EQ(ConsistentCount, 1u); // only (2,3)
+}
+
+TEST(InferConstants, StatsPopulated) {
+  PNodePtr Root = PNode::opNode(
+      RegexKind::Repeat,
+      {PNode::leafNode(parseRegex("<num>")), PNode::symIntNode(0)});
+  Examples E;
+  E.Pos = {"1234"};
+  FeasibilityChecker Checker(E);
+  InferStats Stats;
+  SynthConfig Cfg;
+  auto Out = inferConstants(PartialRegex(Root, 1), E, Cfg, Checker, Stats);
+  EXPECT_EQ(Out.size(), 1u);
+  EXPECT_GT(Stats.SolveCalls, 0u);
+  EXPECT_GT(Stats.Iterations, 0u);
+  EXPECT_FALSE(Stats.HitIterationCap);
+}

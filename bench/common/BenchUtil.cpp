@@ -98,18 +98,25 @@ IterOutcome regel::bench::runIterativeProtocol(
     Tool T, const data::Benchmark &B,
     const std::shared_ptr<nlp::SemanticParser> &P, const ProtocolConfig &Cfg) {
   IterOutcome Out;
+  // One driver (and thus one engine + warm caches) for the whole
+  // protocol run, not one per iteration: Regel instances now own worker
+  // pools, so constructing them in the loop would churn threads and
+  // discard the cross-run caches every iteration.
+  std::unique_ptr<Regel> ToolImpl;
+  if (T == Tool::Regel) {
+    RegelConfig RC;
+    RC.BudgetMs = Cfg.BudgetMs;
+    RC.TopK = Cfg.TopK;
+    RC.NumSketches = Cfg.NumSketches;
+    ToolImpl = std::make_unique<Regel>(P, RC);
+  }
   for (unsigned Iter = 0; Iter <= Cfg.MaxIterations; ++Iter) {
     Examples E = B.examplesAt(Iter);
     Stopwatch Watch;
     std::vector<RegexPtr> Answers;
     switch (T) {
     case Tool::Regel: {
-      RegelConfig RC;
-      RC.BudgetMs = Cfg.BudgetMs;
-      RC.TopK = Cfg.TopK;
-      RC.NumSketches = Cfg.NumSketches;
-      Regel ToolImpl(P, RC);
-      RegelResult R = ToolImpl.synthesize(B.Description, E);
+      RegelResult R = ToolImpl->synthesize(B.Description, E);
       for (const RegelAnswer &A : R.Answers)
         Answers.push_back(A.Regex);
       break;

@@ -1,0 +1,200 @@
+//===- bench/engine_throughput.cpp - Concurrent engine throughput ---------===//
+//
+// Pushes the whole DeepRegex-style and StackOverflow-style corpora through
+// the concurrent synthesis engine as one big batch of jobs and reports
+// serving metrics (jobs/sec, p50/p95 latency) as JSON in BENCH_engine.json.
+//
+// Two passes run over the same corpus — single worker, then multi worker —
+// sharing the cross-run caches, exactly like a persistent serving process
+// that stays warm across requests. The multi-worker pass therefore shows
+// the combined effect of the two engine features this bench exists to
+// measure: parallel sketch tasks and cross-run cache reuse.
+//
+// Environment knobs:
+//   REGEL_BENCH_LIMIT        max benchmarks per dataset (default 25, 0 = all)
+//   REGEL_BENCH_BUDGET_MS    per-job deadline (default 1500)
+//   REGEL_ENGINE_THREADS     workers in the multi-threaded pass (default 2)
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchUtil.h"
+
+#include "data/DeepRegexSet.h"
+#include "engine/Engine.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace regel;
+using namespace regel::bench;
+
+namespace {
+
+/// The per-benchmark sketch list: the gold (annotated) sketch, the paper's
+/// root-operator hole-ification, and the pure-PBE fallback, deduplicated.
+std::vector<SketchPtr> sketchesFor(const data::Benchmark &B) {
+  std::vector<SketchPtr> Sketches;
+  auto addUnique = [&Sketches](const SketchPtr &S) {
+    if (!S)
+      return;
+    for (const SketchPtr &Existing : Sketches)
+      if (sketchEquals(Existing, S))
+        return;
+    Sketches.push_back(S);
+  };
+  addUnique(B.GoldSketch);
+  addUnique(data::rootHoleSketch(B.GroundTruth));
+  addUnique(Sketch::unconstrained());
+  return Sketches;
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size() - 1));
+  return Sorted[Idx];
+}
+
+struct PassReport {
+  unsigned Threads = 0;
+  size_t Jobs = 0;
+  size_t Solved = 0;
+  double WallMs = 0;
+  double JobsPerSec = 0;
+  double P50Ms = 0;     ///< submit -> done (includes queue wait)
+  double P95Ms = 0;
+  double ExecP50Ms = 0; ///< first task start -> done
+  double ExecP95Ms = 0;
+  engine::StatsSnapshot Stats;
+};
+
+PassReport runPass(unsigned Threads,
+                   const std::shared_ptr<engine::SharedCaches> &Caches,
+                   const std::vector<data::Benchmark> &Corpus,
+                   int64_t BudgetMs) {
+  engine::EngineConfig EC;
+  EC.Threads = Threads;
+  EC.Caches = Caches;
+  engine::Engine Eng(EC);
+
+  std::vector<engine::JobRequest> Requests;
+  Requests.reserve(Corpus.size());
+  for (const data::Benchmark &B : Corpus) {
+    engine::JobRequest R;
+    R.Sketches = sketchesFor(B);
+    R.E = B.Initial;
+    R.TopK = 1;
+    R.BudgetMs = BudgetMs;
+    R.Tag = B.Id;
+    Requests.push_back(std::move(R));
+  }
+
+  Stopwatch Wall;
+  std::vector<engine::JobResult> Results = Eng.runBatch(std::move(Requests));
+  PassReport Rep;
+  Rep.Threads = Threads;
+  Rep.Jobs = Results.size();
+  Rep.WallMs = Wall.elapsedMs();
+  std::vector<double> Latencies, ExecLatencies;
+  Latencies.reserve(Results.size());
+  ExecLatencies.reserve(Results.size());
+  for (const engine::JobResult &R : Results) {
+    Latencies.push_back(R.TotalMs);
+    ExecLatencies.push_back(R.ExecMs);
+    if (R.solved())
+      ++Rep.Solved;
+  }
+  Rep.JobsPerSec =
+      Rep.WallMs > 0 ? static_cast<double>(Rep.Jobs) * 1000.0 / Rep.WallMs : 0;
+  Rep.P50Ms = percentile(Latencies, 0.50);
+  Rep.P95Ms = percentile(Latencies, 0.95);
+  Rep.ExecP50Ms = percentile(ExecLatencies, 0.50);
+  Rep.ExecP95Ms = percentile(ExecLatencies, 0.95);
+  Rep.Stats = Eng.snapshot();
+  return Rep;
+}
+
+void appendPassJson(std::string &Out, const PassReport &R) {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "    {\"threads\":%u,\"jobs\":%zu,\"solved\":%zu,"
+                "\"wall_ms\":%.1f,\"jobs_per_sec\":%.3f,"
+                "\"p50_ms\":%.1f,\"p95_ms\":%.1f,"
+                "\"exec_p50_ms\":%.1f,\"exec_p95_ms\":%.1f,\n"
+                "     \"engine\":",
+                R.Threads, R.Jobs, R.Solved, R.WallMs, R.JobsPerSec, R.P50Ms,
+                R.P95Ms, R.ExecP50Ms, R.ExecP95Ms);
+  Out += Buf;
+  Out += R.Stats.toJson();
+  Out += "}";
+}
+
+} // namespace
+
+int main() {
+  const unsigned Limit =
+      static_cast<unsigned>(envInt("REGEL_BENCH_LIMIT", 25));
+  const int64_t BudgetMs = envInt("REGEL_BENCH_BUDGET_MS", 1500);
+  const unsigned Threads = std::max<unsigned>(
+      2, static_cast<unsigned>(envInt("REGEL_ENGINE_THREADS", 2)));
+
+  std::printf("loading corpora...\n");
+  std::vector<data::Benchmark> Corpus = limited(data::deepRegexSet(), Limit);
+  const size_t DeepCount = Corpus.size();
+  std::vector<data::Benchmark> So = limited(data::stackOverflowSet(), Limit);
+  const size_t SoCount = So.size();
+  Corpus.insert(Corpus.end(), So.begin(), So.end());
+  std::printf("corpus: %zu deepregex + %zu stackoverflow = %zu jobs/pass\n",
+              DeepCount, SoCount, Corpus.size());
+
+  // Both passes share the cross-run caches (a persistent server is always
+  // warm); the single-worker pass runs first and pays the compilations.
+  auto Caches = std::make_shared<engine::SharedCaches>(16);
+
+  std::printf("pass 1: 1 worker (cold caches)...\n");
+  PassReport Single = runPass(1, Caches, Corpus, BudgetMs);
+  std::printf("  %.2f jobs/sec, p50 %.0f ms, p95 %.0f ms, %zu/%zu solved\n",
+              Single.JobsPerSec, Single.P50Ms, Single.P95Ms, Single.Solved,
+              Single.Jobs);
+
+  std::printf("pass 2: %u workers (warm caches)...\n", Threads);
+  PassReport Multi = runPass(Threads, Caches, Corpus, BudgetMs);
+  std::printf("  %.2f jobs/sec, p50 %.0f ms, p95 %.0f ms, %zu/%zu solved\n",
+              Multi.JobsPerSec, Multi.P50Ms, Multi.P95Ms, Multi.Solved,
+              Multi.Jobs);
+
+  std::string Json = "{\n  \"bench\": \"engine_throughput\",\n";
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"corpus\": {\"deepregex\": %zu, \"stackoverflow\": %zu},\n"
+                "  \"budget_ms\": %lld,\n  \"passes\": [\n",
+                DeepCount, SoCount, static_cast<long long>(BudgetMs));
+  Json += Buf;
+  appendPassJson(Json, Single);
+  Json += ",\n";
+  appendPassJson(Json, Multi);
+  Json += "\n  ],\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"speedup_multi_over_single\": %.3f\n}\n",
+                Single.JobsPerSec > 0 ? Multi.JobsPerSec / Single.JobsPerSec
+                                      : 0.0);
+  Json += Buf;
+
+  const char *OutPath = "BENCH_engine.json";
+  if (FILE *F = std::fopen(OutPath, "w")) {
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+    std::printf("wrote %s\n", OutPath);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", OutPath);
+    return 1;
+  }
+
+  if (Multi.JobsPerSec < Single.JobsPerSec)
+    std::printf("WARNING: multi-thread pass slower than single-thread\n");
+  return 0;
+}

@@ -15,6 +15,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchUtil.h"
+
+#include "engine/Engine.h"
 #include "support/Random.h"
 
 #include <cmath>
@@ -32,13 +34,19 @@ int main() {
   // Cache per-benchmark outcomes (each task is attempted by several
   // simulated users; the agents are deterministic given the budget).
   std::vector<int> WithTool(Set.size(), -1), WithoutTool(Set.size(), -1);
+  // All per-benchmark drivers share one engine so its worker pool and
+  // cross-run caches persist across the study instead of being rebuilt
+  // per task.
+  engine::EngineConfig EC;
+  EC.Threads = 1;
+  auto Eng = std::make_shared<engine::Engine>(EC);
   auto solveWith = [&](size_t I) -> bool {
     if (WithTool[I] < 0) {
       RegelConfig RC;
       RC.BudgetMs = BudgetMs;
       RC.TopK = 5;
       RC.NumSketches = 10;
-      Regel Tool(Parsers[I % Parsers.size()], RC);
+      Regel Tool(Parsers[I % Parsers.size()], RC, Eng);
       RegelResult R = Tool.synthesize(Set[I].Description, Set[I].Initial);
       std::vector<RegexPtr> Answers;
       for (const RegelAnswer &A : R.Answers)

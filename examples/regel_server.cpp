@@ -1,0 +1,121 @@
+//===- examples/regel_server.cpp - REPL-style synthesis server ------------===//
+//
+// Build & run:  ./build/examples/regel_server [threads]
+//
+// A line-oriented server driver for the concurrent engine: one persistent
+// engine::Engine serves every request, so worker threads and the cross-run
+// caches (regex->DFA, sketch approximations) stay warm between queries —
+// the serving setup the engine subsystem exists for. Protocol (stdin):
+//
+//   desc <english description>   set the query description
+//   pos <string>                 add a positive example ("" for empty)
+//   neg <string>                 add a negative example
+//   topk <k> | budget <ms>       tune the current query
+//   solve                        run the query on the engine
+//   clear                        reset the current query
+//   stats                        engine counters as JSON
+//   help | quit
+//
+// Example session:
+//   desc a capital letter followed by 2 digits
+//   pos A12
+//   pos Z99
+//   neg 12
+//   neg a12
+//   solve
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Regel.h"
+#include "engine/Engine.h"
+#include "regex/Printer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+using namespace regel;
+
+namespace {
+
+void printHelp() {
+  std::printf(
+      "commands: desc <text> | pos <str> | neg <str> | topk <k> |\n"
+      "          budget <ms> | solve | clear | stats | help | quit\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Threads = 2;
+  if (argc > 1)
+    Threads = static_cast<unsigned>(std::atoi(argv[1]));
+
+  engine::EngineConfig EC;
+  EC.Threads = Threads;
+  auto Eng = std::make_shared<engine::Engine>(EC);
+  auto Parser = std::make_shared<nlp::SemanticParser>();
+
+  RegelConfig Cfg;
+  Cfg.NumSketches = 10;
+  Cfg.BudgetMs = 5000;
+  Cfg.TopK = 1;
+
+  std::printf("regel_server: %u workers; type 'help' for commands\n",
+              Eng->threadCount());
+
+  std::string Description;
+  Examples E;
+  std::string Line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, Line)) {
+    std::string Cmd = Line.substr(0, Line.find(' '));
+    std::string Arg =
+        Line.size() > Cmd.size() ? Line.substr(Cmd.size() + 1) : "";
+
+    if (Cmd == "quit" || Cmd == "exit")
+      break;
+    if (Cmd == "help" || Cmd.empty()) {
+      printHelp();
+    } else if (Cmd == "desc") {
+      Description = Arg;
+    } else if (Cmd == "pos") {
+      E.Pos.push_back(Arg);
+    } else if (Cmd == "neg") {
+      E.Neg.push_back(Arg);
+    } else if (Cmd == "topk") {
+      Cfg.TopK = static_cast<unsigned>(std::max(1, std::atoi(Arg.c_str())));
+    } else if (Cmd == "budget") {
+      Cfg.BudgetMs = std::max(1, std::atoi(Arg.c_str()));
+    } else if (Cmd == "clear") {
+      Description.clear();
+      E = Examples();
+    } else if (Cmd == "stats") {
+      std::printf("%s\n", Eng->snapshot().toJson().c_str());
+    } else if (Cmd == "solve") {
+      if (E.Pos.empty() && Description.empty()) {
+        std::printf("nothing to solve: give a desc and/or examples first\n");
+        continue;
+      }
+      // A fresh Regel per query is deliberate: drivers are disposable
+      // config holders, the persistent state lives in Eng and Parser.
+      Regel Tool(Parser, Cfg, Eng);
+      RegelResult R = Tool.synthesize(Description, E);
+      if (!R.solved()) {
+        std::printf("no solution within %lld ms (%zu sketches tried)\n",
+                    static_cast<long long>(Cfg.BudgetMs), R.Sketches.size());
+        continue;
+      }
+      for (const RegelAnswer &A : R.Answers)
+        std::printf("answer: %s\n   posix: %s\n   sketch[%u]: %s\n",
+                    printRegex(A.Regex).c_str(),
+                    printPosix(A.Regex).c_str(), A.SketchRank,
+                    printSketch(A.Sketch).c_str());
+      std::printf("   parse %.1f ms, synth %.1f ms\n", R.ParseMs, R.SynthMs);
+    } else {
+      std::printf("unknown command '%s'\n", Cmd.c_str());
+      printHelp();
+    }
+  }
+  return 0;
+}

@@ -193,7 +193,16 @@ const Dfa &DfaCache::get(const RegexPtr &R) {
     return *It->second;
   }
   ++Misses;
+  if (Shared) {
+    if (std::shared_ptr<const Dfa> D = Shared->lookup(R)) {
+      ++SharedHits;
+      auto [Ins, _] = Cache.emplace(R, std::move(D));
+      return *Ins->second;
+    }
+  }
   auto D = std::make_shared<const Dfa>(compileRegex(R));
+  if (Shared)
+    Shared->publish(R, D);
   auto [Ins, _] = Cache.emplace(R, std::move(D));
   return *Ins->second;
 }

@@ -24,14 +24,35 @@ namespace regel {
 /// Compiles \p R to a minimized complete DFA (no caching).
 Dfa compileRegex(const RegexPtr &R);
 
+/// Backing store a DfaCache may consult on a local miss and publish fresh
+/// compilations to. Implementations must be thread-safe: the concurrent
+/// engine shares one store (sharded, see engine/Caches.h) across all
+/// synthesis runs so DFA compilations amortize over a whole workload.
+class DfaStore {
+public:
+  virtual ~DfaStore() = default;
+
+  /// Returns the stored DFA for \p R, or nullptr.
+  virtual std::shared_ptr<const Dfa> lookup(const RegexPtr &R) = 0;
+
+  /// Offers a freshly compiled DFA to the store (keep-or-drop is up to the
+  /// implementation).
+  virtual void publish(const RegexPtr &R, std::shared_ptr<const Dfa> D) = 0;
+};
+
 /// Structural-hash cache from regex to compiled DFA.
 ///
-/// Not thread-safe; the multi-threaded driver gives each worker its own
-/// cache.
+/// Not thread-safe by itself; each synthesis run owns one. When a shared
+/// backing store is attached, local misses consult it before compiling and
+/// publish what they compile — the lock-free fast path stays local while
+/// compilations are shared across runs and threads.
 class DfaCache {
 public:
   /// Returns the DFA for \p R, compiling it on first use.
   const Dfa &get(const RegexPtr &R);
+
+  /// Attaches (or detaches, with nullptr) a shared backing store.
+  void setSharedStore(DfaStore *S) { Shared = S; }
 
   /// Membership through the cache.
   bool matches(const RegexPtr &R, const std::string &Input) {
@@ -49,13 +70,16 @@ public:
 
   uint64_t hits() const { return Hits; }
   uint64_t misses() const { return Misses; }
+  uint64_t sharedHits() const { return SharedHits; }
 
 private:
   std::unordered_map<RegexPtr, std::shared_ptr<const Dfa>, RegexPtrHash,
                      RegexPtrEq>
       Cache;
+  DfaStore *Shared = nullptr;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  uint64_t SharedHits = 0; ///< local misses served by the shared store
 };
 
 /// Semantic equivalence of two DSL regexes (full printable-ASCII alphabet).

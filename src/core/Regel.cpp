@@ -2,28 +2,74 @@
 
 #include "core/Regel.h"
 
+#include "engine/Engine.h"
 #include "support/Timer.h"
 
-#include <atomic>
-#include <mutex>
-#include <thread>
-#include <unordered_set>
+#include <algorithm>
 
 using namespace regel;
 
-Regel::Regel(std::shared_ptr<nlp::SemanticParser> Parser, RegelConfig Cfg)
-    : Parser(std::move(Parser)), Cfg(std::move(Cfg)) {}
+namespace {
 
-RegelResult Regel::synthesize(const std::string &Description,
-                              const Examples &E) const {
-  Stopwatch ParseWatch;
+engine::EngineConfig engineConfigFor(const RegelConfig &Cfg) {
+  engine::EngineConfig EC;
+  EC.Threads = std::max(1u, Cfg.Threads);
+  return EC;
+}
+
+engine::JobRequest requestFor(const RegelConfig &Cfg,
+                              std::vector<SketchPtr> Sketches,
+                              const Examples &E) {
+  engine::JobRequest R;
+  R.Sketches = std::move(Sketches);
+  R.E = E;
+  R.TopK = Cfg.TopK;
+  R.BudgetMs = Cfg.BudgetMs;
+  R.Synth = Cfg.Synth;
+  R.Deterministic = Cfg.Deterministic;
+  return R;
+}
+
+RegelResult resultFrom(const engine::JobResult &JR,
+                       std::vector<SketchPtr> Sketches) {
+  RegelResult Result;
+  Result.Sketches = std::move(Sketches);
+  // Synthesis time, not residence time: on a loaded shared engine TotalMs
+  // includes queue wait, which is not what SynthMs has always meant.
+  Result.SynthMs = JR.ExecMs;
+  Result.Answers.reserve(JR.Answers.size());
+  for (const engine::JobAnswer &A : JR.Answers)
+    Result.Answers.push_back({A.Regex, A.SketchRank, A.Sketch});
+  return Result;
+}
+
+} // namespace
+
+Regel::Regel(std::shared_ptr<nlp::SemanticParser> Parser, RegelConfig Cfg)
+    : Parser(std::move(Parser)), Cfg(std::move(Cfg)),
+      Eng(std::make_shared<engine::Engine>(engineConfigFor(this->Cfg))) {}
+
+Regel::Regel(std::shared_ptr<nlp::SemanticParser> Parser, RegelConfig Cfg,
+             std::shared_ptr<engine::Engine> Eng)
+    : Parser(std::move(Parser)), Cfg(std::move(Cfg)), Eng(std::move(Eng)) {}
+
+std::vector<SketchPtr>
+Regel::sketchesFor(const std::string &Description) const {
   std::vector<nlp::ScoredSketch> Scored =
       Parser->parse(Description, Cfg.NumSketches);
   std::vector<SketchPtr> Sketches;
+  Sketches.reserve(Scored.size());
   for (nlp::ScoredSketch &S : Scored)
     Sketches.push_back(std::move(S.Sketch));
   if (Sketches.empty())
     Sketches.push_back(Sketch::unconstrained()); // fall back to pure PBE
+  return Sketches;
+}
+
+RegelResult Regel::synthesize(const std::string &Description,
+                              const Examples &E) const {
+  Stopwatch ParseWatch;
+  std::vector<SketchPtr> Sketches = sketchesFor(Description);
   double ParseMs = ParseWatch.elapsedMs();
 
   RegelResult Result = synthesizeFromSketches(Sketches, E);
@@ -33,68 +79,35 @@ RegelResult Regel::synthesize(const std::string &Description,
 
 RegelResult Regel::synthesizeFromSketches(
     const std::vector<SketchPtr> &Sketches, const Examples &E) const {
-  RegelResult Result;
-  Result.Sketches = Sketches;
-  Stopwatch SynthWatch;
-  Deadline Total(Cfg.BudgetMs);
+  engine::JobPtr Job = Eng->submit(requestFor(Cfg, Sketches, E));
+  return resultFrom(Job->wait(), Sketches);
+}
 
-  // Per-sketch budget: an equal split of the total, with a floor so early
-  // (better-ranked) sketches get a meaningful slice even for large lists.
-  int64_t PerSketch =
-      Cfg.BudgetMs > 0
-          ? std::max<int64_t>(Cfg.BudgetMs / std::max<size_t>(
-                                                 Sketches.size(), 1),
-                              250)
-          : 0;
-
-  std::mutex Lock;
-  std::unordered_set<size_t> Seen;
-  std::atomic<bool> Done{false};
-  std::atomic<size_t> Next{0};
-
-  auto worker = [&]() {
-    while (!Done.load()) {
-      size_t Idx = Next.fetch_add(1);
-      if (Idx >= Sketches.size() || Total.expired())
-        return;
-      SynthConfig SC = Cfg.Synth;
-      SC.TopK = Cfg.TopK;
-      SC.BudgetMs = PerSketch;
-      if (Cfg.BudgetMs > 0) {
-        int64_t Remaining =
-            Cfg.BudgetMs - static_cast<int64_t>(Total.elapsedMs());
-        if (Remaining <= 0)
-          return;
-        SC.BudgetMs = std::min<int64_t>(PerSketch, Remaining);
-      }
-      Synthesizer Engine(SC);
-      SynthResult SR = Engine.run(Sketches[Idx], E);
-      if (SR.Solutions.empty())
-        continue;
-      std::lock_guard<std::mutex> Guard(Lock);
-      for (RegexPtr &R : SR.Solutions) {
-        if (!Seen.insert(R->hash()).second)
-          continue;
-        Result.Answers.push_back(
-            {std::move(R), static_cast<unsigned>(Idx), Sketches[Idx]});
-        if (Result.Answers.size() >= Cfg.TopK) {
-          Done.store(true);
-          break;
-        }
-      }
-    }
-  };
-
-  if (Cfg.Threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> Pool;
-    for (unsigned T = 0; T < Cfg.Threads; ++T)
-      Pool.emplace_back(worker);
-    for (std::thread &T : Pool)
-      T.join();
+std::vector<RegelResult>
+Regel::synthesizeBatch(const std::vector<RegelQuery> &Queries) const {
+  // Parse every description up front (cheap, single-threaded), then hand
+  // the whole batch to the engine so jobs run concurrently.
+  std::vector<std::vector<SketchPtr>> SketchLists;
+  std::vector<double> ParseTimes;
+  SketchLists.reserve(Queries.size());
+  ParseTimes.reserve(Queries.size());
+  for (const RegelQuery &Q : Queries) {
+    Stopwatch ParseWatch;
+    SketchLists.push_back(sketchesFor(Q.Description));
+    ParseTimes.push_back(ParseWatch.elapsedMs());
   }
 
-  Result.SynthMs = SynthWatch.elapsedMs();
-  return Result;
+  std::vector<engine::JobPtr> Jobs;
+  Jobs.reserve(Queries.size());
+  for (size_t I = 0; I < Queries.size(); ++I)
+    Jobs.push_back(Eng->submit(requestFor(Cfg, SketchLists[I], Queries[I].E)));
+
+  std::vector<RegelResult> Results;
+  Results.reserve(Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    RegelResult R = resultFrom(Jobs[I]->wait(), std::move(SketchLists[I]));
+    R.ParseMs = ParseTimes[I];
+    Results.push_back(std::move(R));
+  }
+  return Results;
 }

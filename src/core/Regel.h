@@ -2,9 +2,11 @@
 //
 // Part of the Regel reproduction. The end-to-end tool of Sec. 6: parse the
 // English description into a ranked list of h-sketches, run one PBE engine
-// instance per sketch (the paper runs 25 in parallel; we iterate them under
-// a shared wall-clock budget, optionally on worker threads), and return up
-// to k consistent regexes.
+// instance per sketch (the paper runs 25 in parallel), and return up to k
+// consistent regexes. Since the engine rewire, the per-sketch runs execute
+// as jobs on a persistent engine::Engine — a shared work-stealing worker
+// pool with cross-run caches — instead of ad-hoc threads per request; many
+// Regel instances (or a server) can share one engine.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,13 +20,25 @@
 
 namespace regel {
 
+namespace engine {
+class Engine;
+}
+
 /// Driver configuration (defaults follow Sec. 6/7).
 struct RegelConfig {
   unsigned NumSketches = 25;  ///< sketches taken from the parser
   unsigned TopK = 1;          ///< results shown to the user
   int64_t BudgetMs = 10000;   ///< total time budget t
   SynthConfig Synth;          ///< PBE engine settings (BudgetMs is split)
-  unsigned Threads = 1;       ///< PBE instances run on this many workers
+  unsigned Threads = 1;       ///< workers of a self-owned engine
+
+  /// Run every sketch to completion and order answers by sketch rank, so
+  /// results do not depend on worker count or scheduling (costs the work
+  /// cancellation-on-first-success would skip). Scheduling independence
+  /// additionally needs deterministic search bounds: BudgetMs = 0 with a
+  /// Synth.MaxPops cap, since wall-clock budgets truncate searches at
+  /// timing-dependent points.
+  bool Deterministic = false;
 };
 
 /// One synthesized result.
@@ -44,12 +58,25 @@ struct RegelResult {
   bool solved() const { return !Answers.empty(); }
 };
 
+/// One query of a batch request.
+struct RegelQuery {
+  std::string Description;
+  Examples E;
+};
+
 /// The multi-modal synthesizer.
 class Regel {
 public:
-  /// \p Parser is shared (it carries the trained model weights).
+  /// \p Parser is shared (it carries the trained model weights). The
+  /// driver creates its own engine with Cfg.Threads workers.
   explicit Regel(std::shared_ptr<nlp::SemanticParser> Parser,
                  RegelConfig Cfg = RegelConfig());
+
+  /// Runs on \p Eng instead of a self-owned engine — the serving setup:
+  /// one process-wide engine, many drivers/requests (Cfg.Threads is
+  /// ignored; the engine's pool decides parallelism).
+  Regel(std::shared_ptr<nlp::SemanticParser> Parser, RegelConfig Cfg,
+        std::shared_ptr<engine::Engine> Eng);
 
   /// Synthesizes regexes from \p Description and \p E.
   RegelResult synthesize(const std::string &Description,
@@ -60,11 +87,23 @@ public:
   RegelResult synthesizeFromSketches(const std::vector<SketchPtr> &Sketches,
                                      const Examples &E) const;
 
+  /// Parses every query, submits all jobs to the engine at once, and
+  /// waits for all of them: concurrent queries share the pool and caches
+  /// instead of running one-by-one.
+  std::vector<RegelResult>
+  synthesizeBatch(const std::vector<RegelQuery> &Queries) const;
+
   const RegelConfig &config() const { return Cfg; }
 
+  /// The engine this driver runs on.
+  const std::shared_ptr<engine::Engine> &engine() const { return Eng; }
+
 private:
+  std::vector<SketchPtr> sketchesFor(const std::string &Description) const;
+
   std::shared_ptr<nlp::SemanticParser> Parser;
   RegelConfig Cfg;
+  std::shared_ptr<engine::Engine> Eng;
 };
 
 } // namespace regel

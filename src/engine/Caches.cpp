@@ -1,0 +1,104 @@
+//===- engine/Caches.cpp --------------------------------------------------===//
+
+#include "engine/Caches.h"
+
+#include <algorithm>
+
+using namespace regel;
+using namespace regel::engine;
+
+ShardedDfaStore::ShardedDfaStore(unsigned NumShards) {
+  NumShards = std::max(1u, NumShards);
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+ShardedDfaStore::Shard &ShardedDfaStore::shardFor(const RegexPtr &R) {
+  return *Shards[R->hash() % Shards.size()];
+}
+
+std::shared_ptr<const Dfa> ShardedDfaStore::lookup(const RegexPtr &R) {
+  Shard &S = shardFor(R);
+  std::lock_guard<std::mutex> Guard(S.M);
+  auto It = S.Map.find(R);
+  if (It == S.Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+void ShardedDfaStore::publish(const RegexPtr &R,
+                              std::shared_ptr<const Dfa> D) {
+  Shard &S = shardFor(R);
+  std::lock_guard<std::mutex> Guard(S.M);
+  S.Map.emplace(R, std::move(D)); // first publisher wins
+}
+
+size_t ShardedDfaStore::size() const {
+  size_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S->M);
+    Total += S->Map.size();
+  }
+  return Total;
+}
+
+void ShardedDfaStore::clear() {
+  for (std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S->M);
+    S->Map.clear();
+  }
+}
+
+ShardedApproxStore::ShardedApproxStore(unsigned NumShards) {
+  NumShards = std::max(1u, NumShards);
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+ShardedApproxStore::Shard &
+ShardedApproxStore::shardFor(const SketchPtr &S, unsigned Depth,
+                             bool WithClasses) {
+  return *Shards[KeyHash{}({S, Depth, WithClasses}) % Shards.size()];
+}
+
+bool ShardedApproxStore::lookup(const SketchPtr &S, unsigned Depth,
+                                bool WithClasses, Approx &Out) {
+  Shard &Sh = shardFor(S, Depth, WithClasses);
+  std::lock_guard<std::mutex> Guard(Sh.M);
+  auto It = Sh.Map.find({S, Depth, WithClasses});
+  if (It == Sh.Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  Out = It->second;
+  return true;
+}
+
+void ShardedApproxStore::publish(const SketchPtr &S, unsigned Depth,
+                                 bool WithClasses, const Approx &A) {
+  Shard &Sh = shardFor(S, Depth, WithClasses);
+  std::lock_guard<std::mutex> Guard(Sh.M);
+  Sh.Map.emplace(Key{S, Depth, WithClasses}, A);
+}
+
+size_t ShardedApproxStore::size() const {
+  size_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S->M);
+    Total += S->Map.size();
+  }
+  return Total;
+}
+
+void ShardedApproxStore::clear() {
+  for (std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S->M);
+    S->Map.clear();
+  }
+}

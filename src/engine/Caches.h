@@ -1,0 +1,121 @@
+//===- engine/Caches.h - Sharded cross-run caches ---------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. Thread-safe sharded implementations of
+// the two cache seams the synthesis layers expose:
+//
+//   * regex -> DFA (automata/Compile's DfaStore): every synthesis run keeps
+//     its lock-free local DfaCache and falls through to the shared store on
+//     a miss, so DFA determinization/minimization is paid once per process
+//     per distinct regex instead of once per run.
+//
+//   * (sketch, depth, widened) -> over/under approximation
+//     (synth/Approximate's SketchApproxStore): approximations are
+//     example-independent, so concurrent jobs over a corpus that reuses
+//     sketches share them outright.
+//
+// Sharding bounds lock contention: keys hash to one of N independently
+// locked maps, so workers rarely collide on a mutex.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_ENGINE_CACHES_H
+#define REGEL_ENGINE_CACHES_H
+
+#include "automata/Compile.h"
+#include "synth/Approximate.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace regel::engine {
+
+/// A sharded, thread-safe regex -> DFA store.
+class ShardedDfaStore : public DfaStore {
+public:
+  explicit ShardedDfaStore(unsigned NumShards = 16);
+
+  std::shared_ptr<const Dfa> lookup(const RegexPtr &R) override;
+  void publish(const RegexPtr &R, std::shared_ptr<const Dfa> D) override;
+
+  size_t size() const;
+  void clear();
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+
+private:
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<RegexPtr, std::shared_ptr<const Dfa>, RegexPtrHash,
+                       RegexPtrEq>
+        Map;
+  };
+
+  Shard &shardFor(const RegexPtr &R);
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+/// A sharded, thread-safe (sketch, depth, widened) -> approximation memo.
+class ShardedApproxStore : public SketchApproxStore {
+public:
+  explicit ShardedApproxStore(unsigned NumShards = 16);
+
+  bool lookup(const SketchPtr &S, unsigned Depth, bool WithClasses,
+              Approx &Out) override;
+  void publish(const SketchPtr &S, unsigned Depth, bool WithClasses,
+               const Approx &A) override;
+
+  size_t size() const;
+  void clear();
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+
+private:
+  struct Key {
+    SketchPtr S;
+    unsigned Depth;
+    bool WithClasses;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      return K.S->hash() ^ (static_cast<size_t>(K.Depth) << 1) ^
+             (K.WithClasses ? 0x9e3779b97f4a7c15ull : 0);
+    }
+  };
+  struct KeyEq {
+    bool operator()(const Key &A, const Key &B) const {
+      return A.Depth == B.Depth && A.WithClasses == B.WithClasses &&
+             sketchEquals(A.S, B.S);
+    }
+  };
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<Key, Approx, KeyHash, KeyEq> Map;
+  };
+
+  Shard &shardFor(const SketchPtr &S, unsigned Depth, bool WithClasses);
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+/// The caches one engine (or several engines, when passed explicitly)
+/// share across all jobs.
+struct SharedCaches {
+  explicit SharedCaches(unsigned NumShards = 16)
+      : Dfa(NumShards), Approx(NumShards) {}
+
+  ShardedDfaStore Dfa;
+  ShardedApproxStore Approx;
+};
+
+} // namespace regel::engine
+
+#endif // REGEL_ENGINE_CACHES_H

@@ -1,0 +1,203 @@
+//===- engine/Engine.cpp --------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "synth/Synthesizer.h"
+
+#include <algorithm>
+
+using namespace regel;
+using namespace regel::engine;
+
+Engine::Engine(EngineConfig C)
+    : Cfg(std::move(C)),
+      Caches(Cfg.Caches ? Cfg.Caches
+                        : std::make_shared<SharedCaches>(Cfg.CacheShards)),
+      Pool(std::max(1u, Cfg.Threads)) {}
+
+Engine::~Engine() {
+  // WorkerPool's destructor drains the queues; jobs submitted before the
+  // destructor all complete and their waiters wake.
+}
+
+JobPtr Engine::submit(JobRequest R) {
+  Stats.jobSubmitted();
+  JobPtr J(new SynthJob(std::move(R)));
+  const size_t NumTasks = J->Req.Sketches.size();
+  if (NumTasks == 0) {
+    // Nothing to search: complete the job on the spot.
+    std::lock_guard<std::mutex> Guard(J->M);
+    J->Result.TotalMs = J->SinceSubmit.elapsedMs();
+    J->Ready = true;
+    J->CV.notify_all();
+    Stats.jobCompleted(/*Solved=*/false, /*DeadlineExpired=*/false);
+    return J;
+  }
+  Queue.add(J);
+  J->Remaining.store(static_cast<unsigned>(NumTasks),
+                     std::memory_order_relaxed);
+  for (unsigned Rank = 0; Rank < NumTasks; ++Rank) {
+    if (!Pool.submit([this, J, Rank] { runSketchTask(J, Rank); })) {
+      // Pool is shutting down; account the task as cancelled so the job
+      // still completes.
+      Stats.taskCancelled();
+      {
+        std::lock_guard<std::mutex> Guard(J->M);
+        ++J->Result.TasksCancelled;
+      }
+      finishTask(J);
+    }
+  }
+  return J;
+}
+
+std::vector<JobResult> Engine::runBatch(std::vector<JobRequest> Requests) {
+  std::vector<JobPtr> Jobs;
+  Jobs.reserve(Requests.size());
+  for (JobRequest &R : Requests)
+    Jobs.push_back(submit(std::move(R)));
+  std::vector<JobResult> Results;
+  Results.reserve(Jobs.size());
+  for (const JobPtr &J : Jobs)
+    Results.push_back(J->wait());
+  return Results;
+}
+
+void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
+  J->markStarted();
+
+  const JobRequest &Req = J->Req;
+  bool DeadlineHit = J->deadlineExpired() &&
+                     !J->Cancel.load(std::memory_order_relaxed);
+  if (DeadlineHit)
+    J->Cancel.store(true, std::memory_order_relaxed);
+  if (J->Cancel.load(std::memory_order_relaxed)) {
+    Stats.taskCancelled();
+    std::lock_guard<std::mutex> Guard(J->M);
+    ++J->Result.TasksCancelled;
+    if (DeadlineHit)
+      J->Result.DeadlineExpired = true;
+    // The lock is released before finishTask below; finalize re-locks.
+  } else {
+    SynthConfig SC = Req.Synth;
+    SC.TopK = Req.TopK;
+    SC.SharedDfa = &Caches->Dfa;
+    SC.SharedApprox = &Caches->Approx;
+    // Deterministic jobs must not stop mid-search because a sibling
+    // succeeded; they still honour client cancel() and the job deadline
+    // through the same flag (set above on deadline expiry).
+    SC.CancelFlag = &J->Cancel;
+
+    // Per-sketch slice of the job budget: explicit, or an equal split with
+    // a floor so early (better-ranked) sketches keep a meaningful slice
+    // for large sketch lists; always clamped to what is left of the job.
+    int64_t PerSketch = Req.PerSketchBudgetMs;
+    if (PerSketch <= 0 && Req.BudgetMs > 0)
+      PerSketch = std::max<int64_t>(
+          Req.BudgetMs / static_cast<int64_t>(Req.Sketches.size()), 250);
+    SC.BudgetMs = PerSketch;
+    if (Req.BudgetMs > 0) {
+      int64_t RemainingMs =
+          Req.BudgetMs - static_cast<int64_t>(J->execElapsedMs());
+      RemainingMs = std::max<int64_t>(RemainingMs, 1);
+      SC.BudgetMs = PerSketch > 0 ? std::min(PerSketch, RemainingMs)
+                                  : RemainingMs;
+    }
+
+    Synthesizer Synth(SC);
+    SynthResult SR = Synth.run(Req.Sketches[Rank], Req.E);
+    Stats.taskRan();
+    Stats.addSynth(SR.Stats);
+    if (SR.Cancelled)
+      Stats.taskCancelled();
+
+    std::lock_guard<std::mutex> Guard(J->M);
+    ++J->Result.TasksRun;
+    if (SR.Cancelled)
+      ++J->Result.TasksCancelled; // ran, but was stopped mid-search
+    if (Req.Deterministic) {
+      J->PerSketch[Rank] = std::move(SR.Solutions);
+    } else {
+      for (RegexPtr &R : SR.Solutions) {
+        // A straggler that finished its search before noticing the cancel
+        // flag must not push past the TopK contract.
+        if (J->Result.Answers.size() >= Req.TopK)
+          break;
+        if (!J->SeenHashes.insert(R->hash()).second)
+          continue;
+        J->Result.Answers.push_back({std::move(R), Rank, Req.Sketches[Rank]});
+        if (J->Result.Answers.size() >= Req.TopK) {
+          // Enough answers: cancel sibling tasks (queued ones will skip,
+          // running ones stop at their next deadline poll).
+          J->Cancel.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+  }
+
+  finishTask(J);
+}
+
+void Engine::finishTask(const JobPtr &J) {
+  if (J->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    finalize(J);
+}
+
+void Engine::finalize(const JobPtr &J) {
+  // Everything observable (stats, queue depth) is updated BEFORE Ready is
+  // signalled, so a waiter that wakes from wait() sees the completed
+  // state.
+  bool Solved, DeadlineExpired;
+  uint64_t NumAnswers;
+  {
+    std::lock_guard<std::mutex> Guard(J->M);
+    if (J->Req.Deterministic) {
+      // Merge per-rank buckets in rank order: the same answer set (and
+      // order) a single worker produces, whatever the thread count.
+      for (unsigned Rank = 0;
+           Rank < J->PerSketch.size() &&
+           J->Result.Answers.size() < J->Req.TopK;
+           ++Rank) {
+        for (RegexPtr &R : J->PerSketch[Rank]) {
+          if (!J->SeenHashes.insert(R->hash()).second)
+            continue;
+          J->Result.Answers.push_back(
+              {std::move(R), Rank, J->Req.Sketches[Rank]});
+          if (J->Result.Answers.size() >= J->Req.TopK)
+            break;
+        }
+      }
+      J->PerSketch.clear();
+    }
+    J->Result.TotalMs = J->SinceSubmit.elapsedMs();
+    J->Result.ExecMs = J->execElapsedMs();
+    J->Result.QueueMs = J->Result.TotalMs - J->Result.ExecMs;
+    if (J->deadlineExpired() && !J->Result.solved())
+      J->Result.DeadlineExpired = true;
+    Solved = J->Result.solved();
+    DeadlineExpired = J->Result.DeadlineExpired;
+    NumAnswers = J->Result.Answers.size();
+  }
+  Stats.jobCompleted(Solved, DeadlineExpired);
+  Stats.solutionsFound(NumAnswers);
+  Queue.remove(J.get());
+  {
+    std::lock_guard<std::mutex> Guard(J->M);
+    J->Ready = true;
+  }
+  J->CV.notify_all();
+}
+
+StatsSnapshot Engine::snapshot() const {
+  StatsSnapshot S;
+  Stats.fill(S);
+  S.TasksStolen = Pool.tasksStolen();
+  S.DfaStoreHits = Caches->Dfa.hits();
+  S.DfaStoreMisses = Caches->Dfa.misses();
+  S.DfaStoreSize = Caches->Dfa.size();
+  S.ApproxStoreHits = Caches->Approx.hits();
+  S.ApproxStoreMisses = Caches->Approx.misses();
+  S.ApproxStoreSize = Caches->Approx.size();
+  return S;
+}

@@ -1,0 +1,85 @@
+//===- engine/Engine.h - Concurrent synthesis engine ------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. The serving layer the paper's Sec. 6
+// parallelism grows into: one persistent Engine per process (or per
+// tenant) accepts many concurrent synthesis jobs, fans each out into one
+// task per sketch on a shared work-stealing worker pool, cancels sibling
+// tasks as soon as a job has its TopK answers, enforces per-job deadlines,
+// and shares the regex->DFA and sketch-approximation caches across every
+// run. core/Regel is a thin client of this class; servers and benches can
+// drive it directly through the batch API.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_ENGINE_ENGINE_H
+#define REGEL_ENGINE_ENGINE_H
+
+#include "engine/Caches.h"
+#include "engine/Job.h"
+#include "engine/Stats.h"
+#include "engine/WorkerPool.h"
+
+#include <memory>
+#include <vector>
+
+namespace regel::engine {
+
+struct EngineConfig {
+  /// Worker threads in the pool.
+  unsigned Threads = 2;
+
+  /// Shards per cross-run cache (locks scale with this).
+  unsigned CacheShards = 16;
+
+  /// Cross-run caches to use. When null the engine creates its own;
+  /// passing one lets several engines (or engine generations across
+  /// restarts of a config) share warmed caches.
+  std::shared_ptr<SharedCaches> Caches;
+};
+
+class Engine {
+public:
+  explicit Engine(EngineConfig Cfg = EngineConfig());
+
+  /// Cancels nothing: drains every queued task, then joins the workers.
+  ~Engine();
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Enqueues one job; returns immediately with a waitable handle.
+  JobPtr submit(JobRequest R);
+
+  /// Submits every request, then blocks until all are done. Results are
+  /// positionally aligned with \p Requests. Must not be called from a
+  /// worker thread (it blocks).
+  std::vector<JobResult> runBatch(std::vector<JobRequest> Requests);
+
+  /// Jobs submitted but not yet completed.
+  size_t queueDepth() const { return Queue.depth(); }
+
+  /// Cancels every in-flight job.
+  void cancelAll() { Queue.cancelAll(); }
+
+  /// Point-in-time copy of all counters, including cache and pool state.
+  StatsSnapshot snapshot() const;
+
+  SharedCaches &caches() { return *Caches; }
+  const EngineConfig &config() const { return Cfg; }
+  unsigned threadCount() const { return Pool.threadCount(); }
+
+private:
+  void runSketchTask(const JobPtr &J, unsigned Rank);
+  void finishTask(const JobPtr &J);
+  void finalize(const JobPtr &J);
+
+  EngineConfig Cfg;
+  std::shared_ptr<SharedCaches> Caches;
+  EngineStats Stats;
+  JobQueue Queue;
+  WorkerPool Pool; ///< last member: destroyed (and drained) first
+};
+
+} // namespace regel::engine
+
+#endif // REGEL_ENGINE_ENGINE_H

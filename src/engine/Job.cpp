@@ -1,0 +1,73 @@
+//===- engine/Job.cpp -----------------------------------------------------===//
+
+#include "engine/Job.h"
+
+#include <algorithm>
+
+using namespace regel;
+using namespace regel::engine;
+
+SynthJob::SynthJob(JobRequest R) : Req(std::move(R)) {
+  if (Req.Deterministic)
+    PerSketch.resize(Req.Sketches.size());
+}
+
+void SynthJob::markStarted() {
+  int64_t Expected = -1;
+  int64_t NowUs = static_cast<int64_t>(SinceSubmit.elapsedMs() * 1000.0);
+  ExecStartUs.compare_exchange_strong(Expected, NowUs,
+                                      std::memory_order_relaxed);
+}
+
+double SynthJob::execElapsedMs() const {
+  int64_t StartUs = ExecStartUs.load(std::memory_order_relaxed);
+  if (StartUs < 0)
+    return 0;
+  return SinceSubmit.elapsedMs() - static_cast<double>(StartUs) / 1000.0;
+}
+
+JobResult SynthJob::wait() {
+  std::unique_lock<std::mutex> Guard(M);
+  CV.wait(Guard, [this] { return Ready; });
+  return Result;
+}
+
+bool SynthJob::done() const {
+  std::lock_guard<std::mutex> Guard(M);
+  return Ready;
+}
+
+void JobQueue::add(const JobPtr &J) {
+  std::lock_guard<std::mutex> Guard(M);
+  Active.push_back(J);
+}
+
+void JobQueue::remove(const SynthJob *J) {
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    Active.erase(std::remove_if(Active.begin(), Active.end(),
+                                [J](const JobPtr &P) { return P.get() == J; }),
+                 Active.end());
+  }
+  CV.notify_all();
+}
+
+size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> Guard(M);
+  return Active.size();
+}
+
+void JobQueue::cancelAll() {
+  std::vector<JobPtr> Snapshot;
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    Snapshot = Active;
+  }
+  for (const JobPtr &J : Snapshot)
+    J->cancel();
+}
+
+void JobQueue::drain() {
+  std::unique_lock<std::mutex> Guard(M);
+  CV.wait(Guard, [this] { return Active.empty(); });
+}

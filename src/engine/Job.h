@@ -1,0 +1,165 @@
+//===- engine/Job.h - Synthesis jobs ----------------------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. A SynthJob is one multi-modal synthesis
+// request (sketch list + examples) submitted to the engine. The engine
+// fans it out into one task per sketch; the job object carries the shared
+// state those tasks coordinate through:
+//
+//   * a cancellation flag — set when the job has TopK answers (so sibling
+//     sketch tasks stop mid-search), when the per-job deadline passes, or
+//     when the client calls cancel();
+//   * a per-job deadline started at submission;
+//   * the answer collector (mutex-guarded; per-rank buckets in
+//     deterministic mode);
+//   * a completion latch callers block on via wait().
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_ENGINE_JOB_H
+#define REGEL_ENGINE_JOB_H
+
+#include "sketch/Sketch.h"
+#include "support/Timer.h"
+#include "synth/Config.h"
+#include "synth/PartialRegex.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace regel::engine {
+
+class Engine;
+
+/// One synthesis request, as accepted by Engine::submit.
+struct JobRequest {
+  std::vector<SketchPtr> Sketches; ///< ranked, best first
+  Examples E;
+  unsigned TopK = 1;
+
+  /// Per-job deadline in milliseconds (0 = none). The clock starts when
+  /// the job's first task begins executing, not at submission: BudgetMs is
+  /// the paper's synthesis budget t, and queue wait under load must not
+  /// eat it. Bounding total residence time is the client's job (cancel()).
+  int64_t BudgetMs = 10000;
+  int64_t PerSketchBudgetMs = 0; ///< 0 = BudgetMs / #sketches, 250ms floor
+  SynthConfig Synth;             ///< base PBE settings for every task
+
+  /// Deterministic mode: run every sketch task to completion (no
+  /// cancellation on success) and order answers by sketch rank, so the
+  /// result is independent of worker count and scheduling — PROVIDED the
+  /// per-sketch searches are themselves deterministic. Wall-clock budgets
+  /// are not: set BudgetMs = 0 and bound the search with
+  /// Synth.MaxPops instead (as the determinism tests do). Costs the work
+  /// cancellation would have skipped.
+  bool Deterministic = false;
+
+  std::string Tag; ///< free-form client label (server/bench reporting)
+};
+
+/// One answer of a job.
+struct JobAnswer {
+  RegexPtr Regex;
+  unsigned SketchRank = 0; ///< rank of the sketch that produced it
+  SketchPtr Sketch;
+};
+
+/// Final outcome of a job.
+struct JobResult {
+  std::vector<JobAnswer> Answers; ///< up to TopK
+  double QueueMs = 0;   ///< submit -> first task started
+  double TotalMs = 0;   ///< submit -> completion (includes queue wait)
+  double ExecMs = 0;    ///< first task started -> completion
+  uint64_t TasksRun = 0;
+  uint64_t TasksCancelled = 0; ///< sibling tasks skipped/stopped early
+  bool DeadlineExpired = false;
+
+  bool solved() const { return !Answers.empty(); }
+};
+
+/// Handle to a submitted job. Created by Engine::submit; shared between
+/// the client and the in-flight tasks.
+class SynthJob {
+public:
+  /// Blocks until every task of the job has finished, then returns a copy
+  /// of the result (by value, so `engine.submit(...)->wait()` is safe even
+  /// though the temporary handle dies with the full expression).
+  JobResult wait();
+
+  /// Non-blocking completion probe.
+  bool done() const;
+
+  /// Requests cancellation: running tasks stop at their next deadline
+  /// poll, queued ones return immediately. wait() still returns (with
+  /// whatever answers were collected before the cancel).
+  void cancel() { Cancel.store(true, std::memory_order_relaxed); }
+
+  const JobRequest &request() const { return Req; }
+
+private:
+  friend class Engine;
+
+  explicit SynthJob(JobRequest R);
+
+  /// Marks execution started (first caller wins); later calls no-op.
+  void markStarted();
+
+  /// Milliseconds of execution so far (0 before the first task starts).
+  double execElapsedMs() const;
+
+  /// True once the execution-anchored deadline has passed.
+  bool deadlineExpired() const {
+    return Req.BudgetMs > 0 &&
+           execElapsedMs() >= static_cast<double>(Req.BudgetMs);
+  }
+
+  JobRequest Req;
+  std::atomic<bool> Cancel{false};
+  std::atomic<unsigned> Remaining{0}; ///< tasks not yet finished
+  Stopwatch SinceSubmit;
+  /// Microseconds from submission to first task start; -1 = not started.
+  /// Anchors the per-job deadline and QueueMs/ExecMs.
+  std::atomic<int64_t> ExecStartUs{-1};
+
+  // Collector state (guarded by M).
+  mutable std::mutex M;
+  std::condition_variable CV;
+  bool Ready = false;
+  std::unordered_set<size_t> SeenHashes; ///< structural dedup across sketches
+  std::vector<std::vector<RegexPtr>> PerSketch; ///< deterministic buckets
+  JobResult Result;
+};
+
+using JobPtr = std::shared_ptr<SynthJob>;
+
+/// Registry of in-flight jobs: submission enqueues, completion dequeues.
+/// Gives the engine a live view for monitoring (depth gauge), a drain
+/// barrier for shutdown, and bulk cancellation.
+class JobQueue {
+public:
+  void add(const JobPtr &J);
+  void remove(const SynthJob *J);
+
+  /// Number of jobs submitted but not yet completed.
+  size_t depth() const;
+
+  /// Requests cancellation of every in-flight job.
+  void cancelAll();
+
+  /// Blocks until the queue is empty.
+  void drain();
+
+private:
+  mutable std::mutex M;
+  std::condition_variable CV;
+  std::vector<JobPtr> Active;
+};
+
+} // namespace regel::engine
+
+#endif // REGEL_ENGINE_JOB_H

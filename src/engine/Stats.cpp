@@ -1,0 +1,33 @@
+//===- engine/Stats.cpp ---------------------------------------------------===//
+
+#include "engine/Stats.h"
+
+#include <cstdio>
+
+using namespace regel::engine;
+
+std::string StatsSnapshot::toJson() const {
+  char Buf[1024];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"jobs\":{\"submitted\":%llu,\"completed\":%llu,\"solved\":%llu,"
+      "\"deadline_expired\":%llu},"
+      "\"tasks\":{\"run\":%llu,\"cancelled\":%llu,\"stolen\":%llu},"
+      "\"solutions\":%llu,"
+      "\"synth\":{\"pops\":%llu,\"expansions\":%llu,\"pruned\":%llu,"
+      "\"checked\":%llu,\"smt_calls\":%llu,\"total_ms\":%.1f},"
+      "\"dfa_store\":{\"hits\":%llu,\"misses\":%llu,\"size\":%llu},"
+      "\"approx_store\":{\"hits\":%llu,\"misses\":%llu,\"size\":%llu}}",
+      (unsigned long long)JobsSubmitted, (unsigned long long)JobsCompleted,
+      (unsigned long long)JobsSolved, (unsigned long long)JobsDeadlineExpired,
+      (unsigned long long)TasksRun, (unsigned long long)TasksCancelled,
+      (unsigned long long)TasksStolen, (unsigned long long)SolutionsFound,
+      (unsigned long long)Pops, (unsigned long long)Expansions,
+      (unsigned long long)PrunedInfeasible, (unsigned long long)ConcreteChecked,
+      (unsigned long long)SmtSolveCalls, SynthMsTotal,
+      (unsigned long long)DfaStoreHits, (unsigned long long)DfaStoreMisses,
+      (unsigned long long)DfaStoreSize, (unsigned long long)ApproxStoreHits,
+      (unsigned long long)ApproxStoreMisses,
+      (unsigned long long)ApproxStoreSize);
+  return Buf;
+}

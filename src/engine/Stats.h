@@ -1,0 +1,117 @@
+//===- engine/Stats.h - Engine-wide counters --------------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. Aggregates what the engine did across
+// all jobs: job/task lifecycle counts, summed synthesis counters, and (via
+// Engine::snapshot) the cross-run cache statistics. All counters are
+// relaxed atomics — they are monitoring data, not synchronization.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_ENGINE_STATS_H
+#define REGEL_ENGINE_STATS_H
+
+#include "synth/Synthesizer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace regel::engine {
+
+/// A point-in-time copy of every engine counter (plain values, printable).
+struct StatsSnapshot {
+  uint64_t JobsSubmitted = 0;
+  uint64_t JobsCompleted = 0;
+  uint64_t JobsSolved = 0;
+  uint64_t JobsDeadlineExpired = 0;
+  uint64_t TasksRun = 0;       ///< per-sketch tasks that executed a search
+  uint64_t TasksCancelled = 0; ///< tasks skipped or stopped by cancellation
+  uint64_t TasksStolen = 0;    ///< pool-level steals
+  uint64_t SolutionsFound = 0;
+
+  // Summed SynthStats over every per-sketch run.
+  uint64_t Pops = 0;
+  uint64_t Expansions = 0;
+  uint64_t PrunedInfeasible = 0;
+  uint64_t ConcreteChecked = 0;
+  uint64_t SmtSolveCalls = 0;
+  double SynthMsTotal = 0;
+
+  // Cross-run caches.
+  uint64_t DfaStoreHits = 0;
+  uint64_t DfaStoreMisses = 0;
+  uint64_t DfaStoreSize = 0;
+  uint64_t ApproxStoreHits = 0;
+  uint64_t ApproxStoreMisses = 0;
+  uint64_t ApproxStoreSize = 0;
+
+  /// Renders the snapshot as a single JSON object.
+  std::string toJson() const;
+};
+
+/// Thread-safe accumulator behind StatsSnapshot.
+class EngineStats {
+public:
+  void jobSubmitted() { add(JobsSubmitted); }
+  void jobCompleted(bool Solved, bool DeadlineExpired) {
+    add(JobsCompleted);
+    if (Solved)
+      add(JobsSolved);
+    if (DeadlineExpired)
+      add(JobsDeadlineExpired);
+  }
+  void taskRan() { add(TasksRun); }
+  void taskCancelled() { add(TasksCancelled); }
+  void solutionsFound(uint64_t N) { add(SolutionsFound, N); }
+
+  void addSynth(const SynthStats &S) {
+    add(Pops, S.Pops);
+    add(Expansions, S.Expansions);
+    add(PrunedInfeasible, S.PrunedInfeasible);
+    add(ConcreteChecked, S.ConcreteChecked);
+    add(SmtSolveCalls, S.SmtSolveCalls);
+    SynthMsTotalU.fetch_add(static_cast<uint64_t>(S.TimeMs * 1000.0),
+                            std::memory_order_relaxed);
+  }
+
+  /// Copies the job/task/synth counters into \p Out (cache and pool fields
+  /// are filled by the engine, which owns those objects).
+  void fill(StatsSnapshot &Out) const {
+    Out.JobsSubmitted = get(JobsSubmitted);
+    Out.JobsCompleted = get(JobsCompleted);
+    Out.JobsSolved = get(JobsSolved);
+    Out.JobsDeadlineExpired = get(JobsDeadlineExpired);
+    Out.TasksRun = get(TasksRun);
+    Out.TasksCancelled = get(TasksCancelled);
+    Out.SolutionsFound = get(SolutionsFound);
+    Out.Pops = get(Pops);
+    Out.Expansions = get(Expansions);
+    Out.PrunedInfeasible = get(PrunedInfeasible);
+    Out.ConcreteChecked = get(ConcreteChecked);
+    Out.SmtSolveCalls = get(SmtSolveCalls);
+    Out.SynthMsTotal =
+        static_cast<double>(SynthMsTotalU.load(std::memory_order_relaxed)) /
+        1000.0;
+  }
+
+private:
+  using Counter = std::atomic<uint64_t>;
+
+  static void add(Counter &C, uint64_t N = 1) {
+    C.fetch_add(N, std::memory_order_relaxed);
+  }
+  static uint64_t get(const Counter &C) {
+    return C.load(std::memory_order_relaxed);
+  }
+
+  Counter JobsSubmitted{0}, JobsCompleted{0}, JobsSolved{0},
+      JobsDeadlineExpired{0};
+  Counter TasksRun{0}, TasksCancelled{0}, SolutionsFound{0};
+  Counter Pops{0}, Expansions{0}, PrunedInfeasible{0}, ConcreteChecked{0},
+      SmtSolveCalls{0};
+  Counter SynthMsTotalU{0}; ///< microseconds, to keep the counter integral
+};
+
+} // namespace regel::engine
+
+#endif // REGEL_ENGINE_STATS_H

@@ -1,0 +1,132 @@
+//===- engine/WorkerPool.cpp ----------------------------------------------===//
+
+#include "engine/WorkerPool.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace regel::engine;
+
+namespace {
+
+/// Which worker (index into its pool) the current thread is, if any.
+/// Thread-local so submissions from within a task land on the submitting
+/// worker's own deque.
+thread_local const WorkerPool *CurrentPool = nullptr;
+thread_local unsigned CurrentWorker = 0;
+
+} // namespace
+
+WorkerPool::WorkerPool(unsigned Threads) {
+  Threads = std::max(1u, Threads);
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.push_back(std::make_unique<Worker>());
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers[I]->Thread = std::thread([this, I] { workerLoop(I); });
+}
+
+WorkerPool::~WorkerPool() {
+  Stop.store(true);
+  {
+    std::lock_guard<std::mutex> Guard(IdleM);
+    ++WorkEpoch;
+  }
+  IdleCV.notify_all();
+  for (std::unique_ptr<Worker> &W : Workers)
+    if (W->Thread.joinable())
+      W->Thread.join();
+}
+
+bool WorkerPool::onWorkerThread() const { return CurrentPool == this; }
+
+bool WorkerPool::submit(Task T) {
+  if (Stop.load(std::memory_order_relaxed))
+    return false;
+  unsigned Target;
+  if (CurrentPool == this) {
+    Target = CurrentWorker;
+  } else {
+    Target = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+             Workers.size();
+  }
+  {
+    std::lock_guard<std::mutex> Guard(Workers[Target]->M);
+    Workers[Target]->Q.push_back(std::move(T));
+  }
+  // Notify under IdleM: a worker that found nothing re-checks the queues
+  // while holding IdleM before sleeping, so pairing the notify with the
+  // same mutex closes the scan-then-sleep window (no lost wakeups).
+  {
+    std::lock_guard<std::mutex> Guard(IdleM);
+    ++WorkEpoch;
+  }
+  IdleCV.notify_one();
+  return true;
+}
+
+bool WorkerPool::anyQueued() {
+  for (std::unique_ptr<Worker> &W : Workers) {
+    std::lock_guard<std::mutex> Guard(W->M);
+    if (!W->Q.empty())
+      return true;
+  }
+  return false;
+}
+
+bool WorkerPool::popLocal(unsigned Id, Task &Out) {
+  Worker &W = *Workers[Id];
+  std::lock_guard<std::mutex> Guard(W.M);
+  if (W.Q.empty())
+    return false;
+  Out = std::move(W.Q.front());
+  W.Q.pop_front();
+  return true;
+}
+
+bool WorkerPool::steal(unsigned Thief, Task &Out) {
+  // Scan the other deques starting just past the thief so victims differ
+  // between workers.
+  for (size_t Offset = 1; Offset < Workers.size(); ++Offset) {
+    unsigned Victim =
+        static_cast<unsigned>((Thief + Offset) % Workers.size());
+    Worker &W = *Workers[Victim];
+    std::lock_guard<std::mutex> Guard(W.M);
+    if (W.Q.empty())
+      continue;
+    Out = std::move(W.Q.back());
+    W.Q.pop_back();
+    TasksStolen.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void WorkerPool::workerLoop(unsigned Id) {
+  CurrentPool = this;
+  CurrentWorker = Id;
+  for (;;) {
+    Task T;
+    if (popLocal(Id, T) || steal(Id, T)) {
+      T();
+      TasksRun.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Nothing runnable anywhere we looked. On shutdown, one more full scan
+    // happens above before we get here, so queued work is drained before
+    // the worker exits.
+    if (Stop.load(std::memory_order_relaxed))
+      return;
+    std::unique_lock<std::mutex> Guard(IdleM);
+    uint64_t Epoch = WorkEpoch;
+    // Re-check under IdleM: submit bumps WorkEpoch under the same mutex
+    // after enqueueing, so either we see the new work here or the epoch
+    // predicate below sees the bump — a missed notify cannot strand a
+    // task. The timeout is only a belt-and-braces backstop.
+    if (anyQueued() || Stop.load(std::memory_order_relaxed))
+      continue;
+    IdleCV.wait_for(Guard, std::chrono::milliseconds(50), [&] {
+      return WorkEpoch != Epoch || Stop.load(std::memory_order_relaxed);
+    });
+  }
+}

@@ -173,8 +173,10 @@ RegexPtr Regex::makeOperator(RegexKind K, std::vector<RegexPtr> Children,
                              const std::vector<int> &Ints) {
   assert(Children.size() == numRegexArgs(K) && "operator arity mismatch");
   assert(Ints.size() == numIntArgs(K) && "integer arity mismatch");
-  for (const RegexPtr &C : Children)
+  for (const RegexPtr &C : Children) {
+    (void)C;
     assert(C && "null child");
+  }
   int K1 = Ints.size() > 0 ? Ints[0] : 0;
   int K2 = Ints.size() > 1 ? Ints[1] : 0;
   if (K == RegexKind::RepeatAtLeast)

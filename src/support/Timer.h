@@ -8,6 +8,7 @@
 #ifndef REGEL_SUPPORT_TIMER_H
 #define REGEL_SUPPORT_TIMER_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -34,14 +35,27 @@ private:
 
 /// A deadline that search loops poll to honour a time budget.
 ///
-/// A non-positive budget means "no deadline".
+/// A non-positive budget means "no deadline". An optional cancellation flag
+/// (owned by the caller, e.g. an engine job) makes the deadline fire early:
+/// every loop that already polls its budget thereby honours cooperative
+/// cancellation without further plumbing.
 class Deadline {
 public:
-  explicit Deadline(int64_t BudgetMs = 0) : BudgetMs(BudgetMs) {}
+  explicit Deadline(int64_t BudgetMs = 0,
+                    const std::atomic<bool> *Cancel = nullptr)
+      : BudgetMs(BudgetMs), Cancel(Cancel) {}
 
-  /// Returns true once the budget is exhausted.
+  /// Returns true once the budget is exhausted or cancellation was
+  /// requested.
   bool expired() const {
+    if (Cancel && Cancel->load(std::memory_order_relaxed))
+      return true;
     return BudgetMs > 0 && Watch.elapsedMs() >= static_cast<double>(BudgetMs);
+  }
+
+  /// True when expired() fired through the cancellation flag.
+  bool cancelled() const {
+    return Cancel && Cancel->load(std::memory_order_relaxed);
   }
 
   /// Milliseconds spent so far.
@@ -50,6 +64,7 @@ public:
 private:
   Stopwatch Watch;
   int64_t BudgetMs;
+  const std::atomic<bool> *Cancel = nullptr;
 };
 
 } // namespace regel

@@ -95,8 +95,10 @@ RegexPtr mkOp(RegexKind K, std::vector<RegexPtr> Kids,
 
 } // namespace
 
-Approx regel::approximateSketch(const SketchPtr &S, unsigned Depth,
-                                bool WithClasses) {
+namespace {
+
+Approx approximateSketchUncached(const SketchPtr &S, unsigned Depth,
+                                 bool WithClasses, SketchApproxStore *Memo) {
   switch (S->getKind()) {
   case SketchKind::Concrete:
     // Rule (7): a concrete regex approximates itself.
@@ -105,7 +107,7 @@ Approx regel::approximateSketch(const SketchPtr &S, unsigned Depth,
   case SketchKind::Op: {
     RegexKind K = S->getOp();
     if (isRepeatFamily(K)) {
-      Approx A = approximateSketch(S->children()[0], Depth, false);
+      Approx A = approximateSketch(S->children()[0], Depth, false, Memo);
       if (!S->ints().empty()) {
         // Concrete integers: rule (4) of Fig. 11 applies precisely.
         std::vector<int> Ints = S->ints();
@@ -116,13 +118,13 @@ Approx regel::approximateSketch(const SketchPtr &S, unsigned Depth,
     }
     if (K == RegexKind::Not) {
       // Rule (5): negation swaps the approximations.
-      Approx A = approximateSketch(S->children()[0], Depth, false);
+      Approx A = approximateSketch(S->children()[0], Depth, false, Memo);
       return {mkOp(RegexKind::Not, {A.Under}), mkOp(RegexKind::Not, {A.Over})};
     }
     // Rule (4): apply the operator componentwise.
     std::vector<RegexPtr> Overs, Unders;
     for (const SketchPtr &C : S->children()) {
-      Approx A = approximateSketch(C, Depth, false);
+      Approx A = approximateSketch(C, Depth, false, Memo);
       Overs.push_back(A.Over);
       Unders.push_back(A.Under);
     }
@@ -140,7 +142,7 @@ Approx regel::approximateSketch(const SketchPtr &S, unsigned Depth,
     RegexPtr Under;
     bool First = true;
     for (const SketchPtr &C : S->components()) {
-      Approx A = approximateSketch(C, Depth, false);
+      Approx A = approximateSketch(C, Depth, false, Memo);
       Over = mkOp(RegexKind::Or, {Over, A.Over});
       Under = First ? A.Under : mkOp(RegexKind::And, {Under, A.Under});
       First = false;
@@ -161,7 +163,23 @@ Approx regel::approximateSketch(const SketchPtr &S, unsigned Depth,
   return {topRegex(), botRegex()};
 }
 
-Approx regel::approximatePartial(const PNodePtr &N) {
+} // namespace
+
+Approx regel::approximateSketch(const SketchPtr &S, unsigned Depth,
+                                bool WithClasses, SketchApproxStore *Memo) {
+  // Concrete leaves are trivial; consulting the store for them would only
+  // bloat it.
+  if (!Memo || S->getKind() == SketchKind::Concrete)
+    return approximateSketchUncached(S, Depth, WithClasses, Memo);
+  Approx A;
+  if (Memo->lookup(S, Depth, WithClasses, A))
+    return A;
+  A = approximateSketchUncached(S, Depth, WithClasses, Memo);
+  Memo->publish(S, Depth, WithClasses, A);
+  return A;
+}
+
+Approx regel::approximatePartial(const PNodePtr &N, SketchApproxStore *Memo) {
   switch (N->getKind()) {
   case PLabelKind::LeafLabel:
     return {N->leaf(), N->leaf()};
@@ -169,12 +187,12 @@ Approx regel::approximatePartial(const PNodePtr &N) {
   case PLabelKind::SketchLabel:
     // Rule (1) of Fig. 11 defers to the sketch judgement.
     return approximateSketch(N->sketch(), N->sketchDepth(),
-                             N->sketchWithClasses());
+                             N->sketchWithClasses(), Memo);
 
   case PLabelKind::OpLabel: {
     RegexKind K = N->op();
     if (isRepeatFamily(K)) {
-      Approx A = approximatePartial(N->children()[0]);
+      Approx A = approximatePartial(N->children()[0], Memo);
       // Rule (4) vs rule (5): precise when all integer slots are assigned.
       bool AllConcrete = true;
       std::vector<int> Ints;
@@ -192,12 +210,12 @@ Approx regel::approximatePartial(const PNodePtr &N) {
       return {mkOp(RegexKind::RepeatAtLeast, {A.Over}, {1}), botRegex()};
     }
     if (K == RegexKind::Not) {
-      Approx A = approximatePartial(N->children()[0]);
+      Approx A = approximatePartial(N->children()[0], Memo);
       return {mkOp(RegexKind::Not, {A.Under}), mkOp(RegexKind::Not, {A.Over})};
     }
     std::vector<RegexPtr> Overs, Unders;
     for (unsigned I = 0; I < numRegexArgs(K); ++I) {
-      Approx A = approximatePartial(N->children()[I]);
+      Approx A = approximatePartial(N->children()[I], Memo);
       Overs.push_back(A.Over);
       Unders.push_back(A.Under);
     }
@@ -215,12 +233,16 @@ Approx regel::approximatePartial(const PNodePtr &N) {
 bool FeasibilityChecker::overAcceptsAllPos(const RegexPtr &Over) {
   auto [It, Inserted] = OverVerdict.try_emplace(Over->hash(), true);
   if (Inserted) {
-    DirectMatcher M(Over);
-    for (const std::string &S : E.Pos)
-      if (!M.matches(S)) {
-        It->second = false;
-        break;
-      }
+    if (Cache) {
+      It->second = Cache->acceptsAll(Over, E.Pos);
+    } else {
+      DirectMatcher M(Over);
+      for (const std::string &S : E.Pos)
+        if (!M.matches(S)) {
+          It->second = false;
+          break;
+        }
+    }
   }
   return It->second;
 }
@@ -228,19 +250,23 @@ bool FeasibilityChecker::overAcceptsAllPos(const RegexPtr &Over) {
 bool FeasibilityChecker::underRejectsAllNeg(const RegexPtr &Under) {
   auto [It, Inserted] = UnderVerdict.try_emplace(Under->hash(), true);
   if (Inserted) {
-    DirectMatcher M(Under);
-    for (const std::string &S : E.Neg)
-      if (M.matches(S)) {
-        It->second = false;
-        break;
-      }
+    if (Cache) {
+      It->second = Cache->rejectsAll(Under, E.Neg);
+    } else {
+      DirectMatcher M(Under);
+      for (const std::string &S : E.Neg)
+        if (M.matches(S)) {
+          It->second = false;
+          break;
+        }
+    }
   }
   return It->second;
 }
 
 bool FeasibilityChecker::infeasible(const PartialRegex &P) {
   ++Checks;
-  Approx A = approximatePartial(P.root());
+  Approx A = approximatePartial(P.root(), Memo);
   // The over-approximation must accept every positive example.
   if (!isTop(A.Over) && !E.Pos.empty() && !overAcceptsAllPos(A.Over))
     return true;

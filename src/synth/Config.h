@@ -13,10 +13,14 @@
 
 #include "regex/CharClass.h"
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 namespace regel {
+
+class DfaStore;
+class SketchApproxStore;
 
 /// Configuration of one Synthesize run.
 struct SynthConfig {
@@ -60,6 +64,19 @@ struct SynthConfig {
   /// Cap on concrete candidates emitted per InferConstants call (ascending
   /// constant order, so small intended constants are found first).
   uint64_t MaxInferResults = 48;
+
+  /// Cooperative cancellation: when set, the run stops (reporting TimedOut)
+  /// as soon as the flag becomes true. The engine uses this to cancel
+  /// sibling sketch tasks once a job has enough answers.
+  const std::atomic<bool> *CancelFlag = nullptr;
+
+  /// Cross-run regex->DFA store consulted/filled by this run's DfaCache
+  /// (thread-safe, owned by the engine; nullptr = run-local caching only).
+  DfaStore *SharedDfa = nullptr;
+
+  /// Cross-run sketch-approximation memo (thread-safe, owned by the
+  /// engine; nullptr = recompute per run).
+  SketchApproxStore *SharedApprox = nullptr;
 
   /// Character classes available to hole expansion (Fig. 10 rule 2's C).
   /// Empty selects the default pool (num/let/low/cap/any/alphanum/spec).

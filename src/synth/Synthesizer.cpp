@@ -114,10 +114,33 @@ bool Synthesizer::checkConcrete(const RegexPtr &R, const Examples &E,
 SynthResult Synthesizer::run(const SketchPtr &S, const Examples &E) {
   SynthResult Result;
   Stopwatch Watch;
-  Deadline Budget(Cfg.BudgetMs);
+  Deadline Budget(Cfg.BudgetMs, Cfg.CancelFlag);
   ContainsFailed.clear();
   AtLeastFailed.clear();
   FeasibilityChecker Checker(E);
+  Checker.setApproxMemo(Cfg.SharedApprox);
+  if (Cfg.SharedDfa) {
+    // With a cross-run DFA store attached, feasibility checks route their
+    // membership queries through the cache so approximation DFAs (heavily
+    // repeated across sketches and jobs) are compiled once per process.
+    // Only sound when every example lies in the DFA alphabet: on chars
+    // outside [MinAlphabetChar, MaxAlphabetChar] the DFA rejects
+    // unconditionally while the direct matcher complements through Not,
+    // and a disagreement on an over-approximation would prune feasible
+    // candidates.
+    Cache.setSharedStore(Cfg.SharedDfa);
+    auto inAlphabet = [](const std::vector<std::string> &Strs) {
+      for (const std::string &S : Strs)
+        for (char C : S) {
+          unsigned char U = static_cast<unsigned char>(C);
+          if (U < MinAlphabetChar || U > MaxAlphabetChar)
+            return false;
+        }
+      return true;
+    };
+    if (inAlphabet(E.Pos) && inAlphabet(E.Neg))
+      Checker.setDfaCache(&Cache);
+  }
 
   // Augment the class pool with punctuation/symbol literals from the
   // examples so constants like <.> or <-> are reachable by pure search.
@@ -198,6 +221,7 @@ SynthResult Synthesizer::run(const SketchPtr &S, const Examples &E) {
   while (!Worklist.empty() && !Done) {
     if (Budget.expired() || (Cfg.MaxPops && Result.Stats.Pops >= Cfg.MaxPops)) {
       Result.TimedOut = true;
+      Result.Cancelled = Budget.cancelled();
       break;
     }
     unsigned PopCost = Worklist.top().Cost;

@@ -38,6 +38,7 @@ struct SynthResult {
   std::vector<RegexPtr> Solutions;
   SynthStats Stats;
   bool TimedOut = false;   ///< Stopped by the time budget / pop cap.
+  bool Cancelled = false;  ///< Stopped through SynthConfig::CancelFlag.
   bool Exhausted = false;  ///< Worklist ran dry.
 
   bool solved() const { return !Solutions.empty(); }

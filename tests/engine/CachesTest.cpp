@@ -1,0 +1,115 @@
+//===- tests/engine/CachesTest.cpp ----------------------------------------===//
+
+#include "engine/Caches.h"
+
+#include "regex/Parser.h"
+#include "sketch/SketchParser.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace regel;
+using namespace regel::engine;
+
+TEST(ShardedDfaStore, LookupMissThenPublishThenHit) {
+  ShardedDfaStore Store(4);
+  RegexPtr R = parseRegex("Concat(<cap>,Repeat(<num>,2))");
+  EXPECT_EQ(Store.lookup(R), nullptr);
+  EXPECT_EQ(Store.misses(), 1u);
+
+  Store.publish(R, std::make_shared<const Dfa>(compileRegex(R)));
+  EXPECT_EQ(Store.size(), 1u);
+
+  // A structurally equal (but distinct) regex object hits.
+  RegexPtr R2 = parseRegex("Concat(<cap>,Repeat(<num>,2))");
+  ASSERT_NE(R.get(), R2.get());
+  std::shared_ptr<const Dfa> D = Store.lookup(R2);
+  ASSERT_NE(D, nullptr);
+  EXPECT_TRUE(D->matches("B42"));
+  EXPECT_FALSE(D->matches("B4"));
+  EXPECT_EQ(Store.hits(), 1u);
+}
+
+TEST(ShardedDfaStore, LocalCachesShareCompilations) {
+  ShardedDfaStore Store(4);
+  RegexPtr R = parseRegex("Or(RepeatAtLeast(<num>,1),<let>)");
+
+  DfaCache A;
+  A.setSharedStore(&Store);
+  EXPECT_TRUE(A.matches(R, "123"));
+  EXPECT_EQ(A.sharedHits(), 0u); // A compiled it and published
+
+  DfaCache B;
+  B.setSharedStore(&Store);
+  EXPECT_TRUE(B.matches(R, "7"));
+  EXPECT_EQ(B.sharedHits(), 1u); // B got A's compilation
+  EXPECT_EQ(Store.size(), 1u);
+}
+
+TEST(ShardedApproxStore, RoundTripsByStructuralKey) {
+  ShardedApproxStore Store(4);
+  SketchPtr S = parseSketch("hole{Repeat(<num>,2)}");
+  Approx Out;
+  EXPECT_FALSE(Store.lookup(S, 1, false, Out));
+
+  Approx A = approximateSketch(S, 1, false);
+  Store.publish(S, 1, false, A);
+
+  // Distinct sketch object, same structure: hit. Different depth or
+  // widened flag: miss.
+  SketchPtr S2 = parseSketch("hole{Repeat(<num>,2)}");
+  EXPECT_TRUE(Store.lookup(S2, 1, false, Out));
+  EXPECT_TRUE(regexEquals(Out.Over, A.Over));
+  EXPECT_TRUE(regexEquals(Out.Under, A.Under));
+  EXPECT_FALSE(Store.lookup(S2, 2, false, Out));
+  EXPECT_FALSE(Store.lookup(S2, 1, true, Out));
+}
+
+TEST(ShardedApproxStore, MemoizedApproximationMatchesUncached) {
+  ShardedApproxStore Store(4);
+  std::vector<const char *> Sketches = {
+      "hole{Repeat(<num>,2)}",
+      "Concat(hole{<cap>},hole{RepeatAtLeast(<num>,1)})",
+      "Not(hole{<num>})",
+      "hole{Concat(<a>,<b>),Or(<num>,<let>)}",
+  };
+  for (const char *Text : Sketches) {
+    SketchPtr S = parseSketch(Text);
+    ASSERT_TRUE(S) << Text;
+    for (unsigned Depth = 1; Depth <= 3; ++Depth) {
+      Approx Plain = approximateSketch(S, Depth, false);
+      Approx Memoed = approximateSketch(S, Depth, false, &Store);
+      EXPECT_TRUE(regexEquals(Plain.Over, Memoed.Over)) << Text;
+      EXPECT_TRUE(regexEquals(Plain.Under, Memoed.Under)) << Text;
+      // Second call must be served from the store and agree.
+      uint64_t HitsBefore = Store.hits();
+      Approx Again = approximateSketch(S, Depth, false, &Store);
+      EXPECT_GT(Store.hits(), HitsBefore);
+      EXPECT_TRUE(regexEquals(Again.Over, Plain.Over)) << Text;
+    }
+  }
+}
+
+TEST(ShardedDfaStore, ConcurrentPublishersConverge) {
+  ShardedDfaStore Store(8);
+  std::vector<const char *> Patterns = {
+      "<num>", "Repeat(<num>,2)", "Concat(<cap>,<num>)", "KleeneStar(<let>)",
+      "Or(<a>,<b>)", "RepeatAtLeast(<num>,1)",
+  };
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&Store, &Patterns] {
+      for (int Round = 0; Round < 20; ++Round)
+        for (const char *P : Patterns) {
+          RegexPtr R = parseRegex(P);
+          if (std::shared_ptr<const Dfa> D = Store.lookup(R))
+            continue;
+          Store.publish(R, std::make_shared<const Dfa>(compileRegex(R)));
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Store.size(), Patterns.size());
+}

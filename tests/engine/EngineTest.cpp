@@ -1,0 +1,298 @@
+//===- tests/engine/EngineTest.cpp ----------------------------------------===//
+//
+// Engine-level behaviour: scheduling-independent determinism against the
+// single-threaded driver, cancellation-on-first-success, per-job
+// deadlines, and a many-concurrent-jobs stress run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "automata/Sample.h"
+#include "core/Regel.h"
+#include "regex/Matcher.h"
+#include "regex/Parser.h"
+#include "sketch/SketchParser.h"
+#include "support/Random.h"
+
+#include "common/TestCorpus.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace regel;
+using namespace regel::engine;
+
+namespace {
+
+/// A corpus-derived synthesis task: examples sampled from the ground
+/// truth, sketches that admit it.
+struct CorpusTask {
+  RegexPtr GroundTruth;
+  Examples E;
+  std::vector<SketchPtr> Sketches;
+};
+
+/// Builds deterministic tasks from the shared test corpus: positives are
+/// sampled from the regex's DFA, negatives are probe strings it rejects.
+/// Regexes without enough examples (e.g. the empty language) are skipped.
+std::vector<CorpusTask> corpusTasks(size_t MaxTasks) {
+  std::vector<CorpusTask> Tasks;
+  Rng R(0xc0ffee);
+  for (const char *Text : tests::regexCorpus()) {
+    if (Tasks.size() >= MaxTasks)
+      break;
+    RegexPtr G = parseRegex(Text);
+    if (!G)
+      continue;
+    Dfa D = compileRegex(G);
+    CorpusTask T;
+    T.GroundTruth = G;
+    T.E.Pos = sampleAcceptedSet(D, R, 3, 8);
+    if (T.E.Pos.size() < 2)
+      continue;
+    for (const char *Probe : tests::probeStrings()) {
+      if (T.E.Neg.size() >= 4)
+        break;
+      if (!D.matches(Probe))
+        T.E.Neg.push_back(Probe);
+    }
+    if (T.E.Neg.size() < 2)
+      continue;
+    T.Sketches = {Sketch::hole({Sketch::concrete(G)}),
+                  Sketch::unconstrained()};
+    Tasks.push_back(std::move(T));
+  }
+  return Tasks;
+}
+
+/// A deterministic job: no wall-clock budgets anywhere (the pop cap bounds
+/// the search instead), so the per-sketch runs are scheduling-independent.
+JobRequest deterministicRequest(const CorpusTask &T) {
+  JobRequest R;
+  R.Sketches = T.Sketches;
+  R.E = T.E;
+  R.TopK = 2;
+  R.BudgetMs = 0;
+  R.Synth.MaxPops = 3000;
+  R.Deterministic = true;
+  return R;
+}
+
+std::shared_ptr<nlp::SemanticParser> dummyParser() {
+  return std::make_shared<nlp::SemanticParser>();
+}
+
+} // namespace
+
+TEST(EngineDeterminism, MultiThreadAnswersMatchSingleThreadDriver) {
+  std::vector<CorpusTask> Tasks = corpusTasks(16);
+  ASSERT_GE(Tasks.size(), 8u) << "corpus should yield enough viable tasks";
+
+  // Reference: the Regel driver on a single-worker engine.
+  RegelConfig Cfg;
+  Cfg.BudgetMs = 0;
+  Cfg.Synth.MaxPops = 3000;
+  Cfg.TopK = 2;
+  Cfg.Threads = 1;
+  Cfg.Deterministic = true;
+  Regel Driver(dummyParser(), Cfg);
+
+  // Subject: the engine with several workers, driven directly.
+  Engine Eng(EngineConfig{/*Threads=*/4, /*CacheShards=*/8, nullptr});
+  std::vector<JobRequest> Requests;
+  for (const CorpusTask &T : Tasks)
+    Requests.push_back(deterministicRequest(T));
+  std::vector<JobResult> EngineResults = Eng.runBatch(std::move(Requests));
+
+  unsigned Solved = 0;
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    RegelResult Ref =
+        Driver.synthesizeFromSketches(Tasks[I].Sketches, Tasks[I].E);
+    const JobResult &Got = EngineResults[I];
+    ASSERT_EQ(Ref.Answers.size(), Got.Answers.size()) << "task " << I;
+    for (size_t A = 0; A < Ref.Answers.size(); ++A) {
+      EXPECT_TRUE(
+          regexEquals(Ref.Answers[A].Regex, Got.Answers[A].Regex))
+          << "task " << I << " answer " << A;
+      EXPECT_EQ(Ref.Answers[A].SketchRank, Got.Answers[A].SketchRank)
+          << "task " << I << " answer " << A;
+    }
+    if (Got.solved())
+      ++Solved;
+  }
+  // The component-hole sketch admits the ground truth, so nearly every
+  // task should solve; require a solid majority so the comparison above
+  // is not vacuous.
+  EXPECT_GE(Solved, Tasks.size() / 2);
+}
+
+TEST(EngineDeterminism, RepeatedRunsAreStable) {
+  std::vector<CorpusTask> Tasks = corpusTasks(6);
+  ASSERT_FALSE(Tasks.empty());
+  Engine Eng(EngineConfig{3, 8, nullptr});
+  std::vector<JobRequest> A, B;
+  for (const CorpusTask &T : Tasks) {
+    A.push_back(deterministicRequest(T));
+    B.push_back(deterministicRequest(T));
+  }
+  // Second round runs against warm cross-run caches; answers must not
+  // change (cache transparency).
+  std::vector<JobResult> R1 = Eng.runBatch(std::move(A));
+  std::vector<JobResult> R2 = Eng.runBatch(std::move(B));
+  ASSERT_EQ(R1.size(), R2.size());
+  for (size_t I = 0; I < R1.size(); ++I) {
+    ASSERT_EQ(R1[I].Answers.size(), R2[I].Answers.size()) << "task " << I;
+    for (size_t J = 0; J < R1[I].Answers.size(); ++J)
+      EXPECT_TRUE(
+          regexEquals(R1[I].Answers[J].Regex, R2[I].Answers[J].Regex));
+  }
+  StatsSnapshot S = Eng.snapshot();
+  EXPECT_GT(S.ApproxStoreHits + S.DfaStoreHits, 0u)
+      << "second round should hit the cross-run caches";
+}
+
+TEST(EngineCancellation, FirstSolutionSkipsQueuedSiblings) {
+  // One worker: the rank-0 task solves instantly (concrete sketch), so
+  // every sibling task must be skipped without running a search.
+  Engine Eng(EngineConfig{1, 4, nullptr});
+  Examples E;
+  E.Pos = {"A12", "Z99"};
+  E.Neg = {"12", "A1", "a12"};
+  RegexPtr Solution = parseRegex("Concat(<cap>,Repeat(<num>,2))");
+  JobRequest R;
+  R.Sketches.push_back(Sketch::concrete(Solution));
+  for (int I = 0; I < 5; ++I)
+    R.Sketches.push_back(Sketch::unconstrained());
+  R.E = E;
+  R.TopK = 1;
+  R.BudgetMs = 60000;
+  JobPtr J = Eng.submit(std::move(R));
+  const JobResult &Result = J->wait();
+
+  ASSERT_TRUE(Result.solved());
+  EXPECT_TRUE(regexEquals(Result.Answers[0].Regex, Solution));
+  EXPECT_EQ(Result.Answers[0].SketchRank, 0u);
+  EXPECT_EQ(Result.TasksRun, 1u);
+  EXPECT_EQ(Result.TasksCancelled, 5u);
+  StatsSnapshot S = Eng.snapshot();
+  EXPECT_EQ(S.TasksCancelled, 5u);
+  EXPECT_EQ(S.JobsCompleted, 1u);
+}
+
+TEST(EngineCancellation, FirstSolutionStopsRunningSibling) {
+  // Two workers: a hard unconstrained search starts alongside the instant
+  // concrete solve and must be stopped mid-search by the cancel flag long
+  // before its 30s per-sketch slice is up.
+  Engine Eng(EngineConfig{2, 4, nullptr});
+  Examples E;
+  E.Pos = {"ab12cd", "xy34zt"};
+  E.Neg = {"ab12", "1234", "abcd", "x1y2z3"};
+  RegexPtr Solution = parseRegex(
+      "Concat(Repeat(<low>,2),Concat(Repeat(<num>,2),Repeat(<low>,2)))");
+  ASSERT_TRUE(matchesDirect(Solution, "ab12cd"));
+  JobRequest R;
+  R.Sketches = {Sketch::concrete(Solution), Sketch::unconstrained()};
+  R.E = E;
+  R.TopK = 1;
+  R.BudgetMs = 60000;
+  Stopwatch Watch;
+  JobPtr J = Eng.submit(std::move(R));
+  const JobResult &Result = J->wait();
+
+  ASSERT_TRUE(Result.solved());
+  EXPECT_GE(Result.TasksCancelled, 1u);
+  // Generous bound: far below the 30s the sibling would otherwise use.
+  EXPECT_LT(Watch.elapsedMs(), 15000.0);
+}
+
+TEST(EngineDeadline, ExpiredJobReportsIt) {
+  // One worker, four tasks, contradictory examples (no consistent regex
+  // exists, so only the deadline can end the job): the first task eats
+  // the whole job budget, so the trailing tasks are deterministically
+  // skipped on the deadline path.
+  Engine Eng(EngineConfig{1, 4, nullptr});
+  Examples E;
+  E.Pos = {"ab"};
+  E.Neg = {"ab"};
+  JobRequest R;
+  for (int I = 0; I < 4; ++I)
+    R.Sketches.push_back(Sketch::unconstrained());
+  R.E = E;
+  R.BudgetMs = 200;
+  JobPtr J = Eng.submit(std::move(R));
+  const JobResult &Result = J->wait();
+  EXPECT_FALSE(Result.solved());
+  EXPECT_TRUE(Result.DeadlineExpired);
+  EXPECT_GE(Result.TasksCancelled + Result.TasksRun, 4u);
+}
+
+TEST(EngineStress, ManyConcurrentJobsFromManyClients) {
+  Engine Eng(EngineConfig{4, 16, nullptr});
+  Examples E;
+  E.Pos = {"12", "47"};
+  E.Neg = {"1", "123", "ab"};
+
+  const int Clients = 4, JobsPerClient = 10;
+  std::atomic<int> SolvedCount{0};
+  std::vector<std::thread> Threads;
+  for (int C = 0; C < Clients; ++C)
+    Threads.emplace_back([&Eng, &E, &SolvedCount] {
+      for (int I = 0; I < JobsPerClient; ++I) {
+        JobRequest R;
+        R.Sketches = {parseSketch("hole{Repeat(<num>,2)}"),
+                      Sketch::unconstrained()};
+        R.E = E;
+        R.TopK = 1;
+        R.BudgetMs = 20000;
+        const JobResult &Result = Eng.submit(std::move(R))->wait();
+        if (Result.solved() &&
+            matchesDirect(Result.Answers[0].Regex, "55") &&
+            !matchesDirect(Result.Answers[0].Regex, "555"))
+          ++SolvedCount;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(SolvedCount.load(), Clients * JobsPerClient);
+  StatsSnapshot S = Eng.snapshot();
+  EXPECT_EQ(S.JobsSubmitted, static_cast<uint64_t>(Clients * JobsPerClient));
+  EXPECT_EQ(S.JobsCompleted, S.JobsSubmitted);
+  EXPECT_EQ(S.JobsSolved, S.JobsSubmitted);
+  EXPECT_EQ(Eng.queueDepth(), 0u);
+  // Every per-sketch task is accounted for exactly once: it either ran a
+  // search or was skipped; mid-run cancellations are counted in both.
+  EXPECT_GE(S.TasksRun + S.TasksCancelled,
+            static_cast<uint64_t>(Clients * JobsPerClient * 2));
+  // The same two sketches repeat across every job, so the approximation
+  // memo must be doing real sharing by the end.
+  EXPECT_GT(S.ApproxStoreHits, 0u);
+}
+
+TEST(EngineBatch, RegelBatchApiMatchesSequentialCalls) {
+  RegelConfig Cfg;
+  Cfg.BudgetMs = 0;
+  Cfg.Synth.MaxPops = 2000;
+  Cfg.NumSketches = 6;
+  Cfg.Deterministic = true;
+  Cfg.Threads = 2;
+  auto Parser = dummyParser();
+  Regel Tool(Parser, Cfg);
+
+  std::vector<RegelQuery> Queries = {
+      {"a capital letter followed by 2 digits",
+       {{"A12", "Z99"}, {"12", "A1", "a12"}}},
+      {"qwerty asdf zxcv", {{"11", "22"}, {"1", "111"}}},
+  };
+  std::vector<RegelResult> Batch = Tool.synthesizeBatch(Queries);
+  ASSERT_EQ(Batch.size(), Queries.size());
+  for (size_t I = 0; I < Queries.size(); ++I) {
+    RegelResult Seq = Tool.synthesize(Queries[I].Description, Queries[I].E);
+    ASSERT_EQ(Seq.Answers.size(), Batch[I].Answers.size()) << "query " << I;
+    for (size_t A = 0; A < Seq.Answers.size(); ++A)
+      EXPECT_TRUE(
+          regexEquals(Seq.Answers[A].Regex, Batch[I].Answers[A].Regex));
+  }
+}

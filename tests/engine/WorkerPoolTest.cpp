@@ -1,0 +1,96 @@
+//===- tests/engine/WorkerPoolTest.cpp ------------------------------------===//
+
+#include "engine/WorkerPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace regel::engine;
+
+namespace {
+
+void spinUntil(const std::function<bool()> &Pred, int TimeoutMs = 10000) {
+  auto Start = std::chrono::steady_clock::now();
+  while (!Pred()) {
+    ASSERT_LT(std::chrono::steady_clock::now() - Start,
+              std::chrono::milliseconds(TimeoutMs))
+        << "condition not reached in time";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+} // namespace
+
+TEST(WorkerPool, RunsEverySubmittedTask) {
+  WorkerPool Pool(3);
+  std::atomic<int> Count{0};
+  const int N = 200;
+  for (int I = 0; I < N; ++I)
+    ASSERT_TRUE(Pool.submit([&Count] { ++Count; }));
+  spinUntil([&] { return Count.load() == N; });
+  EXPECT_EQ(Pool.tasksRun(), static_cast<uint64_t>(N));
+}
+
+TEST(WorkerPool, DrainsQueueOnDestruction) {
+  std::atomic<int> Count{0};
+  const int N = 500;
+  {
+    WorkerPool Pool(2);
+    for (int I = 0; I < N; ++I)
+      Pool.submit([&Count] { ++Count; });
+    // Destructor must run every task that was accepted.
+  }
+  EXPECT_EQ(Count.load(), N);
+}
+
+TEST(WorkerPool, TasksSubmittedFromWorkersRun) {
+  WorkerPool Pool(2);
+  std::atomic<int> Count{0};
+  const int Outer = 20, Inner = 10;
+  for (int I = 0; I < Outer; ++I)
+    Pool.submit([&Pool, &Count] {
+      EXPECT_TRUE(Pool.onWorkerThread());
+      for (int J = 0; J < Inner; ++J)
+        Pool.submit([&Count] { ++Count; });
+    });
+  spinUntil([&] { return Count.load() == Outer * Inner; });
+}
+
+TEST(WorkerPool, ConcurrentExternalSubmitters) {
+  WorkerPool Pool(3);
+  std::atomic<int> Count{0};
+  const int PerThread = 100;
+  std::vector<std::thread> Clients;
+  for (int T = 0; T < 4; ++T)
+    Clients.emplace_back([&Pool, &Count] {
+      for (int I = 0; I < PerThread; ++I)
+        Pool.submit([&Count] { ++Count; });
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  spinUntil([&] { return Count.load() == 4 * PerThread; });
+  EXPECT_FALSE(Pool.onWorkerThread());
+}
+
+TEST(WorkerPool, StealingMovesWorkBetweenWorkers) {
+  // One external submitter round-robins tasks over 4 queues while one
+  // long task blocks a worker; other workers steal from its queue to
+  // finish everything.
+  WorkerPool Pool(4);
+  std::atomic<int> Count{0};
+  std::atomic<bool> Release{false};
+  for (int I = 0; I < 4; ++I)
+    Pool.submit([&Release] {
+      while (!Release.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  const int N = 100;
+  for (int I = 0; I < N; ++I)
+    Pool.submit([&Count] { ++Count; });
+  Release.store(true);
+  spinUntil([&] { return Count.load() == N; });
+}

@@ -10,10 +10,22 @@
 // the combined effect of the two engine features this bench exists to
 // measure: parallel sketch tasks and cross-run cache reuse.
 //
+// Further cold/warm pairs then repeat the same corpus against caches
+// capped at each entry count in REGEL_CACHE_CAP (second-chance-evicted):
+// the capped_vs_uncapped rows of BENCH_engine.json report how much
+// warm-pass hit rate a bounded store gives up and that the store size
+// actually held the cap — the trade a long-lived serving process makes
+// for bounded memory. The default sweep pairs a tight cap (1000 ~ 4% of
+// this corpus's ~24k-DFA working set, where eviction churn is constant)
+// with one sized to the working set (24000, where retention stays within
+// 20% of unbounded).
+//
 // Environment knobs:
 //   REGEL_BENCH_LIMIT        max benchmarks per dataset (default 25, 0 = all)
 //   REGEL_BENCH_BUDGET_MS    per-job deadline (default 1500)
 //   REGEL_ENGINE_THREADS     workers in the multi-threaded pass (default 2)
+//   REGEL_CACHE_CAP          comma-separated entry caps for the capped
+//                            passes (default "1000,24000", empty/0 skips)
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +37,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -69,6 +82,8 @@ struct PassReport {
   double P95Ms = 0;
   double ExecP50Ms = 0; ///< first task start -> done
   double ExecP95Ms = 0;
+  double DfaHitRate = 0; ///< shared-store hit rate of THIS pass (delta)
+  double DfaResolutionRate = 0; ///< end-to-end: 1 - compiles/gets
   engine::StatsSnapshot Stats;
 };
 
@@ -93,6 +108,10 @@ PassReport runPass(unsigned Threads,
     Requests.push_back(std::move(R));
   }
 
+  // The caches outlive the engine, so per-pass hit rates need deltas.
+  const uint64_t DfaHits0 = Caches->Dfa.hits();
+  const uint64_t DfaMisses0 = Caches->Dfa.misses();
+
   Stopwatch Wall;
   std::vector<engine::JobResult> Results = Eng.runBatch(std::move(Requests));
   PassReport Rep;
@@ -115,6 +134,15 @@ PassReport runPass(unsigned Threads,
   Rep.ExecP50Ms = percentile(ExecLatencies, 0.50);
   Rep.ExecP95Ms = percentile(ExecLatencies, 0.95);
   Rep.Stats = Eng.snapshot();
+  const uint64_t DfaHits = Caches->Dfa.hits() - DfaHits0;
+  const uint64_t DfaLookups = DfaHits + (Caches->Dfa.misses() - DfaMisses0);
+  Rep.DfaHitRate = DfaLookups
+                       ? static_cast<double>(DfaHits) /
+                             static_cast<double>(DfaLookups)
+                       : 0.0;
+  // Engine stats are per-engine and each pass gets a fresh engine, so the
+  // snapshot's synth counters are already pass-local.
+  Rep.DfaResolutionRate = Rep.Stats.dfaResolutionRate();
   return Rep;
 }
 
@@ -124,10 +152,13 @@ void appendPassJson(std::string &Out, const PassReport &R) {
                 "    {\"threads\":%u,\"jobs\":%zu,\"solved\":%zu,"
                 "\"wall_ms\":%.1f,\"jobs_per_sec\":%.3f,"
                 "\"p50_ms\":%.1f,\"p95_ms\":%.1f,"
-                "\"exec_p50_ms\":%.1f,\"exec_p95_ms\":%.1f,\n"
+                "\"exec_p50_ms\":%.1f,\"exec_p95_ms\":%.1f,"
+                "\"dfa_store_hit_rate\":%.3f,"
+                "\"dfa_resolution_rate\":%.4f,\n"
                 "     \"engine\":",
                 R.Threads, R.Jobs, R.Solved, R.WallMs, R.JobsPerSec, R.P50Ms,
-                R.P95Ms, R.ExecP50Ms, R.ExecP95Ms);
+                R.P95Ms, R.ExecP50Ms, R.ExecP95Ms, R.DfaHitRate,
+                R.DfaResolutionRate);
   Out += Buf;
   Out += R.Stats.toJson();
   Out += "}";
@@ -141,6 +172,21 @@ int main() {
   const int64_t BudgetMs = envInt("REGEL_BENCH_BUDGET_MS", 1500);
   const unsigned Threads = std::max<unsigned>(
       2, static_cast<unsigned>(envInt("REGEL_ENGINE_THREADS", 2)));
+  std::vector<size_t> CacheCaps;
+  {
+    const char *Env = std::getenv("REGEL_CACHE_CAP");
+    std::string Spec = Env ? Env : "1000,24000";
+    size_t Pos = 0;
+    while (Pos < Spec.size()) {
+      size_t Comma = Spec.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = Spec.size();
+      long long Cap = std::atoll(Spec.substr(Pos, Comma - Pos).c_str());
+      if (Cap > 0)
+        CacheCaps.push_back(static_cast<size_t>(Cap));
+      Pos = Comma + 1;
+    }
+  }
 
   std::printf("loading corpora...\n");
   std::vector<data::Benchmark> Corpus = limited(data::deepRegexSet(), Limit);
@@ -168,7 +214,7 @@ int main() {
               Multi.Jobs);
 
   std::string Json = "{\n  \"bench\": \"engine_throughput\",\n";
-  char Buf[256];
+  char Buf[512];
   std::snprintf(Buf, sizeof(Buf),
                 "  \"corpus\": {\"deepregex\": %zu, \"stackoverflow\": %zu},\n"
                 "  \"budget_ms\": %lld,\n  \"passes\": [\n",
@@ -179,10 +225,86 @@ int main() {
   appendPassJson(Json, Multi);
   Json += "\n  ],\n";
   std::snprintf(Buf, sizeof(Buf),
-                "  \"speedup_multi_over_single\": %.3f\n}\n",
+                "  \"speedup_multi_over_single\": %.3f",
                 Single.JobsPerSec > 0 ? Multi.JobsPerSec / Single.JobsPerSec
                                       : 0.0);
   Json += Buf;
+
+  if (!CacheCaps.empty())
+    Json += ",\n  \"capped_vs_uncapped\": [\n";
+  unsigned PassNo = 3;
+  for (size_t CapIdx = 0; CapIdx < CacheCaps.size(); ++CapIdx) {
+    // Capped run: same corpus, fresh caches bounded to CacheCap entries
+    // per store. The warm pass's hit rate against the uncapped warm pass
+    // is the cost of bounded memory; the store size shows the cap held.
+    const size_t CacheCap = CacheCaps[CapIdx];
+    engine::CacheLimits Capped;
+    Capped.MaxEntries = CacheCap;
+    auto CappedCaches =
+        std::make_shared<engine::SharedCaches>(16, Capped, Capped);
+
+    std::printf("pass %u: 1 worker (cold, caches capped at %zu)...\n",
+                PassNo++, CacheCap);
+    PassReport CappedCold = runPass(1, CappedCaches, Corpus, BudgetMs);
+    std::printf("  %.2f jobs/sec, dfa store %llu/%zu entries\n",
+                CappedCold.JobsPerSec,
+                (unsigned long long)CappedCold.Stats.DfaStoreSize, CacheCap);
+
+    std::printf("pass %u: %u workers (warm, capped at %zu)...\n", PassNo++,
+                Threads, CacheCap);
+    PassReport CappedWarm = runPass(Threads, CappedCaches, Corpus, BudgetMs);
+    const double StoreRatio = Multi.DfaHitRate > 0
+                                  ? CappedWarm.DfaHitRate / Multi.DfaHitRate
+                                  : 0.0;
+    const double ResolutionRatio =
+        Multi.DfaResolutionRate > 0
+            ? CappedWarm.DfaResolutionRate / Multi.DfaResolutionRate
+            : 0.0;
+    std::printf("  %.2f jobs/sec, warm dfa resolution %.4f (uncapped %.4f, "
+                "ratio %.3f); store hit rate %.3f (uncapped %.3f), "
+                "%llu evictions\n",
+                CappedWarm.JobsPerSec, CappedWarm.DfaResolutionRate,
+                Multi.DfaResolutionRate, ResolutionRatio,
+                CappedWarm.DfaHitRate, Multi.DfaHitRate,
+                (unsigned long long)CappedWarm.Stats.DfaStoreEvictions);
+    const bool CapHeld = CappedWarm.Stats.DfaStoreSize <= CacheCap &&
+                         CappedCold.Stats.DfaStoreSize <= CacheCap;
+    if (!CapHeld)
+      std::printf("WARNING: capped store exceeded its cap\n");
+    if (Multi.DfaResolutionRate > 0 && ResolutionRatio < 0.8)
+      std::printf("note: cap %zu trades >20%% of the warm DFA resolution "
+                  "rate for bounded memory (working set exceeds the cap)\n",
+                  CacheCap);
+
+    Json += "    {\n";
+    std::snprintf(Buf, sizeof(Buf),
+                  "    \"dfa_cap_entries\": %zu,\n    \"passes\": [\n",
+                  CacheCap);
+    Json += Buf;
+    appendPassJson(Json, CappedCold);
+    Json += ",\n";
+    appendPassJson(Json, CappedWarm);
+    Json += "\n    ],\n";
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "    \"dfa_store_size\": %llu,\n"
+        "    \"dfa_store_evictions\": %llu,\n"
+        "    \"cap_held\": %s,\n"
+        "    \"warm_dfa_resolution_rate\": %.4f,\n"
+        "    \"uncapped_warm_dfa_resolution_rate\": %.4f,\n"
+        "    \"warm_resolution_rate_ratio\": %.3f,\n"
+        "    \"warm_dfa_store_hit_rate\": %.3f,\n"
+        "    \"uncapped_warm_dfa_store_hit_rate\": %.3f,\n"
+        "    \"warm_store_hit_rate_ratio\": %.3f\n    }",
+        (unsigned long long)CappedWarm.Stats.DfaStoreSize,
+        (unsigned long long)CappedWarm.Stats.DfaStoreEvictions,
+        CapHeld ? "true" : "false", CappedWarm.DfaResolutionRate,
+        Multi.DfaResolutionRate, ResolutionRatio, CappedWarm.DfaHitRate,
+        Multi.DfaHitRate, StoreRatio);
+    Json += Buf;
+    Json += CapIdx + 1 < CacheCaps.size() ? ",\n" : "\n  ]";
+  }
+  Json += "\n}\n";
 
   const char *OutPath = "BENCH_engine.json";
   if (FILE *F = std::fopen(OutPath, "w")) {

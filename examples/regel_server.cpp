@@ -1,16 +1,20 @@
 //===- examples/regel_server.cpp - REPL-style synthesis server ------------===//
 //
-// Build & run:  ./build/examples/regel_server [threads]
+// Build & run:  ./build/examples/regel_server [threads] [cache-cap] [high-water]
 //
 // A line-oriented server driver for the concurrent engine: one persistent
 // engine::Engine serves every request, so worker threads and the cross-run
 // caches (regex->DFA, sketch approximations) stay warm between queries —
-// the serving setup the engine subsystem exists for. Protocol (stdin):
+// the serving setup the engine subsystem exists for. The caches are capped
+// (LRU-evicted; [cache-cap] entries each, default 25000, 0 = unbounded) so
+// the process can stay up indefinitely, and submissions are shed once
+// [high-water] jobs are in flight (default 64, 0 = off). Protocol (stdin):
 //
 //   desc <english description>   set the query description
 //   pos <string>                 add a positive example ("" for empty)
 //   neg <string>                 add a negative example
 //   topk <k> | budget <ms>       tune the current query
+//   sla <ms>                     submit-anchored residency SLA (0 = off)
 //   solve                        run the query on the engine
 //   clear                        reset the current query
 //   stats                        engine counters as JSON
@@ -42,18 +46,33 @@ namespace {
 void printHelp() {
   std::printf(
       "commands: desc <text> | pos <str> | neg <str> | topk <k> |\n"
-      "          budget <ms> | solve | clear | stats | help | quit\n");
+      "          budget <ms> | sla <ms> | solve | clear | stats | help |\n"
+      "          quit\n");
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   unsigned Threads = 2;
+  size_t CacheCap = 25000; // entries per store; 0 = unbounded
+  size_t HighWater = 64;   // queue-depth admission mark; 0 = off
   if (argc > 1)
     Threads = static_cast<unsigned>(std::atoi(argv[1]));
+  if (argc > 2)
+    CacheCap = static_cast<size_t>(std::atoll(argv[2]));
+  if (argc > 3)
+    HighWater = static_cast<size_t>(std::atoll(argv[3]));
 
   engine::EngineConfig EC;
   EC.Threads = Threads;
+  // A long-lived server must bound its memo growth: cap both cross-run
+  // stores, and weigh the DFA store by automaton size so a few huge DFAs
+  // cannot hold the whole entry budget's worth of memory.
+  EC.DfaCacheLimits.MaxEntries = CacheCap;
+  EC.DfaCacheLimits.MaxCost =
+      CacheCap ? CacheCap * 2 * (1 + regel::AlphabetSize) : 0;
+  EC.ApproxCacheLimits.MaxEntries = CacheCap;
+  EC.MaxQueueDepth = HighWater;
   auto Eng = std::make_shared<engine::Engine>(EC);
   auto Parser = std::make_shared<nlp::SemanticParser>();
 
@@ -62,8 +81,9 @@ int main(int argc, char **argv) {
   Cfg.BudgetMs = 5000;
   Cfg.TopK = 1;
 
-  std::printf("regel_server: %u workers; type 'help' for commands\n",
-              Eng->threadCount());
+  std::printf("regel_server: %u workers, cache cap %zu, high-water %zu; "
+              "type 'help' for commands\n",
+              Eng->threadCount(), CacheCap, HighWater);
 
   std::string Description;
   Examples E;
@@ -87,6 +107,8 @@ int main(int argc, char **argv) {
       Cfg.TopK = static_cast<unsigned>(std::max(1, std::atoi(Arg.c_str())));
     } else if (Cmd == "budget") {
       Cfg.BudgetMs = std::max(1, std::atoi(Arg.c_str()));
+    } else if (Cmd == "sla") {
+      Cfg.ResidencyBudgetMs = std::max(0, std::atoi(Arg.c_str()));
     } else if (Cmd == "clear") {
       Description.clear();
       E = Examples();

@@ -25,6 +25,7 @@ engine::JobRequest requestFor(const RegelConfig &Cfg,
   R.E = E;
   R.TopK = Cfg.TopK;
   R.BudgetMs = Cfg.BudgetMs;
+  R.ResidencyBudgetMs = Cfg.ResidencyBudgetMs;
   R.Synth = Cfg.Synth;
   R.Deterministic = Cfg.Deterministic;
   return R;

@@ -28,9 +28,14 @@ class Engine;
 struct RegelConfig {
   unsigned NumSketches = 25;  ///< sketches taken from the parser
   unsigned TopK = 1;          ///< results shown to the user
-  int64_t BudgetMs = 10000;   ///< total time budget t
+  int64_t BudgetMs = 10000;   ///< total time budget t (execution-anchored)
   SynthConfig Synth;          ///< PBE engine settings (BudgetMs is split)
   unsigned Threads = 1;       ///< workers of a self-owned engine
+
+  /// Submit-anchored SLA per query (0 = none): bounds queue wait plus
+  /// execution on a loaded shared engine, where BudgetMs alone lets
+  /// residence time grow with the queue. See JobRequest::ResidencyBudgetMs.
+  int64_t ResidencyBudgetMs = 0;
 
   /// Run every sketch to completion and order answers by sketch rank, so
   /// results do not depend on worker count or scheduling (costs the work

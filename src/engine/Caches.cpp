@@ -7,15 +7,60 @@
 using namespace regel;
 using namespace regel::engine;
 
-ShardedDfaStore::ShardedDfaStore(unsigned NumShards) {
+namespace {
+
+/// Splits a global cap over \p NumShards: floored (so the global figure is
+/// an upper bound), but never below one entry per shard.
+template <typename T> T perShard(T GlobalCap, size_t NumShards) {
+  if (GlobalCap == 0)
+    return 0;
+  return std::max<T>(1, GlobalCap / static_cast<T>(NumShards));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ShardedDfaStore
+//===----------------------------------------------------------------------===//
+
+ShardedDfaStore::ShardedDfaStore(unsigned NumShards, CacheLimits L)
+    : Limits(L) {
   NumShards = std::max(1u, NumShards);
   Shards.reserve(NumShards);
   for (unsigned I = 0; I < NumShards; ++I)
     Shards.push_back(std::make_unique<Shard>());
+  MaxEntriesPerShard = perShard(Limits.MaxEntries, Shards.size());
+  MaxCostPerShard = perShard(Limits.MaxCost, Shards.size());
 }
 
 ShardedDfaStore::Shard &ShardedDfaStore::shardFor(const RegexPtr &R) {
-  return *Shards[R->hash() % Shards.size()];
+  return *Shards[mix64(R->hash()) % Shards.size()];
+}
+
+void ShardedDfaStore::evictOver(Shard &S) {
+  // Caller holds S.M. Evict cold entries until both caps hold; a single
+  // DFA whose cost alone exceeds the shard's cost cap is evicted too (it
+  // would otherwise pin the shard over budget forever). Second chance: a
+  // hit-since-last-sweep entry reaching the cold end is recycled once
+  // (reference bit cleared) rather than evicted, so one-touch scan
+  // traffic cannot flush the re-referenced core. Recycles are bounded by
+  // the list length at entry, which guarantees termination.
+  size_t Chances = S.Lru.size();
+  while (!S.Lru.empty() &&
+         ((MaxEntriesPerShard && S.Map.size() > MaxEntriesPerShard) ||
+          (MaxCostPerShard && S.Cost > MaxCostPerShard))) {
+    Entry &Victim = S.Lru.back();
+    if (Victim.Hot && Chances > 0) {
+      --Chances;
+      Victim.Hot = false;
+      S.Lru.splice(S.Lru.begin(), S.Lru, std::prev(S.Lru.end()));
+      continue;
+    }
+    S.Cost -= Victim.Cost;
+    S.Map.erase(Victim.R);
+    S.Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::shared_ptr<const Dfa> ShardedDfaStore::lookup(const RegexPtr &R) {
@@ -27,14 +72,28 @@ std::shared_ptr<const Dfa> ShardedDfaStore::lookup(const RegexPtr &R) {
     return nullptr;
   }
   Hits.fetch_add(1, std::memory_order_relaxed);
-  return It->second;
+  It->second->Hot = true;
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // LRU touch
+  return It->second->D;
 }
 
 void ShardedDfaStore::publish(const RegexPtr &R,
                               std::shared_ptr<const Dfa> D) {
   Shard &S = shardFor(R);
   std::lock_guard<std::mutex> Guard(S.M);
-  S.Map.emplace(R, std::move(D)); // first publisher wins
+  auto It = S.Map.find(R);
+  if (It != S.Map.end()) {
+    // First publisher wins; a duplicate publish means a second run needed
+    // this entry, so it counts as a reference like a lookup hit does.
+    It->second->Hot = true;
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    return;
+  }
+  uint64_t Cost = dfaCost(*D);
+  S.Lru.push_front(Entry{R, std::move(D), Cost});
+  S.Cost += Cost;
+  S.Map.emplace(R, S.Lru.begin());
+  evictOver(S);
 }
 
 size_t ShardedDfaStore::size() const {
@@ -46,24 +105,65 @@ size_t ShardedDfaStore::size() const {
   return Total;
 }
 
+uint64_t ShardedDfaStore::costUnits() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S->M);
+    Total += S->Cost;
+  }
+  return Total;
+}
+
 void ShardedDfaStore::clear() {
   for (std::unique_ptr<Shard> &S : Shards) {
     std::lock_guard<std::mutex> Guard(S->M);
     S->Map.clear();
+    S->Lru.clear();
+    S->Cost = 0;
   }
 }
 
-ShardedApproxStore::ShardedApproxStore(unsigned NumShards) {
+//===----------------------------------------------------------------------===//
+// ShardedApproxStore
+//===----------------------------------------------------------------------===//
+
+ShardedApproxStore::ShardedApproxStore(unsigned NumShards, CacheLimits L)
+    : Limits(L) {
   NumShards = std::max(1u, NumShards);
   Shards.reserve(NumShards);
   for (unsigned I = 0; I < NumShards; ++I)
     Shards.push_back(std::make_unique<Shard>());
+  // Approximations are small and uniform, so MaxCost degenerates to a
+  // second entry cap: the effective cap is the tighter of the two.
+  size_t Cap = Limits.MaxEntries;
+  if (Limits.MaxCost &&
+      (Cap == 0 || static_cast<size_t>(Limits.MaxCost) < Cap))
+    Cap = static_cast<size_t>(Limits.MaxCost);
+  MaxEntriesPerShard = perShard(Cap, Shards.size());
 }
 
 ShardedApproxStore::Shard &
 ShardedApproxStore::shardFor(const SketchPtr &S, unsigned Depth,
                              bool WithClasses) {
-  return *Shards[KeyHash{}({S, Depth, WithClasses}) % Shards.size()];
+  return *Shards[hashKey(S, Depth, WithClasses) % Shards.size()];
+}
+
+void ShardedApproxStore::evictOver(Shard &S) {
+  // Caller holds S.M. Same second-chance sweep as the DFA store.
+  size_t Chances = S.Lru.size();
+  while (MaxEntriesPerShard && S.Map.size() > MaxEntriesPerShard &&
+         !S.Lru.empty()) {
+    Entry &Victim = S.Lru.back();
+    if (Victim.Hot && Chances > 0) {
+      --Chances;
+      Victim.Hot = false;
+      S.Lru.splice(S.Lru.begin(), S.Lru, std::prev(S.Lru.end()));
+      continue;
+    }
+    S.Map.erase(Victim.K);
+    S.Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 bool ShardedApproxStore::lookup(const SketchPtr &S, unsigned Depth,
@@ -76,7 +176,9 @@ bool ShardedApproxStore::lookup(const SketchPtr &S, unsigned Depth,
     return false;
   }
   Hits.fetch_add(1, std::memory_order_relaxed);
-  Out = It->second;
+  It->second->Hot = true;
+  Sh.Lru.splice(Sh.Lru.begin(), Sh.Lru, It->second); // LRU touch
+  Out = It->second->A;
   return true;
 }
 
@@ -84,7 +186,18 @@ void ShardedApproxStore::publish(const SketchPtr &S, unsigned Depth,
                                  bool WithClasses, const Approx &A) {
   Shard &Sh = shardFor(S, Depth, WithClasses);
   std::lock_guard<std::mutex> Guard(Sh.M);
-  Sh.Map.emplace(Key{S, Depth, WithClasses}, A);
+  Key K{S, Depth, WithClasses};
+  auto It = Sh.Map.find(K);
+  if (It != Sh.Map.end()) {
+    // Duplicate publish = a second run needed this entry: count it as a
+    // reference, like a lookup hit.
+    It->second->Hot = true;
+    Sh.Lru.splice(Sh.Lru.begin(), Sh.Lru, It->second);
+    return;
+  }
+  Sh.Lru.push_front(Entry{K, A});
+  Sh.Map.emplace(std::move(K), Sh.Lru.begin());
+  evictOver(Sh);
 }
 
 size_t ShardedApproxStore::size() const {
@@ -100,5 +213,6 @@ void ShardedApproxStore::clear() {
   for (std::unique_ptr<Shard> &S : Shards) {
     std::lock_guard<std::mutex> Guard(S->M);
     S->Map.clear();
+    S->Lru.clear();
   }
 }

@@ -1,4 +1,4 @@
-//===- engine/Caches.h - Sharded cross-run caches ---------------*- C++ -*-===//
+//===- engine/Caches.h - Sharded, bounded cross-run caches ------*- C++ -*-===//
 //
 // Part of the Regel reproduction. Thread-safe sharded implementations of
 // the two cache seams the synthesis layers expose:
@@ -16,6 +16,26 @@
 // Sharding bounds lock contention: keys hash to one of N independently
 // locked maps, so workers rarely collide on a mutex.
 //
+// Both stores are bounded (CacheLimits): each shard keeps its entries on a
+// recency list and evicts from the cold end when a cap is exceeded, so a
+// serving process can stay up indefinitely without the memo growth that
+// otherwise accumulates one entry per distinct regex/sketch ever seen. The
+// DFA store's cap is additionally cost-aware — a DFA's weight is its
+// states + transitions, not its entry count — because compiled automata
+// vary in size by orders of magnitude.
+//
+// Eviction is second-chance (scan-resistant) LRU: an entry that has been
+// hit since it last reached the cold end is cycled back with its
+// reference bit cleared instead of evicted. Synthesis workloads are
+// mostly one-touch scans (each job publishes hundreds of job-specific
+// DFAs it will only ever look up itself), with a small cross-job core
+// that is re-referenced constantly; under pure LRU the scan flushes that
+// core, under second-chance it stays resident.
+//
+// Eviction is transparent to correctness: a re-looked-up evicted entry
+// just recompiles (compilation is deterministic), it only costs the
+// recompilation time.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef REGEL_ENGINE_CACHES_H
@@ -25,16 +45,41 @@
 #include "synth/Approximate.h"
 
 #include <atomic>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 namespace regel::engine {
 
-/// A sharded, thread-safe regex -> DFA store.
+/// Size limits for one sharded store; zero means unlimited. Caps are
+/// enforced per shard (global cap / shard count, floored, at least 1), so
+/// the global figure is a firm upper bound whenever it is at least the
+/// shard count, and approximate below that.
+struct CacheLimits {
+  /// Maximum entries across all shards.
+  size_t MaxEntries = 0;
+
+  /// Maximum summed entry cost across all shards. The DFA store measures
+  /// cost in automaton size (states + transitions, see
+  /// ShardedDfaStore::dfaCost); the approximation store counts 1 per entry,
+  /// so for it this is a second entry cap.
+  uint64_t MaxCost = 0;
+};
+
+/// splitmix64 finalizer: a cheap full-avalanche mix so shard selection
+/// depends on every bit of a key hash, not just the low ones.
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// A sharded, thread-safe, LRU-bounded regex -> DFA store.
 class ShardedDfaStore : public DfaStore {
 public:
-  explicit ShardedDfaStore(unsigned NumShards = 16);
+  explicit ShardedDfaStore(unsigned NumShards = 16, CacheLimits Limits = {});
 
   std::shared_ptr<const Dfa> lookup(const RegexPtr &R) override;
   void publish(const RegexPtr &R, std::shared_ptr<const Dfa> D) override;
@@ -42,28 +87,57 @@ public:
   size_t size() const;
   void clear();
 
+  /// Summed cost units (states + transitions) of every cached DFA.
+  uint64_t costUnits() const;
+
+  /// Cost of one DFA in store cost units: its states plus the transitions
+  /// of its complete table.
+  static uint64_t dfaCost(const Dfa &D) {
+    return static_cast<uint64_t>(D.numStates()) * (1 + AlphabetSize);
+  }
+
+  const CacheLimits &limits() const { return Limits; }
+
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
 
 private:
+  struct Entry {
+    RegexPtr R;
+    std::shared_ptr<const Dfa> D;
+    uint64_t Cost;
+    bool Hot = false; ///< hit since it last reached the cold end
+  };
   struct Shard {
     mutable std::mutex M;
-    std::unordered_map<RegexPtr, std::shared_ptr<const Dfa>, RegexPtrHash,
+    std::list<Entry> Lru; ///< front = most recently used
+    std::unordered_map<RegexPtr, std::list<Entry>::iterator, RegexPtrHash,
                        RegexPtrEq>
         Map;
+    uint64_t Cost = 0; ///< summed entry cost, guarded by M
   };
 
   Shard &shardFor(const RegexPtr &R);
+  void evictOver(Shard &S);
 
   std::vector<std::unique_ptr<Shard>> Shards;
+  CacheLimits Limits;
+  size_t MaxEntriesPerShard = 0;
+  uint64_t MaxCostPerShard = 0;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evictions{0};
 };
 
-/// A sharded, thread-safe (sketch, depth, widened) -> approximation memo.
+/// A sharded, thread-safe, LRU-bounded (sketch, depth, widened) ->
+/// approximation memo.
 class ShardedApproxStore : public SketchApproxStore {
 public:
-  explicit ShardedApproxStore(unsigned NumShards = 16);
+  explicit ShardedApproxStore(unsigned NumShards = 16,
+                              CacheLimits Limits = {});
 
   bool lookup(const SketchPtr &S, unsigned Depth, bool WithClasses,
               Approx &Out) override;
@@ -73,8 +147,25 @@ public:
   size_t size() const;
   void clear();
 
+  const CacheLimits &limits() const { return Limits; }
+
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+
+  /// The combined key hash (exposed so tests can check shard balance).
+  /// Depth and the widened flag are folded through mix64 rather than
+  /// XORed in raw: consecutive depths must not perturb only the low bits
+  /// that pick the shard.
+  static size_t hashKey(const SketchPtr &S, unsigned Depth,
+                        bool WithClasses) {
+    uint64_t Fields =
+        (static_cast<uint64_t>(Depth) << 1) | (WithClasses ? 1u : 0u);
+    return static_cast<size_t>(
+        mix64(static_cast<uint64_t>(S->hash()) ^ mix64(Fields)));
+  }
 
 private:
   struct Key {
@@ -84,8 +175,7 @@ private:
   };
   struct KeyHash {
     size_t operator()(const Key &K) const {
-      return K.S->hash() ^ (static_cast<size_t>(K.Depth) << 1) ^
-             (K.WithClasses ? 0x9e3779b97f4a7c15ull : 0);
+      return hashKey(K.S, K.Depth, K.WithClasses);
     }
   };
   struct KeyEq {
@@ -94,23 +184,34 @@ private:
              sketchEquals(A.S, B.S);
     }
   };
+  struct Entry {
+    Key K;
+    Approx A;
+    bool Hot = false; ///< hit since it last reached the cold end
+  };
   struct Shard {
     mutable std::mutex M;
-    std::unordered_map<Key, Approx, KeyHash, KeyEq> Map;
+    std::list<Entry> Lru; ///< front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash, KeyEq> Map;
   };
 
   Shard &shardFor(const SketchPtr &S, unsigned Depth, bool WithClasses);
+  void evictOver(Shard &S);
 
   std::vector<std::unique_ptr<Shard>> Shards;
+  CacheLimits Limits;
+  size_t MaxEntriesPerShard = 0;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evictions{0};
 };
 
 /// The caches one engine (or several engines, when passed explicitly)
 /// share across all jobs.
 struct SharedCaches {
-  explicit SharedCaches(unsigned NumShards = 16)
-      : Dfa(NumShards), Approx(NumShards) {}
+  explicit SharedCaches(unsigned NumShards = 16, CacheLimits DfaLimits = {},
+                        CacheLimits ApproxLimits = {})
+      : Dfa(NumShards, DfaLimits), Approx(NumShards, ApproxLimits) {}
 
   ShardedDfaStore Dfa;
   ShardedApproxStore Approx;

@@ -12,7 +12,9 @@ using namespace regel::engine;
 Engine::Engine(EngineConfig C)
     : Cfg(std::move(C)),
       Caches(Cfg.Caches ? Cfg.Caches
-                        : std::make_shared<SharedCaches>(Cfg.CacheShards)),
+                        : std::make_shared<SharedCaches>(Cfg.CacheShards,
+                                                         Cfg.DfaCacheLimits,
+                                                         Cfg.ApproxCacheLimits)),
       Pool(std::max(1u, Cfg.Threads)) {}
 
 Engine::~Engine() {
@@ -25,25 +27,39 @@ JobPtr Engine::submit(JobRequest R) {
   JobPtr J(new SynthJob(std::move(R)));
   const size_t NumTasks = J->Req.Sketches.size();
   if (NumTasks == 0) {
-    // Nothing to search: complete the job on the spot.
+    // Nothing to search: complete the job on the spot (it never occupies
+    // the queue, so admission control does not apply).
     std::lock_guard<std::mutex> Guard(J->M);
-    J->Result.TotalMs = J->SinceSubmit.elapsedMs();
+    J->Result.TotalMs = J->sinceSubmitMs();
     J->Ready = true;
     J->CV.notify_all();
-    Stats.jobCompleted(/*Solved=*/false, /*DeadlineExpired=*/false);
+    Stats.jobCompleted(/*Solved=*/false, /*DeadlineExpired=*/false,
+                       /*ResidencyExpired=*/false);
     return J;
   }
-  Queue.add(J);
+  if (!Queue.tryAdd(J, Cfg.MaxQueueDepth)) {
+    // Backpressure: shed the submission instead of queueing it. tryAdd
+    // checks the high-water mark and inserts atomically, so the bound
+    // holds under concurrent submitters; the handle completes on the spot
+    // so wait() returns immediately.
+    Stats.jobRejected();
+    std::lock_guard<std::mutex> Guard(J->M);
+    J->Result.Rejected = true;
+    J->Result.TotalMs = J->sinceSubmitMs();
+    J->Ready = true;
+    J->CV.notify_all();
+    return J;
+  }
   J->Remaining.store(static_cast<unsigned>(NumTasks),
                      std::memory_order_relaxed);
   for (unsigned Rank = 0; Rank < NumTasks; ++Rank) {
     if (!Pool.submit([this, J, Rank] { runSketchTask(J, Rank); })) {
-      // Pool is shutting down; account the task as cancelled so the job
+      // Pool is shutting down; account the task as skipped so the job
       // still completes.
-      Stats.taskCancelled();
+      Stats.taskSkipped();
       {
         std::lock_guard<std::mutex> Guard(J->M);
-        ++J->Result.TasksCancelled;
+        ++J->Result.TasksSkipped;
       }
       finishTask(J);
     }
@@ -67,16 +83,23 @@ void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
   J->markStarted();
 
   const JobRequest &Req = J->Req;
-  bool DeadlineHit = J->deadlineExpired() &&
-                     !J->Cancel.load(std::memory_order_relaxed);
-  if (DeadlineHit)
-    J->Cancel.store(true, std::memory_order_relaxed);
+  bool DeadlineHit = false, ResidencyHit = false;
+  if (!J->Cancel.load(std::memory_order_relaxed)) {
+    DeadlineHit = J->deadlineExpired();
+    ResidencyHit = !DeadlineHit && J->residencyExpired();
+    if (DeadlineHit || ResidencyHit)
+      J->Cancel.store(true, std::memory_order_relaxed);
+  }
   if (J->Cancel.load(std::memory_order_relaxed)) {
-    Stats.taskCancelled();
+    // The task never ran a search: whatever set the cancel flag (sibling
+    // success, client cancel, deadline, residency SLA) ends it here.
+    Stats.taskSkipped();
     std::lock_guard<std::mutex> Guard(J->M);
-    ++J->Result.TasksCancelled;
+    ++J->Result.TasksSkipped;
     if (DeadlineHit)
       J->Result.DeadlineExpired = true;
+    if (ResidencyHit)
+      J->Result.ResidencyExpired = true;
     // The lock is released before finishTask below; finalize re-locks.
   } else {
     SynthConfig SC = Req.Synth;
@@ -103,18 +126,25 @@ void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
       SC.BudgetMs = PerSketch > 0 ? std::min(PerSketch, RemainingMs)
                                   : RemainingMs;
     }
+    // The residency SLA is submit-anchored: a search may not outlive what
+    // is left of it, however much execution budget remains.
+    if (Req.ResidencyBudgetMs > 0) {
+      int64_t ResidencyLeft = J->residencyRemainingMs();
+      SC.BudgetMs = SC.BudgetMs > 0 ? std::min(SC.BudgetMs, ResidencyLeft)
+                                    : ResidencyLeft;
+    }
 
     Synthesizer Synth(SC);
     SynthResult SR = Synth.run(Req.Sketches[Rank], Req.E);
     Stats.taskRan();
     Stats.addSynth(SR.Stats);
     if (SR.Cancelled)
-      Stats.taskCancelled();
+      Stats.taskStopped();
 
     std::lock_guard<std::mutex> Guard(J->M);
     ++J->Result.TasksRun;
     if (SR.Cancelled)
-      ++J->Result.TasksCancelled; // ran, but was stopped mid-search
+      ++J->Result.TasksStopped; // ran, but was stopped mid-search
     if (Req.Deterministic) {
       J->PerSketch[Rank] = std::move(SR.Solutions);
     } else {
@@ -148,7 +178,7 @@ void Engine::finalize(const JobPtr &J) {
   // Everything observable (stats, queue depth) is updated BEFORE Ready is
   // signalled, so a waiter that wakes from wait() sees the completed
   // state.
-  bool Solved, DeadlineExpired;
+  bool Solved, DeadlineExpired, ResidencyExpired;
   uint64_t NumAnswers;
   {
     std::lock_guard<std::mutex> Guard(J->M);
@@ -175,11 +205,14 @@ void Engine::finalize(const JobPtr &J) {
     J->Result.QueueMs = J->Result.TotalMs - J->Result.ExecMs;
     if (J->deadlineExpired() && !J->Result.solved())
       J->Result.DeadlineExpired = true;
+    if (J->residencyExpired() && !J->Result.solved())
+      J->Result.ResidencyExpired = true;
     Solved = J->Result.solved();
     DeadlineExpired = J->Result.DeadlineExpired;
+    ResidencyExpired = J->Result.ResidencyExpired;
     NumAnswers = J->Result.Answers.size();
   }
-  Stats.jobCompleted(Solved, DeadlineExpired);
+  Stats.jobCompleted(Solved, DeadlineExpired, ResidencyExpired);
   Stats.solutionsFound(NumAnswers);
   Queue.remove(J.get());
   {
@@ -196,8 +229,11 @@ StatsSnapshot Engine::snapshot() const {
   S.DfaStoreHits = Caches->Dfa.hits();
   S.DfaStoreMisses = Caches->Dfa.misses();
   S.DfaStoreSize = Caches->Dfa.size();
+  S.DfaStoreCost = Caches->Dfa.costUnits();
+  S.DfaStoreEvictions = Caches->Dfa.evictions();
   S.ApproxStoreHits = Caches->Approx.hits();
   S.ApproxStoreMisses = Caches->Approx.misses();
   S.ApproxStoreSize = Caches->Approx.size();
+  S.ApproxStoreEvictions = Caches->Approx.evictions();
   return S;
 }

@@ -35,6 +35,20 @@ struct EngineConfig {
   /// passing one lets several engines (or engine generations across
   /// restarts of a config) share warmed caches.
   std::shared_ptr<SharedCaches> Caches;
+
+  /// Size caps for the self-created caches (ignored when Caches is passed
+  /// in — the owner of a shared cache decides its limits). Zero fields
+  /// mean unbounded; see CacheLimits.
+  CacheLimits DfaCacheLimits;
+  CacheLimits ApproxCacheLimits;
+
+  /// Admission control high-water mark (0 = off): a submission arriving
+  /// while queueDepth() is at or above this is rejected outright — the
+  /// returned job completes immediately with Rejected set and nothing is
+  /// enqueued. Shedding at submit keeps a loaded engine's queue (and thus
+  /// every accepted job's residency) bounded instead of letting latency
+  /// grow without limit.
+  size_t MaxQueueDepth = 0;
 };
 
 class Engine {
@@ -47,7 +61,9 @@ public:
   Engine(const Engine &) = delete;
   Engine &operator=(const Engine &) = delete;
 
-  /// Enqueues one job; returns immediately with a waitable handle.
+  /// Enqueues one job; returns immediately with a waitable handle. Under
+  /// backpressure (MaxQueueDepth reached) the job is rejected instead of
+  /// enqueued: the handle is already complete with Result.Rejected set.
   JobPtr submit(JobRequest R);
 
   /// Submits every request, then blocks until all are done. Results are

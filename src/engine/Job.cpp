@@ -37,9 +37,12 @@ bool SynthJob::done() const {
   return Ready;
 }
 
-void JobQueue::add(const JobPtr &J) {
+bool JobQueue::tryAdd(const JobPtr &J, size_t MaxDepth) {
   std::lock_guard<std::mutex> Guard(M);
+  if (MaxDepth && Active.size() >= MaxDepth)
+    return false;
   Active.push_back(J);
+  return true;
 }
 
 void JobQueue::remove(const SynthJob *J) {

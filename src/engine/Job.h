@@ -23,6 +23,7 @@
 #include "synth/Config.h"
 #include "synth/PartialRegex.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -45,9 +46,17 @@ struct JobRequest {
   /// Per-job deadline in milliseconds (0 = none). The clock starts when
   /// the job's first task begins executing, not at submission: BudgetMs is
   /// the paper's synthesis budget t, and queue wait under load must not
-  /// eat it. Bounding total residence time is the client's job (cancel()).
+  /// eat it.
   int64_t BudgetMs = 10000;
   int64_t PerSketchBudgetMs = 0; ///< 0 = BudgetMs / #sketches, 250ms floor
+
+  /// Submit-anchored residency SLA in milliseconds (0 = none): bounds
+  /// queue wait PLUS execution, complementing the execution-anchored
+  /// BudgetMs. A job still queued when it expires is skipped without
+  /// running (its tasks count as skipped and the result reports
+  /// ResidencyExpired); a running job has its remaining search budget
+  /// clamped so it cannot outlive the SLA either.
+  int64_t ResidencyBudgetMs = 0;
   SynthConfig Synth;             ///< base PBE settings for every task
 
   /// Deterministic mode: run every sketch task to completion (no
@@ -69,15 +78,20 @@ struct JobAnswer {
   SketchPtr Sketch;
 };
 
-/// Final outcome of a job.
+/// Final outcome of a job. Task counts partition the job's sketch list:
+/// TasksRun + TasksSkipped equals the number of sketches, and TasksStopped
+/// is the subset of TasksRun that was cancelled mid-search.
 struct JobResult {
   std::vector<JobAnswer> Answers; ///< up to TopK
   double QueueMs = 0;   ///< submit -> first task started
   double TotalMs = 0;   ///< submit -> completion (includes queue wait)
   double ExecMs = 0;    ///< first task started -> completion
-  uint64_t TasksRun = 0;
-  uint64_t TasksCancelled = 0; ///< sibling tasks skipped/stopped early
+  uint64_t TasksRun = 0;     ///< tasks that executed a search
+  uint64_t TasksSkipped = 0; ///< tasks cancelled before starting
+  uint64_t TasksStopped = 0; ///< subset of TasksRun, stopped mid-search
   bool DeadlineExpired = false;
+  bool ResidencyExpired = false; ///< submit-anchored SLA missed
+  bool Rejected = false; ///< shed by admission control; nothing ran
 
   bool solved() const { return !Answers.empty(); }
 };
@@ -118,6 +132,22 @@ private:
            execElapsedMs() >= static_cast<double>(Req.BudgetMs);
   }
 
+  /// Milliseconds since submission (queue wait included).
+  double sinceSubmitMs() const { return SinceSubmit.elapsedMs(); }
+
+  /// True once the submit-anchored residency SLA has passed.
+  bool residencyExpired() const {
+    return Req.ResidencyBudgetMs > 0 &&
+           sinceSubmitMs() >= static_cast<double>(Req.ResidencyBudgetMs);
+  }
+
+  /// Milliseconds of residency SLA left (at least 1; meaningless when the
+  /// request has no ResidencyBudgetMs).
+  int64_t residencyRemainingMs() const {
+    return std::max<int64_t>(
+        Req.ResidencyBudgetMs - static_cast<int64_t>(sinceSubmitMs()), 1);
+  }
+
   JobRequest Req;
   std::atomic<bool> Cancel{false};
   std::atomic<unsigned> Remaining{0}; ///< tasks not yet finished
@@ -142,7 +172,11 @@ using JobPtr = std::shared_ptr<SynthJob>;
 /// barrier for shutdown, and bulk cancellation.
 class JobQueue {
 public:
-  void add(const JobPtr &J);
+  /// Adds \p J unless the queue already holds \p MaxDepth jobs (0 = no
+  /// limit); returns false without adding when full. Check and insert are
+  /// one critical section, so the admission bound is firm even when many
+  /// clients submit concurrently.
+  bool tryAdd(const JobPtr &J, size_t MaxDepth);
   void remove(const SynthJob *J);
 
   /// Number of jobs submitted but not yet completed.

@@ -7,27 +7,38 @@
 using namespace regel::engine;
 
 std::string StatsSnapshot::toJson() const {
-  char Buf[1024];
+  char Buf[2048];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"jobs\":{\"submitted\":%llu,\"completed\":%llu,\"solved\":%llu,"
-      "\"deadline_expired\":%llu},"
-      "\"tasks\":{\"run\":%llu,\"cancelled\":%llu,\"stolen\":%llu},"
+      "\"rejected\":%llu,\"deadline_expired\":%llu,"
+      "\"residency_expired\":%llu},"
+      "\"tasks\":{\"run\":%llu,\"skipped\":%llu,\"stopped\":%llu,"
+      "\"stolen\":%llu},"
       "\"solutions\":%llu,"
       "\"synth\":{\"pops\":%llu,\"expansions\":%llu,\"pruned\":%llu,"
-      "\"checked\":%llu,\"smt_calls\":%llu,\"total_ms\":%.1f},"
-      "\"dfa_store\":{\"hits\":%llu,\"misses\":%llu,\"size\":%llu},"
-      "\"approx_store\":{\"hits\":%llu,\"misses\":%llu,\"size\":%llu}}",
+      "\"checked\":%llu,\"smt_calls\":%llu,\"dfa_gets\":%llu,"
+      "\"dfa_compiles\":%llu,\"total_ms\":%.1f},"
+      "\"dfa_store\":{\"hits\":%llu,\"misses\":%llu,\"size\":%llu,"
+      "\"cost\":%llu,\"evictions\":%llu},"
+      "\"approx_store\":{\"hits\":%llu,\"misses\":%llu,\"size\":%llu,"
+      "\"evictions\":%llu}}",
       (unsigned long long)JobsSubmitted, (unsigned long long)JobsCompleted,
-      (unsigned long long)JobsSolved, (unsigned long long)JobsDeadlineExpired,
-      (unsigned long long)TasksRun, (unsigned long long)TasksCancelled,
+      (unsigned long long)JobsSolved, (unsigned long long)JobsRejected,
+      (unsigned long long)JobsDeadlineExpired,
+      (unsigned long long)JobsResidencyExpired, (unsigned long long)TasksRun,
+      (unsigned long long)TasksSkipped, (unsigned long long)TasksStopped,
       (unsigned long long)TasksStolen, (unsigned long long)SolutionsFound,
       (unsigned long long)Pops, (unsigned long long)Expansions,
       (unsigned long long)PrunedInfeasible, (unsigned long long)ConcreteChecked,
-      (unsigned long long)SmtSolveCalls, SynthMsTotal,
+      (unsigned long long)SmtSolveCalls, (unsigned long long)DfaGets,
+      (unsigned long long)DfaCompiles, SynthMsTotal,
       (unsigned long long)DfaStoreHits, (unsigned long long)DfaStoreMisses,
-      (unsigned long long)DfaStoreSize, (unsigned long long)ApproxStoreHits,
+      (unsigned long long)DfaStoreSize, (unsigned long long)DfaStoreCost,
+      (unsigned long long)DfaStoreEvictions,
+      (unsigned long long)ApproxStoreHits,
       (unsigned long long)ApproxStoreMisses,
-      (unsigned long long)ApproxStoreSize);
+      (unsigned long long)ApproxStoreSize,
+      (unsigned long long)ApproxStoreEvictions);
   return Buf;
 }

@@ -5,6 +5,13 @@
 // Engine::snapshot) the cross-run cache statistics. All counters are
 // relaxed atomics — they are monitoring data, not synchronization.
 //
+// Task accounting is a partition: every per-sketch task the engine fans
+// out is counted exactly once, either in TasksRun (it executed a search)
+// or in TasksSkipped (cancellation/deadline/shutdown ended it before it
+// started). TasksStopped is a sub-count of TasksRun — searches that were
+// cancelled mid-run — so TasksRun + TasksSkipped equals the number of
+// sketches fanned out, always.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef REGEL_ENGINE_STATS_H
@@ -23,10 +30,13 @@ struct StatsSnapshot {
   uint64_t JobsSubmitted = 0;
   uint64_t JobsCompleted = 0;
   uint64_t JobsSolved = 0;
+  uint64_t JobsRejected = 0; ///< shed by admission control, never ran
   uint64_t JobsDeadlineExpired = 0;
-  uint64_t TasksRun = 0;       ///< per-sketch tasks that executed a search
-  uint64_t TasksCancelled = 0; ///< tasks skipped or stopped by cancellation
-  uint64_t TasksStolen = 0;    ///< pool-level steals
+  uint64_t JobsResidencyExpired = 0; ///< submit-anchored SLA missed
+  uint64_t TasksRun = 0;     ///< per-sketch tasks that executed a search
+  uint64_t TasksSkipped = 0; ///< tasks cancelled before their search began
+  uint64_t TasksStopped = 0; ///< subset of TasksRun cancelled mid-search
+  uint64_t TasksStolen = 0;  ///< pool-level steals
   uint64_t SolutionsFound = 0;
 
   // Summed SynthStats over every per-sketch run.
@@ -35,15 +45,29 @@ struct StatsSnapshot {
   uint64_t PrunedInfeasible = 0;
   uint64_t ConcreteChecked = 0;
   uint64_t SmtSolveCalls = 0;
+  uint64_t DfaGets = 0;     ///< DFA requests across all runs
+  uint64_t DfaCompiles = 0; ///< compilations actually paid
   double SynthMsTotal = 0;
+
+  /// Share of DFA requests served without compiling (local cache, shared
+  /// store, or eviction-then-recompile absorbed elsewhere) — the
+  /// end-to-end figure a bounded store is judged by.
+  double dfaResolutionRate() const {
+    return DfaGets ? 1.0 - static_cast<double>(DfaCompiles) /
+                               static_cast<double>(DfaGets)
+                   : 0.0;
+  }
 
   // Cross-run caches.
   uint64_t DfaStoreHits = 0;
   uint64_t DfaStoreMisses = 0;
   uint64_t DfaStoreSize = 0;
+  uint64_t DfaStoreCost = 0; ///< summed DFA cost units (states+transitions)
+  uint64_t DfaStoreEvictions = 0;
   uint64_t ApproxStoreHits = 0;
   uint64_t ApproxStoreMisses = 0;
   uint64_t ApproxStoreSize = 0;
+  uint64_t ApproxStoreEvictions = 0;
 
   /// Renders the snapshot as a single JSON object.
   std::string toJson() const;
@@ -53,15 +77,20 @@ struct StatsSnapshot {
 class EngineStats {
 public:
   void jobSubmitted() { add(JobsSubmitted); }
-  void jobCompleted(bool Solved, bool DeadlineExpired) {
+  void jobRejected() { add(JobsRejected); }
+  void jobCompleted(bool Solved, bool DeadlineExpired,
+                    bool ResidencyExpired) {
     add(JobsCompleted);
     if (Solved)
       add(JobsSolved);
     if (DeadlineExpired)
       add(JobsDeadlineExpired);
+    if (ResidencyExpired)
+      add(JobsResidencyExpired);
   }
   void taskRan() { add(TasksRun); }
-  void taskCancelled() { add(TasksCancelled); }
+  void taskSkipped() { add(TasksSkipped); }
+  void taskStopped() { add(TasksStopped); }
   void solutionsFound(uint64_t N) { add(SolutionsFound, N); }
 
   void addSynth(const SynthStats &S) {
@@ -70,6 +99,8 @@ public:
     add(PrunedInfeasible, S.PrunedInfeasible);
     add(ConcreteChecked, S.ConcreteChecked);
     add(SmtSolveCalls, S.SmtSolveCalls);
+    add(DfaGets, S.DfaGets);
+    add(DfaCompiles, S.DfaCompiles);
     SynthMsTotalU.fetch_add(static_cast<uint64_t>(S.TimeMs * 1000.0),
                             std::memory_order_relaxed);
   }
@@ -80,15 +111,20 @@ public:
     Out.JobsSubmitted = get(JobsSubmitted);
     Out.JobsCompleted = get(JobsCompleted);
     Out.JobsSolved = get(JobsSolved);
+    Out.JobsRejected = get(JobsRejected);
     Out.JobsDeadlineExpired = get(JobsDeadlineExpired);
+    Out.JobsResidencyExpired = get(JobsResidencyExpired);
     Out.TasksRun = get(TasksRun);
-    Out.TasksCancelled = get(TasksCancelled);
+    Out.TasksSkipped = get(TasksSkipped);
+    Out.TasksStopped = get(TasksStopped);
     Out.SolutionsFound = get(SolutionsFound);
     Out.Pops = get(Pops);
     Out.Expansions = get(Expansions);
     Out.PrunedInfeasible = get(PrunedInfeasible);
     Out.ConcreteChecked = get(ConcreteChecked);
     Out.SmtSolveCalls = get(SmtSolveCalls);
+    Out.DfaGets = get(DfaGets);
+    Out.DfaCompiles = get(DfaCompiles);
     Out.SynthMsTotal =
         static_cast<double>(SynthMsTotalU.load(std::memory_order_relaxed)) /
         1000.0;
@@ -104,11 +140,11 @@ private:
     return C.load(std::memory_order_relaxed);
   }
 
-  Counter JobsSubmitted{0}, JobsCompleted{0}, JobsSolved{0},
-      JobsDeadlineExpired{0};
-  Counter TasksRun{0}, TasksCancelled{0}, SolutionsFound{0};
+  Counter JobsSubmitted{0}, JobsCompleted{0}, JobsSolved{0}, JobsRejected{0},
+      JobsDeadlineExpired{0}, JobsResidencyExpired{0};
+  Counter TasksRun{0}, TasksSkipped{0}, TasksStopped{0}, SolutionsFound{0};
   Counter Pops{0}, Expansions{0}, PrunedInfeasible{0}, ConcreteChecked{0},
-      SmtSolveCalls{0};
+      SmtSolveCalls{0}, DfaGets{0}, DfaCompiles{0};
   Counter SynthMsTotalU{0}; ///< microseconds, to keep the counter integral
 };
 

@@ -26,8 +26,10 @@ WorkerPool::WorkerPool(unsigned Threads) {
     Workers[I]->Thread = std::thread([this, I] { workerLoop(I); });
 }
 
-WorkerPool::~WorkerPool() {
-  Stop.store(true);
+WorkerPool::~WorkerPool() { shutdown(); }
+
+void WorkerPool::shutdown() {
+  Stop.store(true, std::memory_order_seq_cst);
   {
     std::lock_guard<std::mutex> Guard(IdleM);
     ++WorkEpoch;
@@ -36,13 +38,38 @@ WorkerPool::~WorkerPool() {
   for (std::unique_ptr<Worker> &W : Workers)
     if (W->Thread.joinable())
       W->Thread.join();
+  // Post-join drain. A submit that read Stop == false can still have been
+  // enqueueing while the workers did their final scans, so anything left
+  // in the deques runs here, on this thread — an accepted task is never
+  // stranded (SynthJob::wait would otherwise hang forever). The loop's
+  // final all-empty sweep also locks every deque mutex after the Stop
+  // store above, which is what makes submit's under-lock Stop check
+  // decisive: a submit that locks a deque after this sweep must observe
+  // Stop == true and refuse; one that locked it before was drained.
+  for (;;) {
+    Task T;
+    bool Found = false;
+    for (std::unique_ptr<Worker> &W : Workers) {
+      std::lock_guard<std::mutex> Guard(W->M);
+      if (W->Q.empty())
+        continue;
+      T = std::move(W->Q.front());
+      W->Q.pop_front();
+      Found = true;
+      break;
+    }
+    if (!Found)
+      break;
+    T();
+    TasksRun.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 bool WorkerPool::onWorkerThread() const { return CurrentPool == this; }
 
 bool WorkerPool::submit(Task T) {
-  if (Stop.load(std::memory_order_relaxed))
-    return false;
+  if (Stop.load(std::memory_order_acquire))
+    return false; // fast path; the decisive check is under the deque lock
   unsigned Target;
   if (CurrentPool == this) {
     Target = CurrentWorker;
@@ -52,6 +79,14 @@ bool WorkerPool::submit(Task T) {
   }
   {
     std::lock_guard<std::mutex> Guard(Workers[Target]->M);
+    // Re-check under the deque mutex: shutdown() sets Stop and then locks
+    // every deque during its post-join drain, so either this push is
+    // ordered before the drain's lock (and the task runs) or this load is
+    // ordered after it (and sees Stop). Checking before the lock only, as
+    // the original code did, left a window where a task enqueued after
+    // the workers' final scan was stranded forever.
+    if (Stop.load(std::memory_order_acquire))
+      return false;
     Workers[Target]->Q.push_back(std::move(T));
   }
   // Notify under IdleM: a worker that found nothing re-checks the queues

@@ -39,15 +39,23 @@ public:
   /// Spawns \p Threads workers (at least one).
   explicit WorkerPool(unsigned Threads);
 
-  /// Drains all queued tasks, then joins the workers.
+  /// Drains all queued tasks, then joins the workers (via shutdown()).
   ~WorkerPool();
 
   WorkerPool(const WorkerPool &) = delete;
   WorkerPool &operator=(const WorkerPool &) = delete;
 
   /// Enqueues \p T. Returns false when the pool is shutting down (the task
-  /// is dropped).
+  /// is dropped, and was never visible to a worker).
   bool submit(Task T);
+
+  /// Stops accepting work, runs every task that was accepted, and joins
+  /// the workers. Safe against concurrent submit(): a submission racing
+  /// shutdown either gets its task executed or gets false back — an
+  /// accepted task is never stranded. Idempotent; called by the
+  /// destructor. Must not be called from a worker thread or from more
+  /// than one thread at a time.
+  void shutdown();
 
   unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
 

@@ -72,10 +72,14 @@ struct SynthConfig {
 
   /// Cross-run regex->DFA store consulted/filled by this run's DfaCache
   /// (thread-safe, owned by the engine; nullptr = run-local caching only).
+  /// The store may be bounded: publish is keep-or-drop and a previously
+  /// stored DFA can be evicted between lookups, in which case the run just
+  /// recompiles it — correctness never depends on an entry staying put.
   DfaStore *SharedDfa = nullptr;
 
   /// Cross-run sketch-approximation memo (thread-safe, owned by the
-  /// engine; nullptr = recompute per run).
+  /// engine; nullptr = recompute per run). Like SharedDfa, the memo may
+  /// evict: a missing approximation is recomputed, deterministically.
   SketchApproxStore *SharedApprox = nullptr;
 
   /// Character classes available to hole expansion (Fig. 10 rule 2's C).

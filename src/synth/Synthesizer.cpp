@@ -115,6 +115,11 @@ SynthResult Synthesizer::run(const SketchPtr &S, const Examples &E) {
   SynthResult Result;
   Stopwatch Watch;
   Deadline Budget(Cfg.BudgetMs, Cfg.CancelFlag);
+  // Delta-based so a reused Synthesizer (persistent Cache) reports only
+  // this run's DFA traffic.
+  const uint64_t CacheHits0 = Cache.hits();
+  const uint64_t CacheMisses0 = Cache.misses();
+  const uint64_t CacheShared0 = Cache.sharedHits();
   ContainsFailed.clear();
   AtLeastFailed.clear();
   FeasibilityChecker Checker(E);
@@ -271,6 +276,11 @@ SynthResult Synthesizer::run(const SketchPtr &S, const Examples &E) {
 
   Result.Exhausted = Worklist.empty() && !Result.TimedOut &&
                      Result.Solutions.size() < Cfg.TopK;
+  Result.Stats.DfaLocalHits = Cache.hits() - CacheHits0;
+  Result.Stats.DfaSharedHits = Cache.sharedHits() - CacheShared0;
+  const uint64_t Misses = Cache.misses() - CacheMisses0;
+  Result.Stats.DfaGets = Result.Stats.DfaLocalHits + Misses;
+  Result.Stats.DfaCompiles = Misses - Result.Stats.DfaSharedHits;
   Result.Stats.TimeMs = Watch.elapsedMs();
   return Result;
 }

@@ -29,6 +29,15 @@ struct SynthStats {
   uint64_t SubsumptionSkips = 0;
   uint64_t SmtSolveCalls = 0;
   uint64_t InferIterations = 0;
+
+  // End-to-end DFA resolution for this run: how the run's DFA needs were
+  // met. DfaGets = DfaLocalHits + shared-store hits + DfaCompiles; the
+  // compile count is what a bounded shared store actually costs, since a
+  // re-looked-up evicted entry turns into a compile, not a failure.
+  uint64_t DfaGets = 0;      ///< requests against the run-local cache
+  uint64_t DfaLocalHits = 0; ///< served without consulting the store
+  uint64_t DfaSharedHits = 0; ///< local misses served by the shared store
+  uint64_t DfaCompiles = 0;  ///< full compilations this run paid
   double TimeMs = 0;
 };
 

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -90,6 +92,179 @@ TEST(ShardedApproxStore, MemoizedApproximationMatchesUncached) {
       EXPECT_TRUE(regexEquals(Again.Over, Plain.Over)) << Text;
     }
   }
+}
+
+TEST(ShardedDfaStore, LruEvictsColdEntriesFirst) {
+  // One shard so the LRU order is global and fully observable.
+  ShardedDfaStore Store(1, CacheLimits{/*MaxEntries=*/2, /*MaxCost=*/0});
+  RegexPtr A = parseRegex("<num>");
+  RegexPtr B = parseRegex("<let>");
+  RegexPtr C = parseRegex("<cap>");
+  Store.publish(A, std::make_shared<const Dfa>(compileRegex(A)));
+  Store.publish(B, std::make_shared<const Dfa>(compileRegex(B)));
+  EXPECT_EQ(Store.size(), 2u);
+
+  // Touch A: B becomes the least recently used entry...
+  EXPECT_NE(Store.lookup(A), nullptr);
+  // ...so publishing C evicts B, not A.
+  Store.publish(C, std::make_shared<const Dfa>(compileRegex(C)));
+  EXPECT_EQ(Store.size(), 2u);
+  EXPECT_EQ(Store.evictions(), 1u);
+  EXPECT_NE(Store.lookup(A), nullptr);
+  EXPECT_EQ(Store.lookup(B), nullptr);
+  EXPECT_NE(Store.lookup(C), nullptr);
+}
+
+TEST(ShardedDfaStore, CostTriggerEvictsByAutomatonSize) {
+  RegexPtr A = parseRegex("Repeat(<num>,4)");
+  RegexPtr B = parseRegex("Repeat(<let>,3)");
+  auto DfaA = std::make_shared<const Dfa>(compileRegex(A));
+  auto DfaB = std::make_shared<const Dfa>(compileRegex(B));
+  const uint64_t CostA = ShardedDfaStore::dfaCost(*DfaA);
+  const uint64_t CostB = ShardedDfaStore::dfaCost(*DfaB);
+  ASSERT_GT(CostA, 0u);
+
+  // Entry count is unlimited; the cost cap fits either DFA alone but not
+  // both, so the second publish must evict the first by size, which an
+  // entry-count cap could never notice.
+  ShardedDfaStore Store(1,
+                        CacheLimits{/*MaxEntries=*/0,
+                                    /*MaxCost=*/CostA + CostB - 1});
+  Store.publish(A, DfaA);
+  EXPECT_EQ(Store.size(), 1u);
+  EXPECT_EQ(Store.costUnits(), CostA);
+  Store.publish(B, DfaB);
+  EXPECT_EQ(Store.size(), 1u);
+  EXPECT_EQ(Store.costUnits(), CostB);
+  EXPECT_EQ(Store.evictions(), 1u);
+  EXPECT_EQ(Store.lookup(A), nullptr);
+  EXPECT_NE(Store.lookup(B), nullptr);
+}
+
+TEST(ShardedDfaStore, EvictedEntryRecompilesIdentically) {
+  ShardedDfaStore Store(1, CacheLimits{/*MaxEntries=*/1, /*MaxCost=*/0});
+  RegexPtr R = parseRegex("Concat(<cap>,Repeat(<num>,2))");
+  Dfa Reference = compileRegex(R);
+
+  DfaCache FirstRun;
+  FirstRun.setSharedStore(&Store);
+  EXPECT_TRUE(FirstRun.matches(R, "B42"));
+
+  // Evict R by publishing something else into the 1-entry store.
+  RegexPtr Other = parseRegex("KleeneStar(<let>)");
+  Store.publish(Other, std::make_shared<const Dfa>(compileRegex(Other)));
+  EXPECT_EQ(Store.lookup(R), nullptr);
+  EXPECT_GE(Store.evictions(), 1u);
+
+  // A later run recompiles on the miss and the result is the same
+  // automaton: eviction costs time, never answers.
+  DfaCache SecondRun;
+  SecondRun.setSharedStore(&Store);
+  EXPECT_TRUE(SecondRun.matches(R, "B42"));
+  EXPECT_EQ(SecondRun.sharedHits(), 0u); // re-lookup was a shared miss
+  std::shared_ptr<const Dfa> Recompiled = Store.lookup(R);
+  ASSERT_NE(Recompiled, nullptr);
+  EXPECT_TRUE(Dfa::equivalent(Reference, *Recompiled));
+}
+
+TEST(ShardedDfaStore, CapHoldsUnderConcurrentPublishers) {
+  const size_t Cap = 64;
+  ShardedDfaStore Store(4, CacheLimits{Cap, /*MaxCost=*/0});
+
+  // ~120 structurally distinct regexes, far more than the cap.
+  std::vector<RegexPtr> Patterns;
+  for (int I = 1; I <= 20; ++I) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "Repeat(<num>,%d)", I);
+    Patterns.push_back(parseRegex(Buf));
+    std::snprintf(Buf, sizeof(Buf), "Repeat(<let>,%d)", I);
+    Patterns.push_back(parseRegex(Buf));
+    std::snprintf(Buf, sizeof(Buf), "Concat(<cap>,Repeat(<num>,%d))", I);
+    Patterns.push_back(parseRegex(Buf));
+    std::snprintf(Buf, sizeof(Buf), "RepeatAtLeast(<low>,%d)", I);
+    Patterns.push_back(parseRegex(Buf));
+    std::snprintf(Buf, sizeof(Buf), "Or(<spec>,Repeat(<num>,%d))", I);
+    Patterns.push_back(parseRegex(Buf));
+    std::snprintf(Buf, sizeof(Buf), "And(KleeneStar(<any>),Repeat(<alphanum>,%d))", I);
+    Patterns.push_back(parseRegex(Buf));
+  }
+  for (const RegexPtr &P : Patterns)
+    ASSERT_NE(P, nullptr);
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&Store, &Patterns, Cap, T] {
+      for (size_t I = 0; I < Patterns.size(); ++I) {
+        const RegexPtr &P = Patterns[(I + static_cast<size_t>(T) * 31) %
+                                     Patterns.size()];
+        if (Store.lookup(P))
+          continue;
+        Store.publish(P, std::make_shared<const Dfa>(compileRegex(P)));
+        EXPECT_LE(Store.size(), Cap);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_LE(Store.size(), Cap);
+  EXPECT_GT(Store.evictions(), 0u);
+  EXPECT_GT(Store.costUnits(), 0u);
+}
+
+TEST(ShardedApproxStore, LruEvictionRespectsEntryCap) {
+  ShardedApproxStore Store(1, CacheLimits{/*MaxEntries=*/2, /*MaxCost=*/0});
+  SketchPtr S = parseSketch("hole{Repeat(<num>,2)}");
+  for (unsigned Depth = 1; Depth <= 5; ++Depth)
+    Store.publish(S, Depth, false, approximateSketch(S, Depth, false));
+  EXPECT_EQ(Store.size(), 2u);
+  EXPECT_EQ(Store.evictions(), 3u);
+  Approx Out;
+  EXPECT_FALSE(Store.lookup(S, 1, false, Out)); // evicted
+  EXPECT_TRUE(Store.lookup(S, 4, false, Out));  // still resident
+  EXPECT_TRUE(Store.lookup(S, 5, false, Out));
+}
+
+TEST(ShardedApproxStore, KeyHashSpreadsConsecutiveDepthsAcrossShards) {
+  // The old hash XORed (Depth << 1) straight into the sketch hash, so the
+  // 16-way shard pick (low 4 bits) saw at most 8 distinct values over any
+  // run of consecutive depths — half the shards could never be used by a
+  // depth sweep of one sketch. The mixed hash must not have that ceiling.
+  const size_t NumShards = 16;
+  SketchPtr S = parseSketch("hole{Repeat(<num>,2)}");
+  std::vector<unsigned> Load(NumShards, 0);
+  unsigned Distinct = 0;
+  for (unsigned Depth = 0; Depth < 16; ++Depth)
+    for (bool WithClasses : {false, true}) {
+      size_t Shard =
+          ShardedApproxStore::hashKey(S, Depth, WithClasses) % NumShards;
+      if (Load[Shard]++ == 0)
+        ++Distinct;
+    }
+  EXPECT_GT(Distinct, 8u) << "depth sweep stuck on a subset of shards";
+  for (size_t I = 0; I < NumShards; ++I)
+    EXPECT_LE(Load[I], 8u) << "shard " << I << " absorbed most keys";
+
+  // And across several sketches the spread must cover nearly everything.
+  std::vector<const char *> Sketches = {
+      "hole{Repeat(<num>,2)}",
+      "Concat(hole{<cap>},hole{RepeatAtLeast(<num>,1)})",
+      "Not(hole{<num>})",
+      "hole{Concat(<a>,<b>),Or(<num>,<let>)}",
+  };
+  std::fill(Load.begin(), Load.end(), 0u);
+  Distinct = 0;
+  for (const char *Text : Sketches) {
+    SketchPtr Sk = parseSketch(Text);
+    ASSERT_TRUE(Sk) << Text;
+    for (unsigned Depth = 0; Depth < 8; ++Depth)
+      for (bool WithClasses : {false, true}) {
+        size_t Shard =
+            ShardedApproxStore::hashKey(Sk, Depth, WithClasses) % NumShards;
+        if (Load[Shard]++ == 0)
+          ++Distinct;
+      }
+  }
+  EXPECT_GE(Distinct, 12u);
 }
 
 TEST(ShardedDfaStore, ConcurrentPublishersConverge) {

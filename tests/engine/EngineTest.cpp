@@ -175,9 +175,10 @@ TEST(EngineCancellation, FirstSolutionSkipsQueuedSiblings) {
   EXPECT_TRUE(regexEquals(Result.Answers[0].Regex, Solution));
   EXPECT_EQ(Result.Answers[0].SketchRank, 0u);
   EXPECT_EQ(Result.TasksRun, 1u);
-  EXPECT_EQ(Result.TasksCancelled, 5u);
+  EXPECT_EQ(Result.TasksSkipped, 5u);
+  EXPECT_EQ(Result.TasksStopped, 0u);
   StatsSnapshot S = Eng.snapshot();
-  EXPECT_EQ(S.TasksCancelled, 5u);
+  EXPECT_EQ(S.TasksSkipped, 5u);
   EXPECT_EQ(S.JobsCompleted, 1u);
 }
 
@@ -202,7 +203,7 @@ TEST(EngineCancellation, FirstSolutionStopsRunningSibling) {
   const JobResult &Result = J->wait();
 
   ASSERT_TRUE(Result.solved());
-  EXPECT_GE(Result.TasksCancelled, 1u);
+  EXPECT_GE(Result.TasksSkipped + Result.TasksStopped, 1u);
   // Generous bound: far below the 30s the sibling would otherwise use.
   EXPECT_LT(Watch.elapsedMs(), 15000.0);
 }
@@ -225,7 +226,11 @@ TEST(EngineDeadline, ExpiredJobReportsIt) {
   const JobResult &Result = J->wait();
   EXPECT_FALSE(Result.solved());
   EXPECT_TRUE(Result.DeadlineExpired);
-  EXPECT_GE(Result.TasksCancelled + Result.TasksRun, 4u);
+  // Run/skipped partition the sketch list exactly — this is what the old
+  // TasksCancelled counter (which also counted mid-run stops) could not
+  // guarantee.
+  EXPECT_EQ(Result.TasksRun + Result.TasksSkipped, 4u);
+  EXPECT_LE(Result.TasksStopped, Result.TasksRun);
 }
 
 TEST(EngineStress, ManyConcurrentJobsFromManyClients) {
@@ -263,12 +268,180 @@ TEST(EngineStress, ManyConcurrentJobsFromManyClients) {
   EXPECT_EQ(S.JobsSolved, S.JobsSubmitted);
   EXPECT_EQ(Eng.queueDepth(), 0u);
   // Every per-sketch task is accounted for exactly once: it either ran a
-  // search or was skipped; mid-run cancellations are counted in both.
-  EXPECT_GE(S.TasksRun + S.TasksCancelled,
+  // search or was skipped. Two sketches per job, so the partition must add
+  // up to exactly the fanned-out task count; mid-run stops are a subset of
+  // the runs, not a second count.
+  EXPECT_EQ(S.TasksRun + S.TasksSkipped,
             static_cast<uint64_t>(Clients * JobsPerClient * 2));
+  EXPECT_LE(S.TasksStopped, S.TasksRun);
   // The same two sketches repeat across every job, so the approximation
   // memo must be doing real sharing by the end.
   EXPECT_GT(S.ApproxStoreHits, 0u);
+}
+
+TEST(EngineEviction, TinyCacheCapsLeaveDeterministicResultsUnchanged) {
+  std::vector<CorpusTask> Tasks = corpusTasks(6);
+  ASSERT_FALSE(Tasks.empty());
+
+  EngineConfig Unbounded{2, 4, nullptr, {}, {}, 0};
+  EngineConfig Tiny{2, 4, nullptr, {}, {}, 0};
+  Tiny.DfaCacheLimits.MaxEntries = 8; // pathologically small: constant churn
+  Tiny.ApproxCacheLimits.MaxEntries = 8;
+  Engine EngU(Unbounded), EngT(Tiny);
+
+  std::vector<JobRequest> A, B;
+  for (const CorpusTask &T : Tasks) {
+    A.push_back(deterministicRequest(T));
+    B.push_back(deterministicRequest(T));
+  }
+  std::vector<JobResult> RU = EngU.runBatch(std::move(A));
+  std::vector<JobResult> RT = EngT.runBatch(std::move(B));
+  ASSERT_EQ(RU.size(), RT.size());
+  for (size_t I = 0; I < RU.size(); ++I) {
+    ASSERT_EQ(RU[I].Answers.size(), RT[I].Answers.size()) << "task " << I;
+    for (size_t J = 0; J < RU[I].Answers.size(); ++J)
+      EXPECT_TRUE(
+          regexEquals(RU[I].Answers[J].Regex, RT[I].Answers[J].Regex));
+  }
+  StatsSnapshot S = EngT.snapshot();
+  EXPECT_LE(S.DfaStoreSize, 8u);
+  EXPECT_LE(S.ApproxStoreSize, 8u);
+  // With six multi-sketch jobs against an 8-entry cap, eviction must have
+  // actually happened for the equality above to mean anything.
+  EXPECT_GT(S.DfaStoreEvictions + S.ApproxStoreEvictions, 0u);
+}
+
+TEST(EngineAdmission, RejectsAtHighWaterMark) {
+  EngineConfig EC{1, 4, nullptr, {}, {}, 0};
+  EC.MaxQueueDepth = 2;
+  Engine Eng(EC);
+
+  // Two unsolvable jobs occupy the single worker and the queue up to the
+  // high-water mark...
+  Examples Contradiction;
+  Contradiction.Pos = {"ab"};
+  Contradiction.Neg = {"ab"};
+  std::vector<JobPtr> Busy;
+  for (int I = 0; I < 2; ++I) {
+    JobRequest R;
+    R.Sketches = {Sketch::unconstrained()};
+    R.E = Contradiction;
+    R.BudgetMs = 10000;
+    Busy.push_back(Eng.submit(std::move(R)));
+  }
+  EXPECT_EQ(Eng.queueDepth(), 2u);
+
+  // ...so the third submission must be shed immediately, not queued.
+  JobRequest R;
+  R.Sketches = {Sketch::unconstrained()};
+  R.E = Contradiction;
+  R.BudgetMs = 10000;
+  Stopwatch Watch;
+  JobPtr Shed = Eng.submit(std::move(R));
+  JobResult Result = Shed->wait();
+  EXPECT_TRUE(Result.Rejected);
+  EXPECT_FALSE(Result.solved());
+  EXPECT_EQ(Result.TasksRun + Result.TasksSkipped, 0u);
+  EXPECT_LT(Watch.elapsedMs(), 1000.0); // never waited on the queue
+
+  StatsSnapshot S = Eng.snapshot();
+  EXPECT_EQ(S.JobsRejected, 1u);
+  EXPECT_EQ(S.JobsSubmitted, 3u);
+
+  Eng.cancelAll();
+  for (const JobPtr &J : Busy)
+    J->wait();
+  // With the queue drained, submissions are accepted again.
+  JobRequest R2;
+  R2.Sketches = {Sketch::unconstrained()};
+  R2.E = Contradiction;
+  R2.BudgetMs = 1; // expires immediately; we only care about admission
+  EXPECT_FALSE(Eng.submit(std::move(R2))->wait().Rejected);
+}
+
+TEST(EngineAdmission, HighWaterMarkHoldsUnderConcurrentSubmitters) {
+  // The check and the enqueue are one critical section (JobQueue::tryAdd),
+  // so racing clients cannot overshoot the mark the way a read-then-add
+  // admission check would let them.
+  EngineConfig EC{2, 4, nullptr, {}, {}, 0};
+  EC.MaxQueueDepth = 4;
+  Engine Eng(EC);
+  Examples Contradiction;
+  Contradiction.Pos = {"ab"};
+  Contradiction.Neg = {"ab"};
+
+  std::atomic<int> Accepted{0}, Rejected{0};
+  std::vector<JobPtr> Jobs(24);
+  std::vector<std::thread> Clients;
+  for (int C = 0; C < 8; ++C)
+    Clients.emplace_back([&, C] {
+      for (int I = 0; I < 3; ++I) {
+        JobRequest R;
+        R.Sketches = {Sketch::unconstrained()};
+        R.E = Contradiction;
+        R.BudgetMs = 10000;
+        JobPtr J = Eng.submit(std::move(R));
+        Jobs[static_cast<size_t>(C * 3 + I)] = J;
+        // Rejected jobs are complete the moment submit returns; accepted
+        // ones burn their 10s budget on the contradiction, far past the
+        // end of this loop.
+        if (J->done() && J->wait().Rejected)
+          ++Rejected;
+        else
+          ++Accepted;
+        EXPECT_LE(Eng.queueDepth(), 4u);
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  EXPECT_LE(Eng.queueDepth(), 4u);
+  EXPECT_EQ(Accepted.load() + Rejected.load(), 24);
+  // Nothing completes during the loop, so admissions can never exceed the
+  // mark no matter how the 8 clients interleave.
+  EXPECT_LE(Accepted.load(), 4);
+  EXPECT_GE(Rejected.load(), 20);
+
+  Eng.cancelAll();
+  for (const JobPtr &J : Jobs)
+    if (J)
+      J->wait();
+}
+
+TEST(EngineAdmission, ResidencyBudgetExpiresQueuedJob) {
+  // One worker. Job A burns ~500ms of execution on a contradiction; job B
+  // sits in the queue behind it with a 50ms submit-anchored SLA, so by the
+  // time B's task is picked up its residency budget is long gone and the
+  // task must be skipped without running a search.
+  Engine Eng(EngineConfig{1, 4, nullptr, {}, {}, 0});
+  Examples Contradiction;
+  Contradiction.Pos = {"ab"};
+  Contradiction.Neg = {"ab"};
+
+  JobRequest A;
+  A.Sketches = {Sketch::unconstrained()};
+  A.E = Contradiction;
+  A.BudgetMs = 500;
+  JobPtr JobA = Eng.submit(std::move(A));
+
+  JobRequest B;
+  B.Sketches = {Sketch::unconstrained(), Sketch::unconstrained()};
+  B.E = Contradiction;
+  B.BudgetMs = 10000; // plenty of execution budget; residency is the bound
+  B.ResidencyBudgetMs = 50;
+  JobPtr JobB = Eng.submit(std::move(B));
+
+  JobResult ResultB = JobB->wait();
+  JobA->wait();
+  EXPECT_FALSE(ResultB.solved());
+  EXPECT_TRUE(ResultB.ResidencyExpired);
+  EXPECT_FALSE(ResultB.Rejected);
+  EXPECT_EQ(ResultB.TasksRun, 0u);
+  EXPECT_EQ(ResultB.TasksSkipped, 2u);
+  EXPECT_GE(ResultB.TotalMs, 50.0);
+
+  StatsSnapshot S = Eng.snapshot();
+  EXPECT_EQ(S.JobsResidencyExpired, 1u);
+  EXPECT_EQ(S.JobsCompleted, 2u);
 }
 
 TEST(EngineBatch, RegelBatchApiMatchesSequentialCalls) {

@@ -76,6 +76,53 @@ TEST(WorkerPool, ConcurrentExternalSubmitters) {
   EXPECT_FALSE(Pool.onWorkerThread());
 }
 
+TEST(WorkerPool, SubmitRacingShutdownNeverStrandsAcceptedTasks) {
+  // Regression test for the submit/shutdown race: submit used to check
+  // Stop only before enqueueing, so a task enqueued between the workers'
+  // final queue scan and their exit was accepted but never ran — and a
+  // SynthJob waiting on it hung forever. Hammer submissions against
+  // shutdown() (the destructor's path) and require that every accepted
+  // task ran by the time shutdown returns.
+  for (int Round = 0; Round < 40; ++Round) {
+    WorkerPool Pool(2);
+    std::atomic<int> Accepted{0}, Ran{0};
+    std::atomic<bool> Go{false};
+    std::vector<std::thread> Submitters;
+    for (int T = 0; T < 4; ++T)
+      Submitters.emplace_back([&Pool, &Accepted, &Ran, &Go] {
+        while (!Go.load())
+          std::this_thread::yield();
+        // Submit as fast as possible until the pool turns us away.
+        while (Pool.submit([&Ran] {
+          Ran.fetch_add(1, std::memory_order_relaxed);
+        }))
+          Accepted.fetch_add(1, std::memory_order_relaxed);
+      });
+    Go.store(true);
+    // Let the race actually overlap: shutdown lands mid-hammering.
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * Round));
+    Pool.shutdown();
+    for (std::thread &T : Submitters)
+      T.join();
+    // shutdown() returned, so every accepted task must already have run;
+    // a stranded task would make these counts diverge (and would have
+    // hung a waiter).
+    EXPECT_EQ(Ran.load(), Accepted.load()) << "round " << Round;
+  }
+}
+
+TEST(WorkerPool, ShutdownIsIdempotentAndRefusesNewWork) {
+  WorkerPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 10; ++I)
+    ASSERT_TRUE(Pool.submit([&Count] { ++Count; }));
+  Pool.shutdown();
+  EXPECT_EQ(Count.load(), 10);
+  EXPECT_FALSE(Pool.submit([&Count] { ++Count; }));
+  Pool.shutdown(); // second call is a no-op; destructor will be a third
+  EXPECT_EQ(Count.load(), 10);
+}
+
 TEST(WorkerPool, StealingMovesWorkBetweenWorkers) {
   // One external submitter round-robins tasks over 4 queues while one
   // long task blocks a worker; other workers steal from its queue to

@@ -20,12 +20,26 @@
 // with one sized to the working set (24000, where retention stays within
 // 20% of unbounded).
 //
+// A final fairness section measures what priority scheduling buys: a
+// saturating Batch-class fan-out churns while Interactive-class queries
+// arrive at a fixed cadence, once on a FIFO pool and once on the weighted
+// priority pool, and the interactive p50/p95 of both modes land in the
+// `fairness` rows. Every pass is driven by THIS single thread through the
+// engine's completion queue (submit-all, then drain pollCompleted /
+// waitCompleted) — no thread is parked per job, which is the async API's
+// reason to exist.
+//
 // Environment knobs:
 //   REGEL_BENCH_LIMIT        max benchmarks per dataset (default 25, 0 = all)
 //   REGEL_BENCH_BUDGET_MS    per-job deadline (default 1500)
 //   REGEL_ENGINE_THREADS     workers in the multi-threaded pass (default 2)
 //   REGEL_CACHE_CAP          comma-separated entry caps for the capped
 //                            passes (default "1000,24000", empty/0 skips)
+//   REGEL_FAIRNESS_BATCH     batch jobs in the fairness passes
+//                            (default 100, 0 skips the section)
+//   REGEL_FAIRNESS_BATCH_MS  per-batch-job budget (default 150)
+//   REGEL_FAIRNESS_INTERACTIVE  interactive probes per mode (default 20)
+//   REGEL_FAIRNESS_INTERVAL_MS  probe cadence (default 100)
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,12 +47,17 @@
 
 #include "data/DeepRegexSet.h"
 #include "engine/Engine.h"
+#include "regex/Parser.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 using namespace regel;
@@ -70,6 +89,97 @@ double percentile(std::vector<double> Sorted, double P) {
   std::sort(Sorted.begin(), Sorted.end());
   size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size() - 1));
   return Sorted[Idx];
+}
+
+/// One fairness mode: interactive probes at a fixed cadence against a
+/// saturating batch fan-out, on a FIFO or priority-scheduled pool.
+struct FairnessReport {
+  bool Fifo = false;
+  size_t BatchJobs = 0;
+  size_t InteractiveJobs = 0;
+  double InteractiveP50Ms = 0; ///< submit -> completion of the probes
+  double InteractiveP95Ms = 0;
+  double InteractiveMaxMs = 0;
+  size_t BatchCompleted = 0; ///< batch jobs finished before cancelAll
+};
+
+FairnessReport runFairnessMode(bool Fifo, unsigned Threads, size_t BatchJobs,
+                               int64_t BatchBudgetMs, size_t InterJobs,
+                               int64_t IntervalMs) {
+  engine::EngineConfig EC;
+  EC.Threads = Threads;
+  EC.FifoScheduling = Fifo;
+  engine::Engine Eng(EC);
+
+  // The batch load: unsolvable (contradictory examples), so every job
+  // churns its full budget — a worst-case fan-out hogging the pool.
+  Examples Contradiction;
+  Contradiction.Pos = {"ab"};
+  Contradiction.Neg = {"ab"};
+  std::vector<engine::JobPtr> Batch;
+  Batch.reserve(BatchJobs);
+  for (size_t I = 0; I < BatchJobs; ++I) {
+    engine::JobRequest R;
+    R.Sketches = {Sketch::unconstrained()};
+    R.E = Contradiction;
+    R.BudgetMs = BatchBudgetMs;
+    R.Pri = engine::Priority::Batch;
+    Batch.push_back(Eng.submit(std::move(R)));
+  }
+
+  // Interactive probes: a concrete sketch solves in ~a millisecond of
+  // search, so the measured latency is queueing — exactly what priority
+  // picking is supposed to bound. Latencies land through continuations
+  // and this thread blocks once, on the last one — the latch pattern
+  // Regel::synthesizeBatch uses.
+  RegexPtr Probe = parseRegex("Concat(<cap>,Repeat(<num>,2))");
+  Examples ProbeE;
+  ProbeE.Pos = {"A12", "Z99"};
+  ProbeE.Neg = {"12", "a12"};
+  std::mutex M;
+  std::condition_variable CV;
+  std::vector<double> Latencies;
+  for (size_t I = 0; I < InterJobs; ++I) {
+    engine::JobRequest R;
+    R.Sketches = {Sketch::concrete(Probe)};
+    R.E = ProbeE;
+    R.BudgetMs = 10000;
+    R.Pri = engine::Priority::Interactive;
+    Eng.submit(std::move(R))->onComplete(
+        [&](const engine::JobResult &JR) {
+          std::lock_guard<std::mutex> Guard(M);
+          Latencies.push_back(JR.TotalMs);
+          if (Latencies.size() == InterJobs)
+            CV.notify_all();
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+  }
+  {
+    std::unique_lock<std::mutex> Guard(M);
+    CV.wait(Guard, [&] { return Latencies.size() == InterJobs; });
+  }
+
+  FairnessReport Rep;
+  Rep.Fifo = Fifo;
+  Rep.BatchJobs = BatchJobs;
+  Rep.InteractiveJobs = InterJobs;
+  for (const engine::JobPtr &J : Batch)
+    if (J->done())
+      ++Rep.BatchCompleted;
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    Rep.InteractiveP50Ms = percentile(Latencies, 0.50);
+    Rep.InteractiveP95Ms = percentile(Latencies, 0.95);
+    Rep.InteractiveMaxMs =
+        Latencies.empty()
+            ? 0
+            : *std::max_element(Latencies.begin(), Latencies.end());
+  }
+  // The probes are measured; stop burning CPU on the leftover batch churn.
+  Eng.cancelAll();
+  for (const engine::JobPtr &J : Batch)
+    J->wait();
+  return Rep;
 }
 
 struct PassReport {
@@ -113,7 +223,26 @@ PassReport runPass(unsigned Threads,
   const uint64_t DfaMisses0 = Caches->Dfa.misses();
 
   Stopwatch Wall;
-  std::vector<engine::JobResult> Results = Eng.runBatch(std::move(Requests));
+  // Submit the whole corpus, then drain it through the completion queue:
+  // one thread drives every in-flight job, no wait() parked per job.
+  std::vector<engine::JobResult> Results(Requests.size());
+  std::unordered_map<const engine::SynthJob *, size_t> Slot;
+  std::vector<engine::JobPtr> Jobs;
+  Jobs.reserve(Requests.size());
+  Slot.reserve(Requests.size());
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    Requests[I].EnqueueCompletion = true;
+    engine::JobPtr J = Eng.submit(std::move(Requests[I]));
+    Slot[J.get()] = I;
+    Jobs.push_back(std::move(J));
+  }
+  size_t Done = 0;
+  while (Done < Jobs.size()) {
+    for (const engine::JobPtr &J : Eng.waitCompleted(250)) {
+      Results[Slot[J.get()]] = J->wait(); // complete: returns immediately
+      ++Done;
+    }
+  }
   PassReport Rep;
   Rep.Threads = Threads;
   Rep.Jobs = Results.size();
@@ -303,6 +432,75 @@ int main() {
         Multi.DfaHitRate, StoreRatio);
     Json += Buf;
     Json += CapIdx + 1 < CacheCaps.size() ? ",\n" : "\n  ]";
+  }
+
+  // Fairness: interactive probes against a saturating batch fan-out, FIFO
+  // vs priority scheduling. The interesting figure is interactive p95 —
+  // FIFO queues the probe behind the whole batch backlog, the weighted
+  // priority pool runs it at the next pop.
+  const size_t FairBatch =
+      static_cast<size_t>(envInt("REGEL_FAIRNESS_BATCH", 100));
+  const int64_t FairBatchMs = envInt("REGEL_FAIRNESS_BATCH_MS", 150);
+  const size_t FairInter =
+      static_cast<size_t>(envInt("REGEL_FAIRNESS_INTERACTIVE", 20));
+  const int64_t FairIntervalMs = envInt("REGEL_FAIRNESS_INTERVAL_MS", 100);
+  if (FairBatch > 0 && FairInter > 0) {
+    std::printf("fairness: %zu batch jobs (%lld ms each) vs %zu interactive "
+                "probes every %lld ms...\n",
+                FairBatch, (long long)FairBatchMs, FairInter,
+                (long long)FairIntervalMs);
+    FairnessReport Fifo = runFairnessMode(/*Fifo=*/true, Threads, FairBatch,
+                                          FairBatchMs, FairInter,
+                                          FairIntervalMs);
+    std::printf("  fifo:     interactive p50 %.0f ms, p95 %.0f ms, max %.0f "
+                "ms\n",
+                Fifo.InteractiveP50Ms, Fifo.InteractiveP95Ms,
+                Fifo.InteractiveMaxMs);
+    FairnessReport Prio = runFairnessMode(/*Fifo=*/false, Threads, FairBatch,
+                                          FairBatchMs, FairInter,
+                                          FairIntervalMs);
+    std::printf("  priority: interactive p50 %.0f ms, p95 %.0f ms, max %.0f "
+                "ms\n",
+                Prio.InteractiveP50Ms, Prio.InteractiveP95Ms,
+                Prio.InteractiveMaxMs);
+    const double Improvement = Prio.InteractiveP95Ms > 0
+                                   ? Fifo.InteractiveP95Ms /
+                                         Prio.InteractiveP95Ms
+                                   : 0.0;
+    std::printf("  p95 improvement: %.1fx\n", Improvement);
+    if (Improvement < 3.0)
+      std::printf("WARNING: priority scheduling under 3x p95 improvement\n");
+
+    auto AppendMode = [&Json](const FairnessReport &R) {
+      char B[512];
+      std::snprintf(B, sizeof(B),
+                    "    {\"mode\":\"%s\",\"interactive_p50_ms\":%.1f,"
+                    "\"interactive_p95_ms\":%.1f,"
+                    "\"interactive_max_ms\":%.1f,"
+                    "\"batch_completed\":%zu}",
+                    R.Fifo ? "fifo" : "priority", R.InteractiveP50Ms,
+                    R.InteractiveP95Ms, R.InteractiveMaxMs,
+                    R.BatchCompleted);
+      Json += B;
+    };
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\n  \"fairness\": {\n"
+                  "    \"batch_jobs\": %zu,\n"
+                  "    \"batch_budget_ms\": %lld,\n"
+                  "    \"interactive_jobs\": %zu,\n"
+                  "    \"interval_ms\": %lld,\n"
+                  "    \"threads\": %u,\n"
+                  "    \"modes\": [\n",
+                  FairBatch, (long long)FairBatchMs, FairInter,
+                  (long long)FairIntervalMs, Threads);
+    Json += Buf;
+    AppendMode(Fifo);
+    Json += ",\n";
+    AppendMode(Prio);
+    std::snprintf(Buf, sizeof(Buf),
+                  "\n    ],\n    \"interactive_p95_improvement\": %.2f\n  }",
+                  Improvement);
+    Json += Buf;
   }
   Json += "\n}\n";
 

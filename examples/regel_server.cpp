@@ -1,67 +1,74 @@
-//===- examples/regel_server.cpp - REPL-style synthesis server ------------===//
+//===- examples/regel_server.cpp - Event-driven synthesis server ----------===//
 //
-// Build & run:  ./build/examples/regel_server [threads] [cache-cap] [high-water]
+// Build & run:  ./build/examples/regel_server [port] [threads] [cache-cap]
+//                                             [high-water]
 //
-// A line-oriented server driver for the concurrent engine: one persistent
-// engine::Engine serves every request, so worker threads and the cross-run
-// caches (regex->DFA, sketch approximations) stay warm between queries —
-// the serving setup the engine subsystem exists for. The caches are capped
-// (LRU-evicted; [cache-cap] entries each, default 25000, 0 = unbounded) so
-// the process can stay up indefinitely, and submissions are shed once
-// [high-water] jobs are in flight (default 64, 0 = off). Protocol (stdin):
+// The socket front-end over the async engine API (src/server): one
+// poll()-based event loop serves every TCP client on [port] (default 7411,
+// 0 = ephemeral — the chosen port is printed), while a persistent
+// engine::Engine runs the synthesis jobs, so worker threads and the
+// cross-run caches (regex->DFA, sketch approximations) stay warm between
+// queries. No thread blocks per outstanding job: `solve` submits and the
+// completion is pushed to the client when it lands, so thousands of
+// concurrent queries need only the loop thread plus the worker pool.
 //
-//   desc <english description>   set the query description
-//   pos <string>                 add a positive example ("" for empty)
-//   neg <string>                 add a negative example
-//   topk <k> | budget <ms>       tune the current query
-//   sla <ms>                     submit-anchored residency SLA (0 = off)
-//   solve                        run the query on the engine
-//   clear                        reset the current query
-//   stats                        engine counters as JSON
-//   help | quit
+// The caches are capped (second-chance-evicted; [cache-cap] entries each,
+// default 25000, 0 = unbounded) so the process can stay up indefinitely,
+// and submissions are shed once [high-water] jobs are in flight (default
+// 64, 0 = off). Per-connection `priority <interactive|batch|background>`
+// picks the scheduling class, so one client's batch fan-out cannot starve
+// another's interactive query.
 //
-// Example session:
+// Try it:
+//   ./build/examples/regel_server &
+//   nc 127.0.0.1 7411
 //   desc a capital letter followed by 2 digits
 //   pos A12
 //   pos Z99
 //   neg 12
-//   neg a12
 //   solve
+//
+// See src/server/SocketServer.h for the full wire protocol.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Regel.h"
 #include "engine/Engine.h"
-#include "regex/Printer.h"
+#include "server/SocketServer.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
-#include <string>
 
 using namespace regel;
 
 namespace {
 
-void printHelp() {
-  std::printf(
-      "commands: desc <text> | pos <str> | neg <str> | topk <k> |\n"
-      "          budget <ms> | sla <ms> | solve | clear | stats | help |\n"
-      "          quit\n");
+/// Read by the signal handler; cleared (with the handlers restored)
+/// before the server is destroyed, so a late Ctrl-C cannot touch a
+/// dying object.
+std::atomic<server::SocketServer *> ActiveServer{nullptr};
+
+void onSignal(int) {
+  if (server::SocketServer *S = ActiveServer.load())
+    S->stop(); // async-signal-safe by contract: atomic store + pipe write
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
+  uint16_t Port = 7411;
   unsigned Threads = 2;
   size_t CacheCap = 25000; // entries per store; 0 = unbounded
   size_t HighWater = 64;   // queue-depth admission mark; 0 = off
   if (argc > 1)
-    Threads = static_cast<unsigned>(std::atoi(argv[1]));
+    Port = static_cast<uint16_t>(std::atoi(argv[1]));
   if (argc > 2)
-    CacheCap = static_cast<size_t>(std::atoll(argv[2]));
+    Threads = static_cast<unsigned>(std::atoi(argv[2]));
   if (argc > 3)
-    HighWater = static_cast<size_t>(std::atoll(argv[3]));
+    CacheCap = static_cast<size_t>(std::atoll(argv[3]));
+  if (argc > 4)
+    HighWater = static_cast<size_t>(std::atoll(argv[4]));
 
   engine::EngineConfig EC;
   EC.Threads = Threads;
@@ -76,68 +83,30 @@ int main(int argc, char **argv) {
   auto Eng = std::make_shared<engine::Engine>(EC);
   auto Parser = std::make_shared<nlp::SemanticParser>();
 
-  RegelConfig Cfg;
-  Cfg.NumSketches = 10;
-  Cfg.BudgetMs = 5000;
-  Cfg.TopK = 1;
+  server::ServerConfig SC;
+  SC.Port = Port;
+  SC.Defaults.NumSketches = 10;
+  SC.Defaults.BudgetMs = 5000;
+  SC.Defaults.TopK = 1;
 
-  std::printf("regel_server: %u workers, cache cap %zu, high-water %zu; "
-              "type 'help' for commands\n",
-              Eng->threadCount(), CacheCap, HighWater);
+  server::SocketServer Server(Parser, Eng, SC);
+  if (!Server.start())
+    return 1;
+  ActiveServer.store(&Server);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
 
-  std::string Description;
-  Examples E;
-  std::string Line;
-  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, Line)) {
-    std::string Cmd = Line.substr(0, Line.find(' '));
-    std::string Arg =
-        Line.size() > Cmd.size() ? Line.substr(Cmd.size() + 1) : "";
-
-    if (Cmd == "quit" || Cmd == "exit")
-      break;
-    if (Cmd == "help" || Cmd.empty()) {
-      printHelp();
-    } else if (Cmd == "desc") {
-      Description = Arg;
-    } else if (Cmd == "pos") {
-      E.Pos.push_back(Arg);
-    } else if (Cmd == "neg") {
-      E.Neg.push_back(Arg);
-    } else if (Cmd == "topk") {
-      Cfg.TopK = static_cast<unsigned>(std::max(1, std::atoi(Arg.c_str())));
-    } else if (Cmd == "budget") {
-      Cfg.BudgetMs = std::max(1, std::atoi(Arg.c_str()));
-    } else if (Cmd == "sla") {
-      Cfg.ResidencyBudgetMs = std::max(0, std::atoi(Arg.c_str()));
-    } else if (Cmd == "clear") {
-      Description.clear();
-      E = Examples();
-    } else if (Cmd == "stats") {
-      std::printf("%s\n", Eng->snapshot().toJson().c_str());
-    } else if (Cmd == "solve") {
-      if (E.Pos.empty() && Description.empty()) {
-        std::printf("nothing to solve: give a desc and/or examples first\n");
-        continue;
-      }
-      // A fresh Regel per query is deliberate: drivers are disposable
-      // config holders, the persistent state lives in Eng and Parser.
-      Regel Tool(Parser, Cfg, Eng);
-      RegelResult R = Tool.synthesize(Description, E);
-      if (!R.solved()) {
-        std::printf("no solution within %lld ms (%zu sketches tried)\n",
-                    static_cast<long long>(Cfg.BudgetMs), R.Sketches.size());
-        continue;
-      }
-      for (const RegelAnswer &A : R.Answers)
-        std::printf("answer: %s\n   posix: %s\n   sketch[%u]: %s\n",
-                    printRegex(A.Regex).c_str(),
-                    printPosix(A.Regex).c_str(), A.SketchRank,
-                    printSketch(A.Sketch).c_str());
-      std::printf("   parse %.1f ms, synth %.1f ms\n", R.ParseMs, R.SynthMs);
-    } else {
-      std::printf("unknown command '%s'\n", Cmd.c_str());
-      printHelp();
-    }
-  }
+  std::printf("regel_server: listening on %s:%u — %u workers, cache cap "
+              "%zu, high-water %zu\n",
+              SC.BindAddr.c_str(), Server.port(), Eng->threadCount(),
+              CacheCap, HighWater);
+  std::fflush(stdout);
+  Server.run();
+  // Detach the handlers before Server's destructor runs: a second Ctrl-C
+  // during teardown must not call into a half-destroyed object.
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  ActiveServer.store(nullptr);
+  std::printf("regel_server: shut down\n");
   return 0;
 }

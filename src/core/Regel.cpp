@@ -6,6 +6,8 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 
 using namespace regel;
 
@@ -24,27 +26,27 @@ engine::JobRequest requestFor(const RegelConfig &Cfg,
   R.Sketches = std::move(Sketches);
   R.E = E;
   R.TopK = Cfg.TopK;
+  R.Pri = Cfg.Pri;
   R.BudgetMs = Cfg.BudgetMs;
   R.ResidencyBudgetMs = Cfg.ResidencyBudgetMs;
   R.Synth = Cfg.Synth;
   R.Deterministic = Cfg.Deterministic;
+  R.EnqueueCompletion = Cfg.EnqueueCompletion;
   return R;
 }
 
-RegelResult resultFrom(const engine::JobResult &JR,
-                       std::vector<SketchPtr> Sketches) {
+} // namespace
+
+RegelResult Regel::resultFromJob(const engine::JobResult &JR,
+                                 std::vector<SketchPtr> Sketches) {
   RegelResult Result;
   Result.Sketches = std::move(Sketches);
   // Synthesis time, not residence time: on a loaded shared engine TotalMs
   // includes queue wait, which is not what SynthMs has always meant.
   Result.SynthMs = JR.ExecMs;
-  Result.Answers.reserve(JR.Answers.size());
-  for (const engine::JobAnswer &A : JR.Answers)
-    Result.Answers.push_back({A.Regex, A.SketchRank, A.Sketch});
+  Result.Answers = JR.Answers; // same type since the RegelAnswer dedup
   return Result;
 }
-
-} // namespace
 
 Regel::Regel(std::shared_ptr<nlp::SemanticParser> Parser, RegelConfig Cfg)
     : Parser(std::move(Parser)), Cfg(std::move(Cfg)),
@@ -78,10 +80,20 @@ RegelResult Regel::synthesize(const std::string &Description,
   return Result;
 }
 
+engine::JobPtr Regel::submit(const std::string &Description,
+                             const Examples &E) const {
+  return submitSketches(sketchesFor(Description), E);
+}
+
+engine::JobPtr Regel::submitSketches(std::vector<SketchPtr> Sketches,
+                                     const Examples &E) const {
+  return Eng->submit(requestFor(Cfg, std::move(Sketches), E));
+}
+
 RegelResult Regel::synthesizeFromSketches(
     const std::vector<SketchPtr> &Sketches, const Examples &E) const {
-  engine::JobPtr Job = Eng->submit(requestFor(Cfg, Sketches, E));
-  return resultFrom(Job->wait(), Sketches);
+  engine::JobPtr Job = submitSketches(Sketches, E);
+  return resultFromJob(Job->wait(), Sketches);
 }
 
 std::vector<RegelResult>
@@ -98,15 +110,35 @@ Regel::synthesizeBatch(const std::vector<RegelQuery> &Queries) const {
     ParseTimes.push_back(ParseWatch.elapsedMs());
   }
 
-  std::vector<engine::JobPtr> Jobs;
-  Jobs.reserve(Queries.size());
-  for (size_t I = 0; I < Queries.size(); ++I)
-    Jobs.push_back(Eng->submit(requestFor(Cfg, SketchLists[I], Queries[I].E)));
+  // Completion-driven collection: each job deposits its result through an
+  // onComplete continuation (running on the finishing worker — or right
+  // here, synchronously, for jobs that completed before registration),
+  // and this thread blocks exactly once, until the count drains. Unlike
+  // the old wait()-per-job loop, nothing is parked per outstanding job.
+  const size_t N = Queries.size();
+  std::vector<engine::JobResult> JobResults(N);
+  std::mutex DoneM;
+  std::condition_variable DoneCV;
+  size_t Remaining = N;
+  for (size_t I = 0; I < N; ++I) {
+    engine::JobPtr J = Eng->submit(requestFor(Cfg, SketchLists[I],
+                                              Queries[I].E));
+    J->onComplete([&, I](const engine::JobResult &JR) {
+      std::lock_guard<std::mutex> Guard(DoneM);
+      JobResults[I] = JR;
+      if (--Remaining == 0)
+        DoneCV.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> Guard(DoneM);
+    DoneCV.wait(Guard, [&] { return Remaining == 0; });
+  }
 
   std::vector<RegelResult> Results;
-  Results.reserve(Jobs.size());
-  for (size_t I = 0; I < Jobs.size(); ++I) {
-    RegelResult R = resultFrom(Jobs[I]->wait(), std::move(SketchLists[I]));
+  Results.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    RegelResult R = resultFromJob(JobResults[I], std::move(SketchLists[I]));
     R.ParseMs = ParseTimes[I];
     Results.push_back(std::move(R));
   }

@@ -6,13 +6,16 @@
 // consistent regexes. Since the engine rewire, the per-sketch runs execute
 // as jobs on a persistent engine::Engine — a shared work-stealing worker
 // pool with cross-run caches — instead of ad-hoc threads per request; many
-// Regel instances (or a server) can share one engine.
+// Regel instances (or a server) can share one engine. submit() exposes the
+// engine's async job handle directly, so event-driven clients (the socket
+// server) parse once and complete via continuations instead of blocking.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef REGEL_CORE_REGEL_H
 #define REGEL_CORE_REGEL_H
 
+#include "engine/Job.h"
 #include "nlp/SemanticParser.h"
 #include "synth/Synthesizer.h"
 
@@ -32,10 +35,19 @@ struct RegelConfig {
   SynthConfig Synth;          ///< PBE engine settings (BudgetMs is split)
   unsigned Threads = 1;       ///< workers of a self-owned engine
 
+  /// Scheduling class of the submitted jobs on a shared engine: an
+  /// interactive query must not sit behind a batch fan-out. See
+  /// JobRequest::Pri.
+  engine::Priority Pri = engine::Priority::Interactive;
+
   /// Submit-anchored SLA per query (0 = none): bounds queue wait plus
   /// execution on a loaded shared engine, where BudgetMs alone lets
   /// residence time grow with the queue. See JobRequest::ResidencyBudgetMs.
   int64_t ResidencyBudgetMs = 0;
+
+  /// Forwarded to JobRequest::EnqueueCompletion: finished jobs become
+  /// retrievable via Engine::pollCompleted (event-loop clients).
+  bool EnqueueCompletion = false;
 
   /// Run every sketch to completion and order answers by sketch rank, so
   /// results do not depend on worker count or scheduling (costs the work
@@ -46,12 +58,10 @@ struct RegelConfig {
   bool Deterministic = false;
 };
 
-/// One synthesized result.
-struct RegelAnswer {
-  RegexPtr Regex;
-  unsigned SketchRank;  ///< which sketch produced it (0-based)
-  SketchPtr Sketch;
-};
+/// One synthesized result. The engine's answer schema IS the driver's
+/// answer schema — one definition (this alias replaced a structurally
+/// identical duplicate struct).
+using RegelAnswer = engine::JobAnswer;
 
 /// End-to-end result.
 struct RegelResult {
@@ -83,18 +93,37 @@ public:
   Regel(std::shared_ptr<nlp::SemanticParser> Parser, RegelConfig Cfg,
         std::shared_ptr<engine::Engine> Eng);
 
-  /// Synthesizes regexes from \p Description and \p E.
+  /// Synthesizes regexes from \p Description and \p E (blocking).
   RegelResult synthesize(const std::string &Description,
                          const Examples &E) const;
 
   /// Runs the PBE engine over an explicit sketch list (used by the
-  /// ablation benches, which fix the sketches).
+  /// ablation benches, which fix the sketches). Blocking.
   RegelResult synthesizeFromSketches(const std::vector<SketchPtr> &Sketches,
                                      const Examples &E) const;
 
+  /// Async entry point: parses \p Description and submits one job without
+  /// blocking on the result. The returned handle drives the engine's
+  /// completion API (onComplete / waitFor / Engine::pollCompleted when
+  /// Cfg.EnqueueCompletion is set); pair with resultFromJob to recover a
+  /// RegelResult. Parsing runs on the calling thread (it is cheap next to
+  /// synthesis); only the PBE search is deferred to the engine.
+  engine::JobPtr submit(const std::string &Description,
+                        const Examples &E) const;
+
+  /// Submits an explicit sketch list without blocking (see submit).
+  engine::JobPtr submitSketches(std::vector<SketchPtr> Sketches,
+                                const Examples &E) const;
+
+  /// Converts a completed job's result into the driver's result type.
+  /// \p Sketches is the list the job was submitted with.
+  static RegelResult resultFromJob(const engine::JobResult &JR,
+                                   std::vector<SketchPtr> Sketches);
+
   /// Parses every query, submits all jobs to the engine at once, and
-  /// waits for all of them: concurrent queries share the pool and caches
-  /// instead of running one-by-one.
+  /// collects them through completion continuations: concurrent queries
+  /// share the pool and caches, and no thread is parked per job — the
+  /// caller blocks once, on the last completion.
   std::vector<RegelResult>
   synthesizeBatch(const std::vector<RegelQuery> &Queries) const;
 

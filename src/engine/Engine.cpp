@@ -5,6 +5,8 @@
 #include "synth/Synthesizer.h"
 
 #include <algorithm>
+#include <cassert>
+#include <chrono>
 
 using namespace regel;
 using namespace regel::engine;
@@ -15,11 +17,12 @@ Engine::Engine(EngineConfig C)
                         : std::make_shared<SharedCaches>(Cfg.CacheShards,
                                                          Cfg.DfaCacheLimits,
                                                          Cfg.ApproxCacheLimits)),
-      Pool(std::max(1u, Cfg.Threads)) {}
+      Pool(std::max(1u, Cfg.Threads), Cfg.FifoScheduling) {}
 
 Engine::~Engine() {
   // WorkerPool's destructor drains the queues; jobs submitted before the
-  // destructor all complete and their waiters wake.
+  // destructor all complete, their waiters wake, and their continuations
+  // run (on this thread for tasks executed by the post-join drain).
 }
 
 JobPtr Engine::submit(JobRequest R) {
@@ -29,31 +32,34 @@ JobPtr Engine::submit(JobRequest R) {
   if (NumTasks == 0) {
     // Nothing to search: complete the job on the spot (it never occupies
     // the queue, so admission control does not apply).
-    std::lock_guard<std::mutex> Guard(J->M);
-    J->Result.TotalMs = J->sinceSubmitMs();
-    J->Ready = true;
-    J->CV.notify_all();
+    {
+      std::lock_guard<std::mutex> Guard(J->M);
+      J->Result.TotalMs = J->sinceSubmitMs();
+    }
     Stats.jobCompleted(/*Solved=*/false, /*DeadlineExpired=*/false,
                        /*ResidencyExpired=*/false);
+    publishCompletion(J);
     return J;
   }
   if (!Queue.tryAdd(J, Cfg.MaxQueueDepth)) {
     // Backpressure: shed the submission instead of queueing it. tryAdd
     // checks the high-water mark and inserts atomically, so the bound
     // holds under concurrent submitters; the handle completes on the spot
-    // so wait() returns immediately.
+    // so wait() returns (and continuations fire) immediately.
     Stats.jobRejected();
-    std::lock_guard<std::mutex> Guard(J->M);
-    J->Result.Rejected = true;
-    J->Result.TotalMs = J->sinceSubmitMs();
-    J->Ready = true;
-    J->CV.notify_all();
+    {
+      std::lock_guard<std::mutex> Guard(J->M);
+      J->Result.Rejected = true;
+      J->Result.TotalMs = J->sinceSubmitMs();
+    }
+    publishCompletion(J);
     return J;
   }
   J->Remaining.store(static_cast<unsigned>(NumTasks),
                      std::memory_order_relaxed);
+  const Priority Pri = J->Req.Pri;
   for (unsigned Rank = 0; Rank < NumTasks; ++Rank) {
-    if (!Pool.submit([this, J, Rank] { runSketchTask(J, Rank); })) {
+    if (!Pool.submit([this, J, Rank] { runSketchTask(J, Rank); }, Pri)) {
       // Pool is shutting down; account the task as skipped so the job
       // still completes.
       Stats.taskSkipped();
@@ -68,6 +74,10 @@ JobPtr Engine::submit(JobRequest R) {
 }
 
 std::vector<JobResult> Engine::runBatch(std::vector<JobRequest> Requests) {
+  assert(!onPoolWorkerThread() &&
+         "Engine::runBatch on an engine worker thread deadlocks the pool: "
+         "it blocks on jobs only workers can run — submit() with "
+         "onComplete instead");
   std::vector<JobPtr> Jobs;
   Jobs.reserve(Requests.size());
   for (JobRequest &R : Requests)
@@ -79,14 +89,76 @@ std::vector<JobResult> Engine::runBatch(std::vector<JobRequest> Requests) {
   return Results;
 }
 
+std::vector<JobPtr> Engine::pollCompleted() {
+  std::vector<JobPtr> Out;
+  std::lock_guard<std::mutex> Guard(CompletedM);
+  Out.assign(std::make_move_iterator(Completed.begin()),
+             std::make_move_iterator(Completed.end()));
+  Completed.clear();
+  return Out;
+}
+
+std::vector<JobPtr> Engine::waitCompleted(int64_t TimeoutMs) {
+  assert(!onPoolWorkerThread() &&
+         "Engine::waitCompleted blocks; poll from the event loop thread");
+  std::vector<JobPtr> Out;
+  std::unique_lock<std::mutex> Guard(CompletedM);
+  CompletedCV.wait_for(Guard,
+                       std::chrono::milliseconds(std::max<int64_t>(
+                           TimeoutMs, 0)),
+                       [this] { return !Completed.empty(); });
+  Out.assign(std::make_move_iterator(Completed.begin()),
+             std::make_move_iterator(Completed.end()));
+  Completed.clear();
+  return Out;
+}
+
+size_t Engine::completedPending() const {
+  std::lock_guard<std::mutex> Guard(CompletedM);
+  return Completed.size();
+}
+
+void Engine::publishCompletion(const JobPtr &J) {
+  // Ready and the completion-queue push are ONE critical section under
+  // the job mutex: anything that can observe Ready (done(), waitFor, a
+  // racing onComplete that will run its callback synchronously) can only
+  // do so after the job is already pollable — so a continuation used as
+  // an event-loop wakeup never fires into an empty queue. A poller that
+  // wins the race the other way just blocks a beat on J->M in waitFor.
+  // Notifications and continuations run outside every lock so they are
+  // free to call back into the job or the engine.
+  std::vector<SynthJob::Callback> CBs;
+  {
+    std::lock_guard<std::mutex> Guard(J->M);
+    J->Ready = true;
+    CBs.swap(J->Callbacks);
+    if (J->Req.EnqueueCompletion) {
+      std::lock_guard<std::mutex> QGuard(CompletedM);
+      Completed.push_back(J);
+    }
+  }
+  if (J->Req.EnqueueCompletion)
+    CompletedCV.notify_all();
+  J->CV.notify_all();
+  for (SynthJob::Callback &CB : CBs)
+    CB(J->Result); // Result is immutable once Ready
+}
+
 void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
   J->markStarted();
 
   const JobRequest &Req = J->Req;
   bool DeadlineHit = false, ResidencyHit = false;
+  // One residency sample decides both the skip branch and (below) the
+  // budget clamp, so the two cannot disagree: remaining == 0 is exactly
+  // the expired case, and a positive remainder is what the search gets.
+  int64_t ResidencyLeftMs = 0;
   if (!J->Cancel.load(std::memory_order_relaxed)) {
     DeadlineHit = J->deadlineExpired();
-    ResidencyHit = !DeadlineHit && J->residencyExpired();
+    if (!DeadlineHit && Req.ResidencyBudgetMs > 0) {
+      ResidencyLeftMs = J->residencyRemainingMs();
+      ResidencyHit = ResidencyLeftMs == 0;
+    }
     if (DeadlineHit || ResidencyHit)
       J->Cancel.store(true, std::memory_order_relaxed);
   }
@@ -127,11 +199,12 @@ void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
                                   : RemainingMs;
     }
     // The residency SLA is submit-anchored: a search may not outlive what
-    // is left of it, however much execution budget remains.
+    // is left of it, however much execution budget remains. The sample
+    // taken above is positive on this branch (zero took the skip path),
+    // so it can never masquerade as SynthConfig's "no budget".
     if (Req.ResidencyBudgetMs > 0) {
-      int64_t ResidencyLeft = J->residencyRemainingMs();
-      SC.BudgetMs = SC.BudgetMs > 0 ? std::min(SC.BudgetMs, ResidencyLeft)
-                                    : ResidencyLeft;
+      SC.BudgetMs = SC.BudgetMs > 0 ? std::min(SC.BudgetMs, ResidencyLeftMs)
+                                    : ResidencyLeftMs;
     }
 
     Synthesizer Synth(SC);
@@ -175,9 +248,9 @@ void Engine::finishTask(const JobPtr &J) {
 }
 
 void Engine::finalize(const JobPtr &J) {
-  // Everything observable (stats, queue depth) is updated BEFORE Ready is
-  // signalled, so a waiter that wakes from wait() sees the completed
-  // state.
+  // Everything observable (stats, queue depth) is updated BEFORE the job
+  // is published, so a waiter or continuation that observes completion
+  // sees the completed state.
   bool Solved, DeadlineExpired, ResidencyExpired;
   uint64_t NumAnswers;
   {
@@ -215,17 +288,17 @@ void Engine::finalize(const JobPtr &J) {
   Stats.jobCompleted(Solved, DeadlineExpired, ResidencyExpired);
   Stats.solutionsFound(NumAnswers);
   Queue.remove(J.get());
-  {
-    std::lock_guard<std::mutex> Guard(J->M);
-    J->Ready = true;
-  }
-  J->CV.notify_all();
+  publishCompletion(J);
 }
 
 StatsSnapshot Engine::snapshot() const {
   StatsSnapshot S;
   Stats.fill(S);
   S.TasksStolen = Pool.tasksStolen();
+  S.TasksRunInteractive = Pool.tasksRun(Priority::Interactive);
+  S.TasksRunBatch = Pool.tasksRun(Priority::Batch);
+  S.TasksRunBackground = Pool.tasksRun(Priority::Background);
+  S.CompletionsPending = completedPending();
   S.DfaStoreHits = Caches->Dfa.hits();
   S.DfaStoreMisses = Caches->Dfa.misses();
   S.DfaStoreSize = Caches->Dfa.size();

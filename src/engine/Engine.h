@@ -3,10 +3,14 @@
 // Part of the Regel reproduction. The serving layer the paper's Sec. 6
 // parallelism grows into: one persistent Engine per process (or per
 // tenant) accepts many concurrent synthesis jobs, fans each out into one
-// task per sketch on a shared work-stealing worker pool, cancels sibling
-// tasks as soon as a job has its TopK answers, enforces per-job deadlines,
-// and shares the regex->DFA and sketch-approximation caches across every
-// run. core/Regel is a thin client of this class; servers and benches can
+// task per sketch on a shared priority-aware work-stealing pool, cancels
+// sibling tasks as soon as a job has its TopK answers, enforces per-job
+// deadlines, and shares the regex->DFA and sketch-approximation caches
+// across every run. Completion is async-first: jobs notify through
+// onComplete continuations and (opt-in) the engine's completion queue, so
+// a single-threaded event loop — the socket server in src/server — can
+// drive thousands of in-flight jobs without blocking a thread per job.
+// core/Regel is a thin client of this class; servers and benches can
 // drive it directly through the batch API.
 //
 //===----------------------------------------------------------------------===//
@@ -19,7 +23,10 @@
 #include "engine/Stats.h"
 #include "engine/WorkerPool.h"
 
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace regel::engine {
@@ -49,6 +56,12 @@ struct EngineConfig {
   /// every accepted job's residency) bounded instead of letting latency
   /// grow without limit.
   size_t MaxQueueDepth = 0;
+
+  /// Ignore JobRequest::Pri and schedule every task in one FIFO band per
+  /// worker — the pre-priority behaviour. Exists so the fairness bench
+  /// (and regressions) can measure what weighted priority picking buys;
+  /// leave off in production.
+  bool FifoScheduling = false;
 };
 
 class Engine {
@@ -61,15 +74,40 @@ public:
   Engine(const Engine &) = delete;
   Engine &operator=(const Engine &) = delete;
 
-  /// Enqueues one job; returns immediately with a waitable handle. Under
+  /// Enqueues one job; returns immediately with a handle carrying the
+  /// async completion API (onComplete / waitFor / wait). Under
   /// backpressure (MaxQueueDepth reached) the job is rejected instead of
-  /// enqueued: the handle is already complete with Result.Rejected set.
+  /// enqueued: the handle is already complete with Result.Rejected set
+  /// (continuations registered on it run immediately, and it still
+  /// reaches the completion queue when the request opted in — a rejected
+  /// job is a completion the client must see).
   JobPtr submit(JobRequest R);
 
   /// Submits every request, then blocks until all are done. Results are
   /// positionally aligned with \p Requests. Must not be called from a
-  /// worker thread (it blocks).
+  /// worker thread (it blocks; debug builds assert).
   std::vector<JobResult> runBatch(std::vector<JobRequest> Requests);
+
+  /// Drains the completion queue: every job that finished since the last
+  /// poll and had EnqueueCompletion set, in completion order. Non-blocking;
+  /// returns empty when nothing completed. The single consumer loop of an
+  /// event-driven front-end pairs this with SynthJob::onComplete used as a
+  /// wakeup (e.g. writing a self-pipe) so it never busy-polls.
+  ///
+  /// The queue is a SINGLE-CONSUMER facility: the drain is destructive,
+  /// so exactly one client of an engine may poll it (two pollers steal
+  /// each other's completions). Other clients sharing the engine should
+  /// complete via onComplete/waitFor/wait, which are per-job and
+  /// unaffected.
+  std::vector<JobPtr> pollCompleted();
+
+  /// Like pollCompleted, but blocks up to \p TimeoutMs for at least one
+  /// completion. Returns empty on timeout. Must not be called from a
+  /// worker thread.
+  std::vector<JobPtr> waitCompleted(int64_t TimeoutMs);
+
+  /// Completions currently waiting in the queue (monitoring).
+  size_t completedPending() const;
 
   /// Jobs submitted but not yet completed.
   size_t queueDepth() const { return Queue.depth(); }
@@ -89,10 +127,23 @@ private:
   void finishTask(const JobPtr &J);
   void finalize(const JobPtr &J);
 
+  /// Publishes a finished job: marks it Ready, hands it to the completion
+  /// queue (when opted in), wakes waiters, and runs continuations — in
+  /// that order, so a continuation used as an event-loop wakeup finds the
+  /// job already pollable. Pre: J->Result is final; called exactly once.
+  void publishCompletion(const JobPtr &J);
+
   EngineConfig Cfg;
   std::shared_ptr<SharedCaches> Caches;
   EngineStats Stats;
   JobQueue Queue;
+
+  /// Completion queue (multi-producer: finishing workers; consumers:
+  /// pollCompleted / waitCompleted).
+  mutable std::mutex CompletedM;
+  std::condition_variable CompletedCV;
+  std::deque<JobPtr> Completed;
+
   WorkerPool Pool; ///< last member: destroyed (and drained) first
 };
 

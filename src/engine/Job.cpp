@@ -3,6 +3,8 @@
 #include "engine/Job.h"
 
 #include <algorithm>
+#include <cassert>
+#include <chrono>
 
 using namespace regel;
 using namespace regel::engine;
@@ -26,9 +28,41 @@ double SynthJob::execElapsedMs() const {
   return SinceSubmit.elapsedMs() - static_cast<double>(StartUs) / 1000.0;
 }
 
+void SynthJob::onComplete(Callback CB) {
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    if (!Ready) {
+      Callbacks.push_back(std::move(CB));
+      return;
+    }
+    // Already complete: fall through and run on the registering thread.
+    // The race with a concurrent completion resolves under M — either the
+    // callback made it into Callbacks before Ready was set (the finisher
+    // runs it) or Ready was observed here (we run it) — never both.
+  }
+  // Result is immutable once Ready; invoking outside the lock keeps a
+  // continuation free to call done()/wait()/onComplete itself.
+  CB(Result);
+}
+
 JobResult SynthJob::wait() {
+  assert(!onPoolWorkerThread() &&
+         "SynthJob::wait() on an engine worker thread deadlocks the pool: "
+         "the worker blocks on work only workers can run — use "
+         "onComplete/waitFor or restructure the caller");
+  // Thin shim over the timed wait (the async-first primitive): loop a
+  // long slice so spurious wakeups and the shim share one code path.
+  for (;;)
+    if (std::optional<JobResult> R = waitFor(60 * 60 * 1000))
+      return *R;
+}
+
+std::optional<JobResult> SynthJob::waitFor(int64_t TimeoutMs) {
   std::unique_lock<std::mutex> Guard(M);
-  CV.wait(Guard, [this] { return Ready; });
+  if (!CV.wait_for(Guard, std::chrono::milliseconds(std::max<int64_t>(
+                              TimeoutMs, 0)),
+                   [this] { return Ready; }))
+    return std::nullopt;
   return Result;
 }
 

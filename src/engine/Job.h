@@ -11,13 +11,20 @@
 //   * a per-job deadline started at submission;
 //   * the answer collector (mutex-guarded; per-rank buckets in
 //     deterministic mode);
-//   * a completion latch callers block on via wait().
+//   * the completion machinery: a latch (wait / waitFor), registered
+//     onComplete continuations, and — when the request opts in — a slot
+//     in the engine's completion queue (Engine::pollCompleted).
+//
+// Completion is async-first: continuations and the completion queue are
+// the primary mechanism (one event-loop thread can drive thousands of
+// jobs), and wait() is a thin blocking shim kept for simple clients.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef REGEL_ENGINE_JOB_H
 #define REGEL_ENGINE_JOB_H
 
+#include "engine/WorkerPool.h"
 #include "sketch/Sketch.h"
 #include "support/Timer.h"
 #include "synth/Config.h"
@@ -27,8 +34,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -42,6 +51,13 @@ struct JobRequest {
   std::vector<SketchPtr> Sketches; ///< ranked, best first
   Examples E;
   unsigned TopK = 1;
+
+  /// Scheduling class: every per-sketch task the job fans out is queued
+  /// under this priority, so a Batch fan-out cannot starve Interactive
+  /// queries sharing the pool (the workers pick weighted by class; see
+  /// WorkerPool). Interactive is the default so priority-unaware callers
+  /// behave exactly as before.
+  Priority Pri = Priority::Interactive;
 
   /// Per-job deadline in milliseconds (0 = none). The clock starts when
   /// the job's first task begins executing, not at submission: BudgetMs is
@@ -67,6 +83,12 @@ struct JobRequest {
   /// Synth.MaxPops instead (as the determinism tests do). Costs the work
   /// cancellation would have skipped.
   bool Deterministic = false;
+
+  /// Opt the job into the engine's completion queue: when it finishes
+  /// (normally, rejected, or empty) its handle becomes retrievable via
+  /// Engine::pollCompleted / waitCompleted. Opt-in so wait()-style
+  /// clients that never poll don't leak handles into the queue.
+  bool EnqueueCompletion = false;
 
   std::string Tag; ///< free-form client label (server/bench reporting)
 };
@@ -100,17 +122,48 @@ struct JobResult {
 /// the client and the in-flight tasks.
 class SynthJob {
 public:
+  /// A completion continuation. Invoked exactly once per registration,
+  /// with the final result.
+  using Callback = std::function<void(const JobResult &)>;
+
+  /// Registers a continuation:
+  ///
+  ///   * registered before completion, it runs on the worker thread that
+  ///     finishes the job (for jobs completed at submit — rejected or
+  ///     empty — on the submitting thread), after the result is final and
+  ///     done() is true;
+  ///   * registered after completion, it runs synchronously on the
+  ///     registering thread, before onComplete returns;
+  ///   * a registration racing completion resolves to exactly one of the
+  ///     two — never zero or two invocations.
+  ///
+  /// Multiple continuations may be registered; each runs exactly once, in
+  /// registration order. Continuations must not block (they hold up the
+  /// finishing worker): hand heavy work to another thread, or use the
+  /// engine's completion queue and poll from an event loop instead.
+  void onComplete(Callback CB);
+
   /// Blocks until every task of the job has finished, then returns a copy
   /// of the result (by value, so `engine.submit(...)->wait()` is safe even
-  /// though the temporary handle dies with the full expression).
+  /// though the temporary handle dies with the full expression). A thin
+  /// shim over the timed wait; kept for simple synchronous clients.
+  ///
+  /// Must not be called from an engine worker thread — the worker would
+  /// wait on work only it can run. Debug builds assert on this.
   JobResult wait();
+
+  /// Blocks until the job completes or \p TimeoutMs milliseconds pass.
+  /// Returns the result on completion, std::nullopt on timeout (the job
+  /// keeps running; cancel() it to give up on it).
+  std::optional<JobResult> waitFor(int64_t TimeoutMs);
 
   /// Non-blocking completion probe.
   bool done() const;
 
   /// Requests cancellation: running tasks stop at their next deadline
   /// poll, queued ones return immediately. wait() still returns (with
-  /// whatever answers were collected before the cancel).
+  /// whatever answers were collected before the cancel), and completion
+  /// continuations still fire exactly once.
   void cancel() { Cancel.store(true, std::memory_order_relaxed); }
 
   const JobRequest &request() const { return Req; }
@@ -137,15 +190,16 @@ private:
 
   /// True once the submit-anchored residency SLA has passed.
   bool residencyExpired() const {
-    return Req.ResidencyBudgetMs > 0 &&
-           sinceSubmitMs() >= static_cast<double>(Req.ResidencyBudgetMs);
+    return Req.ResidencyBudgetMs > 0 && residencyRemainingMs() == 0;
   }
 
-  /// Milliseconds of residency SLA left (at least 1; meaningless when the
-  /// request has no ResidencyBudgetMs).
+  /// Milliseconds of residency SLA left; 0 once the SLA has expired
+  /// (callers must branch on residencyExpired()/a zero return rather
+  /// than pass the value to a budget field where 0 means "unlimited").
+  /// Meaningless when the request has no ResidencyBudgetMs.
   int64_t residencyRemainingMs() const {
     return std::max<int64_t>(
-        Req.ResidencyBudgetMs - static_cast<int64_t>(sinceSubmitMs()), 1);
+        Req.ResidencyBudgetMs - static_cast<int64_t>(sinceSubmitMs()), 0);
   }
 
   JobRequest Req;
@@ -160,6 +214,7 @@ private:
   mutable std::mutex M;
   std::condition_variable CV;
   bool Ready = false;
+  std::vector<Callback> Callbacks; ///< pending continuations (pre-Ready)
   std::unordered_set<size_t> SeenHashes; ///< structural dedup across sketches
   std::vector<std::vector<RegexPtr>> PerSketch; ///< deterministic buckets
   JobResult Result;

@@ -14,7 +14,9 @@ std::string StatsSnapshot::toJson() const {
       "\"rejected\":%llu,\"deadline_expired\":%llu,"
       "\"residency_expired\":%llu},"
       "\"tasks\":{\"run\":%llu,\"skipped\":%llu,\"stopped\":%llu,"
-      "\"stolen\":%llu},"
+      "\"stolen\":%llu,\"run_interactive\":%llu,\"run_batch\":%llu,"
+      "\"run_background\":%llu},"
+      "\"completions_pending\":%llu,"
       "\"solutions\":%llu,"
       "\"synth\":{\"pops\":%llu,\"expansions\":%llu,\"pruned\":%llu,"
       "\"checked\":%llu,\"smt_calls\":%llu,\"dfa_gets\":%llu,"
@@ -28,7 +30,12 @@ std::string StatsSnapshot::toJson() const {
       (unsigned long long)JobsDeadlineExpired,
       (unsigned long long)JobsResidencyExpired, (unsigned long long)TasksRun,
       (unsigned long long)TasksSkipped, (unsigned long long)TasksStopped,
-      (unsigned long long)TasksStolen, (unsigned long long)SolutionsFound,
+      (unsigned long long)TasksStolen,
+      (unsigned long long)TasksRunInteractive,
+      (unsigned long long)TasksRunBatch,
+      (unsigned long long)TasksRunBackground,
+      (unsigned long long)CompletionsPending,
+      (unsigned long long)SolutionsFound,
       (unsigned long long)Pops, (unsigned long long)Expansions,
       (unsigned long long)PrunedInfeasible, (unsigned long long)ConcreteChecked,
       (unsigned long long)SmtSolveCalls, (unsigned long long)DfaGets,

@@ -37,6 +37,13 @@ struct StatsSnapshot {
   uint64_t TasksSkipped = 0; ///< tasks cancelled before their search began
   uint64_t TasksStopped = 0; ///< subset of TasksRun cancelled mid-search
   uint64_t TasksStolen = 0;  ///< pool-level steals
+  // Pool-level runs split by scheduling class (JobRequest::Pri); the sum
+  // equals TasksRun + any skip-path tasks, since the pool counts every
+  // executed closure whether or not it ran a search.
+  uint64_t TasksRunInteractive = 0;
+  uint64_t TasksRunBatch = 0;
+  uint64_t TasksRunBackground = 0;
+  uint64_t CompletionsPending = 0; ///< completion-queue backlog (gauge)
   uint64_t SolutionsFound = 0;
 
   // Summed SynthStats over every per-sketch run.

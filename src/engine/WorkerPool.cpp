@@ -15,9 +15,61 @@ namespace {
 thread_local const WorkerPool *CurrentPool = nullptr;
 thread_local unsigned CurrentWorker = 0;
 
+/// Set for the lifetime of any pool's worker loop; backs the cross-pool
+/// deadlock assertion in SynthJob::wait / Engine::runBatch.
+thread_local bool OnAnyPoolWorker = false;
+
+/// The weighted pick schedule: which class a pop's band scan starts from.
+/// Out of every 16 pops, 12 start at Interactive, 3 at Batch, 1 at
+/// Background; the scan falls through to the remaining classes in priority
+/// order when the preferred band is empty. The positions interleave the
+/// Batch slots so a lone Batch task never waits more than ~5 pops.
+Priority scanStart(uint64_t Seq) {
+  switch (Seq % 16) {
+  case 4:
+  case 9:
+  case 14:
+    return Priority::Batch;
+  case 15:
+    return Priority::Background;
+  default:
+    return Priority::Interactive;
+  }
+}
+
 } // namespace
 
-WorkerPool::WorkerPool(unsigned Threads) {
+const char *regel::engine::priorityName(Priority P) {
+  switch (P) {
+  case Priority::Interactive:
+    return "interactive";
+  case Priority::Batch:
+    return "batch";
+  case Priority::Background:
+    return "background";
+  }
+  return "interactive";
+}
+
+bool regel::engine::parsePriority(const std::string &Name, Priority &Out) {
+  if (Name == "interactive") {
+    Out = Priority::Interactive;
+    return true;
+  }
+  if (Name == "batch") {
+    Out = Priority::Batch;
+    return true;
+  }
+  if (Name == "background") {
+    Out = Priority::Background;
+    return true;
+  }
+  return false;
+}
+
+bool regel::engine::onPoolWorkerThread() { return OnAnyPoolWorker; }
+
+WorkerPool::WorkerPool(unsigned Threads, bool Fifo) : Fifo(Fifo) {
   Threads = std::max(1u, Threads);
   Workers.reserve(Threads);
   for (unsigned I = 0; I < Threads; ++I)
@@ -47,27 +99,36 @@ void WorkerPool::shutdown() {
   // decisive: a submit that locks a deque after this sweep must observe
   // Stop == true and refuse; one that locked it before was drained.
   for (;;) {
-    Task T;
+    Entry E;
     bool Found = false;
     for (std::unique_ptr<Worker> &W : Workers) {
       std::lock_guard<std::mutex> Guard(W->M);
-      if (W->Q.empty())
-        continue;
-      T = std::move(W->Q.front());
-      W->Q.pop_front();
-      Found = true;
-      break;
+      for (std::deque<Entry> &Band : W->Q) {
+        if (Band.empty())
+          continue;
+        E = std::move(Band.front());
+        Band.pop_front();
+        Found = true;
+        break;
+      }
+      if (Found)
+        break;
     }
     if (!Found)
       break;
-    T();
+    // Count before running: the closure's last act publishes job
+    // completion, and a client that wakes from wait() must already see
+    // counters covering every task of its job.
     TasksRun.fetch_add(1, std::memory_order_relaxed);
+    TasksRunByClass[static_cast<unsigned>(E.P)].fetch_add(
+        1, std::memory_order_relaxed);
+    E.Fn();
   }
 }
 
 bool WorkerPool::onWorkerThread() const { return CurrentPool == this; }
 
-bool WorkerPool::submit(Task T) {
+bool WorkerPool::submit(Task T, Priority P) {
   if (Stop.load(std::memory_order_acquire))
     return false; // fast path; the decisive check is under the deque lock
   unsigned Target;
@@ -87,7 +148,7 @@ bool WorkerPool::submit(Task T) {
     // the workers' final scan was stranded forever.
     if (Stop.load(std::memory_order_acquire))
       return false;
-    Workers[Target]->Q.push_back(std::move(T));
+    Workers[Target]->Q[bandFor(P)].push_back({std::move(T), P});
   }
   // Notify under IdleM: a worker that found nothing re-checks the queues
   // while holding IdleM before sleeping, so pairing the notify with the
@@ -103,36 +164,60 @@ bool WorkerPool::submit(Task T) {
 bool WorkerPool::anyQueued() {
   for (std::unique_ptr<Worker> &W : Workers) {
     std::lock_guard<std::mutex> Guard(W->M);
-    if (!W->Q.empty())
-      return true;
+    for (const std::deque<Entry> &Band : W->Q)
+      if (!Band.empty())
+        return true;
   }
   return false;
 }
 
-bool WorkerPool::popLocal(unsigned Id, Task &Out) {
+bool WorkerPool::popLocal(unsigned Id, Entry &Out) {
   Worker &W = *Workers[Id];
   std::lock_guard<std::mutex> Guard(W.M);
-  if (W.Q.empty())
-    return false;
-  Out = std::move(W.Q.front());
-  W.Q.pop_front();
-  return true;
+  // Start the band scan at the class the weighted schedule picks for this
+  // pop, then fall through in priority order over the remaining bands —
+  // so a pop "reserved" for Batch still runs Interactive work when no
+  // batch task is queued, and vice versa. Advance the cursor only when a
+  // task was actually taken: empty pops must not burn the reserved slots.
+  const unsigned First =
+      Fifo ? 0u : static_cast<unsigned>(scanStart(W.PopSeq));
+  unsigned Order[NumPriorities];
+  unsigned N = 0;
+  Order[N++] = First;
+  for (unsigned B = 0; B < NumPriorities; ++B)
+    if (B != First)
+      Order[N++] = B;
+  for (unsigned I = 0; I < N; ++I) {
+    std::deque<Entry> &Q = W.Q[Order[I]];
+    if (Q.empty())
+      continue;
+    Out = std::move(Q.front());
+    Q.pop_front();
+    ++W.PopSeq;
+    return true;
+  }
+  return false;
 }
 
-bool WorkerPool::steal(unsigned Thief, Task &Out) {
+bool WorkerPool::steal(unsigned Thief, Entry &Out) {
   // Scan the other deques starting just past the thief so victims differ
-  // between workers.
+  // between workers. Steals always take the most urgent band available
+  // (from the back, away from the victim's own FIFO front): a thief is by
+  // definition idle, so there is no starvation to balance against — it
+  // should relieve the latency-critical backlog first.
   for (size_t Offset = 1; Offset < Workers.size(); ++Offset) {
     unsigned Victim =
         static_cast<unsigned>((Thief + Offset) % Workers.size());
     Worker &W = *Workers[Victim];
     std::lock_guard<std::mutex> Guard(W.M);
-    if (W.Q.empty())
-      continue;
-    Out = std::move(W.Q.back());
-    W.Q.pop_back();
-    TasksStolen.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    for (std::deque<Entry> &Band : W.Q) {
+      if (Band.empty())
+        continue;
+      Out = std::move(Band.back());
+      Band.pop_back();
+      TasksStolen.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
   }
   return false;
 }
@@ -140,11 +225,17 @@ bool WorkerPool::steal(unsigned Thief, Task &Out) {
 void WorkerPool::workerLoop(unsigned Id) {
   CurrentPool = this;
   CurrentWorker = Id;
+  OnAnyPoolWorker = true;
   for (;;) {
-    Task T;
-    if (popLocal(Id, T) || steal(Id, T)) {
-      T();
+    Entry E;
+    if (popLocal(Id, E) || steal(Id, E)) {
+      // Count before running (see the shutdown drain): job completion is
+      // published from inside the closure, so incrementing afterwards
+      // would let a woken waiter snapshot stale per-class counts.
       TasksRun.fetch_add(1, std::memory_order_relaxed);
+      TasksRunByClass[static_cast<unsigned>(E.P)].fetch_add(
+          1, std::memory_order_relaxed);
+      E.Fn();
       continue;
     }
     // Nothing runnable anywhere we looked. On shutdown, one more full scan

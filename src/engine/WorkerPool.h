@@ -1,14 +1,25 @@
-//===- engine/WorkerPool.h - Persistent work-stealing pool ------*- C++ -*-===//
+//===- engine/WorkerPool.h - Persistent priority work-stealing pool -*- C++ -*-//
 //
 // Part of the Regel reproduction. A fixed set of worker threads with one
-// task deque per worker:
+// task deque *per priority class* per worker:
 //
-//   * tasks submitted from a pool thread go to that worker's own deque
+//   * tasks submitted from a pool thread go to that worker's own deques
 //     (jobs that spawn follow-up work keep it local and cache-warm);
 //   * external submissions are distributed round-robin;
-//   * a worker pops from the front of its own deque (FIFO within a worker,
+//   * a worker pops from the front of its own deques (FIFO within a class,
 //     so per-sketch tasks of one job run roughly in rank order) and steals
-//     from the back of a victim's deque when its own is empty.
+//     from the back of a victim's deques when its own are empty.
+//
+// Priority picking is weighted, not strict: out of every 16 local pops a
+// worker starts the class scan from Interactive 12 times, from Batch 3
+// times, and from Background once, falling through to the other classes
+// when the preferred one is empty. Strict priority would let a stream of
+// interactive work starve a batch fan-out forever; the weighted schedule
+// guarantees every class a bounded share of worker throughput while still
+// letting interactive tasks overtake an arbitrarily deep batch backlog.
+// Constructing the pool with Fifo = true collapses every class into one
+// FIFO band (the pre-priority behaviour) — kept so the fairness bench can
+// measure what the weighted scheduler buys.
 //
 // The pool is persistent: it outlives individual synthesis requests, which
 // is the point — thread start-up, cache warm-up, and allocator state
@@ -20,6 +31,7 @@
 #ifndef REGEL_ENGINE_WORKERPOOL_H
 #define REGEL_ENGINE_WORKERPOOL_H
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -27,17 +39,42 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace regel::engine {
 
+/// Scheduling class of a task (and, one level up, of a job: every task a
+/// job fans out inherits the job's priority). Lower values are more
+/// urgent. Interactive is the default so priority-unaware callers keep the
+/// old single-class behaviour unchanged.
+enum class Priority : unsigned {
+  Interactive = 0, ///< latency-sensitive (a user is waiting)
+  Batch = 1,       ///< bulk fan-outs; must not starve Interactive
+  Background = 2,  ///< best-effort (warming, speculative work)
+};
+
+inline constexpr unsigned NumPriorities = 3;
+
+/// Short lower-case name ("interactive" / "batch" / "background").
+const char *priorityName(Priority P);
+
+/// Parses a priority name as produced by priorityName; returns false and
+/// leaves \p Out untouched on an unknown name.
+bool parsePriority(const std::string &Name, Priority &Out);
+
+/// True when the current thread is a worker of ANY WorkerPool — the
+/// threads on which blocking on a job result can deadlock the engine.
+bool onPoolWorkerThread();
+
 class WorkerPool {
 public:
   using Task = std::function<void()>;
 
-  /// Spawns \p Threads workers (at least one).
-  explicit WorkerPool(unsigned Threads);
+  /// Spawns \p Threads workers (at least one). With \p Fifo set, priority
+  /// classes are ignored and every task lands in one FIFO band per worker.
+  explicit WorkerPool(unsigned Threads, bool Fifo = false);
 
   /// Drains all queued tasks, then joins the workers (via shutdown()).
   ~WorkerPool();
@@ -45,9 +82,10 @@ public:
   WorkerPool(const WorkerPool &) = delete;
   WorkerPool &operator=(const WorkerPool &) = delete;
 
-  /// Enqueues \p T. Returns false when the pool is shutting down (the task
-  /// is dropped, and was never visible to a worker).
-  bool submit(Task T);
+  /// Enqueues \p T under priority class \p P. Returns false when the pool
+  /// is shutting down (the task is dropped, and was never visible to a
+  /// worker).
+  bool submit(Task T, Priority P = Priority::Interactive);
 
   /// Stops accepting work, runs every task that was accepted, and joins
   /// the workers. Safe against concurrent submit(): a submission racing
@@ -67,23 +105,43 @@ public:
     return TasksStolen.load(std::memory_order_relaxed);
   }
 
+  /// Tasks run per priority class (in Fifo mode everything counts under
+  /// the class it was submitted with, even though scheduling ignored it).
+  uint64_t tasksRun(Priority P) const {
+    return TasksRunByClass[static_cast<unsigned>(P)].load(
+        std::memory_order_relaxed);
+  }
+
 private:
+  /// A task tagged with its class so the run counters stay exact even
+  /// when bands are collapsed in Fifo mode.
+  struct Entry {
+    Task Fn;
+    Priority P;
+  };
+
   struct Worker {
     std::mutex M;
-    std::deque<Task> Q;
+    std::array<std::deque<Entry>, NumPriorities> Q; ///< one band per class
+    uint64_t PopSeq = 0; ///< weighted-schedule cursor (guarded by M)
     std::thread Thread;
   };
 
   void workerLoop(unsigned Id);
-  bool popLocal(unsigned Id, Task &Out);
-  bool steal(unsigned Thief, Task &Out);
+  bool popLocal(unsigned Id, Entry &Out);
+  bool steal(unsigned Thief, Entry &Out);
   bool anyQueued();
+  unsigned bandFor(Priority P) const {
+    return Fifo ? 0u : static_cast<unsigned>(P);
+  }
 
   std::vector<std::unique_ptr<Worker>> Workers;
+  const bool Fifo;
   std::atomic<bool> Stop{false};
   std::atomic<unsigned> NextQueue{0}; ///< round-robin cursor for external submits
   std::atomic<uint64_t> TasksRun{0};
   std::atomic<uint64_t> TasksStolen{0};
+  std::array<std::atomic<uint64_t>, NumPriorities> TasksRunByClass{};
 
   /// Sleep/wake machinery: workers with nothing to run or steal wait here.
   /// Submissions bump WorkEpoch under IdleM; idle workers re-check the

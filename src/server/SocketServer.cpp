@@ -1,0 +1,541 @@
+//===- server/SocketServer.cpp --------------------------------------------===//
+
+#include "server/SocketServer.h"
+
+#include "engine/Engine.h"
+#include "regex/Printer.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+using namespace regel;
+using namespace regel::server;
+
+namespace {
+
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+/// Splits "cmd arg..." on the first space.
+void splitCommand(const std::string &Line, std::string &Cmd,
+                  std::string &Arg) {
+  size_t Space = Line.find(' ');
+  Cmd = Line.substr(0, Space);
+  Arg = Space == std::string::npos ? "" : Line.substr(Space + 1);
+}
+
+const char *statusName(const engine::JobResult &R) {
+  if (R.Rejected)
+    return "rejected";
+  if (R.solved())
+    return "solved";
+  if (R.ResidencyExpired)
+    return "expired";
+  if (R.DeadlineExpired)
+    return "deadline";
+  return "nosolution";
+}
+
+const char HelpText[] =
+    "commands: desc <text> | pos <str> | neg <str> | topk <k> |\n"
+    "          budget <ms> | sla <ms> | priority <class> | solve |\n"
+    "          clear | stats | help | quit\n";
+
+} // namespace
+
+SocketServer::WakePipe::~WakePipe() {
+  if (Rd >= 0)
+    ::close(Rd);
+  if (Wr >= 0)
+    ::close(Wr);
+}
+
+SocketServer::SocketServer(std::shared_ptr<nlp::SemanticParser> Parser,
+                           std::shared_ptr<engine::Engine> Eng,
+                           ServerConfig Cfg)
+    : Parser(std::move(Parser)), Eng(std::move(Eng)), Cfg(std::move(Cfg)) {
+  // Every job this server submits must surface in pollCompleted.
+  this->Cfg.Defaults.EnqueueCompletion = true;
+}
+
+SocketServer::~SocketServer() {
+  // In-flight jobs keep running on the engine; cancel them so they stop
+  // burning workers for clients nobody will answer. Their continuations
+  // share ownership of the wake pipe, so a late completion writes into a
+  // still-open (merely undrained) pipe, never a recycled fd. Then drain
+  // OUR remaining completion-queue entries (every Pending job opted in,
+  // and run() routes what it drains in the same turn, so Pending is
+  // exactly the not-yet-drained set): a shared long-lived engine must
+  // not be left holding orphaned completions. waitCompleted — not
+  // wait()-then-pollCompleted — because a job becomes waitable an
+  // instant before it becomes pollable; only seeing the entry in a
+  // drain proves it left the queue. Cancelled jobs finish fast (queued
+  // tasks skip, running searches stop at their next poll), so the loop
+  // is short; the deadline is a belt against an engine wedged elsewhere.
+  for (auto &KV : Pending)
+    if (KV.second.Job)
+      KV.second.Job->cancel();
+  size_t Await = Pending.size();
+  Stopwatch Drain;
+  while (Await > 0 && Drain.elapsedMs() < 60000 && Eng)
+    for (const engine::JobPtr &J : Eng->waitCompleted(100))
+      if (Pending.count(J.get()))
+        --Await; // foreign entries: dropped, per the sole-consumer contract
+  Pending.clear();
+  for (auto &KV : Connections)
+    if (KV.second.Fd >= 0)
+      ::close(KV.second.Fd);
+  Connections.clear();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+}
+
+bool SocketServer::start() {
+  auto Pipe = std::make_shared<WakePipe>();
+  int PipeFds[2];
+  if (::pipe(PipeFds) != 0) {
+    std::fprintf(stderr, "socket server: pipe failed: %s\n",
+                 std::strerror(errno));
+    return false;
+  }
+  Pipe->Rd = PipeFds[0];
+  Pipe->Wr = PipeFds[1];
+  setNonBlocking(Pipe->Rd);
+  setNonBlocking(Pipe->Wr);
+  Wake = std::move(Pipe);
+  WakeWrFd.store(Wake->Wr, std::memory_order_release);
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "socket server: socket failed: %s\n",
+                 std::strerror(errno));
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Cfg.Port);
+  if (::inet_pton(AF_INET, Cfg.BindAddr.c_str(), &Addr.sin_addr) != 1) {
+    std::fprintf(stderr, "socket server: bad bind address '%s'\n",
+                 Cfg.BindAddr.c_str());
+    return false;
+  }
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    std::fprintf(stderr, "socket server: bind to %s:%u failed: %s\n",
+                 Cfg.BindAddr.c_str(), Cfg.Port, std::strerror(errno));
+    return false;
+  }
+  if (::listen(ListenFd, Cfg.Backlog) != 0) {
+    std::fprintf(stderr, "socket server: listen failed: %s\n",
+                 std::strerror(errno));
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  ::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len);
+  BoundPort = ntohs(Addr.sin_port);
+  setNonBlocking(ListenFd);
+  return true;
+}
+
+void SocketServer::stop() {
+  // Only async-signal-safe operations here (see the header contract): an
+  // atomic store and a write() on a pre-fetched fd — never the
+  // shared_ptr, whose copy is not signal-safe.
+  Stopping.store(true, std::memory_order_release);
+  int Fd = WakeWrFd.load(std::memory_order_acquire);
+  if (Fd >= 0) {
+    char B = 'q';
+    // Best effort; a full pipe already guarantees a pending wakeup.
+    (void)!::write(Fd, &B, 1);
+  }
+}
+
+void SocketServer::drainWakePipe() {
+  char Buf[256];
+  while (::read(Wake->Rd, Buf, sizeof(Buf)) > 0) {
+  }
+}
+
+void SocketServer::run() {
+  std::vector<pollfd> Fds;
+  std::vector<uint64_t> FdConn; // conn id per Fds slot (0 for the fixed fds)
+  while (!Stopping.load(std::memory_order_acquire)) {
+    if (ListenPaused && ListenBackoff.elapsedMs() > 100)
+      ListenPaused = false;
+    Fds.clear();
+    FdConn.clear();
+    // A paused listener (hard accept failure, e.g. EMFILE) stays in the
+    // set with no events so slot indices are stable, but its pending
+    // backlog entry cannot turn poll() into a busy spin.
+    Fds.push_back({ListenFd, static_cast<short>(ListenPaused ? 0 : POLLIN),
+                   0});
+    FdConn.push_back(0);
+    Fds.push_back({Wake->Rd, POLLIN, 0});
+    FdConn.push_back(0);
+    for (auto &KV : Connections) {
+      // A connection that hit EOF or its abuse guard is write-only from
+      // here on: not polling POLLIN stops its input from growing our
+      // buffer (POLLERR/POLLHUP are reported regardless of the mask).
+      short Events = KV.second.DiscardInput ? 0 : POLLIN;
+      if (KV.second.outPending() > 0)
+        Events |= POLLOUT;
+      Fds.push_back({KV.second.Fd, Events, 0});
+      FdConn.push_back(KV.first);
+    }
+
+    // The self-pipe makes completions prompt; the timeout is only a
+    // backstop against a lost wakeup.
+    int N = ::poll(Fds.data(), static_cast<nfds_t>(Fds.size()), 1000);
+    if (N < 0 && errno != EINTR)
+      break;
+
+    drainWakePipe();
+    for (const engine::JobPtr &J : Eng->pollCompleted())
+      routeCompletion(J);
+
+    if (Fds[0].revents & POLLIN)
+      acceptClients();
+
+    for (size_t I = 2; I < Fds.size(); ++I) {
+      auto It = Connections.find(FdConn[I]);
+      if (It == Connections.end())
+        continue; // closed earlier this turn
+      Connection &C = It->second;
+      if (Fds[I].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        closeConnection(C.Id);
+        continue;
+      }
+      if (Fds[I].revents & POLLIN)
+        readClient(C);
+      auto It2 = Connections.find(FdConn[I]);
+      if (It2 != Connections.end() && (Fds[I].revents & POLLOUT))
+        flushOutput(It2->second);
+    }
+
+    // Deferred closes: dead sockets, and quit/EOF/overflow connections
+    // whose goodbye bytes are out and whose completions have all landed.
+    std::vector<uint64_t> ToClose;
+    for (auto &KV : Connections)
+      if (KV.second.Dead ||
+          (KV.second.CloseAfterFlush && KV.second.outPending() == 0 &&
+           KV.second.InFlight.empty()))
+        ToClose.push_back(KV.first);
+    for (uint64_t Id : ToClose)
+      closeConnection(Id);
+  }
+
+  // Shutdown: flush what we can without blocking; the destructor cancels
+  // whatever is still in flight.
+  for (auto &KV : Connections)
+    flushOutput(KV.second);
+}
+
+void SocketServer::acceptClients() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue; // transient; try the next backlog entry
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        // Hard failure (EMFILE/ENFILE/...): the backlog entry stays
+        // pending and would re-trigger POLLIN every turn, so take the
+        // listener out of the poll set briefly instead of spinning.
+        ListenPaused = true;
+        ListenBackoff.reset();
+      }
+      return;
+    }
+    setNonBlocking(Fd);
+    if (Cfg.MaxConnections && Connections.size() >= Cfg.MaxConnections) {
+      const char Msg[] = "error server full\n";
+      (void)::send(Fd, Msg, sizeof(Msg) - 1, MSG_NOSIGNAL);
+      ::close(Fd);
+      continue;
+    }
+    Connection C;
+    C.Fd = Fd;
+    C.Id = NextConnId++;
+    C.Cfg = Cfg.Defaults;
+    uint64_t Id = C.Id;
+    auto Inserted = Connections.emplace(Id, std::move(C));
+    NumConnections.store(Connections.size(), std::memory_order_relaxed);
+    queueOutput(Inserted.first->second,
+                "regel ready; 'help' lists commands\n");
+  }
+}
+
+void SocketServer::readClient(Connection &C) {
+  char Buf[4096];
+  // Bounded drain per turn: a client pumping data at loopback speed must
+  // not pin the loop thread in this recv cycle — leftovers keep the fd
+  // readable and poll() hands us back here next turn, after everyone
+  // else had theirs.
+  for (int Round = 0; Round < 16; ++Round) {
+    ssize_t Got = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+    if (Got == 0) {
+      // Orderly shutdown from the peer. TCP cannot tell a full close()
+      // from shutdown(SHUT_WR)-and-still-reading, so treat EOF as the
+      // half-close idiom: commands already buffered still run, answers
+      // still flush, and the connection closes once everything lands.
+      // An abandoned connection is bounded anyway — input is discarded,
+      // output is capped, in-flight work expires on its own budget/SLA,
+      // and a write to a truly-gone peer draws an RST that marks the
+      // connection Dead (closing it and cancelling the remainder).
+      C.DiscardInput = true;
+      C.CloseAfterFlush = true;
+      break;
+    }
+    if (Got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        break;
+      C.Dead = true; // hard error; the loop closes it at a safe point
+      return;
+    }
+    C.In.append(Buf, static_cast<size_t>(Got));
+    if (Cfg.MaxLineBytes && C.In.size() > Cfg.MaxLineBytes &&
+        C.In.find('\n') == std::string::npos) {
+      // Guard tripped: stop reading this client entirely (the loop drops
+      // POLLIN for it), discard what it sent, and cancel its in-flight
+      // work — the connection only lingers to flush the error line and
+      // let the (now cancelled) completions land.
+      C.CloseAfterFlush = true;
+      C.DiscardInput = true;
+      C.In.clear();
+      C.In.shrink_to_fit();
+      cancelInFlight(C);
+      queueOutput(C, "error line too long\n");
+      return;
+    }
+  }
+  // Consume complete lines; a trailing partial line stays buffered. An
+  // EOF above pre-set CloseAfterFlush, and those already-received lines
+  // must still run — only an explicit quit (QuitSeen, set by handleLine,
+  // distinct from the EOF close reason) discards the rest of the input,
+  // even when the quit and the EOF arrive in the same read burst.
+  size_t Start = 0;
+  for (;;) {
+    size_t Nl = C.In.find('\n', Start);
+    if (Nl == std::string::npos)
+      break;
+    std::string Line = C.In.substr(Start, Nl - Start);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    Start = Nl + 1;
+    handleLine(C, Line);
+    if (C.Dead)
+      break;
+    if (C.QuitSeen) {
+      C.DiscardInput = true;
+      Start = C.In.size();
+      break;
+    }
+  }
+  C.In.erase(0, Start);
+}
+
+void SocketServer::handleLine(Connection &C, const std::string &Line) {
+  std::string Cmd, Arg;
+  splitCommand(Line, Cmd, Arg);
+
+  if (Cmd.empty())
+    return;
+  if (Cmd == "quit" || Cmd == "exit") {
+    C.QuitSeen = true;
+    C.CloseAfterFlush = true;
+    queueOutput(C, "bye\n");
+    return;
+  }
+  if (Cmd == "help") {
+    queueOutput(C, HelpText);
+  } else if (Cmd == "desc") {
+    C.Description = Arg;
+    queueOutput(C, "ok\n");
+  } else if (Cmd == "pos") {
+    C.E.Pos.push_back(Arg);
+    queueOutput(C, "ok\n");
+  } else if (Cmd == "neg") {
+    C.E.Neg.push_back(Arg);
+    queueOutput(C, "ok\n");
+  } else if (Cmd == "topk") {
+    C.Cfg.TopK = static_cast<unsigned>(std::max(1, std::atoi(Arg.c_str())));
+    queueOutput(C, "ok\n");
+  } else if (Cmd == "budget") {
+    C.Cfg.BudgetMs = std::max(1, std::atoi(Arg.c_str()));
+    queueOutput(C, "ok\n");
+  } else if (Cmd == "sla") {
+    C.Cfg.ResidencyBudgetMs = std::max(0, std::atoi(Arg.c_str()));
+    queueOutput(C, "ok\n");
+  } else if (Cmd == "priority") {
+    engine::Priority P;
+    if (!engine::parsePriority(Arg, P)) {
+      queueOutput(C, "error unknown priority '" + Arg +
+                         "' (interactive|batch|background)\n");
+      return;
+    }
+    C.Cfg.Pri = P;
+    queueOutput(C, "ok\n");
+  } else if (Cmd == "clear") {
+    C.Description.clear();
+    C.E = Examples();
+    queueOutput(C, "ok\n");
+  } else if (Cmd == "stats") {
+    queueOutput(C, "stats " + Eng->snapshot().toJson() + "\n");
+  } else if (Cmd == "solve") {
+    submitSolve(C);
+  } else {
+    queueOutput(C, "error unknown command '" + Cmd + "'\n");
+  }
+}
+
+void SocketServer::submitSolve(Connection &C) {
+  if (C.E.Pos.empty() && C.Description.empty()) {
+    queueOutput(C, "error nothing to solve: give desc and/or examples\n");
+    return;
+  }
+  const uint64_t JobId = NextJobId++;
+
+  // A fresh Regel per query is deliberate: drivers are disposable config
+  // holders, the persistent state lives in Eng and Parser. Parsing the
+  // description runs here on the loop thread (it is milliseconds); the
+  // search itself is what submit hands to the pool.
+  Regel Tool(Parser, C.Cfg, Eng);
+  engine::JobPtr J = Tool.submit(C.Description, C.E);
+
+  Pending[J.get()] = {C.Id, JobId, J};
+  C.InFlight.push_back(J);
+
+  // The continuation's only duty is to break poll(): the loop thread owns
+  // all connection state, so completion handling happens there, via
+  // pollCompleted. The pipe is captured by shared ownership, so even a
+  // completion that outlives the server writes a still-open fd.
+  std::shared_ptr<WakePipe> Pipe = Wake;
+  J->onComplete([Pipe](const engine::JobResult &) {
+    char B = 'c';
+    (void)!::write(Pipe->Wr, &B, 1);
+  });
+
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "queued %llu\n",
+                static_cast<unsigned long long>(JobId));
+  queueOutput(C, Buf);
+
+  // The job may already be complete (e.g. rejected by admission control):
+  // its queue entry is drained on the next loop turn either way — the
+  // wakeup byte written by the continuation guarantees one.
+}
+
+void SocketServer::routeCompletion(const engine::JobPtr &J) {
+  auto PIt = Pending.find(J.get());
+  if (PIt == Pending.end())
+    return; // not ours (foreign client of a shared engine)
+  PendingJob P = PIt->second;
+  Pending.erase(PIt);
+
+  auto CIt = Connections.find(P.ConnId);
+  if (CIt == Connections.end())
+    return; // client left before its answer arrived
+  Connection &C = CIt->second;
+  for (size_t I = 0; I < C.InFlight.size(); ++I)
+    if (C.InFlight[I].get() == J.get()) {
+      C.InFlight.erase(C.InFlight.begin() + static_cast<ptrdiff_t>(I));
+      break;
+    }
+
+  const engine::JobResult R = J->wait(); // complete: returns immediately
+  std::string Msg;
+  for (const RegelAnswer &A : R.Answers) {
+    Msg += "answer ";
+    Msg += std::to_string(P.JobId);
+    Msg += ' ';
+    Msg += printRegex(A.Regex);
+    Msg += '\n';
+  }
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "done %llu %s total_ms=%.1f exec_ms=%.1f\n",
+                static_cast<unsigned long long>(P.JobId), statusName(R),
+                R.TotalMs, R.ExecMs);
+  Msg += Buf;
+  queueOutput(C, Msg);
+}
+
+void SocketServer::queueOutput(Connection &C, const std::string &Text) {
+  if (C.Dead)
+    return;
+  if (Cfg.MaxOutBytes && C.outPending() + Text.size() > Cfg.MaxOutBytes) {
+    // The client is not reading: drop it rather than buffer without
+    // bound. Dead connections are closed by the loop's next sweep (which
+    // also cancels their in-flight jobs via closeConnection).
+    C.Dead = true;
+    C.Out.clear();
+    C.OutOff = 0;
+    return;
+  }
+  C.Out += Text;
+  flushOutput(C);
+}
+
+void SocketServer::flushOutput(Connection &C) {
+  while (C.outPending() > 0 && !C.Dead) {
+    ssize_t Sent = ::send(C.Fd, C.Out.data() + C.OutOff, C.outPending(),
+                          MSG_NOSIGNAL);
+    if (Sent > 0) {
+      // Advance the offset instead of erasing the sent prefix: a slow
+      // reader draining a big buffer in 4KB rounds must not memmove the
+      // whole tail every round (that is quadratic in the buffer size).
+      C.OutOff += static_cast<size_t>(Sent);
+      if (C.OutOff == C.Out.size()) {
+        C.Out.clear();
+        C.OutOff = 0;
+      } else if (C.OutOff >= (1u << 16)) {
+        // Reclaim the sent prefix once it is sizeable: one erase per 64KB
+        // sent keeps the drain linear while stopping a never-quite-empty
+        // buffer from accreting its own history.
+        C.Out.erase(0, C.OutOff);
+        C.OutOff = 0;
+      }
+      continue;
+    }
+    if (Sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return; // poll() will raise POLLOUT when the socket drains
+    // Hard error: mark only — the loop closes it at a safe point, so
+    // callers holding a reference to C are never left dangling.
+    C.Dead = true;
+    C.Out.clear();
+    C.OutOff = 0;
+  }
+}
+
+void SocketServer::cancelInFlight(Connection &C) {
+  // Cancel exactly this connection's jobs (their Pending entries stay
+  // until the completion routes, then drop). Scanning the global Pending
+  // map here would be O(every in-flight job on the server) per teardown.
+  for (const engine::JobPtr &J : C.InFlight)
+    J->cancel();
+}
+
+void SocketServer::closeConnection(uint64_t ConnId) {
+  auto It = Connections.find(ConnId);
+  if (It == Connections.end())
+    return;
+  if (It->second.Fd >= 0)
+    ::close(It->second.Fd);
+  // In-flight jobs of this connection stay in Pending; their completions
+  // route to a missing connection and are dropped. Cancel them so they
+  // stop burning workers for a client that is gone.
+  cancelInFlight(It->second);
+  Connections.erase(It);
+  NumConnections.store(Connections.size(), std::memory_order_relaxed);
+}

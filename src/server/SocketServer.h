@@ -1,0 +1,197 @@
+//===- server/SocketServer.h - Event-driven synthesis front-end -*- C++ -*-===//
+//
+// Part of the Regel reproduction. A single-threaded, poll()-based TCP
+// front-end over the async engine API — the serving seam the engine's
+// completion machinery exists for. One event loop handles every client:
+//
+//   * the listening socket, a wakeup pipe, and all client sockets are
+//     non-blocking and multiplexed through poll();
+//   * `solve` parses the query on the loop thread (cheap) and submits a
+//     job with EnqueueCompletion set, tagged with the connection — the
+//     loop never blocks on synthesis;
+//   * each job also carries an onComplete continuation that writes one
+//     byte to the wakeup pipe, so a completion immediately breaks the
+//     poll() instead of waiting out its timeout;
+//   * woken, the loop drains Engine::pollCompleted(), routes each job to
+//     its connection, and queues the response lines (partial writes are
+//     finished under POLLOUT).
+//
+// No thread is ever parked per outstanding job, so one loop sustains as
+// many in-flight queries as the engine admits. Per-connection `priority`
+// selects the job's scheduling class, so a client pumping batch fan-outs
+// cannot starve an interactive one (see WorkerPool's weighted picking).
+//
+// Wire protocol: line-oriented, UTF-8, '\n'-terminated, one command per
+// line. Responses to a command are written in order; job completions are
+// asynchronous and tagged with the job id the `solve` ack carried:
+//
+//   desc <text>        set the query description
+//   pos <str> / neg <str>   add a positive / negative example
+//   topk <k> | budget <ms> | sla <ms>   tune the current query
+//   priority <interactive|batch|background>   scheduling class
+//   solve              submit; ack "queued <id>"; completion later:
+//                        "answer <id> <regex>"            (0..TopK lines)
+//                        "done <id> <status> total_ms=<t> exec_ms=<e>"
+//                      status: solved | nosolution | rejected |
+//                              deadline | expired
+//   clear | stats | help | quit      as in the old REPL
+//   unknown commands: "error <msg>"
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SERVER_SOCKETSERVER_H
+#define REGEL_SERVER_SOCKETSERVER_H
+
+#include "core/Regel.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace regel::server {
+
+struct ServerConfig {
+  /// TCP port to bind (0 = ephemeral; read the choice back via port()).
+  uint16_t Port = 0;
+  /// Bind address. Loopback by default: this is a demo seam, not a
+  /// hardened public endpoint.
+  std::string BindAddr = "127.0.0.1";
+  int Backlog = 64;
+  /// Connections beyond this are accepted and immediately closed with an
+  /// "error server full" line (0 = unlimited).
+  size_t MaxConnections = 256;
+  /// A connection whose pending input line exceeds this many bytes is
+  /// dropped (slowloris / unbounded-buffer guard).
+  size_t MaxLineBytes = 1 << 16;
+  /// A connection whose queued-but-unread output exceeds this many bytes
+  /// is dropped (a client that pipelines requests without ever reading
+  /// must not grow server memory without bound).
+  size_t MaxOutBytes = 1 << 20;
+  /// Defaults every fresh connection's query state starts from.
+  RegelConfig Defaults;
+};
+
+/// The poll()-based front-end. Construction binds nothing; start() opens
+/// the listening socket, run() drives the loop until stop() is called
+/// (from any thread, e.g. a signal handler or a test).
+///
+/// The server must be its engine's only completion-queue consumer
+/// (Engine::pollCompleted is a destructive single-consumer drain — see
+/// Engine.h). Sharing the engine with wait()/onComplete clients is fine;
+/// sharing it with another pollCompleted loop is not.
+class SocketServer {
+public:
+  SocketServer(std::shared_ptr<nlp::SemanticParser> Parser,
+               std::shared_ptr<engine::Engine> Eng, ServerConfig Cfg);
+  ~SocketServer();
+
+  SocketServer(const SocketServer &) = delete;
+  SocketServer &operator=(const SocketServer &) = delete;
+
+  /// Opens listener + wakeup pipe. Returns false (with a message on
+  /// stderr) when binding fails.
+  bool start();
+
+  /// The bound port (valid after start(); resolves Port = 0 requests).
+  uint16_t port() const { return BoundPort; }
+
+  /// Runs the event loop on the calling thread until stop(). start()
+  /// must have succeeded.
+  void run();
+
+  /// Asks the loop to exit. Thread-safe AND async-signal-safe while the
+  /// server object is alive (an atomic store plus a pipe write — nothing
+  /// else), so it may be called from a signal handler; un-register the
+  /// handler before destroying the server. Pending responses are flushed
+  /// on the way down; in-flight jobs are cancelled.
+  void stop();
+
+  /// Currently open client connections (loop thread owns the value;
+  /// other threads get a snapshot).
+  size_t connectionCount() const {
+    return NumConnections.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Connection {
+    int Fd = -1;
+    uint64_t Id = 0;
+    std::string In;  ///< bytes read, not yet broken into lines
+    std::string Out; ///< bytes queued, not yet written past OutOff
+    size_t OutOff = 0; ///< already-sent prefix of Out (compacted lazily,
+                       ///< so a partial drain never memmoves the tail)
+    bool CloseAfterFlush = false; ///< close once Out drains and jobs land
+    bool Dead = false; ///< hard I/O error; loop closes it next turn
+    bool DiscardInput = false; ///< stop polling POLLIN (EOF or abuse guard)
+    bool QuitSeen = false; ///< explicit quit: later input is discarded
+    /// This connection's unfinished jobs, so teardown cancels exactly its
+    /// own work instead of scanning every pending job on the server.
+    std::vector<engine::JobPtr> InFlight;
+    // Query state (the old REPL's, per connection).
+    std::string Description;
+    Examples E;
+    RegelConfig Cfg;
+
+    size_t outPending() const { return Out.size() - OutOff; }
+  };
+
+  /// What pollCompleted results route back through. Holds the job handle
+  /// so a connection teardown can cancel its in-flight work.
+  struct PendingJob {
+    uint64_t ConnId = 0;
+    uint64_t JobId = 0;
+    engine::JobPtr Job;
+  };
+
+  /// The self-pipe, shared with every job continuation: the fds close
+  /// when the last continuation capturing it is destroyed, so a
+  /// completion can never write into a recycled descriptor even if the
+  /// server object is long gone.
+  struct WakePipe {
+    int Rd = -1, Wr = -1;
+    ~WakePipe();
+  };
+
+  void handleLine(Connection &C, const std::string &Line);
+  void submitSolve(Connection &C);
+  void routeCompletion(const engine::JobPtr &J);
+  void queueOutput(Connection &C, const std::string &Text);
+  void flushOutput(Connection &C);
+  void acceptClients();
+  void readClient(Connection &C);
+  void closeConnection(uint64_t ConnId);
+  void cancelInFlight(Connection &C);
+  void drainWakePipe();
+
+  std::shared_ptr<nlp::SemanticParser> Parser;
+  std::shared_ptr<engine::Engine> Eng;
+  ServerConfig Cfg;
+
+  int ListenFd = -1;
+  std::shared_ptr<WakePipe> Wake; ///< self-pipe: completions poke the loop
+  std::atomic<int> WakeWrFd{-1};  ///< Wake->Wr, readable from stop()
+                                  ///< without touching the shared_ptr
+  uint16_t BoundPort = 0;
+  std::atomic<bool> Stopping{false};
+  std::atomic<size_t> NumConnections{0};
+
+  uint64_t NextConnId = 1;
+  uint64_t NextJobId = 1;
+  /// After a hard accept() failure (EMFILE and friends) the listener is
+  /// left out of the poll set until this stopwatch passes the backoff, so
+  /// a pending backlog entry cannot busy-spin the loop.
+  Stopwatch ListenBackoff;
+  bool ListenPaused = false;
+  std::unordered_map<uint64_t, Connection> Connections; ///< by conn id
+  /// Loop-thread-only: job handle -> routing info. Continuations never
+  /// touch this (they only write the pipe), so no lock is needed.
+  std::unordered_map<const engine::SynthJob *, PendingJob> Pending;
+};
+
+} // namespace regel::server
+
+#endif // REGEL_SERVER_SOCKETSERVER_H

@@ -1,0 +1,361 @@
+//===- tests/server/SocketServerTest.cpp ----------------------------------===//
+//
+// Smoke tests for the event-driven socket front-end: the wire protocol end
+// to end over real TCP connections, several simultaneous clients with
+// mixed priorities, pipelined solves on one connection, and clean
+// shutdown. The server loop runs on a helper thread; every client socket
+// lives in the test thread.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/SocketServer.h"
+
+#include "engine/Engine.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace regel;
+using namespace regel::server;
+
+namespace {
+
+/// A blocking line-oriented test client with a receive deadline.
+class TestClient {
+public:
+  bool connectTo(uint16_t Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(Port);
+    ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+    return ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr)) == 0;
+  }
+
+  ~TestClient() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  void shutdownWrite() { ::shutdown(Fd, SHUT_WR); }
+
+  bool sendLine(const std::string &Line) {
+    std::string Data = Line + "\n";
+    size_t Off = 0;
+    while (Off < Data.size()) {
+      ssize_t Sent =
+          ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+      if (Sent <= 0)
+        return false;
+      Off += static_cast<size_t>(Sent);
+    }
+    return true;
+  }
+
+  /// Reads one '\n'-terminated line; empty string on timeout/EOF.
+  std::string readLine(int TimeoutMs = 10000) {
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        std::string Line = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return Line;
+      }
+      pollfd P{Fd, POLLIN, 0};
+      int N = ::poll(&P, 1, TimeoutMs);
+      if (N <= 0)
+        return "";
+      char Tmp[4096];
+      ssize_t Got = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+      if (Got <= 0)
+        return "";
+      Buf.append(Tmp, static_cast<size_t>(Got));
+    }
+  }
+
+  /// Reads lines until one starts with \p Prefix (returned) or the
+  /// deadline passes (empty). Lines in between are collected in Skipped.
+  std::string readUntil(const std::string &Prefix, int TimeoutMs = 20000) {
+    Stopwatch W;
+    while (W.elapsedMs() < TimeoutMs) {
+      std::string Line = readLine(TimeoutMs);
+      if (Line.empty())
+        return "";
+      if (Line.rfind(Prefix, 0) == 0)
+        return Line;
+      Skipped.push_back(Line);
+    }
+    return "";
+  }
+
+  /// True when the peer closed the connection (EOF within the timeout).
+  bool waitEof(int TimeoutMs = 5000) {
+    Stopwatch W;
+    while (W.elapsedMs() < TimeoutMs) {
+      pollfd P{Fd, POLLIN, 0};
+      if (::poll(&P, 1, 100) <= 0)
+        continue;
+      char Tmp[256];
+      ssize_t Got = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+      if (Got == 0)
+        return true;
+      if (Got < 0 && errno != EAGAIN)
+        return true;
+      if (Got > 0)
+        Buf.append(Tmp, static_cast<size_t>(Got));
+    }
+    return false;
+  }
+
+  std::vector<std::string> Skipped;
+
+private:
+  int Fd = -1;
+  std::string Buf;
+};
+
+/// Server + loop thread, torn down in order.
+class ServerFixture {
+public:
+  explicit ServerFixture(unsigned Threads = 2, size_t HighWater = 0) {
+    engine::EngineConfig EC;
+    EC.Threads = Threads;
+    EC.MaxQueueDepth = HighWater;
+    Eng = std::make_shared<engine::Engine>(EC);
+    Parser = std::make_shared<nlp::SemanticParser>();
+    ServerConfig SC;
+    SC.Port = 0; // ephemeral
+    SC.Defaults.NumSketches = 4;
+    SC.Defaults.BudgetMs = 8000;
+    Server = std::make_unique<SocketServer>(Parser, Eng, SC);
+    Started = Server->start();
+    if (Started)
+      Loop = std::thread([this] { Server->run(); });
+  }
+
+  ~ServerFixture() {
+    if (Started) {
+      Server->stop();
+      Loop.join();
+    }
+  }
+
+  uint16_t port() const { return Server->port(); }
+  bool started() const { return Started; }
+  engine::Engine &engine() { return *Eng; }
+  SocketServer &server() { return *Server; }
+
+private:
+  std::shared_ptr<engine::Engine> Eng;
+  std::shared_ptr<nlp::SemanticParser> Parser;
+  std::unique_ptr<SocketServer> Server;
+  std::thread Loop;
+  bool Started = false;
+};
+
+} // namespace
+
+TEST(SocketServer, SolveRoundTripOverTcp) {
+  ServerFixture F;
+  ASSERT_TRUE(F.started());
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(F.port()));
+  EXPECT_NE(C.readLine(), ""); // greeting
+
+  ASSERT_TRUE(C.sendLine("desc a capital letter followed by 2 digits"));
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("pos A12"));
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("pos Z99"));
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("neg 12"));
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("neg a12"));
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("solve"));
+  std::string Ack = C.readLine();
+  ASSERT_EQ(Ack.rfind("queued ", 0), 0u) << Ack;
+
+  std::string Done = C.readUntil("done ");
+  ASSERT_NE(Done, "");
+  EXPECT_NE(Done.find(" solved "), std::string::npos) << Done;
+  // The answer line precedes the done line and carries the same job id.
+  bool SawAnswer = false;
+  for (const std::string &L : C.Skipped)
+    if (L.rfind("answer ", 0) == 0)
+      SawAnswer = true;
+  EXPECT_TRUE(SawAnswer);
+}
+
+TEST(SocketServer, ProtocolErrorsAndStats) {
+  ServerFixture F;
+  ASSERT_TRUE(F.started());
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(F.port()));
+  C.readLine(); // greeting
+
+  ASSERT_TRUE(C.sendLine("bogus"));
+  EXPECT_EQ(C.readLine().rfind("error ", 0), 0u);
+  ASSERT_TRUE(C.sendLine("priority fastest"));
+  EXPECT_EQ(C.readLine().rfind("error ", 0), 0u);
+  ASSERT_TRUE(C.sendLine("priority background"));
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("solve"));
+  EXPECT_EQ(C.readLine().rfind("error ", 0), 0u); // nothing to solve
+  ASSERT_TRUE(C.sendLine("stats"));
+  std::string Stats = C.readLine();
+  EXPECT_EQ(Stats.rfind("stats {", 0), 0u) << Stats;
+  ASSERT_TRUE(C.sendLine("quit"));
+  EXPECT_EQ(C.readLine(), "bye");
+  EXPECT_TRUE(C.waitEof());
+}
+
+TEST(SocketServer, ManySimultaneousClientsWithMixedPriorities) {
+  ServerFixture F(/*Threads=*/2);
+  ASSERT_TRUE(F.started());
+
+  // One batch client floods slow unsolvable work; several interactive
+  // clients want instant answers while the batch churns.
+  TestClient BatchC;
+  ASSERT_TRUE(BatchC.connectTo(F.port()));
+  BatchC.readLine();
+  ASSERT_TRUE(BatchC.sendLine("priority batch"));
+  EXPECT_EQ(BatchC.readLine(), "ok");
+  ASSERT_TRUE(BatchC.sendLine("pos ab"));
+  EXPECT_EQ(BatchC.readLine(), "ok");
+  ASSERT_TRUE(BatchC.sendLine("neg ab")); // contradiction: churns budget
+  EXPECT_EQ(BatchC.readLine(), "ok");
+  ASSERT_TRUE(BatchC.sendLine("budget 300"));
+  EXPECT_EQ(BatchC.readLine(), "ok");
+  // Pipelined: several solves queued back-to-back before reading.
+  const int BatchSolves = 6;
+  for (int I = 0; I < BatchSolves; ++I) {
+    ASSERT_TRUE(BatchC.sendLine("solve"));
+    EXPECT_EQ(BatchC.readLine().rfind("queued ", 0), 0u);
+  }
+
+  const int NumInteractive = 3;
+  std::vector<std::unique_ptr<TestClient>> Clients;
+  for (int I = 0; I < NumInteractive; ++I) {
+    auto C = std::make_unique<TestClient>();
+    ASSERT_TRUE(C->connectTo(F.port()));
+    C->readLine();
+    ASSERT_TRUE(C->sendLine("pos A12"));
+    EXPECT_EQ(C->readLine(), "ok");
+    ASSERT_TRUE(C->sendLine("pos Z99"));
+    EXPECT_EQ(C->readLine(), "ok");
+    ASSERT_TRUE(C->sendLine("neg 12"));
+    EXPECT_EQ(C->readLine(), "ok");
+    ASSERT_TRUE(C->sendLine("desc a capital letter followed by 2 digits"));
+    EXPECT_EQ(C->readLine(), "ok");
+    ASSERT_TRUE(C->sendLine("solve"));
+    EXPECT_EQ(C->readLine().rfind("queued ", 0), 0u);
+    Clients.push_back(std::move(C));
+  }
+
+  // Every interactive client gets its answer even while the batch client's
+  // fan-out churns on the same two workers.
+  for (int I = 0; I < NumInteractive; ++I) {
+    std::string Done = Clients[static_cast<size_t>(I)]->readUntil("done ");
+    ASSERT_NE(Done, "") << "interactive client " << I << " starved";
+    EXPECT_NE(Done.find(" solved "), std::string::npos) << Done;
+  }
+  // The batch client eventually drains all its pipelined completions too.
+  int BatchDone = 0;
+  for (int I = 0; I < BatchSolves; ++I) {
+    std::string Done = BatchC.readUntil("done ", 30000);
+    if (Done.empty())
+      break;
+    ++BatchDone;
+  }
+  EXPECT_EQ(BatchDone, BatchSolves);
+}
+
+TEST(SocketServer, QuitDiscardsPipelinedRemainderEvenWithEof) {
+  // 'quit' and everything after it can arrive in the same burst as the
+  // EOF (the scripted-client idiom); the post-quit commands must be
+  // discarded, not executed after 'bye'.
+  ServerFixture F;
+  ASSERT_TRUE(F.started());
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(F.port()));
+  C.readLine(); // greeting
+  ASSERT_TRUE(C.sendLine("quit"));
+  ASSERT_TRUE(C.sendLine("stats"));
+  C.shutdownWrite();
+  EXPECT_EQ(C.readLine(), "bye");
+  // Nothing after bye — in particular no stats line — just EOF/silence.
+  std::string Extra = C.readLine(2000);
+  EXPECT_EQ(Extra, "") << "unexpected output after bye: " << Extra;
+}
+
+TEST(SocketServer, HalfCloseClientStillGetsPipelinedAnswers) {
+  // The EOF idiom: pipeline the whole query, shut down the write side,
+  // keep reading. The server must run the buffered commands and deliver
+  // the answer before closing the connection.
+  ServerFixture F(/*Threads=*/2);
+  ASSERT_TRUE(F.started());
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(F.port()));
+  for (const char *Cmd :
+       {"desc a capital letter followed by 2 digits", "pos A12", "pos Z99",
+        "neg 12", "solve"})
+    ASSERT_TRUE(C.sendLine(Cmd));
+  C.shutdownWrite();
+  std::string Done = C.readUntil("done ");
+  ASSERT_NE(Done, "") << "half-closed client never got its answer";
+  EXPECT_NE(Done.find(" solved "), std::string::npos) << Done;
+  EXPECT_TRUE(C.waitEof()) << "connection should close once answers landed";
+}
+
+TEST(SocketServer, AbandonedConnectionIsBoundedByJobBudget) {
+  // TCP cannot distinguish an abandoning close() from a half-close that
+  // still reads, so the server lets in-flight work run out its own
+  // budget (never hanging on the dead peer) and reclaims the connection
+  // when the work lands.
+  ServerFixture F(/*Threads=*/1);
+  ASSERT_TRUE(F.started());
+  {
+    TestClient C;
+    ASSERT_TRUE(C.connectTo(F.port()));
+    C.readLine();
+    ASSERT_TRUE(C.sendLine("pos ab"));
+    C.readLine();
+    ASSERT_TRUE(C.sendLine("neg ab"));
+    C.readLine();
+    ASSERT_TRUE(C.sendLine("budget 400"));
+    C.readLine();
+    ASSERT_TRUE(C.sendLine("solve"));
+    EXPECT_EQ(C.readLine().rfind("queued ", 0), 0u);
+    // Destructor closes the socket with the 400ms job still running.
+  }
+  // The job expires on its own budget and the engine drains — the dead
+  // client cannot pin the queue past that.
+  Stopwatch W;
+  while (F.engine().queueDepth() > 0 && W.elapsedMs() < 15000)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(F.engine().queueDepth(), 0u);
+  // And the server is still healthy for the next client.
+  TestClient C2;
+  ASSERT_TRUE(C2.connectTo(F.port()));
+  EXPECT_NE(C2.readLine(), "");
+  ASSERT_TRUE(C2.sendLine("stats"));
+  EXPECT_EQ(C2.readLine().rfind("stats {", 0), 0u);
+}

@@ -40,6 +40,16 @@
 //   REGEL_FAIRNESS_BATCH_MS  per-batch-job budget (default 150)
 //   REGEL_FAIRNESS_INTERACTIVE  interactive probes per mode (default 20)
 //   REGEL_FAIRNESS_INTERVAL_MS  probe cadence (default 100)
+//   REGEL_SHED_JOBS          overload-section jobs (default 200, 0 skips)
+//   REGEL_SHED_EXEC_MS       per-job execution cost (default 80)
+//   REGEL_SHED_SLA_MS        per-job residency SLA (default 250)
+//   REGEL_SHED_INTERVAL_MS   arrival pacing (default 2)
+//
+// A final overload section (`shedding_overload` in the JSON) runs the
+// same SLA-overload twice — deadline-aware shedding off ("lazy", the
+// expire-at-task-start baseline) and on ("shed") — and reports how much
+// queue residency doomed jobs burned and how fast they learned their
+// verdict under each policy.
 //
 //===----------------------------------------------------------------------===//
 
@@ -179,6 +189,87 @@ FairnessReport runFairnessMode(bool Fifo, unsigned Threads, size_t BatchJobs,
   Eng.cancelAll();
   for (const engine::JobPtr &J : Batch)
     J->wait();
+  return Rep;
+}
+
+/// One overload mode: a burst of SLA-carrying jobs far beyond capacity,
+/// with deadline-aware shedding on (shed on arrival + eager queue expiry)
+/// or off (the old lazy expire-at-task-start behaviour).
+struct OverloadReport {
+  bool Shedding = false;
+  size_t Jobs = 0;
+  size_t Solved = 0;
+  uint64_t ShedOnArrival = 0;
+  uint64_t ExpiredInQueue = 0;
+  uint64_t ResidencyExpired = 0;
+  double FailedVerdictP50Ms = 0; ///< submit -> verdict for non-solved jobs
+  double FailedVerdictP95Ms = 0;
+  double FailedQueueMsAvg = 0;   ///< queue residency burned by failed jobs
+  double SolvedP95Ms = 0;
+  double WallMs = 0;
+};
+
+OverloadReport runOverloadMode(bool Shedding, unsigned Threads, size_t Jobs,
+                               int64_t ExecMs, int64_t SlaMs,
+                               int64_t IntervalMs) {
+  // Paced arrivals (not one burst): the shedding estimator learns from
+  // completions, so offered load must overlap with service for the
+  // comparison to show what shedding does in steady-state overload.
+  engine::EngineConfig EC;
+  EC.Threads = Threads;
+  EC.DeadlineShedding = Shedding;
+  engine::Engine Eng(EC);
+
+  // Unsolvable work with a fixed per-job execution cost (the budget), so
+  // service time is predictable and the SLA is the binding constraint.
+  Examples Contradiction;
+  Contradiction.Pos = {"ab"};
+  Contradiction.Neg = {"ab"};
+
+  Stopwatch Wall;
+  std::vector<engine::JobPtr> Handles;
+  Handles.reserve(Jobs);
+  for (size_t I = 0; I < Jobs; ++I) {
+    engine::JobRequest R;
+    R.Sketches = {Sketch::unconstrained()};
+    R.E = Contradiction;
+    R.BudgetMs = ExecMs;
+    R.ResidencyBudgetMs = SlaMs;
+    R.EnqueueCompletion = true;
+    Handles.push_back(Eng.submit(std::move(R)));
+    if (IntervalMs > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+  }
+  size_t Done = 0;
+  while (Done < Handles.size())
+    Done += Eng.waitCompleted(250).size();
+
+  OverloadReport Rep;
+  Rep.Shedding = Shedding;
+  Rep.Jobs = Jobs;
+  Rep.WallMs = Wall.elapsedMs();
+  std::vector<double> FailedVerdict, SolvedTotal;
+  double FailedQueueSum = 0;
+  size_t Failed = 0;
+  for (const engine::JobPtr &J : Handles) {
+    const engine::JobResult R = J->wait();
+    if (R.solved()) {
+      ++Rep.Solved;
+      SolvedTotal.push_back(R.TotalMs);
+      continue;
+    }
+    ++Failed;
+    FailedVerdict.push_back(R.TotalMs);
+    FailedQueueSum += R.TotalMs - R.ExecMs;
+  }
+  engine::StatsSnapshot S = Eng.snapshot();
+  Rep.ShedOnArrival = S.JobsShedOnArrival;
+  Rep.ExpiredInQueue = S.JobsExpiredInQueue;
+  Rep.ResidencyExpired = S.JobsResidencyExpired;
+  Rep.FailedVerdictP50Ms = percentile(FailedVerdict, 0.50);
+  Rep.FailedVerdictP95Ms = percentile(FailedVerdict, 0.95);
+  Rep.FailedQueueMsAvg = Failed ? FailedQueueSum / double(Failed) : 0;
+  Rep.SolvedP95Ms = percentile(SolvedTotal, 0.95);
   return Rep;
 }
 
@@ -500,6 +591,83 @@ int main() {
     std::snprintf(Buf, sizeof(Buf),
                   "\n    ],\n    \"interactive_p95_improvement\": %.2f\n  }",
                   Improvement);
+    Json += Buf;
+  }
+  // Overload: shed-vs-lazy-expiry. Arrivals far beyond capacity, every
+  // job carrying a residency SLA; "lazy" is the pre-shedding engine
+  // (expiry only at task start), "shed" adds reject-on-arrival plus the
+  // eager deadline sweep. The interesting figures: queue residency burned
+  // by jobs that were never going to make it, and how fast a doomed
+  // client learns its verdict.
+  const size_t ShedJobs = static_cast<size_t>(envInt("REGEL_SHED_JOBS", 200));
+  const int64_t ShedExecMs = envInt("REGEL_SHED_EXEC_MS", 80);
+  const int64_t ShedSlaMs = envInt("REGEL_SHED_SLA_MS", 250);
+  const int64_t ShedIntervalMs = envInt("REGEL_SHED_INTERVAL_MS", 2);
+  if (ShedJobs > 0) {
+    std::printf("overload: %zu jobs (%lld ms exec, %lld ms sla, every "
+                "%lld ms) on %u workers...\n",
+                ShedJobs, (long long)ShedExecMs, (long long)ShedSlaMs,
+                (long long)ShedIntervalMs, Threads);
+    OverloadReport Lazy = runOverloadMode(/*Shedding=*/false, Threads,
+                                          ShedJobs, ShedExecMs, ShedSlaMs,
+                                          ShedIntervalMs);
+    std::printf("  lazy: %llu expired (verdict p50 %.0f ms, p95 %.0f ms; "
+                "avg queue burned %.0f ms)\n",
+                (unsigned long long)Lazy.ResidencyExpired,
+                Lazy.FailedVerdictP50Ms, Lazy.FailedVerdictP95Ms,
+                Lazy.FailedQueueMsAvg);
+    OverloadReport Shed = runOverloadMode(/*Shedding=*/true, Threads,
+                                          ShedJobs, ShedExecMs, ShedSlaMs,
+                                          ShedIntervalMs);
+    std::printf("  shed: %llu shed on arrival + %llu expired in queue + "
+                "%llu lazy-expired (verdict p50 %.0f ms, p95 %.0f ms; avg "
+                "queue burned %.0f ms)\n",
+                (unsigned long long)Shed.ShedOnArrival,
+                (unsigned long long)Shed.ExpiredInQueue,
+                (unsigned long long)(Shed.ResidencyExpired -
+                                     Shed.ExpiredInQueue),
+                Shed.FailedVerdictP50Ms, Shed.FailedVerdictP95Ms,
+                Shed.FailedQueueMsAvg);
+    const double QueueSaved =
+        Lazy.FailedQueueMsAvg - Shed.FailedQueueMsAvg;
+    std::printf("  avg queue wait saved per doomed job: %.0f ms\n",
+                QueueSaved);
+    if (Shed.ShedOnArrival + Shed.ExpiredInQueue == 0)
+      std::printf("WARNING: shedding mode never shed or eagerly expired\n");
+
+    auto AppendOverload = [&Json](const OverloadReport &R) {
+      char B[512];
+      std::snprintf(
+          B, sizeof(B),
+          "    {\"mode\":\"%s\",\"jobs\":%zu,\"solved\":%zu,"
+          "\"shed_on_arrival\":%llu,\"expired_in_queue\":%llu,"
+          "\"residency_expired\":%llu,"
+          "\"failed_verdict_p50_ms\":%.1f,\"failed_verdict_p95_ms\":%.1f,"
+          "\"failed_queue_ms_avg\":%.1f,\"solved_p95_ms\":%.1f,"
+          "\"wall_ms\":%.1f}",
+          R.Shedding ? "shed" : "lazy", R.Jobs, R.Solved,
+          (unsigned long long)R.ShedOnArrival,
+          (unsigned long long)R.ExpiredInQueue,
+          (unsigned long long)R.ResidencyExpired, R.FailedVerdictP50Ms,
+          R.FailedVerdictP95Ms, R.FailedQueueMsAvg, R.SolvedP95Ms,
+          R.WallMs);
+      Json += B;
+    };
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\n  \"shedding_overload\": {\n"
+                  "    \"jobs\": %zu,\n    \"exec_ms\": %lld,\n"
+                  "    \"sla_ms\": %lld,\n    \"interval_ms\": %lld,\n"
+                  "    \"threads\": %u,\n    \"modes\": [\n",
+                  ShedJobs, (long long)ShedExecMs, (long long)ShedSlaMs,
+                  (long long)ShedIntervalMs, Threads);
+    Json += Buf;
+    AppendOverload(Lazy);
+    Json += ",\n";
+    AppendOverload(Shed);
+    std::snprintf(Buf, sizeof(Buf),
+                  "\n    ],\n    \"avg_queue_ms_saved_per_failed_job\": "
+                  "%.1f\n  }",
+                  QueueSaved);
     Json += Buf;
   }
   Json += "\n}\n";

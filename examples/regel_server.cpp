@@ -1,7 +1,7 @@
 //===- examples/regel_server.cpp - Event-driven synthesis server ----------===//
 //
 // Build & run:  ./build/examples/regel_server [port] [threads] [cache-cap]
-//                                             [high-water]
+//                                             [high-water] [shed]
 //
 // The socket front-end over the async engine API (src/server): one
 // poll()-based event loop serves every TCP client on [port] (default 7411,
@@ -15,9 +15,13 @@
 // The caches are capped (second-chance-evicted; [cache-cap] entries each,
 // default 25000, 0 = unbounded) so the process can stay up indefinitely,
 // and submissions are shed once [high-water] jobs are in flight (default
-// 64, 0 = off). Per-connection `priority <interactive|batch|background>`
-// picks the scheduling class, so one client's batch fan-out cannot starve
-// another's interactive query.
+// 64, 0 = off). With [shed] (default 1), admission is also
+// deadline-aware: a query whose `sla` cannot be met at current service
+// times gets an instant "shed" verdict instead of expiring in queue, and
+// queued jobs expire the moment their SLA lapses. Per-connection
+// `priority <interactive|batch|background>` picks the scheduling class,
+// so one client's batch fan-out cannot starve another's interactive
+// query.
 //
 // Try it:
 //   ./build/examples/regel_server &
@@ -35,6 +39,7 @@
 #include "engine/Engine.h"
 #include "server/SocketServer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -61,14 +66,19 @@ int main(int argc, char **argv) {
   unsigned Threads = 2;
   size_t CacheCap = 25000; // entries per store; 0 = unbounded
   size_t HighWater = 64;   // queue-depth admission mark; 0 = off
+  bool Shed = true;        // deadline-aware shedding (0 = lazy expiry only)
   if (argc > 1)
     Port = static_cast<uint16_t>(std::atoi(argv[1]));
   if (argc > 2)
-    Threads = static_cast<unsigned>(std::atoi(argv[2]));
+    // Clamp: EngineConfig::Threads = 0 is a test-harness mode (jobs queue
+    // but never run) — a serving process must always have a worker.
+    Threads = std::max(1u, static_cast<unsigned>(std::atoi(argv[2])));
   if (argc > 3)
     CacheCap = static_cast<size_t>(std::atoll(argv[3]));
   if (argc > 4)
     HighWater = static_cast<size_t>(std::atoll(argv[4]));
+  if (argc > 5)
+    Shed = std::atoi(argv[5]) != 0;
 
   engine::EngineConfig EC;
   EC.Threads = Threads;
@@ -80,6 +90,10 @@ int main(int argc, char **argv) {
       CacheCap ? CacheCap * 2 * (1 + regel::AlphabetSize) : 0;
   EC.ApproxCacheLimits.MaxEntries = CacheCap;
   EC.MaxQueueDepth = HighWater;
+  // Deadline-aware admission: clients that set an `sla` get an instant
+  // "shed" verdict when the estimator says the budget is hopeless, and
+  // queued jobs expire the moment their SLA lapses.
+  EC.DeadlineShedding = Shed;
   auto Eng = std::make_shared<engine::Engine>(EC);
   auto Parser = std::make_shared<nlp::SemanticParser>();
 
@@ -97,9 +111,9 @@ int main(int argc, char **argv) {
   std::signal(SIGTERM, onSignal);
 
   std::printf("regel_server: listening on %s:%u — %u workers, cache cap "
-              "%zu, high-water %zu\n",
+              "%zu, high-water %zu, shedding %s\n",
               SC.BindAddr.c_str(), Server.port(), Eng->threadCount(),
-              CacheCap, HighWater);
+              CacheCap, HighWater, Shed ? "on" : "off");
   std::fflush(stdout);
   Server.run();
   // Detach the handlers before Server's destructor runs: a second Ctrl-C

@@ -16,6 +16,7 @@ namespace {
 engine::EngineConfig engineConfigFor(const RegelConfig &Cfg) {
   engine::EngineConfig EC;
   EC.Threads = std::max(1u, Cfg.Threads);
+  EC.TimeSource = Cfg.TimeSource;
   return EC;
 }
 

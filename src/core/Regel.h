@@ -49,6 +49,12 @@ struct RegelConfig {
   /// retrievable via Engine::pollCompleted (event-loop clients).
   bool EnqueueCompletion = false;
 
+  /// Time source for a self-owned engine (null = steady clock; ignored
+  /// when the driver runs on a shared engine, which brings its own).
+  /// Lets a test drive a whole Regel pipeline — budgets, SLAs, timed
+  /// waits — on a ManualClock end to end.
+  std::shared_ptr<const Clock> TimeSource;
+
   /// Run every sketch to completion and order answers by sketch rank, so
   /// results do not depend on worker count or scheduling (costs the work
   /// cancellation-on-first-success would skip). Scheduling independence

@@ -13,11 +13,12 @@ using namespace regel::engine;
 
 Engine::Engine(EngineConfig C)
     : Cfg(std::move(C)),
+      Clk(Cfg.TimeSource ? Cfg.TimeSource : Clock::steady()),
       Caches(Cfg.Caches ? Cfg.Caches
                         : std::make_shared<SharedCaches>(Cfg.CacheShards,
                                                          Cfg.DfaCacheLimits,
                                                          Cfg.ApproxCacheLimits)),
-      Pool(std::max(1u, Cfg.Threads), Cfg.FifoScheduling) {}
+      Pool(Cfg.Threads, Cfg.FifoScheduling) {}
 
 Engine::~Engine() {
   // WorkerPool's destructor drains the queues; jobs submitted before the
@@ -26,8 +27,11 @@ Engine::~Engine() {
 }
 
 JobPtr Engine::submit(JobRequest R) {
+  // Expired queued jobs free their slots before this submission is judged
+  // against the high-water mark (and before its queue-wait estimate).
+  sweepExpiredQueued();
   Stats.jobSubmitted();
-  JobPtr J(new SynthJob(std::move(R)));
+  JobPtr J(new SynthJob(std::move(R), Clk));
   const size_t NumTasks = J->Req.Sketches.size();
   if (NumTasks == 0) {
     // Nothing to search: complete the job on the spot (it never occupies
@@ -38,6 +42,23 @@ JobPtr Engine::submit(JobRequest R) {
     }
     Stats.jobCompleted(/*Solved=*/false, /*DeadlineExpired=*/false,
                        /*ResidencyExpired=*/false);
+    publishCompletion(J);
+    return J;
+  }
+  if (Cfg.DeadlineShedding && J->Req.ResidencyBudgetMs > 0 &&
+      cannotMeetBudget(J->Req.Pri, J->Req.ResidencyBudgetMs)) {
+    // Deadline-aware shedding: per the estimator this job would expire
+    // before (or while) running, so telling the client NOW is strictly
+    // better than letting it burn queue residency first. Distinct from
+    // the Rejected high-water path so clients can distinguish "queue
+    // full, retry later" from "this deadline is hopeless at current
+    // service times".
+    Stats.jobShedOnArrival();
+    {
+      std::lock_guard<std::mutex> Guard(J->M);
+      J->Result.ShedOnArrival = true;
+      J->Result.TotalMs = J->sinceSubmitMs();
+    }
     publishCompletion(J);
     return J;
   }
@@ -70,6 +91,25 @@ JobPtr Engine::submit(JobRequest R) {
       finishTask(J);
     }
   }
+  if (Cfg.DeadlineShedding && J->Req.ResidencyBudgetMs > 0) {
+    // Registered AFTER the fan-out loop, so a sweep can never expire a
+    // job whose submit-failure accounting is still in flight — by the
+    // time an entry exists, Result.TasksSkipped is final for every task
+    // the pool refused, and expireQueued's reconciliation races nothing.
+    // (If every task failed, the job is already finalized; the sweep's
+    // Finalized exchange drops it.)
+    {
+      std::lock_guard<std::mutex> Guard(HeapM);
+      ResidencyHeap.push({J->residencyDeadlineUs(), J});
+      NextResidencyDeadlineUs.store(ResidencyHeap.top().DeadlineUs,
+                                    std::memory_order_release);
+    }
+    // Re-time any waitCompleted parked past this job's deadline. The
+    // empty critical section orders the notify after a racing waiter has
+    // either read the new deadline or entered its wait.
+    { std::lock_guard<std::mutex> Guard(CompletedM); }
+    CompletedCV.notify_all();
+  }
   return J;
 }
 
@@ -90,6 +130,9 @@ std::vector<JobResult> Engine::runBatch(std::vector<JobRequest> Requests) {
 }
 
 std::vector<JobPtr> Engine::pollCompleted() {
+  // Polling is a sweep point: an event-loop consumer keeps expiry eager
+  // even when every worker is pinned and no dispatch happens.
+  sweepExpiredQueued();
   std::vector<JobPtr> Out;
   std::lock_guard<std::mutex> Guard(CompletedM);
   Out.assign(std::make_move_iterator(Completed.begin()),
@@ -101,16 +144,43 @@ std::vector<JobPtr> Engine::pollCompleted() {
 std::vector<JobPtr> Engine::waitCompleted(int64_t TimeoutMs) {
   assert(!onPoolWorkerThread() &&
          "Engine::waitCompleted blocks; poll from the event loop thread");
-  std::vector<JobPtr> Out;
-  std::unique_lock<std::mutex> Guard(CompletedM);
-  CompletedCV.wait_for(Guard,
-                       std::chrono::milliseconds(std::max<int64_t>(
-                           TimeoutMs, 0)),
-                       [this] { return !Completed.empty(); });
-  Out.assign(std::make_move_iterator(Completed.begin()),
-             std::make_move_iterator(Completed.end()));
-  Completed.clear();
-  return Out;
+  // A queued job's SLA can lapse while we block, and the whole point of
+  // eager expiry is that its completion (ResidencyExpired set) surfaces
+  // here without waiting for a worker to free up. So each wait is timed
+  // to whichever comes first: the caller's deadline or the earliest
+  // registered residency deadline — no fixed-interval polling, and a
+  // submission registering an earlier deadline mid-wait notifies the CV
+  // to re-time. Everything runs on the engine clock, so the timeout is
+  // virtual under a ManualClock.
+  const int64_t DeadlineUs =
+      Clk->nowUs() + std::max<int64_t>(TimeoutMs, 0) * 1000;
+  for (;;) {
+    sweepExpiredQueued();
+    {
+      std::unique_lock<std::mutex> Guard(CompletedM);
+      if (Completed.empty()) {
+        const int64_t NowUs = Clk->nowUs();
+        if (NowUs >= DeadlineUs)
+          return {};
+        const int64_t WakeUs = std::min(
+            DeadlineUs,
+            NextResidencyDeadlineUs.load(std::memory_order_acquire));
+        const int64_t LeftMs =
+            std::max<int64_t>((WakeUs - NowUs + 999) / 1000, 1);
+        Clk->waitFor(CompletedCV, Guard, LeftMs,
+                     [this] { return !Completed.empty(); });
+      }
+      if (!Completed.empty()) {
+        std::vector<JobPtr> Out;
+        Out.assign(std::make_move_iterator(Completed.begin()),
+                   std::make_move_iterator(Completed.end()));
+        Completed.clear();
+        return Out;
+      }
+    }
+    if (Clk->nowUs() >= DeadlineUs)
+      return {};
+  }
 }
 
 size_t Engine::completedPending() const {
@@ -144,8 +214,94 @@ void Engine::publishCompletion(const JobPtr &J) {
     CB(J->Result); // Result is immutable once Ready
 }
 
+bool Engine::cannotMeetBudget(Priority P, int64_t ResidencyBudgetMs) const {
+  const double ExecEst = Estimator.estimateMs(P);
+  if (ExecEst < 0)
+    return false; // cold start: no samples for this class, never shed
+  // Queue wait model: every in-flight job still needs (on average) one
+  // blended service time, spread across the workers. Deliberately simple
+  // and slightly conservative — it counts running jobs as a full service
+  // time — because shedding errs towards accepting: only the job's OWN
+  // class estimate can shed it (isolation), and the blended figure is
+  // never negative here (a warm class implies a warm blend).
+  const double BlendedEst = std::max(0.0, Estimator.blendedEstimateMs());
+  const double WaitEst = BlendedEst * static_cast<double>(Queue.depth()) /
+                         static_cast<double>(std::max(1u, Pool.threadCount()));
+  return WaitEst + ExecEst > static_cast<double>(ResidencyBudgetMs);
+}
+
+void Engine::sweepExpiredQueued() {
+  // Lock-free fast path for the hot dispatch loop: nothing can have
+  // lapsed before the earliest registered deadline (INT64_MAX = empty
+  // heap). The atomic is only advisory — a racing push is caught by the
+  // next sweep point, and the publisher notifies waitCompleted itself.
+  if (Clk->nowUs() <
+      NextResidencyDeadlineUs.load(std::memory_order_acquire))
+    return;
+  std::vector<JobPtr> Lapsed;
+  {
+    std::lock_guard<std::mutex> Guard(HeapM);
+    const int64_t NowUs = Clk->nowUs();
+    while (!ResidencyHeap.empty() &&
+           ResidencyHeap.top().DeadlineUs <= NowUs) {
+      if (JobPtr J = ResidencyHeap.top().J.lock())
+        Lapsed.push_back(std::move(J));
+      ResidencyHeap.pop();
+    }
+    NextResidencyDeadlineUs.store(ResidencyHeap.empty()
+                                      ? INT64_MAX
+                                      : ResidencyHeap.top().DeadlineUs,
+                                  std::memory_order_release);
+  }
+  // Expiry (publication, continuations) runs outside HeapM so a
+  // continuation is free to call back into submit or the completion API.
+  for (const JobPtr &J : Lapsed)
+    expireQueued(J);
+}
+
+void Engine::expireQueued(const JobPtr &J) {
+  // Claim "expired before start": the CAS is the linearization point
+  // against markStarted, so either this sweep wins (every task of the job
+  // becomes a no-op) or some task already started (the running job will
+  // clamp/expire itself through the lazy checks).
+  int64_t Expected = -1;
+  if (!J->ExecStartUs.compare_exchange_strong(Expected,
+                                              SynthJob::ExpiredBeforeStartUs,
+                                              std::memory_order_acq_rel))
+    return;
+  if (J->Finalized.exchange(true, std::memory_order_acq_rel))
+    return; // belt: already published (e.g. every task failed to submit)
+  J->Cancel.store(true, std::memory_order_relaxed);
+  const uint64_t NumTasks = J->Req.Sketches.size();
+  bool Solved;
+  {
+    std::lock_guard<std::mutex> Guard(J->M);
+    // Account every not-yet-accounted task as skipped (tasks dropped at
+    // submit because the pool was shutting down are already counted), so
+    // TasksRun + TasksSkipped still partitions the sketch list exactly.
+    const uint64_t Unaccounted = NumTasks - J->Result.TasksSkipped;
+    for (uint64_t I = 0; I < Unaccounted; ++I)
+      Stats.taskSkipped();
+    J->Result.TasksSkipped = NumTasks;
+    J->Result.ResidencyExpired = true;
+    J->Result.TotalMs = J->sinceSubmitMs();
+    J->Result.QueueMs = J->Result.TotalMs; // never started: all queue wait
+    J->Result.ExecMs = 0;
+    Solved = J->Result.solved();
+  }
+  Stats.jobCompleted(Solved, /*DeadlineExpired=*/false,
+                     /*ResidencyExpired=*/true);
+  Stats.jobExpiredInQueue();
+  Queue.remove(J.get());
+  publishCompletion(J);
+}
+
 void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
-  J->markStarted();
+  // Every dispatch sweeps the deadline heap first: queued jobs whose SLA
+  // already lapsed complete right now, not when a worker reaches them.
+  sweepExpiredQueued();
+  if (!J->markStarted())
+    return; // expired in queue: finalized by the sweep, nothing to do
 
   const JobRequest &Req = J->Req;
   bool DeadlineHit = false, ResidencyHit = false;
@@ -182,6 +338,9 @@ void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
     // succeeded; they still honour client cancel() and the job deadline
     // through the same flag (set above on deadline expiry).
     SC.CancelFlag = &J->Cancel;
+    // The search's wall budget runs on the engine clock, so under a
+    // ManualClock a search ends exactly when virtual time says so.
+    SC.TimeSource = Clk.get();
 
     // Per-sketch slice of the job budget: explicit, or an equal split with
     // a floor so early (better-ranked) sketches keep a meaningful slice
@@ -248,11 +407,14 @@ void Engine::finishTask(const JobPtr &J) {
 }
 
 void Engine::finalize(const JobPtr &J) {
+  if (J->Finalized.exchange(true, std::memory_order_acq_rel))
+    return; // already published by the deadline sweep's expire path
   // Everything observable (stats, queue depth) is updated BEFORE the job
   // is published, so a waiter or continuation that observes completion
   // sees the completed state.
-  bool Solved, DeadlineExpired, ResidencyExpired;
+  bool Solved, DeadlineExpired, ResidencyExpired, RanSearch;
   uint64_t NumAnswers;
+  double ExecMs;
   {
     std::lock_guard<std::mutex> Guard(J->M);
     if (J->Req.Deterministic) {
@@ -284,7 +446,17 @@ void Engine::finalize(const JobPtr &J) {
     DeadlineExpired = J->Result.DeadlineExpired;
     ResidencyExpired = J->Result.ResidencyExpired;
     NumAnswers = J->Result.Answers.size();
+    ExecMs = J->Result.ExecMs;
+    RanSearch = J->Result.TasksRun > 0;
   }
+  // Feed the shedding estimator only with jobs that actually ran a
+  // search. Truncated runs (deadline/SLA clamp) still count — the time
+  // was spent — but jobs whose tasks all skipped (client cancel, expiry
+  // races) would inject ~0ms samples that drag the EWMA towards zero and
+  // quietly disable shedding; a burst of abandoned connections must not
+  // teach the estimator that service is free.
+  if (RanSearch)
+    Estimator.recordSample(J->Req.Pri, ExecMs);
   Stats.jobCompleted(Solved, DeadlineExpired, ResidencyExpired);
   Stats.solutionsFound(NumAnswers);
   Queue.remove(J.get());
@@ -308,5 +480,17 @@ StatsSnapshot Engine::snapshot() const {
   S.ApproxStoreMisses = Caches->Approx.misses();
   S.ApproxStoreSize = Caches->Approx.size();
   S.ApproxStoreEvictions = Caches->Approx.evictions();
+  const ServiceTimeEstimator::Snapshot E = Estimator.snapshot();
+  S.EstimatorInteractiveMs =
+      E.EstMs[static_cast<unsigned>(Priority::Interactive)];
+  S.EstimatorBatchMs = E.EstMs[static_cast<unsigned>(Priority::Batch)];
+  S.EstimatorBackgroundMs =
+      E.EstMs[static_cast<unsigned>(Priority::Background)];
+  S.EstimatorBlendedMs = E.BlendedMs;
+  S.EstimatorSamplesInteractive =
+      E.Samples[static_cast<unsigned>(Priority::Interactive)];
+  S.EstimatorSamplesBatch = E.Samples[static_cast<unsigned>(Priority::Batch)];
+  S.EstimatorSamplesBackground =
+      E.Samples[static_cast<unsigned>(Priority::Background)];
   return S;
 }

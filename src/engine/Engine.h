@@ -6,7 +6,14 @@
 // task per sketch on a shared priority-aware work-stealing pool, cancels
 // sibling tasks as soon as a job has its TopK answers, enforces per-job
 // deadlines, and shares the regex->DFA and sketch-approximation caches
-// across every run. Completion is async-first: jobs notify through
+// across every run. Admission is deadline-aware: a per-class EWMA of
+// service time sheds submissions whose residency SLA cannot be met
+// (ShedOnArrival), and a deadline min-heap expires queued jobs eagerly
+// the moment their SLA lapses instead of when a worker finally reaches
+// them. All semantic time flows through the Clock seam (EngineConfig::
+// TimeSource), so every budget, SLA, and timed wait is testable to the
+// millisecond under a ManualClock. Completion is async-first: jobs notify
+// through
 // onComplete continuations and (opt-in) the engine's completion queue, so
 // a single-threaded event loop — the socket server in src/server — can
 // drive thousands of in-flight jobs without blocking a thread per job.
@@ -19,20 +26,28 @@
 #define REGEL_ENGINE_ENGINE_H
 
 #include "engine/Caches.h"
+#include "engine/Estimator.h"
 #include "engine/Job.h"
 #include "engine/Stats.h"
 #include "engine/WorkerPool.h"
+#include "support/Clock.h"
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <vector>
 
 namespace regel::engine {
 
 struct EngineConfig {
-  /// Worker threads in the pool.
+  /// Worker threads in the pool. Zero is a test-harness mode: jobs are
+  /// accepted and queued but never execute (until the destructor drains
+  /// them), giving deterministic control over queue-state behaviour —
+  /// admission, shedding, eager expiry — under a ManualClock.
   unsigned Threads = 2;
 
   /// Shards per cross-run cache (locks scale with this).
@@ -62,6 +77,21 @@ struct EngineConfig {
   /// (and regressions) can measure what weighted priority picking buys;
   /// leave off in production.
   bool FifoScheduling = false;
+
+  /// Time source for every semantic time read in the engine — job
+  /// residency SLAs, deadlines, timed waits, search budgets, latency
+  /// accounting. Null means the process steady clock; tests inject a
+  /// ManualClock to drive all of it deterministically.
+  std::shared_ptr<const Clock> TimeSource;
+
+  /// Deadline-aware shedding (on by default): jobs whose ResidencyBudgetMs
+  /// cannot be met given the service-time estimator's current view are
+  /// shed at submit (JobResult::ShedOnArrival) instead of expiring in
+  /// queue, and queued jobs whose SLA lapses are expired eagerly by a
+  /// deadline-heap sweep on each dispatch rather than lazily at task
+  /// start. Off reverts to the lazy pre-shedding behaviour — kept so the
+  /// overload bench can measure what shedding buys.
+  bool DeadlineShedding = true;
 };
 
 class Engine {
@@ -122,10 +152,33 @@ public:
   const EngineConfig &config() const { return Cfg; }
   unsigned threadCount() const { return Pool.threadCount(); }
 
+  /// The engine's time source (never null; defaults to Clock::steady()).
+  const std::shared_ptr<const Clock> &clock() const { return Clk; }
+
+  /// The service-time estimator behind deadline-aware shedding. Exposed
+  /// so tests can prime known estimates deterministically and monitoring
+  /// can read convergence; production code only feeds it via completions.
+  ServiceTimeEstimator &estimator() { return Estimator; }
+
 private:
   void runSketchTask(const JobPtr &J, unsigned Rank);
   void finishTask(const JobPtr &J);
   void finalize(const JobPtr &J);
+
+  /// True when, per the estimator's current view, a job of class \p P
+  /// submitted now cannot meet \p ResidencyBudgetMs (estimated queue wait
+  /// plus estimated exec exceed it). Cold classes never shed.
+  bool cannotMeetBudget(Priority P, int64_t ResidencyBudgetMs) const;
+
+  /// Pops every residency-heap entry whose deadline has passed and
+  /// expires the jobs that never started (ResidencyExpired published
+  /// immediately; their queued tasks become no-ops). Called on each
+  /// dispatch, each submit, and each completion-queue drain — so expiry
+  /// is eager even when no worker frees up.
+  void sweepExpiredQueued();
+
+  /// Expires one still-queued job in place (the sweep's slow path).
+  void expireQueued(const JobPtr &J);
 
   /// Publishes a finished job: marks it Ready, hands it to the completion
   /// queue (when opted in), wakes waiters, and runs continuations — in
@@ -134,9 +187,34 @@ private:
   void publishCompletion(const JobPtr &J);
 
   EngineConfig Cfg;
+  std::shared_ptr<const Clock> Clk; ///< never null
   std::shared_ptr<SharedCaches> Caches;
   EngineStats Stats;
+  ServiceTimeEstimator Estimator;
   JobQueue Queue;
+
+  /// Min-heap of residency deadlines for accepted jobs with an SLA, swept
+  /// by sweepExpiredQueued. weak_ptr so a completed job's result is not
+  /// retained until its (now irrelevant) deadline passes.
+  struct ResidencyEntry {
+    int64_t DeadlineUs;
+    std::weak_ptr<SynthJob> J;
+  };
+  struct LaterDeadline {
+    bool operator()(const ResidencyEntry &A, const ResidencyEntry &B) const {
+      return A.DeadlineUs > B.DeadlineUs;
+    }
+  };
+  mutable std::mutex HeapM;
+  std::priority_queue<ResidencyEntry, std::vector<ResidencyEntry>,
+                      LaterDeadline>
+      ResidencyHeap; ///< guarded by HeapM
+
+  /// Earliest deadline in ResidencyHeap (INT64_MAX = empty), written
+  /// under HeapM, read lock-free: the sweep's fast path skips the mutex
+  /// on every dispatch while no deadline can have lapsed, and
+  /// waitCompleted times its waits to this instead of polling.
+  std::atomic<int64_t> NextResidencyDeadlineUs{INT64_MAX};
 
   /// Completion queue (multi-producer: finishing workers; consumers:
   /// pollCompleted / waitCompleted).

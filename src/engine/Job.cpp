@@ -9,16 +9,22 @@
 using namespace regel;
 using namespace regel::engine;
 
-SynthJob::SynthJob(JobRequest R) : Req(std::move(R)) {
+SynthJob::SynthJob(JobRequest R, std::shared_ptr<const Clock> C)
+    : Req(std::move(R)), Clk(C ? std::move(C) : Clock::steady()),
+      SinceSubmit(Clk.get()) {
   if (Req.Deterministic)
     PerSketch.resize(Req.Sketches.size());
 }
 
-void SynthJob::markStarted() {
+bool SynthJob::markStarted() {
   int64_t Expected = -1;
   int64_t NowUs = static_cast<int64_t>(SinceSubmit.elapsedMs() * 1000.0);
-  ExecStartUs.compare_exchange_strong(Expected, NowUs,
-                                      std::memory_order_relaxed);
+  if (ExecStartUs.compare_exchange_strong(Expected, NowUs,
+                                          std::memory_order_acq_rel))
+    return true;
+  // Lost the race: either a sibling task started first (normal) or the
+  // deadline sweep expired the job in queue (the task must bail out).
+  return Expected != ExpiredBeforeStartUs;
 }
 
 double SynthJob::execElapsedMs() const {
@@ -58,10 +64,11 @@ JobResult SynthJob::wait() {
 }
 
 std::optional<JobResult> SynthJob::waitFor(int64_t TimeoutMs) {
+  // The timeout runs on the job's clock: under a ManualClock a
+  // waitFor(50) times out when 50 *virtual* ms have been advanced, which
+  // is what makes timeout paths testable without real sleeps.
   std::unique_lock<std::mutex> Guard(M);
-  if (!CV.wait_for(Guard, std::chrono::milliseconds(std::max<int64_t>(
-                              TimeoutMs, 0)),
-                   [this] { return Ready; }))
+  if (!Clk->waitFor(CV, Guard, TimeoutMs, [this] { return Ready; }))
     return std::nullopt;
   return Result;
 }

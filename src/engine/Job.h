@@ -113,7 +113,13 @@ struct JobResult {
   uint64_t TasksStopped = 0; ///< subset of TasksRun, stopped mid-search
   bool DeadlineExpired = false;
   bool ResidencyExpired = false; ///< submit-anchored SLA missed
-  bool Rejected = false; ///< shed by admission control; nothing ran
+  bool Rejected = false; ///< shed by queue-depth admission; nothing ran
+
+  /// Shed by deadline-aware admission: the service-time estimator judged
+  /// ResidencyBudgetMs unmeetable at submit, so nothing was enqueued.
+  /// Distinct from Rejected (queue-depth high-water) — a client can back
+  /// off differently for "queue full" vs "your deadline is hopeless".
+  bool ShedOnArrival = false;
 
   bool solved() const { return !Answers.empty(); }
 };
@@ -168,13 +174,32 @@ public:
 
   const JobRequest &request() const { return Req; }
 
+  /// Milliseconds of residency SLA left, re-sampled through the job's
+  /// clock NOW (never a value cached at submit); 0 once the SLA has
+  /// expired. Callers must branch on a zero return rather than pass the
+  /// value to a budget field where 0 means "unlimited". Meaningless when
+  /// the request has no ResidencyBudgetMs. Public so clients reclaiming
+  /// abandoned work (the socket server) bound their waits by live SLA
+  /// math on the same — possibly virtual — timeline the engine enforces.
+  int64_t residencyRemainingMs() const {
+    return std::max<int64_t>(
+        Req.ResidencyBudgetMs - static_cast<int64_t>(sinceSubmitMs()), 0);
+  }
+
 private:
   friend class Engine;
 
-  explicit SynthJob(JobRequest R);
+  /// ExecStartUs value meaning "expired in queue before any task started"
+  /// (claimed by the engine's deadline sweep; excludes markStarted).
+  static constexpr int64_t ExpiredBeforeStartUs = -2;
 
-  /// Marks execution started (first caller wins); later calls no-op.
-  void markStarted();
+  SynthJob(JobRequest R, std::shared_ptr<const Clock> C);
+
+  /// Marks execution started (first caller wins; later calls no-op).
+  /// Returns false iff the engine's deadline sweep already expired the
+  /// job in queue — the task must not run, touch the result, or account
+  /// anything (the sweep accounted every task as skipped).
+  bool markStarted();
 
   /// Milliseconds of execution so far (0 before the first task starts).
   double execElapsedMs() const;
@@ -193,20 +218,24 @@ private:
     return Req.ResidencyBudgetMs > 0 && residencyRemainingMs() == 0;
   }
 
-  /// Milliseconds of residency SLA left; 0 once the SLA has expired
-  /// (callers must branch on residencyExpired()/a zero return rather
-  /// than pass the value to a budget field where 0 means "unlimited").
-  /// Meaningless when the request has no ResidencyBudgetMs.
-  int64_t residencyRemainingMs() const {
-    return std::max<int64_t>(
-        Req.ResidencyBudgetMs - static_cast<int64_t>(sinceSubmitMs()), 0);
+  /// Absolute clock instant (us) the residency SLA lapses. Only
+  /// meaningful when ResidencyBudgetMs > 0.
+  int64_t residencyDeadlineUs() const {
+    return SinceSubmit.startUs() + Req.ResidencyBudgetMs * 1000;
   }
 
   JobRequest Req;
+  /// The engine's time source. Shared ownership: a client can hold the
+  /// handle (and call waitFor) after the engine is gone.
+  std::shared_ptr<const Clock> Clk;
   std::atomic<bool> Cancel{false};
   std::atomic<unsigned> Remaining{0}; ///< tasks not yet finished
+  /// Exactly-once guard on finalization: the normal last-task path and
+  /// the deadline sweep's expire-in-queue path both publish through it.
+  std::atomic<bool> Finalized{false};
   Stopwatch SinceSubmit;
-  /// Microseconds from submission to first task start; -1 = not started.
+  /// Microseconds from submission to first task start; -1 = not started,
+  /// ExpiredBeforeStartUs = expired in queue (see markStarted).
   /// Anchors the per-job deadline and QueueMs/ExecMs.
   std::atomic<int64_t> ExecStartUs{-1};
 

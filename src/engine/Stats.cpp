@@ -7,11 +7,12 @@
 using namespace regel::engine;
 
 std::string StatsSnapshot::toJson() const {
-  char Buf[2048];
+  char Buf[3072];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"jobs\":{\"submitted\":%llu,\"completed\":%llu,\"solved\":%llu,"
-      "\"rejected\":%llu,\"deadline_expired\":%llu,"
+      "\"rejected\":%llu,\"shed_on_arrival\":%llu,\"expired_in_queue\":%llu,"
+      "\"deadline_expired\":%llu,"
       "\"residency_expired\":%llu},"
       "\"tasks\":{\"run\":%llu,\"skipped\":%llu,\"stopped\":%llu,"
       "\"stolen\":%llu,\"run_interactive\":%llu,\"run_batch\":%llu,"
@@ -24,9 +25,15 @@ std::string StatsSnapshot::toJson() const {
       "\"dfa_store\":{\"hits\":%llu,\"misses\":%llu,\"size\":%llu,"
       "\"cost\":%llu,\"evictions\":%llu},"
       "\"approx_store\":{\"hits\":%llu,\"misses\":%llu,\"size\":%llu,"
-      "\"evictions\":%llu}}",
+      "\"evictions\":%llu},"
+      "\"estimator\":{\"interactive_ms\":%.2f,\"batch_ms\":%.2f,"
+      "\"background_ms\":%.2f,\"blended_ms\":%.2f,"
+      "\"samples_interactive\":%llu,\"samples_batch\":%llu,"
+      "\"samples_background\":%llu}}",
       (unsigned long long)JobsSubmitted, (unsigned long long)JobsCompleted,
       (unsigned long long)JobsSolved, (unsigned long long)JobsRejected,
+      (unsigned long long)JobsShedOnArrival,
+      (unsigned long long)JobsExpiredInQueue,
       (unsigned long long)JobsDeadlineExpired,
       (unsigned long long)JobsResidencyExpired, (unsigned long long)TasksRun,
       (unsigned long long)TasksSkipped, (unsigned long long)TasksStopped,
@@ -46,6 +53,11 @@ std::string StatsSnapshot::toJson() const {
       (unsigned long long)ApproxStoreHits,
       (unsigned long long)ApproxStoreMisses,
       (unsigned long long)ApproxStoreSize,
-      (unsigned long long)ApproxStoreEvictions);
+      (unsigned long long)ApproxStoreEvictions,
+      EstimatorInteractiveMs, EstimatorBatchMs, EstimatorBackgroundMs,
+      EstimatorBlendedMs,
+      (unsigned long long)EstimatorSamplesInteractive,
+      (unsigned long long)EstimatorSamplesBatch,
+      (unsigned long long)EstimatorSamplesBackground);
   return Buf;
 }

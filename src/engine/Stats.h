@@ -30,9 +30,20 @@ struct StatsSnapshot {
   uint64_t JobsSubmitted = 0;
   uint64_t JobsCompleted = 0;
   uint64_t JobsSolved = 0;
-  uint64_t JobsRejected = 0; ///< shed by admission control, never ran
+  uint64_t JobsRejected = 0; ///< shed at the queue-depth high-water mark
   uint64_t JobsDeadlineExpired = 0;
   uint64_t JobsResidencyExpired = 0; ///< submit-anchored SLA missed
+
+  /// Shed at submit because the service-time estimator judged the
+  /// residency budget unmeetable (JobResult::ShedOnArrival). Disjoint
+  /// from JobsRejected and from JobsCompleted: every submission lands in
+  /// exactly one of {Rejected, ShedOnArrival, Completed}.
+  uint64_t JobsShedOnArrival = 0;
+
+  /// Queued jobs the deadline sweep expired before any task started —
+  /// a subset of JobsResidencyExpired (the rest expired lazily, at task
+  /// start or mid-run).
+  uint64_t JobsExpiredInQueue = 0;
   uint64_t TasksRun = 0;     ///< per-sketch tasks that executed a search
   uint64_t TasksSkipped = 0; ///< tasks cancelled before their search began
   uint64_t TasksStopped = 0; ///< subset of TasksRun cancelled mid-search
@@ -76,6 +87,16 @@ struct StatsSnapshot {
   uint64_t ApproxStoreSize = 0;
   uint64_t ApproxStoreEvictions = 0;
 
+  // Service-time estimator state (EWMA exec ms per class; negative =
+  // cold, no samples yet). What deadline-aware shedding decides on.
+  double EstimatorInteractiveMs = -1.0;
+  double EstimatorBatchMs = -1.0;
+  double EstimatorBackgroundMs = -1.0;
+  double EstimatorBlendedMs = -1.0;
+  uint64_t EstimatorSamplesInteractive = 0;
+  uint64_t EstimatorSamplesBatch = 0;
+  uint64_t EstimatorSamplesBackground = 0;
+
   /// Renders the snapshot as a single JSON object.
   std::string toJson() const;
 };
@@ -85,6 +106,8 @@ class EngineStats {
 public:
   void jobSubmitted() { add(JobsSubmitted); }
   void jobRejected() { add(JobsRejected); }
+  void jobShedOnArrival() { add(JobsShedOnArrival); }
+  void jobExpiredInQueue() { add(JobsExpiredInQueue); }
   void jobCompleted(bool Solved, bool DeadlineExpired,
                     bool ResidencyExpired) {
     add(JobsCompleted);
@@ -119,6 +142,8 @@ public:
     Out.JobsCompleted = get(JobsCompleted);
     Out.JobsSolved = get(JobsSolved);
     Out.JobsRejected = get(JobsRejected);
+    Out.JobsShedOnArrival = get(JobsShedOnArrival);
+    Out.JobsExpiredInQueue = get(JobsExpiredInQueue);
     Out.JobsDeadlineExpired = get(JobsDeadlineExpired);
     Out.JobsResidencyExpired = get(JobsResidencyExpired);
     Out.TasksRun = get(TasksRun);
@@ -148,7 +173,8 @@ private:
   }
 
   Counter JobsSubmitted{0}, JobsCompleted{0}, JobsSolved{0}, JobsRejected{0},
-      JobsDeadlineExpired{0}, JobsResidencyExpired{0};
+      JobsShedOnArrival{0}, JobsExpiredInQueue{0}, JobsDeadlineExpired{0},
+      JobsResidencyExpired{0};
   Counter TasksRun{0}, TasksSkipped{0}, TasksStopped{0}, SolutionsFound{0};
   Counter Pops{0}, Expansions{0}, PrunedInfeasible{0}, ConcreteChecked{0},
       SmtSolveCalls{0}, DfaGets{0}, DfaCompiles{0};

@@ -69,10 +69,13 @@ bool regel::engine::parsePriority(const std::string &Name, Priority &Out) {
 
 bool regel::engine::onPoolWorkerThread() { return OnAnyPoolWorker; }
 
-WorkerPool::WorkerPool(unsigned Threads, bool Fifo) : Fifo(Fifo) {
-  Threads = std::max(1u, Threads);
-  Workers.reserve(Threads);
-  for (unsigned I = 0; I < Threads; ++I)
+WorkerPool::WorkerPool(unsigned Threads, bool Fifo)
+    : NumThreads(Threads), Fifo(Fifo) {
+  // At least one deque set exists even with zero threads (the test-only
+  // queue-and-never-run mode), so submit() always has a target.
+  const unsigned Queues = std::max(1u, Threads);
+  Workers.reserve(Queues);
+  for (unsigned I = 0; I < Queues; ++I)
     Workers.push_back(std::make_unique<Worker>());
   for (unsigned I = 0; I < Threads; ++I)
     Workers[I]->Thread = std::thread([this, I] { workerLoop(I); });
@@ -248,7 +251,10 @@ void WorkerPool::workerLoop(unsigned Id) {
     // Re-check under IdleM: submit bumps WorkEpoch under the same mutex
     // after enqueueing, so either we see the new work here or the epoch
     // predicate below sees the bump — a missed notify cannot strand a
-    // task. The timeout is only a belt-and-braces backstop.
+    // task. The timeout is only a belt-and-braces backstop, and it is
+    // deliberately REAL time, not the engine's Clock seam: dispatch
+    // plumbing must keep moving under a ManualClock that never advances,
+    // or virtual-time tests could never get work executed at all.
     if (anyQueued() || Stop.load(std::memory_order_relaxed))
       continue;
     IdleCV.wait_for(Guard, std::chrono::milliseconds(50), [&] {

@@ -72,8 +72,13 @@ class WorkerPool {
 public:
   using Task = std::function<void()>;
 
-  /// Spawns \p Threads workers (at least one). With \p Fifo set, priority
-  /// classes are ignored and every task lands in one FIFO band per worker.
+  /// Spawns \p Threads workers. Zero is a deliberate degenerate mode for
+  /// deterministic tests: tasks are accepted and queued but no thread ever
+  /// pops them, so queue-state seams (admission, deadline sweeps, eager
+  /// expiry) can be exercised with full control; shutdown() still drains
+  /// everything on the caller's thread, honouring the no-stranded-task
+  /// contract. With \p Fifo set, priority classes are ignored and every
+  /// task lands in one FIFO band per worker.
   explicit WorkerPool(unsigned Threads, bool Fifo = false);
 
   /// Drains all queued tasks, then joins the workers (via shutdown()).
@@ -95,7 +100,7 @@ public:
   /// than one thread at a time.
   void shutdown();
 
-  unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
+  unsigned threadCount() const { return NumThreads; }
 
   /// True when called from one of this pool's worker threads.
   bool onWorkerThread() const;
@@ -135,7 +140,9 @@ private:
     return Fifo ? 0u : static_cast<unsigned>(P);
   }
 
-  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::unique_ptr<Worker>> Workers; ///< ≥1 (deques exist even
+                                                ///< in the 0-thread mode)
+  unsigned NumThreads = 0; ///< actual worker threads spawned
   const bool Fifo;
   std::atomic<bool> Stop{false};
   std::atomic<unsigned> NextQueue{0}; ///< round-robin cursor for external submits

@@ -12,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +38,8 @@ void splitCommand(const std::string &Line, std::string &Cmd,
 const char *statusName(const engine::JobResult &R) {
   if (R.Rejected)
     return "rejected";
+  if (R.ShedOnArrival)
+    return "shed";
   if (R.solved())
     return "solved";
   if (R.ResidencyExpired)
@@ -85,12 +88,32 @@ SocketServer::~SocketServer() {
   for (auto &KV : Pending)
     if (KV.second.Job)
       KV.second.Job->cancel();
-  size_t Await = Pending.size();
-  Stopwatch Drain;
-  while (Await > 0 && Drain.elapsedMs() < 60000 && Eng)
-    for (const engine::JobPtr &J : Eng->waitCompleted(100))
-      if (Pending.count(J.get()))
-        --Await; // foreign entries: dropped, per the sole-consumer contract
+  // The drain is bounded by LIVE deadline math, re-sampled through the
+  // engine's clock each turn: a job's residual SLA shrinks as the clock
+  // (real or manual) moves, so reclamation can never out-wait a budget
+  // that was sampled once at submit and then went stale — e.g. under a
+  // ManualClock, or across a process suspension. Jobs without an SLA get
+  // a fixed cap; cancelled jobs normally land in milliseconds and the
+  // bound is only a belt against an engine wedged elsewhere.
+  if (Eng) {
+    const Stopwatch Drain(Eng->clock().get());
+    while (!Pending.empty()) {
+      int64_t BoundMs = 5000; // grace for cancelled work to unwind
+      for (const auto &KV : Pending) {
+        if (!KV.second.Job)
+          continue;
+        const int64_t Sla = KV.second.Job->request().ResidencyBudgetMs;
+        BoundMs = std::max<int64_t>(
+            BoundMs,
+            Sla > 0 ? KV.second.Job->residencyRemainingMs() + 5000 : 60000);
+      }
+      if (Drain.elapsedMs() >= static_cast<double>(BoundMs))
+        break;
+      for (const engine::JobPtr &J : Eng->waitCompleted(100))
+        Pending.erase(J.get()); // foreign entries: dropped, per the
+                                // sole-consumer contract
+    }
+  }
   Pending.clear();
   for (auto &KV : Connections)
     if (KV.second.Fd >= 0)

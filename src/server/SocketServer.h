@@ -32,8 +32,10 @@
 //   solve              submit; ack "queued <id>"; completion later:
 //                        "answer <id> <regex>"            (0..TopK lines)
 //                        "done <id> <status> total_ms=<t> exec_ms=<e>"
-//                      status: solved | nosolution | rejected |
+//                      status: solved | nosolution | rejected | shed |
 //                              deadline | expired
+//                      (shed = deadline-aware admission judged the sla
+//                      unmeetable at submit; rejected = queue full)
 //   clear | stats | help | quit      as in the old REPL
 //   unknown commands: "error <msg>"
 //
@@ -183,7 +185,10 @@ private:
   uint64_t NextJobId = 1;
   /// After a hard accept() failure (EMFILE and friends) the listener is
   /// left out of the poll set until this stopwatch passes the backoff, so
-  /// a pending backlog entry cannot busy-spin the loop.
+  /// a pending backlog entry cannot busy-spin the loop. Deliberately REAL
+  /// time, not the engine's clock seam: accept backoff is I/O plumbing
+  /// that must keep moving even under a frozen ManualClock. Semantic time
+  /// (job SLA reclamation in the destructor) runs on the engine clock.
   Stopwatch ListenBackoff;
   bool ListenPaused = false;
   std::unordered_map<uint64_t, Connection> Connections; ///< by conn id

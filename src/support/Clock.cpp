@@ -1,0 +1,46 @@
+//===- support/Clock.cpp --------------------------------------------------===//
+
+#include "support/Clock.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace regel;
+
+const std::shared_ptr<const Clock> &Clock::steady() {
+  static const std::shared_ptr<const Clock> Instance =
+      std::make_shared<SteadyClock>();
+  return Instance;
+}
+
+int64_t SteadyClock::nowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool SteadyClock::waitFor(std::condition_variable &CV,
+                          std::unique_lock<std::mutex> &Lock,
+                          int64_t TimeoutMs,
+                          const std::function<bool()> &Pred) const {
+  return CV.wait_for(Lock,
+                     std::chrono::milliseconds(std::max<int64_t>(TimeoutMs, 0)),
+                     Pred);
+}
+
+bool ManualClock::waitFor(std::condition_variable &CV,
+                          std::unique_lock<std::mutex> &Lock,
+                          int64_t TimeoutMs,
+                          const std::function<bool()> &Pred) const {
+  const int64_t DeadlineUs = nowUs() + std::max<int64_t>(TimeoutMs, 0) * 1000;
+  for (;;) {
+    if (Pred())
+      return true;
+    if (nowUs() >= DeadlineUs)
+      return Pred();
+    // Short real-time slice: a notify on CV (the predicate's state changed)
+    // wakes us immediately; a virtual-clock advance is noticed at the next
+    // slice boundary. Real time never decides the outcome.
+    CV.wait_for(Lock, std::chrono::milliseconds(1));
+  }
+}

@@ -1,12 +1,18 @@
 //===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
 //
 // Part of the Regel reproduction. Deadline/stopwatch utilities used by the
-// search engine (time budgets) and the benchmark harnesses.
+// search engine (time budgets) and the benchmark harnesses. Both run on
+// the Clock seam: constructed bare they read std::chrono::steady_clock
+// directly (no indirection on the hot path), constructed with a Clock they
+// honour injected — possibly virtual — time, which is how the engine makes
+// every budget and SLA testable under a ManualClock.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef REGEL_SUPPORT_TIMER_H
 #define REGEL_SUPPORT_TIMER_H
+
+#include "support/Clock.h"
 
 #include <atomic>
 #include <chrono>
@@ -14,23 +20,36 @@
 
 namespace regel {
 
-/// A simple monotonic stopwatch.
+/// A simple monotonic stopwatch, optionally on an injected Clock.
 class Stopwatch {
 public:
-  Stopwatch() : Start(Clock::now()) {}
+  Stopwatch() : Clk(nullptr), StartUs(steadyNowUs()) {}
+
+  /// Runs on \p C (nullptr = steady clock). The clock must outlive the
+  /// stopwatch; owners that share a clock hold the shared_ptr themselves.
+  explicit Stopwatch(const Clock *C) : Clk(C), StartUs(now()) {}
 
   /// Restarts the stopwatch.
-  void reset() { Start = Clock::now(); }
+  void reset() { StartUs = now(); }
 
   /// Returns elapsed time in milliseconds.
   double elapsedMs() const {
-    return std::chrono::duration<double, std::milli>(Clock::now() - Start)
-        .count();
+    return static_cast<double>(now() - StartUs) / 1000.0;
   }
 
+  /// The instant (in the clock's microsecond epoch) the watch started.
+  int64_t startUs() const { return StartUs; }
+
 private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point Start;
+  static int64_t steadyNowUs() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  int64_t now() const { return Clk ? Clk->nowUs() : steadyNowUs(); }
+
+  const Clock *Clk;
+  int64_t StartUs;
 };
 
 /// A deadline that search loops poll to honour a time budget.
@@ -38,12 +57,16 @@ private:
 /// A non-positive budget means "no deadline". An optional cancellation flag
 /// (owned by the caller, e.g. an engine job) makes the deadline fire early:
 /// every loop that already polls its budget thereby honours cooperative
-/// cancellation without further plumbing.
+/// cancellation without further plumbing. An optional Clock makes the
+/// budget run on injected time (the engine passes its clock through
+/// SynthConfig so a search's budget expires on the same — possibly
+/// virtual — timeline as the job's SLA).
 class Deadline {
 public:
   explicit Deadline(int64_t BudgetMs = 0,
-                    const std::atomic<bool> *Cancel = nullptr)
-      : BudgetMs(BudgetMs), Cancel(Cancel) {}
+                    const std::atomic<bool> *Cancel = nullptr,
+                    const Clock *C = nullptr)
+      : Watch(C), BudgetMs(BudgetMs), Cancel(Cancel) {}
 
   /// Returns true once the budget is exhausted or cancellation was
   /// requested.

@@ -19,6 +19,7 @@
 
 namespace regel {
 
+class Clock;
 class DfaStore;
 class SketchApproxStore;
 
@@ -69,6 +70,12 @@ struct SynthConfig {
   /// as soon as the flag becomes true. The engine uses this to cancel
   /// sibling sketch tasks once a job has enough answers.
   const std::atomic<bool> *CancelFlag = nullptr;
+
+  /// Time source for BudgetMs and TimeMs (nullptr = steady clock, owned
+  /// by the caller and outliving the run). The engine passes its clock so
+  /// a search's wall budget expires on the same — possibly virtual —
+  /// timeline as the job's deadline and residency SLA.
+  const Clock *TimeSource = nullptr;
 
   /// Cross-run regex->DFA store consulted/filled by this run's DfaCache
   /// (thread-safe, owned by the engine; nullptr = run-local caching only).

@@ -113,8 +113,8 @@ bool Synthesizer::checkConcrete(const RegexPtr &R, const Examples &E,
 
 SynthResult Synthesizer::run(const SketchPtr &S, const Examples &E) {
   SynthResult Result;
-  Stopwatch Watch;
-  Deadline Budget(Cfg.BudgetMs, Cfg.CancelFlag);
+  Stopwatch Watch(Cfg.TimeSource);
+  Deadline Budget(Cfg.BudgetMs, Cfg.CancelFlag, Cfg.TimeSource);
   // Delta-based so a reused Synthesizer (persistent Cache) reports only
   // this run's DFA traffic.
   const uint64_t CacheHits0 = Cache.hits();

@@ -162,18 +162,48 @@ TEST(AsyncCallback, ExactlyOnceUnderCancelAndRegistrationRaces) {
 }
 
 TEST(AsyncWaitFor, TimesOutThenSucceeds) {
-  Engine Eng(EngineConfig{1, 4, nullptr});
-  // The worker is busy with a 400ms job, so the second job cannot finish
-  // within a 50ms timed wait.
-  JobPtr Busy = Eng.submit(slowRequest(400));
-  JobPtr J = Eng.submit(instantRequest());
-  std::optional<JobResult> Early = J->waitFor(50);
-  EXPECT_FALSE(Early.has_value());
-  EXPECT_FALSE(J->done());
-  std::optional<JobResult> Late = J->waitFor(30000);
-  ASSERT_TRUE(Late.has_value());
-  EXPECT_TRUE(Late->solved());
-  Busy->wait();
+  // Ported onto ManualClock: the timeout leg runs on a zero-worker engine
+  // (the job can never finish, so the nullopt outcome is deterministic)
+  // with a pump loop replacing the old 50 real ms; the success leg shows
+  // a blocked waitFor completing through the notify path with virtual
+  // time frozen. No sleeps anywhere.
+  auto MC = std::make_shared<ManualClock>();
+  {
+    EngineConfig EC{0, 4, nullptr};
+    EC.TimeSource = MC;
+    Engine Eng(EC);
+    JobPtr J = Eng.submit(instantRequest());
+    std::optional<JobResult> Early;
+    std::atomic<bool> Returned{false};
+    std::thread Waiter([&] {
+      Early = J->waitFor(50);
+      Returned.store(true);
+    });
+    // Pump virtual time until the 50ms (virtual) timeout fires. The job
+    // cannot complete — there are no workers — so the result is always a
+    // timeout, never a race.
+    for (Stopwatch RealCap;
+         !Returned.load() && RealCap.elapsedMs() < 20000;) {
+      MC->advanceMs(10);
+      std::this_thread::yield();
+    }
+    Waiter.join();
+    ASSERT_TRUE(Returned.load());
+    EXPECT_FALSE(Early.has_value());
+    EXPECT_FALSE(J->done());
+    J->cancel(); // teardown drains it as a skip, not a search
+  }
+  {
+    EngineConfig EC{1, 4, nullptr};
+    EC.TimeSource = MC;
+    Engine Eng(EC);
+    JobPtr J = Eng.submit(instantRequest());
+    // Virtual time never advances here: completion wakes the waiter
+    // through the notify path well before the (virtual) timeout.
+    std::optional<JobResult> Late = J->waitFor(30000);
+    ASSERT_TRUE(Late.has_value());
+    EXPECT_TRUE(Late->solved());
+  }
 }
 
 TEST(AsyncWaitFor, ZeroTimeoutIsAPoll) {

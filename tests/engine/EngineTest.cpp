@@ -212,8 +212,13 @@ TEST(EngineDeadline, ExpiredJobReportsIt) {
   // One worker, four tasks, contradictory examples (no consistent regex
   // exists, so only the deadline can end the job): the first task eats
   // the whole job budget, so the trailing tasks are deterministically
-  // skipped on the deadline path.
-  Engine Eng(EngineConfig{1, 4, nullptr});
+  // skipped on the deadline path. The 200ms budget is VIRTUAL — the test
+  // pumps a ManualClock in ticks instead of burning 200 real ms, and the
+  // worker's search observes the lapsing tick at its next deadline poll.
+  auto MC = std::make_shared<ManualClock>();
+  EngineConfig EC{1, 4, nullptr};
+  EC.TimeSource = MC;
+  Engine Eng(EC);
   Examples E;
   E.Pos = {"ab"};
   E.Neg = {"ab"};
@@ -223,6 +228,11 @@ TEST(EngineDeadline, ExpiredJobReportsIt) {
   R.E = E;
   R.BudgetMs = 200;
   JobPtr J = Eng.submit(std::move(R));
+  for (Stopwatch RealCap; !J->done() && RealCap.elapsedMs() < 20000;) {
+    MC->advanceMs(10);
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(J->done()) << "search never observed the virtual deadline";
   const JobResult &Result = J->wait();
   EXPECT_FALSE(Result.solved());
   EXPECT_TRUE(Result.DeadlineExpired);
@@ -231,6 +241,9 @@ TEST(EngineDeadline, ExpiredJobReportsIt) {
   // guarantee.
   EXPECT_EQ(Result.TasksRun + Result.TasksSkipped, 4u);
   EXPECT_LE(Result.TasksStopped, Result.TasksRun);
+  // Exec time is virtual and at least the budget: the job ended because
+  // 200 virtual ms elapsed, not because of any real-time margin.
+  EXPECT_GE(Result.ExecMs, 200.0);
 }
 
 TEST(EngineStress, ManyConcurrentJobsFromManyClients) {
@@ -408,11 +421,15 @@ TEST(EngineAdmission, HighWaterMarkHoldsUnderConcurrentSubmitters) {
 }
 
 TEST(EngineAdmission, ResidencyBudgetExpiresQueuedJob) {
-  // One worker. Job A burns ~500ms of execution on a contradiction; job B
-  // sits in the queue behind it with a 50ms submit-anchored SLA, so by the
-  // time B's task is picked up its residency budget is long gone and the
-  // task must be skipped without running a search.
-  Engine Eng(EngineConfig{1, 4, nullptr, {}, {}, 0});
+  // One worker. Job A burns 500 VIRTUAL ms of execution on a
+  // contradiction; job B sits in the queue behind it with a 50ms
+  // submit-anchored SLA, so B's residency lapses while A still runs and
+  // the deadline sweep expires B without ever handing it to the worker.
+  // Pumping a ManualClock replaces the old half-second of real waiting.
+  auto MC = std::make_shared<ManualClock>();
+  EngineConfig EC{1, 4, nullptr, {}, {}, 0};
+  EC.TimeSource = MC;
+  Engine Eng(EC);
   Examples Contradiction;
   Contradiction.Pos = {"ab"};
   Contradiction.Neg = {"ab"};
@@ -430,6 +447,13 @@ TEST(EngineAdmission, ResidencyBudgetExpiresQueuedJob) {
   B.ResidencyBudgetMs = 50;
   JobPtr JobB = Eng.submit(std::move(B));
 
+  for (Stopwatch RealCap;
+       !(JobA->done() && JobB->done()) && RealCap.elapsedMs() < 20000;) {
+    MC->advanceMs(10);
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(JobB->done());
+  ASSERT_TRUE(JobA->done());
   JobResult ResultB = JobB->wait();
   JobA->wait();
   EXPECT_FALSE(ResultB.solved());

@@ -325,6 +325,45 @@ TEST(SocketServer, HalfCloseClientStillGetsPipelinedAnswers) {
   EXPECT_TRUE(C.waitEof()) << "connection should close once answers landed";
 }
 
+TEST(SocketServer, ShedVerdictSurfacesOverTheWire) {
+  // Deadline-aware shedding end to end: prime the engine's estimator so
+  // an interactive query with a hopeless SLA is shed at submit, and the
+  // client reads a prompt "done <id> shed" verdict — distinct from
+  // "rejected" (queue full), with no answer lines.
+  ServerFixture F(/*Threads=*/1);
+  ASSERT_TRUE(F.started());
+  F.engine().estimator().recordSample(engine::Priority::Interactive, 500.0);
+
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(F.port()));
+  C.readLine(); // greeting
+  ASSERT_TRUE(C.sendLine("pos A12"));
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("pos Z99"));
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("neg 12"));
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("sla 50")); // estimate 500ms >> 50ms budget
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("solve"));
+  EXPECT_EQ(C.readLine().rfind("queued ", 0), 0u);
+  std::string Done = C.readUntil("done ");
+  ASSERT_NE(Done, "");
+  EXPECT_NE(Done.find(" shed "), std::string::npos) << Done;
+  for (const std::string &L : C.Skipped)
+    EXPECT_NE(L.rfind("answer ", 0), 0u) << "shed job produced an answer";
+  EXPECT_EQ(F.engine().snapshot().JobsShedOnArrival, 1u);
+
+  // Dropping the SLA lets the same query through and it solves normally.
+  ASSERT_TRUE(C.sendLine("sla 0"));
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("solve"));
+  EXPECT_EQ(C.readLine().rfind("queued ", 0), 0u);
+  Done = C.readUntil("done ");
+  ASSERT_NE(Done, "");
+  EXPECT_NE(Done.find(" solved "), std::string::npos) << Done;
+}
+
 TEST(SocketServer, AbandonedConnectionIsBoundedByJobBudget) {
   // TCP cannot distinguish an abandoning close() from a half-close that
   // still reads, so the server lets in-flight work run out its own

@@ -1,7 +1,7 @@
 //===- examples/regel_server.cpp - Event-driven synthesis server ----------===//
 //
 // Build & run:  ./build/examples/regel_server [port] [threads] [cache-cap]
-//                                             [high-water] [shed]
+//                                             [high-water] [shed] [backends]
 //
 // The socket front-end over the async engine API (src/server): one
 // poll()-based event loop serves every TCP client on [port] (default 7411,
@@ -23,6 +23,12 @@
 // so one client's batch fan-out cannot starve another's interactive
 // query.
 //
+// With [backends] > 1 (default 1) the server fronts a RouterService over
+// that many independent engines ([threads] workers EACH, separate capped
+// caches): jobs route by sketch-affinity hashing with least-estimated-
+// wait spillover — the in-process preview of the N-process sharded
+// deployment (see src/service/RouterService.h).
+//
 // Try it:
 //   ./build/examples/regel_server &
 //   nc 127.0.0.1 7411
@@ -38,12 +44,15 @@
 
 #include "engine/Engine.h"
 #include "server/SocketServer.h"
+#include "service/LocalService.h"
+#include "service/RouterService.h"
 
 #include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 using namespace regel;
 
@@ -79,6 +88,9 @@ int main(int argc, char **argv) {
     HighWater = static_cast<size_t>(std::atoll(argv[4]));
   if (argc > 5)
     Shed = std::atoi(argv[5]) != 0;
+  unsigned Backends = 1; // >1 = RouterService over N engines
+  if (argc > 6)
+    Backends = std::max(1u, static_cast<unsigned>(std::atoi(argv[6])));
 
   engine::EngineConfig EC;
   EC.Threads = Threads;
@@ -94,7 +106,20 @@ int main(int argc, char **argv) {
   // "shed" verdict when the estimator says the budget is hopeless, and
   // queued jobs expire the moment their SLA lapses.
   EC.DeadlineShedding = Shed;
-  auto Eng = std::make_shared<engine::Engine>(EC);
+
+  // One engine per backend, each with its own capped caches and
+  // admission knobs; a single backend skips the router entirely.
+  std::shared_ptr<service::SynthService> Svc;
+  if (Backends == 1) {
+    Svc = std::make_shared<service::LocalService>(
+        std::make_shared<engine::Engine>(EC));
+  } else {
+    std::vector<std::shared_ptr<service::SynthService>> Shards;
+    for (unsigned I = 0; I < Backends; ++I)
+      Shards.push_back(std::make_shared<service::LocalService>(
+          std::make_shared<engine::Engine>(EC)));
+    Svc = std::make_shared<service::RouterService>(std::move(Shards));
+  }
   auto Parser = std::make_shared<nlp::SemanticParser>();
 
   server::ServerConfig SC;
@@ -103,17 +128,18 @@ int main(int argc, char **argv) {
   SC.Defaults.BudgetMs = 5000;
   SC.Defaults.TopK = 1;
 
-  server::SocketServer Server(Parser, Eng, SC);
+  server::SocketServer Server(Parser, Svc, SC);
   if (!Server.start())
     return 1;
   ActiveServer.store(&Server);
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
 
-  std::printf("regel_server: listening on %s:%u — %u workers, cache cap "
-              "%zu, high-water %zu, shedding %s\n",
-              SC.BindAddr.c_str(), Server.port(), Eng->threadCount(),
-              CacheCap, HighWater, Shed ? "on" : "off");
+  std::printf("regel_server: listening on %s:%u — %u backend%s x %u "
+              "workers, cache cap %zu, high-water %zu, shedding %s\n",
+              SC.BindAddr.c_str(), Server.port(), Backends,
+              Backends == 1 ? "" : "s", Threads, CacheCap, HighWater,
+              Shed ? "on" : "off");
   std::fflush(stdout);
   Server.run();
   // Detach the handlers before Server's destructor runs: a second Ctrl-C

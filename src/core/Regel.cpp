@@ -20,9 +20,26 @@ engine::EngineConfig engineConfigFor(const RegelConfig &Cfg) {
   return EC;
 }
 
-engine::JobRequest requestFor(const RegelConfig &Cfg,
-                              std::vector<SketchPtr> Sketches,
-                              const Examples &E) {
+} // namespace
+
+std::vector<SketchPtr>
+regel::sketchesForDescription(nlp::SemanticParser &Parser,
+                              const std::string &Description,
+                              unsigned NumSketches) {
+  std::vector<nlp::ScoredSketch> Scored =
+      Parser.parse(Description, NumSketches);
+  std::vector<SketchPtr> Sketches;
+  Sketches.reserve(Scored.size());
+  for (nlp::ScoredSketch &S : Scored)
+    Sketches.push_back(std::move(S.Sketch));
+  if (Sketches.empty())
+    Sketches.push_back(Sketch::unconstrained()); // fall back to pure PBE
+  return Sketches;
+}
+
+engine::JobRequest regel::buildJobRequest(const RegelConfig &Cfg,
+                                          std::vector<SketchPtr> Sketches,
+                                          const Examples &E) {
   engine::JobRequest R;
   R.Sketches = std::move(Sketches);
   R.E = E;
@@ -35,8 +52,6 @@ engine::JobRequest requestFor(const RegelConfig &Cfg,
   R.EnqueueCompletion = Cfg.EnqueueCompletion;
   return R;
 }
-
-} // namespace
 
 RegelResult Regel::resultFromJob(const engine::JobResult &JR,
                                  std::vector<SketchPtr> Sketches) {
@@ -51,23 +66,17 @@ RegelResult Regel::resultFromJob(const engine::JobResult &JR,
 
 Regel::Regel(std::shared_ptr<nlp::SemanticParser> Parser, RegelConfig Cfg)
     : Parser(std::move(Parser)), Cfg(std::move(Cfg)),
-      Eng(std::make_shared<engine::Engine>(engineConfigFor(this->Cfg))) {}
+      Svc(std::make_shared<service::LocalService>(
+          std::make_shared<engine::Engine>(engineConfigFor(this->Cfg)))) {}
 
 Regel::Regel(std::shared_ptr<nlp::SemanticParser> Parser, RegelConfig Cfg,
              std::shared_ptr<engine::Engine> Eng)
-    : Parser(std::move(Parser)), Cfg(std::move(Cfg)), Eng(std::move(Eng)) {}
+    : Parser(std::move(Parser)), Cfg(std::move(Cfg)),
+      Svc(std::make_shared<service::LocalService>(std::move(Eng))) {}
 
 std::vector<SketchPtr>
 Regel::sketchesFor(const std::string &Description) const {
-  std::vector<nlp::ScoredSketch> Scored =
-      Parser->parse(Description, Cfg.NumSketches);
-  std::vector<SketchPtr> Sketches;
-  Sketches.reserve(Scored.size());
-  for (nlp::ScoredSketch &S : Scored)
-    Sketches.push_back(std::move(S.Sketch));
-  if (Sketches.empty())
-    Sketches.push_back(Sketch::unconstrained()); // fall back to pure PBE
-  return Sketches;
+  return sketchesForDescription(*Parser, Description, Cfg.NumSketches);
 }
 
 RegelResult Regel::synthesize(const std::string &Description,
@@ -88,7 +97,7 @@ engine::JobPtr Regel::submit(const std::string &Description,
 
 engine::JobPtr Regel::submitSketches(std::vector<SketchPtr> Sketches,
                                      const Examples &E) const {
-  return Eng->submit(requestFor(Cfg, std::move(Sketches), E));
+  return Svc->submitJob(buildJobRequest(Cfg, std::move(Sketches), E));
 }
 
 RegelResult Regel::synthesizeFromSketches(
@@ -122,8 +131,8 @@ Regel::synthesizeBatch(const std::vector<RegelQuery> &Queries) const {
   std::condition_variable DoneCV;
   size_t Remaining = N;
   for (size_t I = 0; I < N; ++I) {
-    engine::JobPtr J = Eng->submit(requestFor(Cfg, SketchLists[I],
-                                              Queries[I].E));
+    engine::JobPtr J =
+        Svc->submitJob(buildJobRequest(Cfg, SketchLists[I], Queries[I].E));
     J->onComplete([&, I](const engine::JobResult &JR) {
       std::lock_guard<std::mutex> Guard(DoneM);
       JobResults[I] = JR;

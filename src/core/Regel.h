@@ -3,12 +3,15 @@
 // Part of the Regel reproduction. The end-to-end tool of Sec. 6: parse the
 // English description into a ranked list of h-sketches, run one PBE engine
 // instance per sketch (the paper runs 25 in parallel), and return up to k
-// consistent regexes. Since the engine rewire, the per-sketch runs execute
-// as jobs on a persistent engine::Engine — a shared work-stealing worker
-// pool with cross-run caches — instead of ad-hoc threads per request; many
-// Regel instances (or a server) can share one engine. submit() exposes the
-// engine's async job handle directly, so event-driven clients (the socket
-// server) parse once and complete via continuations instead of blocking.
+// consistent regexes. Since the service rewire, the driver runs on the
+// service layer: every Regel owns (or shares) a service::LocalService —
+// the SynthService adapter over a persistent engine::Engine — and the
+// request-building pipeline (description -> sketches -> JobRequest) is
+// exposed as free functions so ticket-based service clients (the socket
+// server, the router benches) build byte-for-byte the same jobs the
+// blocking driver does. submit() still returns the rich in-process job
+// handle (via LocalService::submitJob), so handle-based clients coexist
+// with a completion-stream consumer on the same engine.
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +20,7 @@
 
 #include "engine/Job.h"
 #include "nlp/SemanticParser.h"
+#include "service/LocalService.h"
 #include "synth/Synthesizer.h"
 
 #include <memory>
@@ -85,6 +89,23 @@ struct RegelQuery {
   Examples E;
 };
 
+/// Parses \p Description into the ranked sketch list a Regel driver
+/// searches: up to \p NumSketches parser outputs, falling back to the
+/// unconstrained sketch (pure PBE) when parsing yields nothing. This IS
+/// the driver's sketch pipeline — the socket server's solve path calls
+/// it directly so wire queries and API queries search identical sketch
+/// lists.
+std::vector<SketchPtr>
+sketchesForDescription(nlp::SemanticParser &Parser,
+                       const std::string &Description, unsigned NumSketches);
+
+/// Builds the engine request a RegelConfig implies for \p Sketches and
+/// \p E (priority, budgets, SLA, determinism, completion flags). Shared
+/// by the blocking driver and every service client.
+engine::JobRequest buildJobRequest(const RegelConfig &Cfg,
+                                   std::vector<SketchPtr> Sketches,
+                                   const Examples &E);
+
 /// The multi-modal synthesizer.
 class Regel {
 public:
@@ -136,14 +157,23 @@ public:
   const RegelConfig &config() const { return Cfg; }
 
   /// The engine this driver runs on.
-  const std::shared_ptr<engine::Engine> &engine() const { return Eng; }
+  const std::shared_ptr<engine::Engine> &engine() const {
+    return Svc->engine();
+  }
+
+  /// The driver's service adapter: hand this to a SocketServer or a
+  /// RouterService to serve ticket-based clients from the same engine
+  /// (respecting the adapter's single-consumer completion contract).
+  const std::shared_ptr<service::LocalService> &service() const {
+    return Svc;
+  }
 
 private:
   std::vector<SketchPtr> sketchesFor(const std::string &Description) const;
 
   std::shared_ptr<nlp::SemanticParser> Parser;
   RegelConfig Cfg;
-  std::shared_ptr<engine::Engine> Eng;
+  std::shared_ptr<service::LocalService> Svc;
 };
 
 } // namespace regel

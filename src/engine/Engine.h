@@ -155,6 +155,16 @@ public:
   /// The engine's time source (never null; defaults to Clock::steady()).
   const std::shared_ptr<const Clock> &clock() const { return Clk; }
 
+  /// Earliest residency deadline among queued SLA jobs, as an absolute
+  /// engine-clock instant in us (INT64_MAX when none). Lock-free read of
+  /// the sweep's advisory atomic: an event loop bounds its poll timeout
+  /// by this so eager-expiry verdicts surface when they are due instead
+  /// of at the next fixed-interval tick (the timer half of the deadline
+  /// sweep; dispatch/submit/poll remain the event-driven half).
+  int64_t nextResidencyDeadlineUs() const {
+    return NextResidencyDeadlineUs.load(std::memory_order_acquire);
+  }
+
   /// The service-time estimator behind deadline-aware shedding. Exposed
   /// so tests can prime known estimates deterministically and monitoring
   /// can read convergence; production code only feeds it via completions.

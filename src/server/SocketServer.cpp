@@ -2,8 +2,9 @@
 
 #include "server/SocketServer.h"
 
-#include "engine/Engine.h"
 #include "regex/Printer.h"
+#include "service/LocalService.h"
+#include "sketch/SketchParser.h"
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -14,11 +15,17 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 using namespace regel;
 using namespace regel::server;
+using regel::protocol::ErrorCode;
+using regel::protocol::Request;
+using regel::protocol::Response;
+using regel::protocol::Version;
 
 namespace {
 
@@ -27,32 +34,13 @@ bool setNonBlocking(int Fd) {
   return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
 }
 
-/// Splits "cmd arg..." on the first space.
-void splitCommand(const std::string &Line, std::string &Cmd,
-                  std::string &Arg) {
-  size_t Space = Line.find(' ');
-  Cmd = Line.substr(0, Space);
-  Arg = Space == std::string::npos ? "" : Line.substr(Space + 1);
+Response errorResponse(ErrorCode Err, std::string Detail = "") {
+  Response R;
+  R.K = Response::Kind::Error;
+  R.Err = Err;
+  R.Detail = std::move(Detail);
+  return R;
 }
-
-const char *statusName(const engine::JobResult &R) {
-  if (R.Rejected)
-    return "rejected";
-  if (R.ShedOnArrival)
-    return "shed";
-  if (R.solved())
-    return "solved";
-  if (R.ResidencyExpired)
-    return "expired";
-  if (R.DeadlineExpired)
-    return "deadline";
-  return "nosolution";
-}
-
-const char HelpText[] =
-    "commands: desc <text> | pos <str> | neg <str> | topk <k> |\n"
-    "          budget <ms> | sla <ms> | priority <class> | solve |\n"
-    "          clear | stats | help | quit\n";
 
 } // namespace
 
@@ -64,55 +52,51 @@ SocketServer::WakePipe::~WakePipe() {
 }
 
 SocketServer::SocketServer(std::shared_ptr<nlp::SemanticParser> Parser,
-                           std::shared_ptr<engine::Engine> Eng,
+                           std::shared_ptr<service::SynthService> Svc,
                            ServerConfig Cfg)
-    : Parser(std::move(Parser)), Eng(std::move(Eng)), Cfg(std::move(Cfg)) {
-  // Every job this server submits must surface in pollCompleted.
+    : Parser(std::move(Parser)), Svc(std::move(Svc)), Cfg(std::move(Cfg)) {
+  // Completion delivery is the service's ticket stream either way; the
+  // flag only matters for handle-based engine clients sharing the
+  // engine, and keeping it set preserves the historical defaults.
   this->Cfg.Defaults.EnqueueCompletion = true;
 }
 
+SocketServer::SocketServer(std::shared_ptr<nlp::SemanticParser> Parser,
+                           std::shared_ptr<engine::Engine> Eng,
+                           ServerConfig Cfg)
+    : SocketServer(std::move(Parser),
+                   std::make_shared<service::LocalService>(std::move(Eng)),
+                   std::move(Cfg)) {}
+
 SocketServer::~SocketServer() {
-  // In-flight jobs keep running on the engine; cancel them so they stop
-  // burning workers for clients nobody will answer. Their continuations
-  // share ownership of the wake pipe, so a late completion writes into a
-  // still-open (merely undrained) pipe, never a recycled fd. Then drain
-  // OUR remaining completion-queue entries (every Pending job opted in,
-  // and run() routes what it drains in the same turn, so Pending is
-  // exactly the not-yet-drained set): a shared long-lived engine must
-  // not be left holding orphaned completions. waitCompleted — not
-  // wait()-then-pollCompleted — because a job becomes waitable an
-  // instant before it becomes pollable; only seeing the entry in a
-  // drain proves it left the queue. Cancelled jobs finish fast (queued
-  // tasks skip, running searches stop at their next poll), so the loop
-  // is short; the deadline is a belt against an engine wedged elsewhere.
-  for (auto &KV : Pending)
-    if (KV.second.Job)
-      KV.second.Job->cancel();
-  // The drain is bounded by LIVE deadline math, re-sampled through the
-  // engine's clock each turn: a job's residual SLA shrinks as the clock
-  // (real or manual) moves, so reclamation can never out-wait a budget
-  // that was sampled once at submit and then went stale — e.g. under a
-  // ManualClock, or across a process suspension. Jobs without an SLA get
-  // a fixed cap; cancelled jobs normally land in milliseconds and the
-  // bound is only a belt against an engine wedged elsewhere.
-  if (Eng) {
-    const Stopwatch Drain(Eng->clock().get());
-    while (!Pending.empty()) {
-      int64_t BoundMs = 5000; // grace for cancelled work to unwind
-      for (const auto &KV : Pending) {
-        if (!KV.second.Job)
-          continue;
-        const int64_t Sla = KV.second.Job->request().ResidencyBudgetMs;
-        BoundMs = std::max<int64_t>(
-            BoundMs,
-            Sla > 0 ? KV.second.Job->residencyRemainingMs() + 5000 : 60000);
-      }
-      if (Drain.elapsedMs() >= static_cast<double>(BoundMs))
-        break;
-      for (const engine::JobPtr &J : Eng->waitCompleted(100))
-        Pending.erase(J.get()); // foreign entries: dropped, per the
-                                // sole-consumer contract
+  // In-flight tickets keep running on the backend; cancel them so they
+  // stop burning workers for clients nobody will answer, then drain OUR
+  // remaining completions (run() routes what it drains in the same turn,
+  // so Pending is exactly the not-yet-drained set): a shared long-lived
+  // service must not be left holding orphaned completions. Cancelled
+  // jobs finish fast (queued tasks skip, running searches stop at their
+  // next poll) and SLA-carrying jobs are expired eagerly by the engine's
+  // own deadline sweep, so the loop is short; the real-time cap is only
+  // a belt against a backend wedged elsewhere.
+  if (Svc) {
+    for (const auto &KV : Pending)
+      Svc->cancel(KV.first);
+    // Drain with non-blocking polls + real sleeps, NOT waitCompleted:
+    // a LocalService's waitCompleted times out on the ENGINE clock, so
+    // one call against a frozen ManualClock backend would never return
+    // and no outer cap could fire. pollCompleted never blocks, which
+    // makes the real-time cap genuinely enforceable whatever clock the
+    // backend runs on.
+    const Stopwatch Drain; // real time
+    while (!Pending.empty() && Drain.elapsedMs() < 60000) {
+      for (const service::Completion &C : Svc->pollCompleted())
+        Pending.erase(C.Id);
+      if (!Pending.empty())
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
+    // Detach the wakeup: the service may outlive this server and be
+    // handed to another front-end.
+    Svc->setWakeup(nullptr);
   }
   Pending.clear();
   for (auto &KV : Connections)
@@ -137,6 +121,15 @@ bool SocketServer::start() {
   setNonBlocking(Pipe->Wr);
   Wake = std::move(Pipe);
   WakeWrFd.store(Wake->Wr, std::memory_order_release);
+
+  // The service's wakeup hook is the only cross-thread touch point: it
+  // writes one byte so a completion breaks poll() immediately. The pipe
+  // is captured by shared ownership, so even a completion that outlives
+  // the server writes a still-open fd.
+  Svc->setWakeup([Pipe = Wake] {
+    char B = 'c';
+    (void)!::write(Pipe->Wr, &B, 1);
+  });
 
   ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (ListenFd < 0) {
@@ -192,6 +185,23 @@ void SocketServer::drainWakePipe() {
   }
 }
 
+int SocketServer::pollTimeoutMs() const {
+  // 1s is the keep-alive backstop against a lost wakeup. With jobs in
+  // flight, bound it by the service's earliest residency deadline so the
+  // next loop turn — whose pollCompleted() sweeps the engine's deadline
+  // heap — runs the moment an SLA lapses, not up to a second later. This
+  // is the timer-driven half of eager expiry; submit/dispatch/poll
+  // events remain the event-driven half. With nothing pending there is
+  // no verdict to deliver, so skip the health read entirely.
+  if (Pending.empty())
+    return 1000;
+  const service::ServiceHealth H = Svc->health();
+  if (H.NextDeadlineDeltaMs < 0)
+    return 1000;
+  return static_cast<int>(
+      std::min<int64_t>(std::max<int64_t>(H.NextDeadlineDeltaMs, 1), 1000));
+}
+
 void SocketServer::run() {
   std::vector<pollfd> Fds;
   std::vector<uint64_t> FdConn; // conn id per Fds slot (0 for the fixed fds)
@@ -219,15 +229,16 @@ void SocketServer::run() {
       FdConn.push_back(KV.first);
     }
 
-    // The self-pipe makes completions prompt; the timeout is only a
-    // backstop against a lost wakeup.
-    int N = ::poll(Fds.data(), static_cast<nfds_t>(Fds.size()), 1000);
+    // The self-pipe makes completions prompt; the timeout backstops a
+    // lost wakeup and doubles as the deadline-sweep timer.
+    int N = ::poll(Fds.data(), static_cast<nfds_t>(Fds.size()),
+                   pollTimeoutMs());
     if (N < 0 && errno != EINTR)
       break;
 
     drainWakePipe();
-    for (const engine::JobPtr &J : Eng->pollCompleted())
-      routeCompletion(J);
+    for (const service::Completion &C : Svc->pollCompleted())
+      routeCompletion(C);
 
     if (Fds[0].revents & POLLIN)
       acceptClients();
@@ -283,8 +294,11 @@ void SocketServer::acceptClients() {
     }
     setNonBlocking(Fd);
     if (Cfg.MaxConnections && Connections.size() >= Cfg.MaxConnections) {
-      const char Msg[] = "error server full\n";
-      (void)::send(Fd, Msg, sizeof(Msg) - 1, MSG_NOSIGNAL);
+      std::string Msg =
+          protocol::encodeResponse(errorResponse(ErrorCode::ServerFull),
+                                   Version::V1) +
+          "\n";
+      (void)::send(Fd, Msg.data(), Msg.size(), MSG_NOSIGNAL);
       ::close(Fd);
       continue;
     }
@@ -295,8 +309,9 @@ void SocketServer::acceptClients() {
     uint64_t Id = C.Id;
     auto Inserted = Connections.emplace(Id, std::move(C));
     NumConnections.store(Connections.size(), std::memory_order_relaxed);
-    queueOutput(Inserted.first->second,
-                "regel ready; 'help' lists commands\n");
+    Response Hello;
+    Hello.K = Response::Kind::Greeting;
+    respond(Inserted.first->second, Hello, Version::V1);
   }
 }
 
@@ -339,7 +354,7 @@ void SocketServer::readClient(Connection &C) {
       C.In.clear();
       C.In.shrink_to_fit();
       cancelInFlight(C);
-      queueOutput(C, "error line too long\n");
+      respond(C, errorResponse(ErrorCode::LineTooLong), Version::V1);
       return;
     }
   }
@@ -370,100 +385,277 @@ void SocketServer::readClient(Connection &C) {
 }
 
 void SocketServer::handleLine(Connection &C, const std::string &Line) {
-  std::string Cmd, Arg;
-  splitCommand(Line, Cmd, Arg);
+  Request Req;
+  const ErrorCode Err = protocol::decodeRequest(Line, Req);
+  if (Req.V == Version::V2)
+    handleV2(C, Req, Err);
+  else
+    handleV1(C, Req, Err);
+}
 
-  if (Cmd.empty())
+void SocketServer::handleV1(Connection &C, const Request &Req,
+                            ErrorCode Err) {
+  if (Err != ErrorCode::None) {
+    // The codec hands back the offending token (command name / priority
+    // text) so the historical free-text errors stay byte-identical.
+    respond(C, errorResponse(Err, Req.Text), Version::V1);
     return;
-  if (Cmd == "quit" || Cmd == "exit") {
+  }
+  Response Ok;
+  Ok.K = Response::Kind::Ok;
+  switch (Req.K) {
+  case Request::Kind::None:
+    return;
+  case Request::Kind::Quit: {
     C.QuitSeen = true;
     C.CloseAfterFlush = true;
-    queueOutput(C, "bye\n");
+    Response Bye;
+    Bye.K = Response::Kind::Bye;
+    respond(C, Bye, Version::V1);
     return;
   }
-  if (Cmd == "help") {
-    queueOutput(C, HelpText);
-  } else if (Cmd == "desc") {
-    C.Description = Arg;
-    queueOutput(C, "ok\n");
-  } else if (Cmd == "pos") {
-    C.E.Pos.push_back(Arg);
-    queueOutput(C, "ok\n");
-  } else if (Cmd == "neg") {
-    C.E.Neg.push_back(Arg);
-    queueOutput(C, "ok\n");
-  } else if (Cmd == "topk") {
-    C.Cfg.TopK = static_cast<unsigned>(std::max(1, std::atoi(Arg.c_str())));
-    queueOutput(C, "ok\n");
-  } else if (Cmd == "budget") {
-    C.Cfg.BudgetMs = std::max(1, std::atoi(Arg.c_str()));
-    queueOutput(C, "ok\n");
-  } else if (Cmd == "sla") {
-    C.Cfg.ResidencyBudgetMs = std::max(0, std::atoi(Arg.c_str()));
-    queueOutput(C, "ok\n");
-  } else if (Cmd == "priority") {
-    engine::Priority P;
-    if (!engine::parsePriority(Arg, P)) {
-      queueOutput(C, "error unknown priority '" + Arg +
-                         "' (interactive|batch|background)\n");
-      return;
-    }
-    C.Cfg.Pri = P;
-    queueOutput(C, "ok\n");
-  } else if (Cmd == "clear") {
+  case Request::Kind::Help: {
+    Response Help;
+    Help.K = Response::Kind::Help;
+    respond(C, Help, Version::V1);
+    return;
+  }
+  case Request::Kind::Desc:
+    C.Description = Req.Text;
+    respond(C, Ok, Version::V1);
+    return;
+  case Request::Kind::Pos:
+    C.E.Pos.push_back(Req.Text);
+    respond(C, Ok, Version::V1);
+    return;
+  case Request::Kind::Neg:
+    C.E.Neg.push_back(Req.Text);
+    respond(C, Ok, Version::V1);
+    return;
+  case Request::Kind::TopK:
+    C.Cfg.TopK = static_cast<unsigned>(
+        std::max<int64_t>(1, Req.Int));
+    respond(C, Ok, Version::V1);
+    return;
+  case Request::Kind::Budget:
+    C.Cfg.BudgetMs = std::max<int64_t>(1, Req.Int);
+    respond(C, Ok, Version::V1);
+    return;
+  case Request::Kind::Sla:
+    C.Cfg.ResidencyBudgetMs = std::max<int64_t>(0, Req.Int);
+    respond(C, Ok, Version::V1);
+    return;
+  case Request::Kind::Priority:
+    C.Cfg.Pri = Req.Pri;
+    respond(C, Ok, Version::V1);
+    return;
+  case Request::Kind::Clear:
     C.Description.clear();
     C.E = Examples();
-    queueOutput(C, "ok\n");
-  } else if (Cmd == "stats") {
-    queueOutput(C, "stats " + Eng->snapshot().toJson() + "\n");
-  } else if (Cmd == "solve") {
-    submitSolve(C);
-  } else {
-    queueOutput(C, "error unknown command '" + Cmd + "'\n");
+    respond(C, Ok, Version::V1);
+    return;
+  case Request::Kind::Stats: {
+    Response R;
+    R.K = Response::Kind::Stats;
+    R.Detail = Svc->statsJson();
+    respond(C, R, Version::V1);
+    return;
   }
+  case Request::Kind::Solve:
+    submitSolve(C);
+    return;
+  case Request::Kind::Submit:
+  case Request::Kind::Cancel:
+  case Request::Kind::Health:
+    // Unreachable: the decoder only produces these for v2 frames.
+    respond(C, errorResponse(ErrorCode::UnknownCommand, ""), Version::V1);
+    return;
+  }
+}
+
+void SocketServer::trackTicket(Connection &C, service::Ticket T,
+                               uint64_t WireId, Version V) {
+  Pending[T] = {C.Id, WireId, V};
+  C.InFlight.push_back(T);
 }
 
 void SocketServer::submitSolve(Connection &C) {
   if (C.E.Pos.empty() && C.Description.empty()) {
-    queueOutput(C, "error nothing to solve: give desc and/or examples\n");
+    respond(C, errorResponse(ErrorCode::NothingToSolve), Version::V1);
+    return;
+  }
+  if (Cfg.MaxInflightPerConn &&
+      C.InFlight.size() >= Cfg.MaxInflightPerConn) {
+    // The per-connection cap: this client already holds its share of the
+    // engine's queue slots; finish (or read) something first. Answered
+    // inline so the client learns immediately, without burning a slot.
+    respond(C, errorResponse(ErrorCode::Busy), Version::V1);
     return;
   }
   const uint64_t JobId = NextJobId++;
 
-  // A fresh Regel per query is deliberate: drivers are disposable config
-  // holders, the persistent state lives in Eng and Parser. Parsing the
-  // description runs here on the loop thread (it is milliseconds); the
-  // search itself is what submit hands to the pool.
-  Regel Tool(Parser, C.Cfg, Eng);
-  engine::JobPtr J = Tool.submit(C.Description, C.E);
+  // Parsing the description runs here on the loop thread (it is
+  // milliseconds); the search itself is what the ticket hands to the
+  // backend. The pipeline is the Regel driver's own, so wire queries
+  // search exactly the sketch lists API queries do.
+  std::vector<SketchPtr> Sketches =
+      sketchesForDescription(*Parser, C.Description, C.Cfg.NumSketches);
+  service::Ticket T =
+      Svc->submit(buildJobRequest(C.Cfg, std::move(Sketches), C.E));
+  trackTicket(C, T, JobId, Version::V1);
 
-  Pending[J.get()] = {C.Id, JobId, J};
-  C.InFlight.push_back(J);
-
-  // The continuation's only duty is to break poll(): the loop thread owns
-  // all connection state, so completion handling happens there, via
-  // pollCompleted. The pipe is captured by shared ownership, so even a
-  // completion that outlives the server writes a still-open fd.
-  std::shared_ptr<WakePipe> Pipe = Wake;
-  J->onComplete([Pipe](const engine::JobResult &) {
-    char B = 'c';
-    (void)!::write(Pipe->Wr, &B, 1);
-  });
-
-  char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "queued %llu\n",
-                static_cast<unsigned long long>(JobId));
-  queueOutput(C, Buf);
-
-  // The job may already be complete (e.g. rejected by admission control):
-  // its queue entry is drained on the next loop turn either way — the
-  // wakeup byte written by the continuation guarantees one.
+  Response R;
+  R.K = Response::Kind::Queued;
+  R.Id = JobId;
+  respond(C, R, Version::V1);
+  // The job may already be complete (e.g. rejected by admission
+  // control): its completion is drained on the next loop turn either way
+  // — the service wakeup byte guarantees one.
 }
 
-void SocketServer::routeCompletion(const engine::JobPtr &J) {
-  auto PIt = Pending.find(J.get());
+void SocketServer::handleV2(Connection &C, const Request &Req,
+                            ErrorCode Err) {
+  if (Err != ErrorCode::None) {
+    // Echo whatever id the decoder recovered (it parses id before the
+    // failing field in well-formed-prefix frames), so a machine client
+    // fails exactly that ticket instead of hanging it.
+    Response R = errorResponse(Err, Req.Text);
+    R.Id = Req.Id;
+    respond(C, R, Version::V2);
+    return;
+  }
+  switch (Req.K) {
+  case Request::Kind::Submit:
+    submitV2(C, Req);
+    return;
+  case Request::Kind::Cancel: {
+    for (service::Ticket T : C.InFlight) {
+      auto It = Pending.find(T);
+      if (It != Pending.end() && It->second.V == Version::V2 &&
+          It->second.JobId == Req.Id) {
+        Svc->cancel(T);
+        Response Ok;
+        Ok.K = Response::Kind::Ok;
+        respond(C, Ok, Version::V2);
+        return;
+      }
+    }
+    Response NotFound = errorResponse(ErrorCode::UnknownId);
+    NotFound.Id = Req.Id;
+    respond(C, NotFound, Version::V2);
+    return;
+  }
+  case Request::Kind::Stats: {
+    Response R;
+    R.K = Response::Kind::Stats;
+    R.Detail = Svc->statsJson();
+    respond(C, R, Version::V2);
+    return;
+  }
+  case Request::Kind::Health: {
+    const service::ServiceHealth H = Svc->health();
+    Response R;
+    R.K = Response::Kind::Health;
+    R.Healthy = H.Healthy;
+    R.QueueDepth = H.QueueDepth;
+    R.Workers = H.Workers;
+    R.EstWaitMs = H.EstWaitMs;
+    R.NextDeadlineMs = H.NextDeadlineDeltaMs;
+    respond(C, R, Version::V2);
+    return;
+  }
+  default:
+    respond(C, errorResponse(ErrorCode::UnknownCommand, Req.Text),
+            Version::V2);
+    return;
+  }
+}
+
+void SocketServer::submitV2(Connection &C, const Request &Req) {
+  // Submit-context errors echo the frame's id (the codec's optional
+  // `id=` on error responses), so a machine client can fail exactly
+  // that ticket instead of waiting for a completion that never comes.
+  auto Refuse = [&](ErrorCode Err, std::string Detail = "") {
+    Response R = errorResponse(Err, std::move(Detail));
+    R.Id = Req.Id;
+    respond(C, R, Version::V2);
+  };
+  // The wire id namespace is per connection and per version; a reused id
+  // with a job still in flight would make its completions ambiguous.
+  for (service::Ticket T : C.InFlight) {
+    auto It = Pending.find(T);
+    if (It != Pending.end() && It->second.V == Version::V2 &&
+        It->second.JobId == Req.Id) {
+      Refuse(ErrorCode::DuplicateId);
+      return;
+    }
+  }
+  if (Cfg.MaxInflightPerConn &&
+      C.InFlight.size() >= Cfg.MaxInflightPerConn) {
+    Refuse(ErrorCode::Busy);
+    return;
+  }
+
+  // Explicit sketches take precedence (the RemoteService path: the
+  // client already holds parsed sketches); otherwise the description
+  // runs through the same parser pipeline as v1 solve.
+  std::vector<SketchPtr> Sketches;
+  for (const std::string &Text : Req.Sketches) {
+    std::string ParseErr;
+    SketchPtr S = parseSketch(Text, &ParseErr);
+    if (!S) {
+      Refuse(ErrorCode::BadArgument, "sketch: " + ParseErr);
+      return;
+    }
+    Sketches.push_back(std::move(S));
+  }
+  if (Sketches.empty()) {
+    if (Req.Text.empty() && Req.Pos.empty()) {
+      Refuse(ErrorCode::NothingToSolve);
+      return;
+    }
+    Sketches = sketchesForDescription(*Parser, Req.Text, C.Cfg.NumSketches);
+  }
+
+  // ONE request builder for every path: start from what a v1 solve on
+  // this connection would submit (buildJobRequest over the connection
+  // defaults — including the default residency SLA), then apply only
+  // the fields the frame explicitly set. A new JobRequest knob added to
+  // buildJobRequest is inherited here automatically instead of being
+  // silently dropped on the wire path.
+  Examples E;
+  E.Pos = Req.Pos;
+  E.Neg = Req.Neg;
+  engine::JobRequest R = buildJobRequest(C.Cfg, std::move(Sketches), E);
+  if (Req.TopK > 0)
+    R.TopK = Req.TopK;
+  if (Req.HasPri)
+    R.Pri = Req.Pri;
+  if (Req.BudgetMs >= 0)
+    R.BudgetMs = Req.BudgetMs;
+  if (Req.PerSketchBudgetMs > 0)
+    R.PerSketchBudgetMs = Req.PerSketchBudgetMs;
+  if (Req.SlaMs >= 0) // sla=0 explicitly disables the default SLA
+    R.ResidencyBudgetMs = Req.SlaMs;
+  if (Req.MaxPops > 0)
+    R.Synth.MaxPops = Req.MaxPops;
+  if (Req.HasDet)
+    R.Deterministic = Req.Deterministic;
+  R.Tag = Req.Tag;
+
+  service::Ticket T = Svc->submit(std::move(R));
+  trackTicket(C, T, Req.Id, Version::V2);
+
+  Response Ack;
+  Ack.K = Response::Kind::Queued;
+  Ack.Id = Req.Id;
+  respond(C, Ack, Version::V2);
+}
+
+void SocketServer::routeCompletion(const service::Completion &Done) {
+  auto PIt = Pending.find(Done.Id);
   if (PIt == Pending.end())
-    return; // not ours (foreign client of a shared engine)
+    return; // not ours (stale entry already reclaimed)
   PendingJob P = PIt->second;
   Pending.erase(PIt);
 
@@ -472,26 +664,41 @@ void SocketServer::routeCompletion(const engine::JobPtr &J) {
     return; // client left before its answer arrived
   Connection &C = CIt->second;
   for (size_t I = 0; I < C.InFlight.size(); ++I)
-    if (C.InFlight[I].get() == J.get()) {
+    if (C.InFlight[I] == Done.Id) {
       C.InFlight.erase(C.InFlight.begin() + static_cast<ptrdiff_t>(I));
       break;
     }
 
-  const engine::JobResult R = J->wait(); // complete: returns immediately
+  const engine::JobResult &R = Done.Result;
   std::string Msg;
   for (const RegelAnswer &A : R.Answers) {
-    Msg += "answer ";
-    Msg += std::to_string(P.JobId);
-    Msg += ' ';
-    Msg += printRegex(A.Regex);
+    Response Ans;
+    Ans.K = Response::Kind::Answer;
+    Ans.Id = P.JobId;
+    Ans.Rank = A.SketchRank;
+    Ans.Detail = printRegex(A.Regex);
+    Msg += protocol::encodeResponse(Ans, P.V);
     Msg += '\n';
   }
-  char Buf[128];
-  std::snprintf(Buf, sizeof(Buf), "done %llu %s total_ms=%.1f exec_ms=%.1f\n",
-                static_cast<unsigned long long>(P.JobId), statusName(R),
-                R.TotalMs, R.ExecMs);
-  Msg += Buf;
+  Response Fin;
+  Fin.K = Response::Kind::Done;
+  Fin.Id = P.JobId;
+  Fin.Status = protocol::verdictName(R);
+  Fin.TotalMs = R.TotalMs;
+  Fin.ExecMs = R.ExecMs;
+  Fin.QueueMs = R.QueueMs;
+  Fin.Answers = static_cast<unsigned>(R.Answers.size());
+  Msg += protocol::encodeResponse(Fin, P.V);
+  Msg += '\n';
   queueOutput(C, Msg);
+}
+
+void SocketServer::respond(Connection &C, const Response &R, Version V) {
+  std::string Line = protocol::encodeResponse(R, V);
+  if (Line.empty())
+    return;
+  Line += '\n';
+  queueOutput(C, Line);
 }
 
 void SocketServer::queueOutput(Connection &C, const std::string &Text) {
@@ -542,11 +749,11 @@ void SocketServer::flushOutput(Connection &C) {
 }
 
 void SocketServer::cancelInFlight(Connection &C) {
-  // Cancel exactly this connection's jobs (their Pending entries stay
+  // Cancel exactly this connection's tickets (their Pending entries stay
   // until the completion routes, then drop). Scanning the global Pending
   // map here would be O(every in-flight job on the server) per teardown.
-  for (const engine::JobPtr &J : C.InFlight)
-    J->cancel();
+  for (service::Ticket T : C.InFlight)
+    Svc->cancel(T);
 }
 
 void SocketServer::closeConnection(uint64_t ConnId) {
@@ -555,9 +762,9 @@ void SocketServer::closeConnection(uint64_t ConnId) {
     return;
   if (It->second.Fd >= 0)
     ::close(It->second.Fd);
-  // In-flight jobs of this connection stay in Pending; their completions
-  // route to a missing connection and are dropped. Cancel them so they
-  // stop burning workers for a client that is gone.
+  // In-flight tickets of this connection stay in Pending; their
+  // completions route to a missing connection and are dropped. Cancel
+  // them so they stop burning workers for a client that is gone.
   cancelInFlight(It->second);
   Connections.erase(It);
   NumConnections.store(Connections.size(), std::memory_order_relaxed);

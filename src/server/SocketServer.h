@@ -1,29 +1,37 @@
 //===- server/SocketServer.h - Event-driven synthesis front-end -*- C++ -*-===//
 //
 // Part of the Regel reproduction. A single-threaded, poll()-based TCP
-// front-end over the async engine API — the serving seam the engine's
-// completion machinery exists for. One event loop handles every client:
+// front-end over the transport-neutral SynthService API — the serving
+// seam the service layer exists for. The server never touches an engine
+// directly: it submits tickets to a SynthService (a LocalService over one
+// engine, or a RouterService over N backends — the server cannot tell),
+// and one event loop handles every client:
 //
 //   * the listening socket, a wakeup pipe, and all client sockets are
 //     non-blocking and multiplexed through poll();
-//   * `solve` parses the query on the loop thread (cheap) and submits a
-//     job with EnqueueCompletion set, tagged with the connection — the
-//     loop never blocks on synthesis;
-//   * each job also carries an onComplete continuation that writes one
-//     byte to the wakeup pipe, so a completion immediately breaks the
-//     poll() instead of waiting out its timeout;
-//   * woken, the loop drains Engine::pollCompleted(), routes each job to
-//     its connection, and queues the response lines (partial writes are
-//     finished under POLLOUT).
+//   * `solve` / `v2 submit` parse on the loop thread (cheap) and submit a
+//     ticket tagged with the connection — the loop never blocks on
+//     synthesis;
+//   * the service's wakeup hook writes one byte to the wakeup pipe, so a
+//     completion immediately breaks the poll() instead of waiting out its
+//     timeout;
+//   * woken, the loop drains SynthService::pollCompleted(), routes each
+//     completion to its connection, and queues the response lines;
+//   * the poll() timeout itself is deadline-driven: it is bounded by the
+//     service's NextDeadlineDeltaMs, so the engine's residency-deadline
+//     sweep fires the moment the earliest queued SLA lapses even when no
+//     dispatch/submit event would have swept it — the timer half of eager
+//     expiry (poll-timeout standing in for a timerfd; same loop, no extra
+//     fd).
 //
-// No thread is ever parked per outstanding job, so one loop sustains as
-// many in-flight queries as the engine admits. Per-connection `priority`
-// selects the job's scheduling class, so a client pumping batch fan-outs
-// cannot starve an interactive one (see WorkerPool's weighted picking).
+// Per-connection `priority` selects the job's scheduling class, and
+// MaxInflightPerConn bounds how many unfinished jobs one connection may
+// hold: a chatty client pipelining solves gets `error busy` (v2: code=
+// busy) instead of monopolizing the engine's queue slots.
 //
-// Wire protocol: line-oriented, UTF-8, '\n'-terminated, one command per
-// line. Responses to a command are written in order; job completions are
-// asynchronous and tagged with the job id the `solve` ack carried:
+// Wire protocol (full spec in docs/PROTOCOL.md; codec in
+// service/Protocol.h): line-oriented, UTF-8, '\n'-terminated. v1 is the
+// original stateful command set, preserved byte-for-byte:
 //
 //   desc <text>        set the query description
 //   pos <str> / neg <str>   add a positive / negative example
@@ -34,10 +42,14 @@
 //                        "done <id> <status> total_ms=<t> exec_ms=<e>"
 //                      status: solved | nosolution | rejected | shed |
 //                              deadline | expired
-//                      (shed = deadline-aware admission judged the sla
-//                      unmeetable at submit; rejected = queue full)
 //   clear | stats | help | quit      as in the old REPL
 //   unknown commands: "error <msg>"
+//
+// Lines starting with "v2 " are structured frames (one-shot submit with a
+// client-chosen id, cancel, stats, health); responses to them — including
+// their async answer/done completions — are v2 frames. Both versions can
+// interleave on one connection; each job answers in the version that
+// submitted it.
 //
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +57,8 @@
 #define REGEL_SERVER_SOCKETSERVER_H
 
 #include "core/Regel.h"
+#include "service/Protocol.h"
+#include "service/SynthService.h"
 #include "support/Timer.h"
 
 #include <atomic>
@@ -73,6 +87,11 @@ struct ServerConfig {
   /// is dropped (a client that pipelines requests without ever reading
   /// must not grow server memory without bound).
   size_t MaxOutBytes = 1 << 20;
+  /// Unfinished jobs one connection may hold in flight (0 = unlimited).
+  /// The solve/submit beyond this answers `error busy` immediately, so a
+  /// single pipelining client cannot monopolize the engine's queue-depth
+  /// budget that every connection shares.
+  size_t MaxInflightPerConn = 32;
   /// Defaults every fresh connection's query state starts from.
   RegelConfig Defaults;
 };
@@ -81,21 +100,30 @@ struct ServerConfig {
 /// the listening socket, run() drives the loop until stop() is called
 /// (from any thread, e.g. a signal handler or a test).
 ///
-/// The server must be its engine's only completion-queue consumer
-/// (Engine::pollCompleted is a destructive single-consumer drain — see
-/// Engine.h). Sharing the engine with wait()/onComplete clients is fine;
-/// sharing it with another pollCompleted loop is not.
+/// The server registers itself as the service's completion consumer and
+/// wakeup target (SynthService is a single-consumer stream — see
+/// service/SynthService.h); nothing else may poll the same service
+/// instance. Handle-based clients of the engine underneath a
+/// LocalService are unaffected.
 class SocketServer {
 public:
+  /// Serves \p Svc. \p Parser turns v1 descriptions (and v2 desc=
+  /// fields) into sketches on the loop thread.
+  SocketServer(std::shared_ptr<nlp::SemanticParser> Parser,
+               std::shared_ptr<service::SynthService> Svc, ServerConfig Cfg);
+
+  /// Convenience: serves \p Eng through a fresh LocalService — the
+  /// one-engine setup every existing caller uses.
   SocketServer(std::shared_ptr<nlp::SemanticParser> Parser,
                std::shared_ptr<engine::Engine> Eng, ServerConfig Cfg);
+
   ~SocketServer();
 
   SocketServer(const SocketServer &) = delete;
   SocketServer &operator=(const SocketServer &) = delete;
 
-  /// Opens listener + wakeup pipe. Returns false (with a message on
-  /// stderr) when binding fails.
+  /// Opens listener + wakeup pipe and installs the service wakeup hook.
+  /// Returns false (with a message on stderr) when binding fails.
   bool start();
 
   /// The bound port (valid after start(); resolves Port = 0 requests).
@@ -118,6 +146,11 @@ public:
     return NumConnections.load(std::memory_order_relaxed);
   }
 
+  /// The service this server fronts.
+  const std::shared_ptr<service::SynthService> &service() const {
+    return Svc;
+  }
+
 private:
   struct Connection {
     int Fd = -1;
@@ -130,10 +163,11 @@ private:
     bool Dead = false; ///< hard I/O error; loop closes it next turn
     bool DiscardInput = false; ///< stop polling POLLIN (EOF or abuse guard)
     bool QuitSeen = false; ///< explicit quit: later input is discarded
-    /// This connection's unfinished jobs, so teardown cancels exactly its
-    /// own work instead of scanning every pending job on the server.
-    std::vector<engine::JobPtr> InFlight;
-    // Query state (the old REPL's, per connection).
+    /// This connection's unfinished tickets, so teardown cancels exactly
+    /// its own work instead of scanning every pending job on the server.
+    std::vector<service::Ticket> InFlight;
+    // Query state (the old REPL's, per connection; v1 commands mutate it,
+    // v2 submits are self-contained and only read the defaults).
     std::string Description;
     Examples E;
     RegelConfig Cfg;
@@ -141,26 +175,36 @@ private:
     size_t outPending() const { return Out.size() - OutOff; }
   };
 
-  /// What pollCompleted results route back through. Holds the job handle
-  /// so a connection teardown can cancel its in-flight work.
+  /// What pollCompleted results route back through.
   struct PendingJob {
     uint64_t ConnId = 0;
-    uint64_t JobId = 0;
-    engine::JobPtr Job;
+    uint64_t JobId = 0; ///< wire id (server-assigned v1 / client v2)
+    protocol::Version V = protocol::Version::V1; ///< completion encoding
   };
 
-  /// The self-pipe, shared with every job continuation: the fds close
-  /// when the last continuation capturing it is destroyed, so a
-  /// completion can never write into a recycled descriptor even if the
-  /// server object is long gone.
+  /// The self-pipe, shared with the service wakeup hook: the fds close
+  /// when the last closure capturing it is destroyed, so a completion
+  /// can never write into a recycled descriptor even if the server
+  /// object is long gone.
   struct WakePipe {
     int Rd = -1, Wr = -1;
     ~WakePipe();
   };
 
   void handleLine(Connection &C, const std::string &Line);
+  void handleV1(Connection &C, const protocol::Request &Req,
+                protocol::ErrorCode Err);
+  void handleV2(Connection &C, const protocol::Request &Req,
+                protocol::ErrorCode Err);
   void submitSolve(Connection &C);
-  void routeCompletion(const engine::JobPtr &J);
+  void submitV2(Connection &C, const protocol::Request &Req);
+  /// Registers \p T in Pending and the connection, in one place, so the
+  /// v1 and v2 submit paths cannot drift.
+  void trackTicket(Connection &C, service::Ticket T, uint64_t WireId,
+                   protocol::Version V);
+  void routeCompletion(const service::Completion &Done);
+  void respond(Connection &C, const protocol::Response &R,
+               protocol::Version V);
   void queueOutput(Connection &C, const std::string &Text);
   void flushOutput(Connection &C);
   void acceptClients();
@@ -168,9 +212,13 @@ private:
   void closeConnection(uint64_t ConnId);
   void cancelInFlight(Connection &C);
   void drainWakePipe();
+  /// poll() timeout for this turn: the 1s keep-alive backstop, bounded
+  /// by the service's next residency deadline so eager expiry fires on
+  /// time (the timer-driven half of the deadline sweep).
+  int pollTimeoutMs() const;
 
   std::shared_ptr<nlp::SemanticParser> Parser;
-  std::shared_ptr<engine::Engine> Eng;
+  std::shared_ptr<service::SynthService> Svc;
   ServerConfig Cfg;
 
   int ListenFd = -1;
@@ -187,14 +235,13 @@ private:
   /// left out of the poll set until this stopwatch passes the backoff, so
   /// a pending backlog entry cannot busy-spin the loop. Deliberately REAL
   /// time, not the engine's clock seam: accept backoff is I/O plumbing
-  /// that must keep moving even under a frozen ManualClock. Semantic time
-  /// (job SLA reclamation in the destructor) runs on the engine clock.
+  /// that must keep moving even under a frozen ManualClock.
   Stopwatch ListenBackoff;
   bool ListenPaused = false;
   std::unordered_map<uint64_t, Connection> Connections; ///< by conn id
-  /// Loop-thread-only: job handle -> routing info. Continuations never
-  /// touch this (they only write the pipe), so no lock is needed.
-  std::unordered_map<const engine::SynthJob *, PendingJob> Pending;
+  /// Loop-thread-only: ticket -> routing info. The service wakeup hook
+  /// never touches this (it only writes the pipe), so no lock is needed.
+  std::unordered_map<service::Ticket, PendingJob> Pending;
 };
 
 } // namespace regel::server

@@ -1,0 +1,112 @@
+//===- service/LocalService.cpp -------------------------------------------===//
+
+#include "service/LocalService.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace regel;
+using namespace regel::service;
+
+LocalService::LocalService(std::shared_ptr<engine::Engine> Eng)
+    : Eng(std::move(Eng)), Hook(std::make_shared<WakeHook>()) {
+  assert(this->Eng && "LocalService needs an engine");
+}
+
+Ticket LocalService::submit(engine::JobRequest R) {
+  // The completion stream is this API's only result channel.
+  R.EnqueueCompletion = true;
+  Ticket T;
+  engine::JobPtr J;
+  {
+    // Submit and map under one lock: a job that completes synchronously
+    // (rejected/shed) is in the engine's completion queue before this
+    // returns, and a concurrent drain (which takes the same lock) must
+    // find its ticket mapping already in place.
+    std::lock_guard<std::mutex> Guard(M);
+    J = Eng->submit(std::move(R));
+    T = NextTicket++;
+    ByJob[J.get()] = T;
+    ByTicket[T] = J;
+  }
+  // Wakeup AFTER the mapping exists; for already-complete jobs this runs
+  // synchronously right here, which is fine — the hook only signals.
+  J->onComplete([H = Hook](const engine::JobResult &) {
+    std::function<void()> Fn;
+    {
+      std::lock_guard<std::mutex> Guard(H->M);
+      Fn = H->Fn;
+    }
+    if (Fn)
+      Fn();
+  });
+  return T;
+}
+
+bool LocalService::cancel(Ticket T) {
+  engine::JobPtr J;
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    auto It = ByTicket.find(T);
+    if (It == ByTicket.end())
+      return false;
+    J = It->second;
+  }
+  J->cancel();
+  return true;
+}
+
+std::vector<Completion>
+LocalService::mapCompletions(std::vector<engine::JobPtr> Jobs) {
+  std::vector<Completion> Out;
+  Out.reserve(Jobs.size());
+  std::lock_guard<std::mutex> Guard(M);
+  for (engine::JobPtr &J : Jobs) {
+    auto It = ByJob.find(J.get());
+    if (It == ByJob.end())
+      continue; // foreign handle-based job that opted into the queue:
+                // dropped, per the sole-consumer contract
+    Completion C;
+    C.Id = It->second;
+    C.Result = J->wait(); // complete: returns immediately
+    ByTicket.erase(It->second);
+    ByJob.erase(It);
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+std::vector<Completion> LocalService::pollCompleted() {
+  return mapCompletions(Eng->pollCompleted());
+}
+
+std::vector<Completion> LocalService::waitCompleted(int64_t TimeoutMs) {
+  return mapCompletions(Eng->waitCompleted(TimeoutMs));
+}
+
+std::string LocalService::statsJson() const {
+  return Eng->snapshot().toJson();
+}
+
+ServiceHealth LocalService::health() const {
+  // Deliberately cheap (no full snapshot): this runs once per event-loop
+  // turn and once per router routing decision.
+  ServiceHealth H;
+  H.Healthy = true;
+  H.QueueDepth = Eng->queueDepth();
+  H.Workers = Eng->threadCount();
+  H.BlendedServiceMs = Eng->estimator().blendedEstimateMs();
+  if (H.BlendedServiceMs > 0)
+    H.EstWaitMs = H.BlendedServiceMs * static_cast<double>(H.QueueDepth) /
+                  static_cast<double>(std::max(1u, H.Workers));
+  const int64_t NextUs = Eng->nextResidencyDeadlineUs();
+  if (NextUs != INT64_MAX)
+    H.NextDeadlineDeltaMs =
+        std::max<int64_t>((NextUs - Eng->clock()->nowUs()) / 1000, 0);
+  return H;
+}
+
+void LocalService::setWakeup(std::function<void()> Fn) {
+  std::lock_guard<std::mutex> Guard(Hook->M);
+  Hook->Fn = std::move(Fn);
+}

@@ -1,0 +1,77 @@
+//===- service/LocalService.h - In-process service backend ------*- C++ -*-===//
+//
+// Part of the Regel reproduction. The thin adapter that makes one
+// in-process engine::Engine a SynthService backend: tickets map 1:1 to
+// engine job handles, the completion stream is the engine's completion
+// queue, and health() reads the queue gauge plus the PR-4 service-time
+// estimator. This is the backend Regel drivers and the socket server run
+// on by default, and the unit the RouterService composes N of.
+//
+// The adapter must be its engine's ONLY completion-queue consumer
+// (Engine::pollCompleted is a destructive single-consumer drain). Clients
+// of the same engine that complete via onComplete/waitFor are unaffected
+// — which is exactly how Regel's blocking API coexists with a server
+// polling this adapter: submitJob() below bypasses ticket tracking for
+// handle-based local clients.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SERVICE_LOCALSERVICE_H
+#define REGEL_SERVICE_LOCALSERVICE_H
+
+#include "engine/Engine.h"
+#include "service/SynthService.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace regel::service {
+
+class LocalService : public SynthService {
+public:
+  /// Adapts \p Eng (never null). The engine may be shared with
+  /// handle-based clients, but not with another completion-queue
+  /// consumer.
+  explicit LocalService(std::shared_ptr<engine::Engine> Eng);
+
+  Ticket submit(engine::JobRequest R) override;
+  bool cancel(Ticket T) override;
+  std::vector<Completion> pollCompleted() override;
+  std::vector<Completion> waitCompleted(int64_t TimeoutMs) override;
+  std::string statsJson() const override;
+  ServiceHealth health() const override;
+  void setWakeup(std::function<void()> Fn) override;
+
+  /// Local convenience bypass: submits directly to the engine and
+  /// returns the rich in-process handle (onComplete/waitFor/wait),
+  /// leaving R.EnqueueCompletion as the caller set it and recording
+  /// nothing in the ticket maps. This is how the blocking Regel API
+  /// shares an engine with a ticket-polling server without stealing its
+  /// completions.
+  engine::JobPtr submitJob(engine::JobRequest R) { return Eng->submit(std::move(R)); }
+
+  const std::shared_ptr<engine::Engine> &engine() const { return Eng; }
+
+private:
+  std::vector<Completion> mapCompletions(std::vector<engine::JobPtr> Jobs);
+
+  /// The wakeup hook, shared with per-job continuations so a completion
+  /// firing after this adapter died still targets live state.
+  struct WakeHook {
+    std::mutex M;
+    std::function<void()> Fn; ///< guarded by M
+  };
+
+  std::shared_ptr<engine::Engine> Eng;
+  std::shared_ptr<WakeHook> Hook;
+
+  mutable std::mutex M;
+  Ticket NextTicket = 1;                                    ///< guarded by M
+  std::unordered_map<const engine::SynthJob *, Ticket> ByJob; ///< guarded by M
+  std::unordered_map<Ticket, engine::JobPtr> ByTicket;        ///< guarded by M
+};
+
+} // namespace regel::service
+
+#endif // REGEL_SERVICE_LOCALSERVICE_H

@@ -1,0 +1,140 @@
+//===- service/SynthService.h - Transport-neutral synthesis API -*- C++ -*-===//
+//
+// Part of the Regel reproduction. The one service interface every
+// synthesis backend implements, local or not:
+//
+//   * LocalService  — a thin adapter over an in-process engine::Engine;
+//   * RemoteService — a TCP client stub speaking the v2 wire protocol to
+//                     a regel server in another process;
+//   * RouterService — composes N SynthService backends with cache-key
+//                     affinity and least-estimated-wait spillover.
+//
+// Because the three are interchangeable, anything written against this
+// interface (the socket server, the router, the benches) runs unchanged
+// over one engine, over N in-process engines, or over N processes — the
+// seam the ROADMAP's sharding north-star needs.
+//
+// The API is async and ticket-based — deliberately narrower than the
+// in-process engine handle:
+//
+//   * submit() returns a Ticket immediately; the job's result arrives
+//     later as a Completion from pollCompleted()/waitCompleted(). Every
+//     submitted job produces EXACTLY ONE completion, including jobs that
+//     finish at submit (rejected by admission control, shed on arrival)
+//     and jobs lost to a transport failure (TransportError set).
+//   * Completion delivery is a SINGLE-CONSUMER stream, mirroring the
+//     engine's completion queue underneath LocalService: exactly one
+//     loop may poll a given service instance. Submitting from that same
+//     loop (as the socket server does) is the intended shape.
+//   * setWakeup() installs an event-loop poke: the hook MAY be invoked
+//     from arbitrary threads whenever a completion becomes pollable
+//     (spurious wakeups allowed, so it must only signal — e.g. write a
+//     self-pipe — never poll re-entrantly).
+//
+// cancel/statsJson/health complete the serving surface: cancellation by
+// ticket, a JSON monitoring snapshot, and the load figures (queue depth,
+// estimated wait from the PR-4 service-time estimator, time to the next
+// residency deadline) that the router's spillover policy and the server's
+// deadline-driven poll timeout consume.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SERVICE_SYNTHSERVICE_H
+#define REGEL_SERVICE_SYNTHSERVICE_H
+
+#include "engine/Job.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace regel::service {
+
+/// Opaque handle to a submitted job, unique per service instance. 0 is
+/// never a valid ticket.
+using Ticket = uint64_t;
+
+/// One finished job, as delivered by pollCompleted/waitCompleted.
+struct Completion {
+  Ticket Id = 0;
+  engine::JobResult Result;
+
+  /// The job was lost to the transport (connection to a remote backend
+  /// dropped before its verdict arrived), not decided by an engine. The
+  /// Result carries no answers; treat as retryable, like Rejected.
+  bool TransportError = false;
+};
+
+/// A backend's load/liveness snapshot (see SynthService::health).
+struct ServiceHealth {
+  /// False when the backend is unreachable (remote transport down).
+  bool Healthy = true;
+
+  /// Jobs submitted but not yet completed.
+  uint64_t QueueDepth = 0;
+
+  /// Worker threads behind this backend.
+  unsigned Workers = 0;
+
+  /// Estimated queue wait for a submission arriving now, in ms: queue
+  /// depth x blended EWMA service time / workers — the same model the
+  /// engine's deadline-aware shedding uses. 0 while the estimator is
+  /// cold. The router's least-wait spillover ranks backends by this.
+  double EstWaitMs = 0;
+
+  /// Blended EWMA service time in ms (negative while cold). Exposed so
+  /// callers can tell "no load" from "no data".
+  double BlendedServiceMs = -1;
+
+  /// Milliseconds until the earliest queued job's residency SLA lapses;
+  /// -1 when no queued job carries an SLA. An event loop bounds its poll
+  /// timeout by this so eager expiry verdicts surface the moment they
+  /// are due, not at the next fixed-interval tick.
+  int64_t NextDeadlineDeltaMs = -1;
+};
+
+/// The transport-neutral asynchronous synthesis service.
+class SynthService {
+public:
+  virtual ~SynthService() = default;
+
+  /// Submits one job; never blocks on synthesis. The returned ticket's
+  /// completion is delivered through the completion stream exactly once
+  /// (even for jobs rejected/shed at submit, and for transport
+  /// failures). Implementations force completion-queue delivery
+  /// regardless of R.EnqueueCompletion — the stream is the only result
+  /// channel this API has.
+  virtual Ticket submit(engine::JobRequest R) = 0;
+
+  /// Requests cancellation of an in-flight ticket. Returns false when
+  /// the ticket is unknown or already completed. A cancelled job still
+  /// delivers its (partial) completion.
+  virtual bool cancel(Ticket T) = 0;
+
+  /// Drains every completion that arrived since the last drain, in
+  /// completion order. Non-blocking. Single consumer (see file header).
+  virtual std::vector<Completion> pollCompleted() = 0;
+
+  /// Like pollCompleted, but blocks up to \p TimeoutMs for at least one
+  /// completion. Returns empty on timeout.
+  virtual std::vector<Completion> waitCompleted(int64_t TimeoutMs) = 0;
+
+  /// Point-in-time monitoring snapshot as one JSON object (the engine's
+  /// stats JSON for a local backend; a composite for the router).
+  virtual std::string statsJson() const = 0;
+
+  /// Cheap load/liveness figures (called per event-loop turn and per
+  /// router routing decision; must not serialize the whole stats).
+  virtual ServiceHealth health() const = 0;
+
+  /// Installs \p Fn as the completion wakeup (nullptr clears it). May be
+  /// invoked from arbitrary threads; spurious invocations allowed.
+  /// Install before the first submit or accept missed pokes for earlier
+  /// jobs.
+  virtual void setWakeup(std::function<void()> Fn) = 0;
+};
+
+} // namespace regel::service
+
+#endif // REGEL_SERVICE_SYNTHSERVICE_H

@@ -134,7 +134,8 @@ private:
 /// Server + loop thread, torn down in order.
 class ServerFixture {
 public:
-  explicit ServerFixture(unsigned Threads = 2, size_t HighWater = 0) {
+  explicit ServerFixture(unsigned Threads = 2, size_t HighWater = 0,
+                         size_t MaxInflightPerConn = 0) {
     engine::EngineConfig EC;
     EC.Threads = Threads;
     EC.MaxQueueDepth = HighWater;
@@ -144,6 +145,8 @@ public:
     SC.Port = 0; // ephemeral
     SC.Defaults.NumSketches = 4;
     SC.Defaults.BudgetMs = 8000;
+    if (MaxInflightPerConn)
+      SC.MaxInflightPerConn = MaxInflightPerConn;
     Server = std::make_unique<SocketServer>(Parser, Eng, SC);
     Started = Server->start();
     if (Started)
@@ -397,4 +400,138 @@ TEST(SocketServer, AbandonedConnectionIsBoundedByJobBudget) {
   EXPECT_NE(C2.readLine(), "");
   ASSERT_TRUE(C2.sendLine("stats"));
   EXPECT_EQ(C2.readLine().rfind("stats {", 0), 0u);
+}
+
+TEST(SocketServer, PerConnectionInflightCapAnswersBusy) {
+  // One worker, cap of 1 in-flight job per connection: a client that
+  // pipelines a second solve while its first churns gets "error busy"
+  // immediately (no queue slot burned), and is served normally again
+  // once the first job lands.
+  ServerFixture F(/*Threads=*/1, /*HighWater=*/0, /*MaxInflightPerConn=*/1);
+  ASSERT_TRUE(F.started());
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(F.port()));
+  C.readLine(); // greeting
+
+  ASSERT_TRUE(C.sendLine("pos ab"));
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("neg ab")); // contradiction: churns its budget
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("budget 1500"));
+  EXPECT_EQ(C.readLine(), "ok");
+  ASSERT_TRUE(C.sendLine("solve"));
+  EXPECT_EQ(C.readLine().rfind("queued ", 0), 0u);
+  // Second solve while the first is in flight: busy, not queued.
+  ASSERT_TRUE(C.sendLine("solve"));
+  EXPECT_EQ(C.readLine(), "error busy");
+
+  // The first job completes; the connection's slot frees up.
+  std::string Done = C.readUntil("done ");
+  ASSERT_NE(Done, "");
+  ASSERT_TRUE(C.sendLine("solve"));
+  EXPECT_EQ(C.readLine().rfind("queued ", 0), 0u);
+  C.readUntil("done ");
+}
+
+TEST(SocketServer, V2SubmitRoundTripWithExplicitSketch) {
+  // The structured protocol end to end: one-shot submit with a
+  // client-chosen id and an explicit sketch, answered with v2 frames
+  // carrying the same id.
+  ServerFixture F;
+  ASSERT_TRUE(F.started());
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(F.port()));
+  C.readLine(); // greeting (v1 banner; a v2 client ignores it)
+
+  ASSERT_TRUE(C.sendLine("v2 submit id=7 "
+                         "sketch=Concat(<cap>%2CRepeat(<num>%2C2)) "
+                         "pos=A12 pos=Z99 neg=12 budget=8000"));
+  EXPECT_EQ(C.readLine(), "v2 queued id=7");
+  std::string Done = C.readUntil("v2 done ");
+  ASSERT_NE(Done, "");
+  EXPECT_NE(Done.find("id=7"), std::string::npos) << Done;
+  EXPECT_NE(Done.find("status=solved"), std::string::npos) << Done;
+  EXPECT_NE(Done.find("queue_ms="), std::string::npos) << Done;
+  bool SawAnswer = false;
+  for (const std::string &L : C.Skipped)
+    if (L.rfind("v2 answer id=7 ", 0) == 0)
+      SawAnswer = true;
+  EXPECT_TRUE(SawAnswer);
+
+  // v1 and v2 interleave on one connection; v1 state is untouched by the
+  // self-contained v2 submit.
+  ASSERT_TRUE(C.sendLine("stats"));
+  EXPECT_EQ(C.readLine().rfind("stats {", 0), 0u);
+  ASSERT_TRUE(C.sendLine("v2 health"));
+  std::string Health = C.readLine();
+  EXPECT_EQ(Health.rfind("v2 health healthy=1", 0), 0u) << Health;
+}
+
+TEST(SocketServer, V2ErrorsCarryTheTaxonomy) {
+  ServerFixture F(/*Threads=*/2, /*HighWater=*/0, /*MaxInflightPerConn=*/1);
+  ASSERT_TRUE(F.started());
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(F.port()));
+  C.readLine(); // greeting
+
+  // Malformed frame.
+  ASSERT_TRUE(C.sendLine("v2 submit"));
+  EXPECT_EQ(C.readLine().rfind("v2 error code=malformed", 0), 0u);
+  // Unknown frame type.
+  ASSERT_TRUE(C.sendLine("v2 frobnicate id=1"));
+  EXPECT_EQ(C.readLine().rfind("v2 error code=unknown_command", 0), 0u);
+  // Nothing to solve.
+  ASSERT_TRUE(C.sendLine("v2 submit id=1"));
+  EXPECT_EQ(C.readLine().rfind("v2 error code=nothing_to_solve", 0), 0u);
+  // Unparsable sketch.
+  ASSERT_TRUE(C.sendLine("v2 submit id=1 sketch=NotASketch(("));
+  EXPECT_EQ(C.readLine().rfind("v2 error code=bad_argument", 0), 0u);
+  // Cancel of an unknown id.
+  ASSERT_TRUE(C.sendLine("v2 cancel id=99"));
+  EXPECT_EQ(C.readLine().rfind("v2 error code=unknown_id", 0), 0u);
+
+  // Duplicate id / busy need an in-flight job: churn one.
+  ASSERT_TRUE(C.sendLine(
+      "v2 submit id=5 sketch=hole{} pos=ab neg=ab budget=2500"));
+  EXPECT_EQ(C.readLine(), "v2 queued id=5");
+  ASSERT_TRUE(C.sendLine("v2 submit id=5 pos=x"));
+  EXPECT_EQ(C.readLine().rfind("v2 error code=duplicate_id", 0), 0u);
+  ASSERT_TRUE(C.sendLine("v2 submit id=6 pos=x"));
+  EXPECT_EQ(C.readLine().rfind("v2 error code=busy", 0), 0u);
+  // Cancelling the in-flight job is acknowledged and completes it.
+  ASSERT_TRUE(C.sendLine("v2 cancel id=5"));
+  EXPECT_EQ(C.readLine(), "v2 ok");
+  std::string Done = C.readUntil("v2 done ");
+  ASSERT_NE(Done, "");
+  EXPECT_NE(Done.find("id=5"), std::string::npos) << Done;
+}
+
+TEST(SocketServer, DeadlineDrivenPollTimeoutExpiresQueuedSla) {
+  // The timer half of eager expiry: a 0-worker engine (nothing ever
+  // dispatches, so no dispatch/submit event will sweep the deadline
+  // heap) holds a queued job whose SLA lapses at +150ms. The server's
+  // poll() timeout is bounded by the service's NextDeadlineDeltaMs, so
+  // the loop wakes and sweeps at ~150ms — far inside the legacy 1000ms
+  // fixed timeout, which is the discriminating margin below.
+  ServerFixture F(/*Threads=*/0);
+  ASSERT_TRUE(F.started());
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(F.port()));
+  C.readLine(); // greeting
+  ASSERT_TRUE(C.sendLine("pos A12"));
+  C.readLine();
+  ASSERT_TRUE(C.sendLine("sla 150"));
+  C.readLine();
+  Stopwatch W;
+  ASSERT_TRUE(C.sendLine("solve"));
+  EXPECT_EQ(C.readLine().rfind("queued ", 0), 0u);
+  std::string Done = C.readUntil("done ", 5000);
+  const double Ms = W.elapsedMs();
+  ASSERT_NE(Done, "");
+  EXPECT_NE(Done.find(" expired "), std::string::npos) << Done;
+  // Legacy behaviour waited out the full 1s backstop (and the engine
+  // suite's ManualClock tests pin the sweep itself); here the verdict
+  // must beat that backstop by a wide margin even on a loaded CI box.
+  EXPECT_LT(Ms, 900.0) << "expiry waited for the fixed poll timeout";
+  EXPECT_EQ(F.engine().snapshot().JobsExpiredInQueue, 1u);
 }

@@ -1,0 +1,239 @@
+//===- tests/service/RemoteServiceTest.cpp --------------------------------===//
+//
+// RemoteService end to end: a real SocketServer (fronting its own engine
+// through a LocalService) in this process stands in for a remote shard;
+// the RemoteService client connects over loopback TCP, submits through
+// the v2 codec, and completions flow back through the ticket stream.
+// Also: a RouterService mixing one local and one remote backend — the
+// "N processes" configuration of the sharding north-star — and transport
+// loss surfacing as TransportError completions with the backend turning
+// unhealthy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/RemoteService.h"
+
+#include "engine/Engine.h"
+#include "regex/Matcher.h"
+#include "regex/Parser.h"
+#include "server/SocketServer.h"
+#include "service/LocalService.h"
+#include "service/RouterService.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <thread>
+
+using namespace regel;
+using namespace regel::service;
+
+namespace {
+
+/// A live SocketServer over its own 2-worker engine, loop on a helper
+/// thread — the stand-in for a separate shard process.
+class ShardProcess {
+public:
+  explicit ShardProcess(size_t MaxInflightPerConn = 0) {
+    engine::EngineConfig EC;
+    EC.Threads = 2;
+    Eng = std::make_shared<engine::Engine>(EC);
+    Parser = std::make_shared<nlp::SemanticParser>();
+    server::ServerConfig SC;
+    SC.Port = 0;
+    SC.Defaults.NumSketches = 4;
+    SC.Defaults.BudgetMs = 8000;
+    if (MaxInflightPerConn)
+      SC.MaxInflightPerConn = MaxInflightPerConn;
+    Server = std::make_unique<server::SocketServer>(Parser, Eng, SC);
+    Started = Server->start();
+    if (Started)
+      Loop = std::thread([this] { Server->run(); });
+  }
+
+  ~ShardProcess() { shutdown(); }
+
+  void shutdown() {
+    if (Started) {
+      Server->stop();
+      Loop.join();
+      Server.reset();
+      Started = false;
+    }
+  }
+
+  bool started() const { return Started; }
+  uint16_t port() const { return Server->port(); }
+
+private:
+  std::shared_ptr<engine::Engine> Eng;
+  std::shared_ptr<nlp::SemanticParser> Parser;
+  std::unique_ptr<server::SocketServer> Server;
+  std::thread Loop;
+  bool Started = false;
+};
+
+engine::JobRequest probeRequest() {
+  RegexPtr Probe = parseRegex("Concat(<cap>,Repeat(<num>,2))");
+  engine::JobRequest R;
+  R.Sketches = {Sketch::concrete(Probe)};
+  R.E.Pos = {"A12", "Z99"};
+  R.E.Neg = {"12", "a12"};
+  R.BudgetMs = 8000;
+  return R;
+}
+
+/// Drains \p Svc until \p T completes (bounded by real time).
+bool awaitTicket(SynthService &Svc, Ticket T, Completion &Out,
+                 int64_t TimeoutMs = 20000) {
+  Stopwatch W;
+  while (W.elapsedMs() < static_cast<double>(TimeoutMs))
+    for (Completion &C : Svc.waitCompleted(250))
+      if (C.Id == T) {
+        Out = std::move(C);
+        return true;
+      }
+  return false;
+}
+
+} // namespace
+
+TEST(RemoteService, SubmitCompletesOverTcpWithTheSameAnswer) {
+  ShardProcess Shard;
+  ASSERT_TRUE(Shard.started());
+
+  RemoteService Remote("127.0.0.1", Shard.port());
+  ASSERT_TRUE(Remote.connect());
+  ASSERT_TRUE(Remote.connected());
+
+  Ticket T = Remote.submit(probeRequest());
+  Completion Done;
+  ASSERT_TRUE(awaitTicket(Remote, T, Done));
+  EXPECT_FALSE(Done.TransportError);
+  ASSERT_TRUE(Done.Result.solved());
+  // The remote answer is the regex the local engine finds for the same
+  // concrete sketch (re-parsed from its printed wire form).
+  RegexPtr Expect = parseRegex("Concat(<cap>,Repeat(<num>,2))");
+  EXPECT_TRUE(regexEquals(Done.Result.Answers[0].Regex, Expect));
+  EXPECT_EQ(Done.Result.Answers[0].SketchRank, 0u);
+  // Sketches do not round-trip back over the wire (documented contract).
+  EXPECT_EQ(Done.Result.Answers[0].Sketch, nullptr);
+  // Timings survive the wire at %.1f precision — a sub-0.05ms solve
+  // legitimately reads back as 0.0, so only non-negativity is asserted.
+  EXPECT_GE(Done.Result.TotalMs, 0.0);
+  EXPECT_GE(Done.Result.TotalMs, Done.Result.ExecMs);
+
+  // The RPC surface works over the same connection.
+  std::string Stats = Remote.statsJson();
+  EXPECT_NE(Stats.find("\"jobs\""), std::string::npos) << Stats;
+  ServiceHealth H = Remote.health();
+  EXPECT_TRUE(H.Healthy);
+  EXPECT_EQ(H.Workers, 2u);
+}
+
+TEST(RemoteService, RouterMixesLocalAndRemoteBackends) {
+  ShardProcess Shard;
+  ASSERT_TRUE(Shard.started());
+
+  auto Remote = std::make_shared<RemoteService>("127.0.0.1", Shard.port());
+  ASSERT_TRUE(Remote->connect());
+  engine::EngineConfig EC;
+  EC.Threads = 2;
+  auto Local =
+      std::make_shared<LocalService>(std::make_shared<engine::Engine>(EC));
+
+  RouterService Router({Local, Remote});
+
+  // Enough distinct jobs that affinity hashing exercises both backends;
+  // every one must complete with the right answer regardless of shard.
+  std::vector<Ticket> Tickets;
+  for (int I = 0; I < 6; ++I) {
+    engine::JobRequest R = probeRequest();
+    for (int Pad = 0; Pad < I; ++Pad)
+      R.Sketches.push_back(Sketch::unconstrained()); // perturb the key
+    Tickets.push_back(Router.submit(std::move(R)));
+  }
+  size_t SolvedCount = 0;
+  Stopwatch W;
+  std::set<Ticket> Outstanding(Tickets.begin(), Tickets.end());
+  while (!Outstanding.empty() && W.elapsedMs() < 30000)
+    for (Completion &C : Router.waitCompleted(250)) {
+      EXPECT_FALSE(C.TransportError);
+      if (C.Result.solved())
+        ++SolvedCount;
+      Outstanding.erase(C.Id);
+    }
+  EXPECT_TRUE(Outstanding.empty()) << Outstanding.size() << " never landed";
+  EXPECT_EQ(SolvedCount, Tickets.size());
+
+  RouterStats S = Router.stats();
+  EXPECT_EQ(S.Routed, Tickets.size());
+  EXPECT_EQ(S.PerBackend[0] + S.PerBackend[1], Tickets.size());
+}
+
+TEST(RemoteService, ServerRefusalCompletesTheTicket) {
+  // A server-side submit refusal (here: the per-connection in-flight
+  // cap) answers `v2 error code=busy id=N`; the client must deliver a
+  // rejected completion for exactly that ticket — never hang it — while
+  // the accepted job still completes normally.
+  ShardProcess Shard(/*MaxInflightPerConn=*/1);
+  ASSERT_TRUE(Shard.started());
+  RemoteService Remote("127.0.0.1", Shard.port());
+  ASSERT_TRUE(Remote.connect());
+
+  // First job churns (contradiction) so the second submit is refused.
+  engine::JobRequest Slow;
+  Slow.Sketches = {Sketch::unconstrained()};
+  Slow.E.Pos = {"ab"};
+  Slow.E.Neg = {"ab"};
+  Slow.BudgetMs = 1500;
+  Ticket T1 = Remote.submit(Slow);
+  Ticket T2 = Remote.submit(probeRequest()); // over the cap: busy
+
+  Completion Refused;
+  ASSERT_TRUE(awaitTicket(Remote, T2, Refused, 10000));
+  EXPECT_TRUE(Refused.Result.Rejected);
+  EXPECT_FALSE(Refused.TransportError); // a verdict, not a lost link
+  EXPECT_FALSE(Refused.Result.solved());
+
+  Completion First;
+  ASSERT_TRUE(awaitTicket(Remote, T1, First, 20000));
+  EXPECT_TRUE(Remote.connected());
+}
+
+TEST(RemoteService, TransportLossFailsOutstandingTicketsAndHealth) {
+  auto Shard = std::make_unique<ShardProcess>();
+  ASSERT_TRUE(Shard->started());
+
+  RemoteService Remote("127.0.0.1", Shard->port());
+  ASSERT_TRUE(Remote.connect());
+
+  // An effectively-unsolvable slow job so the verdict cannot race the
+  // shutdown below.
+  engine::JobRequest Slow;
+  Slow.Sketches = {Sketch::unconstrained()};
+  Slow.E.Pos = {"ab"};
+  Slow.E.Neg = {"ab"}; // contradiction: churns its budget
+  Slow.BudgetMs = 8000;
+  Ticket T = Remote.submit(Slow);
+
+  // Kill the "process". The client must fail the outstanding ticket with
+  // a TransportError completion and turn unhealthy — the router's view
+  // of a dead shard.
+  Shard->shutdown();
+  Completion Lost;
+  ASSERT_TRUE(awaitTicket(Remote, T, Lost, 10000));
+  EXPECT_TRUE(Lost.TransportError);
+  EXPECT_TRUE(Lost.Result.Rejected);
+  EXPECT_FALSE(Lost.Result.solved());
+  EXPECT_FALSE(Remote.connected());
+  EXPECT_FALSE(Remote.health().Healthy);
+
+  // Submits on the dead transport complete immediately, same shape.
+  Ticket T2 = Remote.submit(probeRequest());
+  Completion Lost2;
+  ASSERT_TRUE(awaitTicket(Remote, T2, Lost2, 2000));
+  EXPECT_TRUE(Lost2.TransportError);
+}

@@ -44,6 +44,8 @@
 //   REGEL_SHED_EXEC_MS       per-job execution cost (default 80)
 //   REGEL_SHED_SLA_MS        per-job residency SLA (default 250)
 //   REGEL_SHED_INTERVAL_MS   arrival pacing (default 2)
+//   REGEL_OBS_JOBS           obs-overhead-section jobs (default 2000,
+//                            0 skips)
 //
 // A final overload section (`shedding_overload` in the JSON) runs the
 // same SLA-overload twice — deadline-aware shedding off ("lazy", the
@@ -57,6 +59,7 @@
 
 #include "data/DeepRegexSet.h"
 #include "engine/Engine.h"
+#include "obs/Metrics.h"
 #include "regex/Parser.h"
 #include "service/LocalService.h"
 #include "service/RouterService.h"
@@ -95,12 +98,15 @@ std::vector<SketchPtr> sketchesFor(const data::Benchmark &B) {
   return Sketches;
 }
 
-double percentile(std::vector<double> Sorted, double P) {
-  if (Sorted.empty())
-    return 0;
-  std::sort(Sorted.begin(), Sorted.end());
-  size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size() - 1));
-  return Sorted[Idx];
+/// Percentile through the same log-linear histogram the serving metrics
+/// registry uses (obs::Histogram, <=25% relative error per bucket), not a
+/// second hand-rolled sort-and-index: the bench reports exactly the
+/// figures a scraped /metrics exposition would show for this workload.
+double percentile(const std::vector<double> &LatenciesMs, double P) {
+  obs::Histogram H;
+  for (double Ms : LatenciesMs)
+    H.recordMs(Ms);
+  return static_cast<double>(H.snapshot().percentileUs(P)) / 1000.0;
 }
 
 /// One fairness mode: interactive probes at a fixed cadence against a
@@ -362,6 +368,40 @@ void appendRouterJson(std::string &Out, const RouterReport &R) {
   Out += "]}";
 }
 
+/// Jobs/sec over a stream of trivial concrete-sketch jobs with the
+/// observability layer (span tracing + registry histograms) on or off.
+/// Trivial jobs put instrumentation at its maximum relative cost — real
+/// synthesis work amortizes it much further — so this is the worst-case
+/// overhead figure.
+double runObsMode(bool Observability, unsigned Threads, size_t Jobs) {
+  engine::EngineConfig EC;
+  EC.Threads = Threads;
+  EC.Observability = Observability;
+  engine::Engine Eng(EC);
+
+  RegexPtr Probe = parseRegex("Concat(<cap>,Repeat(<num>,2))");
+  Examples E;
+  E.Pos = {"A12", "Z99"};
+  E.Neg = {"12", "a12"};
+
+  Stopwatch Wall;
+  std::vector<engine::JobPtr> Handles;
+  Handles.reserve(Jobs);
+  for (size_t I = 0; I < Jobs; ++I) {
+    engine::JobRequest R;
+    R.Sketches = {Sketch::concrete(Probe)};
+    R.E = E;
+    R.BudgetMs = 10000;
+    R.EnqueueCompletion = true;
+    Handles.push_back(Eng.submit(std::move(R)));
+  }
+  size_t Done = 0;
+  while (Done < Handles.size())
+    Done += Eng.waitCompleted(250).size();
+  const double WallMs = Wall.elapsedMs();
+  return WallMs > 0 ? static_cast<double>(Jobs) * 1000.0 / WallMs : 0;
+}
+
 struct PassReport {
   unsigned Threads = 0;
   size_t Jobs = 0;
@@ -369,12 +409,18 @@ struct PassReport {
   double WallMs = 0;
   double JobsPerSec = 0;
   double P50Ms = 0;     ///< submit -> done (includes queue wait)
+  double P90Ms = 0;
   double P95Ms = 0;
+  double P99Ms = 0;
   double ExecP50Ms = 0; ///< first task start -> done
   double ExecP95Ms = 0;
   double DfaHitRate = 0; ///< shared-store hit rate of THIS pass (delta)
   double DfaResolutionRate = 0; ///< end-to-end: 1 - compiles/gets
   engine::StatsSnapshot Stats;
+  /// The pass engine's full Prometheus-style exposition, captured before
+  /// the engine dies (one pass's text is written out as
+  /// BENCH_metrics.prom for the CI artifact).
+  std::string MetricsText;
 };
 
 PassReport runPass(unsigned Threads,
@@ -439,10 +485,13 @@ PassReport runPass(unsigned Threads,
   Rep.JobsPerSec =
       Rep.WallMs > 0 ? static_cast<double>(Rep.Jobs) * 1000.0 / Rep.WallMs : 0;
   Rep.P50Ms = percentile(Latencies, 0.50);
+  Rep.P90Ms = percentile(Latencies, 0.90);
   Rep.P95Ms = percentile(Latencies, 0.95);
+  Rep.P99Ms = percentile(Latencies, 0.99);
   Rep.ExecP50Ms = percentile(ExecLatencies, 0.50);
   Rep.ExecP95Ms = percentile(ExecLatencies, 0.95);
   Rep.Stats = Eng.snapshot();
+  Rep.MetricsText = Eng.metricsText();
   const uint64_t DfaHits = Caches->Dfa.hits() - DfaHits0;
   const uint64_t DfaLookups = DfaHits + (Caches->Dfa.misses() - DfaMisses0);
   Rep.DfaHitRate = DfaLookups
@@ -460,14 +509,15 @@ void appendPassJson(std::string &Out, const PassReport &R) {
   std::snprintf(Buf, sizeof(Buf),
                 "    {\"threads\":%u,\"jobs\":%zu,\"solved\":%zu,"
                 "\"wall_ms\":%.1f,\"jobs_per_sec\":%.3f,"
-                "\"p50_ms\":%.1f,\"p95_ms\":%.1f,"
+                "\"p50_ms\":%.1f,\"p90_ms\":%.1f,\"p95_ms\":%.1f,"
+                "\"p99_ms\":%.1f,"
                 "\"exec_p50_ms\":%.1f,\"exec_p95_ms\":%.1f,"
                 "\"dfa_store_hit_rate\":%.3f,"
                 "\"dfa_resolution_rate\":%.4f,\n"
                 "     \"engine\":",
                 R.Threads, R.Jobs, R.Solved, R.WallMs, R.JobsPerSec, R.P50Ms,
-                R.P95Ms, R.ExecP50Ms, R.ExecP95Ms, R.DfaHitRate,
-                R.DfaResolutionRate);
+                R.P90Ms, R.P95Ms, R.P99Ms, R.ExecP50Ms, R.ExecP95Ms,
+                R.DfaHitRate, R.DfaResolutionRate);
   Out += Buf;
   Out += R.Stats.toJson();
   Out += "}";
@@ -811,6 +861,28 @@ int main() {
                   EqualSpeedup, ScaledSpeedup);
     Json += Buf;
   }
+  // Observability overhead: the same trivial job stream with the metrics
+  // registry + span tracing enabled vs compiled in but switched off.
+  const size_t ObsJobs = static_cast<size_t>(envInt("REGEL_OBS_JOBS", 2000));
+  if (ObsJobs > 0) {
+    std::printf("observability overhead: %zu trivial jobs on %u workers, "
+                "instrumentation on vs off...\n",
+                ObsJobs, Threads);
+    const double OffJps = runObsMode(/*Observability=*/false, Threads, ObsJobs);
+    const double OnJps = runObsMode(/*Observability=*/true, Threads, ObsJobs);
+    const double OverheadPct =
+        OffJps > 0 ? (OffJps - OnJps) / OffJps * 100.0 : 0;
+    std::printf("  on %.0f jobs/sec, off %.0f jobs/sec, overhead %.1f%%\n",
+                OnJps, OffJps, OverheadPct);
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\n  \"obs_overhead\": {\n    \"jobs\": %zu,\n"
+                  "    \"threads\": %u,\n"
+                  "    \"jobs_per_sec_on\": %.1f,\n"
+                  "    \"jobs_per_sec_off\": %.1f,\n"
+                  "    \"overhead_pct\": %.2f\n  }",
+                  ObsJobs, Threads, OnJps, OffJps, OverheadPct);
+    Json += Buf;
+  }
   Json += "\n}\n";
 
   const char *OutPath = "BENCH_engine.json";
@@ -820,6 +892,18 @@ int main() {
     std::printf("wrote %s\n", OutPath);
   } else {
     std::fprintf(stderr, "cannot write %s\n", OutPath);
+    return 1;
+  }
+
+  // The warm multi-worker pass's full exposition, as a sample scrape for
+  // the CI artifact (and for eyeballing the metric catalog).
+  const char *PromPath = "BENCH_metrics.prom";
+  if (FILE *F = std::fopen(PromPath, "w")) {
+    std::fputs(Multi.MetricsText.c_str(), F);
+    std::fclose(F);
+    std::printf("wrote %s (%zu bytes)\n", PromPath, Multi.MetricsText.size());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", PromPath);
     return 1;
   }
 

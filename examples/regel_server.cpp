@@ -2,6 +2,7 @@
 //
 // Build & run:  ./build/examples/regel_server [port] [threads] [cache-cap]
 //                                             [high-water] [shed] [backends]
+//                                             [metrics-every]
 //
 // The socket front-end over the async engine API (src/server): one
 // poll()-based event loop serves every TCP client on [port] (default 7411,
@@ -29,6 +30,14 @@
 // wait spillover — the in-process preview of the N-process sharded
 // deployment (see src/service/RouterService.h).
 //
+// With [metrics-every] N > 0 (default 0 = off) the full Prometheus-style
+// metrics exposition is dumped to stdout every N seconds — a poor man's
+// scraper for deployments without one. Clients on protocol v2 can fetch
+// the same text on demand with a `v2 metrics` frame (and a span trace
+// with `v2 trace id=N`); v1 clients see no new frames — the v1 wire
+// format stays byte-frozen and a v1 "metrics" line is an ordinary
+// unknown-command error.
+//
 // Try it:
 //   ./build/examples/regel_server &
 //   nc 127.0.0.1 7411
@@ -49,9 +58,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 using namespace regel;
@@ -91,6 +104,9 @@ int main(int argc, char **argv) {
   unsigned Backends = 1; // >1 = RouterService over N engines
   if (argc > 6)
     Backends = std::max(1u, static_cast<unsigned>(std::atoi(argv[6])));
+  long MetricsEverySec = 0; // >0 = periodic exposition dump to stdout
+  if (argc > 7)
+    MetricsEverySec = std::atol(argv[7]);
 
   engine::EngineConfig EC;
   EC.Threads = Threads;
@@ -141,7 +157,38 @@ int main(int argc, char **argv) {
               Backends == 1 ? "" : "s", Threads, CacheCap, HighWater,
               Shed ? "on" : "off");
   std::fflush(stdout);
+
+  // Periodic exposition dump: one background thread, interruptible sleep
+  // (a plain sleep_for would stall shutdown by up to a full period).
+  std::thread MetricsDumper;
+  std::mutex DumpM;
+  std::condition_variable DumpCV;
+  bool DumpStop = false;
+  if (MetricsEverySec > 0) {
+    std::printf("regel_server: dumping metrics every %ld s\n",
+                MetricsEverySec);
+    MetricsDumper = std::thread([&] {
+      std::unique_lock<std::mutex> Guard(DumpM);
+      while (!DumpCV.wait_for(Guard, std::chrono::seconds(MetricsEverySec),
+                              [&] { return DumpStop; })) {
+        Guard.unlock();
+        std::string Text = Svc->metricsText();
+        std::printf("--- metrics ---\n%s--- end metrics ---\n", Text.c_str());
+        std::fflush(stdout);
+        Guard.lock();
+      }
+    });
+  }
+
   Server.run();
+  if (MetricsDumper.joinable()) {
+    {
+      std::lock_guard<std::mutex> Guard(DumpM);
+      DumpStop = true;
+    }
+    DumpCV.notify_all();
+    MetricsDumper.join();
+  }
   // Detach the handlers before Server's destructor runs: a second Ctrl-C
   // during teardown must not call into a half-destroyed object.
   std::signal(SIGINT, SIG_DFL);

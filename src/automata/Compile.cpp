@@ -2,6 +2,11 @@
 
 #include "automata/Compile.h"
 
+#include "obs/Metrics.h"
+#include "obs/Probe.h"
+#include "obs/Trace.h"
+#include "support/Clock.h"
+
 #include <cassert>
 
 using namespace regel;
@@ -200,7 +205,19 @@ const Dfa &DfaCache::get(const RegexPtr &R) {
       return *Ins->second;
     }
   }
+  // A compilation is actually paid: the one DfaCache event worth timing
+  // one-by-one (hits are counted, not timed — they are map lookups).
+  const bool Timed = Probe && Probe->Clk &&
+                     (Probe->DfaCompileUs || Probe->Trace);
+  const int64_t StartUs = Timed ? Probe->Clk->nowUs() : 0;
   auto D = std::make_shared<const Dfa>(compileRegex(R));
+  if (Timed) {
+    const int64_t DurUs = Probe->Clk->nowUs() - StartUs;
+    if (Probe->DfaCompileUs)
+      Probe->DfaCompileUs->record(static_cast<uint64_t>(DurUs));
+    if (Probe->Trace)
+      Probe->Trace->span("dfa_compile", "dfa", StartUs, DurUs, Probe->Tid);
+  }
   if (Shared)
     Shared->publish(R, D);
   auto [Ins, _] = Cache.emplace(R, std::move(D));

@@ -21,6 +21,10 @@
 
 namespace regel {
 
+namespace obs {
+struct SynthProbe;
+}
+
 /// Compiles \p R to a minimized complete DFA (no caching).
 Dfa compileRegex(const RegexPtr &R);
 
@@ -54,6 +58,12 @@ public:
   /// Attaches (or detaches, with nullptr) a shared backing store.
   void setSharedStore(DfaStore *S) { Shared = S; }
 
+  /// Attaches (or detaches, with nullptr) an instrumentation probe: each
+  /// full compilation this cache pays — a local miss the shared store
+  /// could not serve — is timed into the probe's DfaCompileUs histogram
+  /// and, when the run is traced, recorded as a `dfa_compile` span.
+  void setProbe(const obs::SynthProbe *P) { Probe = P; }
+
   /// Membership through the cache.
   bool matches(const RegexPtr &R, const std::string &Input) {
     return get(R).matches(Input);
@@ -77,6 +87,7 @@ private:
                      RegexPtrEq>
       Cache;
   DfaStore *Shared = nullptr;
+  const obs::SynthProbe *Probe = nullptr;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t SharedHits = 0; ///< local misses served by the shared store

@@ -2,14 +2,25 @@
 
 #include "engine/Engine.h"
 
+#include "obs/Probe.h"
 #include "synth/Synthesizer.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 
 using namespace regel;
 using namespace regel::engine;
+
+namespace {
+
+/// Label fragment for a scheduling class, e.g. `pri="interactive"`.
+std::string priLabel(Priority P) {
+  return std::string("pri=\"") + priorityName(P) + "\"";
+}
+
+} // namespace
 
 Engine::Engine(EngineConfig C)
     : Cfg(std::move(C)),
@@ -18,7 +29,24 @@ Engine::Engine(EngineConfig C)
                         : std::make_shared<SharedCaches>(Cfg.CacheShards,
                                                          Cfg.DfaCacheLimits,
                                                          Cfg.ApproxCacheLimits)),
-      Pool(Cfg.Threads, Cfg.FifoScheduling) {}
+      Reg(std::make_shared<obs::Registry>()),
+      Tracing(std::make_shared<obs::Tracer>(Cfg.Trace)),
+      Pool(Cfg.Threads, Cfg.FifoScheduling) {
+  if (Cfg.Observability) {
+    // Resolve every hot-path histogram once; record() afterwards touches
+    // only the histogram's own atomics.
+    for (unsigned P = 0; P < NumPriorities; ++P) {
+      const std::string L = priLabel(static_cast<Priority>(P));
+      PerPri[P].QueueUs = &Reg->histogram("regel_job_queue_us", L);
+      PerPri[P].ExecUs = &Reg->histogram("regel_job_exec_us", L);
+      PerPri[P].TotalUs = &Reg->histogram("regel_job_total_us", L);
+      PerPri[P].EstErrUs = &Reg->histogram("regel_estimator_abs_error_us", L);
+    }
+    TaskExecUs = &Reg->histogram("regel_task_exec_us");
+    DfaCompileUs = &Reg->histogram("regel_dfa_compile_us");
+    SmtInferUs = &Reg->histogram("regel_smt_infer_us");
+  }
+}
 
 Engine::~Engine() {
   // WorkerPool's destructor drains the queues; jobs submitted before the
@@ -31,7 +59,11 @@ JobPtr Engine::submit(JobRequest R) {
   // against the high-water mark (and before its queue-wait estimate).
   sweepExpiredQueued();
   Stats.jobSubmitted();
+  if (Cfg.Observability && !R.Trace)
+    R.Trace = Tracing->begin();
   JobPtr J(new SynthJob(std::move(R), Clk));
+  if (obs::TraceContext *T = J->Req.Trace.get())
+    T->spanEnvelope("submit", "job", J->SinceSubmit.startUs(), 0);
   const size_t NumTasks = J->Req.Sketches.size();
   if (NumTasks == 0) {
     // Nothing to search: complete the job on the spot (it never occupies
@@ -42,6 +74,7 @@ JobPtr Engine::submit(JobRequest R) {
     }
     Stats.jobCompleted(/*Solved=*/false, /*DeadlineExpired=*/false,
                        /*ResidencyExpired=*/false);
+    observeCompletion(J, "empty", /*ForceKeepTrace=*/false);
     publishCompletion(J);
     return J;
   }
@@ -59,6 +92,7 @@ JobPtr Engine::submit(JobRequest R) {
       J->Result.ShedOnArrival = true;
       J->Result.TotalMs = J->sinceSubmitMs();
     }
+    observeCompletion(J, "shed", /*ForceKeepTrace=*/true);
     publishCompletion(J);
     return J;
   }
@@ -73,9 +107,13 @@ JobPtr Engine::submit(JobRequest R) {
       J->Result.Rejected = true;
       J->Result.TotalMs = J->sinceSubmitMs();
     }
+    observeCompletion(J, "rejected", /*ForceKeepTrace=*/true);
     publishCompletion(J);
     return J;
   }
+  // Accepted: remember what the estimator predicted so completion can
+  // record the estimate-vs-actual error histogram.
+  J->EstAtSubmitMs = Estimator.estimateMs(J->Req.Pri);
   J->Remaining.store(static_cast<unsigned>(NumTasks),
                      std::memory_order_relaxed);
   const Priority Pri = J->Req.Pri;
@@ -293,6 +331,7 @@ void Engine::expireQueued(const JobPtr &J) {
                      /*ResidencyExpired=*/true);
   Stats.jobExpiredInQueue();
   Queue.remove(J.get());
+  observeCompletion(J, "expired_in_queue", /*ForceKeepTrace=*/true);
   publishCompletion(J);
 }
 
@@ -322,6 +361,8 @@ void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
     // The task never ran a search: whatever set the cancel flag (sibling
     // success, client cancel, deadline, residency SLA) ends it here.
     Stats.taskSkipped();
+    if (obs::TraceContext *T = J->Req.Trace.get())
+      T->span("task_skipped", "task", Clk->nowUs(), 0, 1 + Rank);
     std::lock_guard<std::mutex> Guard(J->M);
     ++J->Result.TasksSkipped;
     if (DeadlineHit)
@@ -366,12 +407,49 @@ void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
                                     : ResidencyLeftMs;
     }
 
+    // Instrumentation sinks for the layers below the engine (synthesizer
+    // and DFA cache). Stack-allocated: Synth.run is synchronous and the
+    // probe must not outlive this frame.
+    obs::TraceContext *T = J->Req.Trace.get();
+    obs::SynthProbe Probe;
+    const bool Observe = Cfg.Observability;
+    if (Observe) {
+      Probe.Clk = Clk.get();
+      Probe.DfaCompileUs = DfaCompileUs;
+      Probe.SmtInferUs = SmtInferUs;
+      Probe.Trace = T;
+      Probe.Tid = 1 + Rank;
+      SC.Probe = &Probe;
+    }
+    const int64_t TaskStartUs = Observe ? Clk->nowUs() : 0;
+
     Synthesizer Synth(SC);
     SynthResult SR = Synth.run(Req.Sketches[Rank], Req.E);
     Stats.taskRan();
     Stats.addSynth(SR.Stats);
     if (SR.Cancelled)
       Stats.taskStopped();
+    if (Observe) {
+      const int64_t TaskDurUs = Clk->nowUs() - TaskStartUs;
+      TaskExecUs->record(static_cast<uint64_t>(TaskDurUs));
+      if (T) {
+        obs::Span S;
+        S.Name = "task";
+        S.Cat = "task";
+        S.StartUs = TaskStartUs;
+        S.DurUs = TaskDurUs;
+        S.Tid = 1 + Rank;
+        S.Args = {{"rank", std::to_string(Rank)},
+                  {"solutions", std::to_string(SR.Solutions.size())},
+                  {"pops", std::to_string(SR.Stats.Pops)},
+                  {"dfa_local_hits", std::to_string(SR.Stats.DfaLocalHits)},
+                  {"dfa_shared_hits", std::to_string(SR.Stats.DfaSharedHits)},
+                  {"dfa_compiles", std::to_string(SR.Stats.DfaCompiles)},
+                  {"smt_solve_calls", std::to_string(SR.Stats.SmtSolveCalls)},
+                  {"cancelled", SR.Cancelled ? "true" : "false"}};
+        T->span(std::move(S));
+      }
+    }
 
     std::lock_guard<std::mutex> Guard(J->M);
     ++J->Result.TasksRun;
@@ -460,6 +538,13 @@ void Engine::finalize(const JobPtr &J) {
   Stats.jobCompleted(Solved, DeadlineExpired, ResidencyExpired);
   Stats.solutionsFound(NumAnswers);
   Queue.remove(J.get());
+  const char *Verdict = Solved              ? "solved"
+                        : DeadlineExpired   ? "deadline_expired"
+                        : ResidencyExpired  ? "residency_expired"
+                                            : "no_solution";
+  observeCompletion(J, Verdict,
+                    /*ForceKeepTrace=*/!Solved &&
+                        (DeadlineExpired || ResidencyExpired));
   publishCompletion(J);
 }
 
@@ -493,4 +578,137 @@ StatsSnapshot Engine::snapshot() const {
   S.EstimatorSamplesBackground =
       E.Samples[static_cast<unsigned>(Priority::Background)];
   return S;
+}
+
+void Engine::observeCompletion(const JobPtr &J, const char *Verdict,
+                               bool ForceKeepTrace) {
+  // Called after the result is final and before publishCompletion, on
+  // every completion path (normal, expired-in-queue, and the submit-time
+  // fast paths), so this is the one place job-level latency histograms
+  // and job/queue/exec spans are recorded.
+  double QueueMs, ExecMs, TotalMs;
+  bool Ran, Accepted;
+  {
+    std::lock_guard<std::mutex> Guard(J->M);
+    QueueMs = J->Result.QueueMs;
+    ExecMs = J->Result.ExecMs;
+    TotalMs = J->Result.TotalMs;
+    Ran = J->Result.TasksRun > 0;
+    // Rejected/shed submissions and empty jobs never occupied the queue;
+    // their (near-zero) latencies would only distort the accepted-job
+    // histograms. Their counters are tracked separately.
+    Accepted = !J->Result.Rejected && !J->Result.ShedOnArrival &&
+               !J->Req.Sketches.empty();
+  }
+  if (Cfg.Observability && Accepted) {
+    JobHists &H = PerPri[static_cast<unsigned>(J->Req.Pri)];
+    H.QueueUs->recordMs(QueueMs);
+    H.ExecUs->recordMs(ExecMs);
+    H.TotalUs->recordMs(TotalMs);
+    // Estimate-vs-actual absolute error, only when both sides exist (the
+    // class was warm at submit and the job really ran a search).
+    if (Ran && J->EstAtSubmitMs >= 0)
+      H.EstErrUs->recordMs(std::fabs(J->EstAtSubmitMs - ExecMs));
+  }
+  if (const std::shared_ptr<obs::TraceContext> &T = J->Req.Trace) {
+    const int64_t SubmitUs = J->SinceSubmit.startUs();
+    if (Accepted) {
+      T->spanEnvelope("queue", "job", SubmitUs,
+              static_cast<int64_t>(QueueMs * 1000.0 + 0.5));
+      const int64_t ExecRelUs =
+          J->ExecStartUs.load(std::memory_order_acquire);
+      if (ExecRelUs >= 0)
+        T->spanEnvelope("exec", "job", SubmitUs + ExecRelUs,
+                static_cast<int64_t>(ExecMs * 1000.0 + 0.5));
+    }
+    T->spanEnvelope("job", "job", SubmitUs,
+            static_cast<int64_t>(TotalMs * 1000.0 + 0.5));
+    T->setVerdict(Verdict);
+    // Advertise the trace id only when the ring retained the trace: a
+    // trace= the server cannot serve is worse than none.
+    if (Tracing->finish(T, ForceKeepTrace)) {
+      std::lock_guard<std::mutex> Guard(J->M);
+      J->Result.TraceId = T->id();
+    }
+  }
+}
+
+void Engine::mirrorSnapshot() const {
+  const StatsSnapshot S = snapshot();
+  obs::Registry &R = *Reg;
+  R.counter("regel_jobs_submitted_total").set(S.JobsSubmitted);
+  R.counter("regel_jobs_completed_total").set(S.JobsCompleted);
+  R.counter("regel_jobs_solved_total").set(S.JobsSolved);
+  R.counter("regel_jobs_rejected_total").set(S.JobsRejected);
+  R.counter("regel_jobs_shed_on_arrival_total").set(S.JobsShedOnArrival);
+  R.counter("regel_jobs_expired_in_queue_total").set(S.JobsExpiredInQueue);
+  R.counter("regel_jobs_deadline_expired_total").set(S.JobsDeadlineExpired);
+  R.counter("regel_jobs_residency_expired_total")
+      .set(S.JobsResidencyExpired);
+  R.counter("regel_tasks_run_total").set(S.TasksRun);
+  R.counter("regel_tasks_skipped_total").set(S.TasksSkipped);
+  R.counter("regel_tasks_stopped_total").set(S.TasksStopped);
+  R.counter("regel_tasks_stolen_total").set(S.TasksStolen);
+  R.counter("regel_pool_tasks_run_total",
+            priLabel(Priority::Interactive))
+      .set(S.TasksRunInteractive);
+  R.counter("regel_pool_tasks_run_total", priLabel(Priority::Batch))
+      .set(S.TasksRunBatch);
+  R.counter("regel_pool_tasks_run_total", priLabel(Priority::Background))
+      .set(S.TasksRunBackground);
+  R.counter("regel_solutions_found_total").set(S.SolutionsFound);
+  R.counter("regel_synth_pops_total").set(S.Pops);
+  R.counter("regel_synth_expansions_total").set(S.Expansions);
+  R.counter("regel_synth_pruned_infeasible_total").set(S.PrunedInfeasible);
+  R.counter("regel_synth_concrete_checked_total").set(S.ConcreteChecked);
+  R.counter("regel_smt_solve_calls_total").set(S.SmtSolveCalls);
+  R.counter("regel_dfa_gets_total").set(S.DfaGets);
+  R.counter("regel_dfa_compiles_total").set(S.DfaCompiles);
+  R.counter("regel_synth_time_us_total")
+      .set(static_cast<uint64_t>(S.SynthMsTotal * 1000.0));
+  R.counter("regel_dfa_store_hits_total").set(S.DfaStoreHits);
+  R.counter("regel_dfa_store_misses_total").set(S.DfaStoreMisses);
+  R.counter("regel_dfa_store_evictions_total").set(S.DfaStoreEvictions);
+  R.counter("regel_approx_store_hits_total").set(S.ApproxStoreHits);
+  R.counter("regel_approx_store_misses_total").set(S.ApproxStoreMisses);
+  R.counter("regel_approx_store_evictions_total")
+      .set(S.ApproxStoreEvictions);
+  R.gauge("regel_queue_depth_jobs")
+      .set(static_cast<int64_t>(queueDepth()));
+  R.gauge("regel_completions_pending")
+      .set(static_cast<int64_t>(S.CompletionsPending));
+  R.gauge("regel_worker_threads")
+      .set(static_cast<int64_t>(Pool.threadCount()));
+  R.gauge("regel_dfa_store_size_entries")
+      .set(static_cast<int64_t>(S.DfaStoreSize));
+  R.gauge("regel_dfa_store_cost_units")
+      .set(static_cast<int64_t>(S.DfaStoreCost));
+  R.gauge("regel_approx_store_size_entries")
+      .set(static_cast<int64_t>(S.ApproxStoreSize));
+  // Estimator state in integer us (-1 = cold). A federated SUM of these
+  // gauges is meaningless — readers must consume them per backend.
+  auto EstUs = [](double Ms) {
+    return Ms < 0 ? int64_t(-1) : static_cast<int64_t>(Ms * 1000.0);
+  };
+  R.gauge("regel_estimator_est_us", priLabel(Priority::Interactive))
+      .set(EstUs(S.EstimatorInteractiveMs));
+  R.gauge("regel_estimator_est_us", priLabel(Priority::Batch))
+      .set(EstUs(S.EstimatorBatchMs));
+  R.gauge("regel_estimator_est_us", priLabel(Priority::Background))
+      .set(EstUs(S.EstimatorBackgroundMs));
+  R.gauge("regel_estimator_blended_est_us")
+      .set(EstUs(S.EstimatorBlendedMs));
+  R.counter("regel_estimator_samples_total",
+            priLabel(Priority::Interactive))
+      .set(S.EstimatorSamplesInteractive);
+  R.counter("regel_estimator_samples_total", priLabel(Priority::Batch))
+      .set(S.EstimatorSamplesBatch);
+  R.counter("regel_estimator_samples_total",
+            priLabel(Priority::Background))
+      .set(S.EstimatorSamplesBackground);
+}
+
+std::string Engine::metricsText() const {
+  mirrorSnapshot();
+  return Reg->renderText();
 }

@@ -30,6 +30,8 @@
 #include "engine/Job.h"
 #include "engine/Stats.h"
 #include "engine/WorkerPool.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Clock.h"
 
 #include <atomic>
@@ -92,6 +94,19 @@ struct EngineConfig {
   /// start. Off reverts to the lazy pre-shedding behaviour — kept so the
   /// overload bench can measure what shedding buys.
   bool DeadlineShedding = true;
+
+  /// Observability (on by default): latency histograms recorded into the
+  /// engine's obs::Registry and per-job span tracing. Off compiles the
+  /// hot path down to flag tests — no histogram records, no trace
+  /// allocations — which is what the bench's overhead row compares
+  /// against. The registry itself always exists (metricsText() still
+  /// exposes the engine counters), only the per-job recording is gated.
+  bool Observability = true;
+
+  /// Trace sampling and retention knobs (see obs::Tracer::Config):
+  /// failed jobs (shed/rejected/expired/SLA-missed) are always retained,
+  /// successes at Trace.SampleProb.
+  obs::Tracer::Config Trace;
 };
 
 class Engine {
@@ -148,6 +163,27 @@ public:
   /// Point-in-time copy of all counters, including cache and pool state.
   StatsSnapshot snapshot() const;
 
+  /// Prometheus-style text exposition of every engine metric: the
+  /// snapshot counters mirrored into the registry plus the live latency
+  /// histograms (per-class queue/exec/total, per-task exec, DFA compile,
+  /// SMT inference, estimator error). The uniform read surface — the
+  /// socket server's v2 `metrics` frame and the bench's percentile rows
+  /// both come from here.
+  std::string metricsText() const;
+
+  /// Chrome trace_event JSON of retained trace \p Id ("" when unknown —
+  /// sampled out, evicted, or never traced).
+  std::string traceJson(uint64_t Id) const { return Tracing->traceJson(Id); }
+
+  /// The metrics registry (never null). Exposed so tests and benches can
+  /// read histogram snapshots directly and servers can add their own
+  /// series next to the engine's.
+  const std::shared_ptr<obs::Registry> &registry() const { return Reg; }
+
+  /// The span tracer (never null). Shared so a test can outlive the
+  /// engine and still inspect retained traces.
+  const std::shared_ptr<obs::Tracer> &tracer() const { return Tracing; }
+
   SharedCaches &caches() { return *Caches; }
   const EngineConfig &config() const { return Cfg; }
   unsigned threadCount() const { return Pool.threadCount(); }
@@ -196,9 +232,35 @@ private:
   /// job already pollable. Pre: J->Result is final; called exactly once.
   void publishCompletion(const JobPtr &J);
 
+  /// Records the job-level latency histograms and spans at completion
+  /// (no-op when observability is off or nothing is traced).
+  void observeCompletion(const JobPtr &J, const char *Verdict,
+                         bool ForceKeepTrace);
+
+  /// Copies the current StatsSnapshot into registry counters/gauges
+  /// (called by metricsText so the exposition is point-in-time fresh).
+  void mirrorSnapshot() const;
+
   EngineConfig Cfg;
   std::shared_ptr<const Clock> Clk; ///< never null
   std::shared_ptr<SharedCaches> Caches;
+  std::shared_ptr<obs::Registry> Reg;    ///< never null
+  std::shared_ptr<obs::Tracer> Tracing;  ///< never null
+
+  /// Hot-path histogram handles, resolved once at construction (null when
+  /// Cfg.Observability is off). Per scheduling class for the job-level
+  /// latencies; unlabeled for the task/DFA/SMT timings.
+  struct JobHists {
+    obs::Histogram *QueueUs = nullptr;
+    obs::Histogram *ExecUs = nullptr;
+    obs::Histogram *TotalUs = nullptr;
+    obs::Histogram *EstErrUs = nullptr;
+  };
+  JobHists PerPri[NumPriorities];
+  obs::Histogram *TaskExecUs = nullptr;
+  obs::Histogram *DfaCompileUs = nullptr;
+  obs::Histogram *SmtInferUs = nullptr;
+
   EngineStats Stats;
   ServiceTimeEstimator Estimator;
   JobQueue Queue;

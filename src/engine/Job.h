@@ -25,6 +25,7 @@
 #define REGEL_ENGINE_JOB_H
 
 #include "engine/WorkerPool.h"
+#include "obs/Trace.h"
 #include "sketch/Sketch.h"
 #include "support/Timer.h"
 #include "synth/Config.h"
@@ -90,6 +91,13 @@ struct JobRequest {
   /// clients that never poll don't leak handles into the queue.
   bool EnqueueCompletion = false;
 
+  /// Span sink for this job (normally created by the engine at submit when
+  /// the tracer samples the job; a caller may pre-attach one to force
+  /// tracing). Spans are recorded from submit through queue, dispatch,
+  /// per-sketch task, DFA compile, and SMT inference; the final trace id
+  /// is reported in JobResult::TraceId and fetchable while retained.
+  std::shared_ptr<obs::TraceContext> Trace;
+
   std::string Tag; ///< free-form client label (server/bench reporting)
 };
 
@@ -120,6 +128,11 @@ struct JobResult {
   /// Distinct from Rejected (queue-depth high-water) — a client can back
   /// off differently for "queue full" vs "your deadline is hopeless".
   bool ShedOnArrival = false;
+
+  /// Id of the job's span trace (0 = not traced). Non-zero does not
+  /// guarantee the trace is still fetchable: retention is sampled and the
+  /// ring is bounded — see obs::Tracer.
+  uint64_t TraceId = 0;
 
   bool solved() const { return !Answers.empty(); }
 };
@@ -238,6 +251,12 @@ private:
   /// ExpiredBeforeStartUs = expired in queue (see markStarted).
   /// Anchors the per-job deadline and QueueMs/ExecMs.
   std::atomic<int64_t> ExecStartUs{-1};
+
+  /// The estimator's exec estimate for the job's class, sampled at accept
+  /// time (negative = cold). Compared against actual ExecMs at completion
+  /// to feed the estimator-error histogram — the figure that shows
+  /// whether the EWMA over- or under-estimates a class.
+  double EstAtSubmitMs = -1.0;
 
   // Collector state (guarded by M).
   mutable std::mutex M;

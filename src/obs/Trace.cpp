@@ -1,0 +1,141 @@
+//===- obs/Trace.cpp ------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace regel;
+using namespace regel::obs;
+
+namespace {
+
+/// splitmix64 — decorrelates the sequential trace ids into a uniform
+/// stream for the sampling decision. Deterministic by design.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  Out += Buf;
+}
+
+void appendI64(std::string &Out, int64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+  Out += Buf;
+}
+
+} // namespace
+
+// Each tracer claims a disjoint 2^32-wide id block from a process-wide
+// allocator: trace ids from N engines behind one in-process router never
+// collide, so the router can resolve `trace <id>` by asking every
+// backend for it. Ids stay small and deterministic per tracer — the
+// first tracer constructed in a process starts at 1. (Separate server
+// PROCESSES can still collide block-for-block; a router over remote
+// shards returns the first match.)
+Tracer::Tracer(Config C) : Cfg(C) {
+  static std::atomic<uint64_t> NextBlock{0};
+  NextSeq.store((NextBlock.fetch_add(1, std::memory_order_relaxed) << 32) + 1,
+                std::memory_order_relaxed);
+}
+
+std::shared_ptr<TraceContext> Tracer::begin() {
+  uint64_t Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
+  bool Sampled = true;
+  if (Cfg.SampleProb < 1.0) {
+    const uint64_t Scale = uint64_t(1) << 32;
+    uint64_t Threshold =
+        Cfg.SampleProb <= 0
+            ? 0
+            : static_cast<uint64_t>(Cfg.SampleProb * static_cast<double>(Scale));
+    Sampled = (mix64(Seq) & (Scale - 1)) < Threshold;
+  }
+  return std::make_shared<TraceContext>(Seq, Sampled,
+                                        Cfg.MaxSpansPerTrace);
+}
+
+bool Tracer::finish(const std::shared_ptr<TraceContext> &Ctx, bool ForceKeep) {
+  if (!Ctx)
+    return false;
+  bool Keep = Ctx->sampled() || (ForceKeep && Cfg.AlwaysKeepFailures);
+  if (!Keep)
+    return false;
+  std::lock_guard<std::mutex> G(M);
+  Ring.push_back(Ctx);
+  while (Ring.size() > Cfg.RingCapacity) {
+    Ring.pop_front();
+    ++Evicted;
+  }
+  return true;
+}
+
+std::shared_ptr<TraceContext> Tracer::find(uint64_t Id) const {
+  std::lock_guard<std::mutex> G(M);
+  // Newest first: after an id wrap (never in practice) or duplicate
+  // retention the most recent trace wins.
+  for (auto It = Ring.rbegin(); It != Ring.rend(); ++It)
+    if ((*It)->id() == Id)
+      return *It;
+  return nullptr;
+}
+
+std::string Tracer::traceJson(uint64_t Id) const {
+  std::shared_ptr<TraceContext> Ctx = find(Id);
+  return Ctx ? Ctx->toJson() : std::string();
+}
+
+std::string TraceContext::toJson() const {
+  std::lock_guard<std::mutex> G(M);
+  std::string Out;
+  Out.reserve(256 + Spans.size() * 96);
+  Out += "{\"traceEvents\":[";
+  bool First = true;
+  for (const Span &S : Spans) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    Out += jsonEscape(S.Name);
+    Out += "\",\"cat\":\"";
+    Out += jsonEscape(S.Cat);
+    Out += "\",\"ph\":\"X\",\"ts\":";
+    appendI64(Out, S.StartUs);
+    Out += ",\"dur\":";
+    appendI64(Out, S.DurUs);
+    Out += ",\"pid\":1,\"tid\":";
+    appendI64(Out, S.Tid);
+    if (!S.Args.empty()) {
+      Out += ",\"args\":{";
+      bool FirstArg = true;
+      for (const auto &KV : S.Args) {
+        if (!FirstArg)
+          Out += ',';
+        FirstArg = false;
+        Out += '"';
+        Out += jsonEscape(KV.first);
+        Out += "\":\"";
+        Out += jsonEscape(KV.second);
+        Out += '"';
+      }
+      Out += '}';
+    }
+    Out += '}';
+  }
+  Out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"trace_id\":\"";
+  appendU64(Out, Id);
+  Out += "\",\"verdict\":\"";
+  Out += jsonEscape(Verdict);
+  Out += "\",\"dropped_spans\":\"";
+  appendU64(Out, DroppedSpans);
+  Out += "\"}}";
+  return Out;
+}

@@ -467,7 +467,11 @@ void SocketServer::handleV1(Connection &C, const Request &Req,
   case Request::Kind::Submit:
   case Request::Kind::Cancel:
   case Request::Kind::Health:
-    // Unreachable: the decoder only produces these for v2 frames.
+  case Request::Kind::Metrics:
+  case Request::Kind::Trace:
+    // Unreachable: the decoder only produces these for v2 frames. (A v1
+    // "metrics" line is an UnknownCommand error upstream — v1 stays
+    // byte-frozen; telemetry is v2-only.)
     respond(C, errorResponse(ErrorCode::UnknownCommand, ""), Version::V1);
     return;
   }
@@ -561,6 +565,40 @@ void SocketServer::handleV2(Connection &C, const Request &Req,
     R.Workers = H.Workers;
     R.EstWaitMs = H.EstWaitMs;
     R.NextDeadlineMs = H.NextDeadlineDeltaMs;
+    respond(C, R, Version::V2);
+    return;
+  }
+  case Request::Kind::Metrics: {
+    Response R;
+    R.K = Response::Kind::Metrics;
+    R.Detail = Svc->metricsText();
+    // A registry can outgrow one frame (escaping triples the worst
+    // case); a client must get a taxonomy error it can parse, never a
+    // frame its own decoder rejects as oversized.
+    if (protocol::encodeResponse(R, Version::V2).size() >
+        protocol::MaxFrameBytes) {
+      respond(C, errorResponse(ErrorCode::Oversized, "metrics exposition"),
+              Version::V2);
+      return;
+    }
+    respond(C, R, Version::V2);
+    return;
+  }
+  case Request::Kind::Trace: {
+    // Always a trace frame, empty json for an unknown id — NOT an
+    // unknown_id error: error frames carry ticket ids, and a trace id
+    // landing in that namespace could fail an innocent in-flight job on
+    // a client matching errors by id.
+    Response R;
+    R.K = Response::Kind::Trace;
+    R.Id = Req.Id;
+    R.Detail = Svc->traceJson(Req.Id);
+    if (protocol::encodeResponse(R, Version::V2).size() >
+        protocol::MaxFrameBytes) {
+      respond(C, errorResponse(ErrorCode::Oversized, "trace json"),
+              Version::V2);
+      return;
+    }
     respond(C, R, Version::V2);
     return;
   }
@@ -688,6 +726,7 @@ void SocketServer::routeCompletion(const service::Completion &Done) {
   Fin.ExecMs = R.ExecMs;
   Fin.QueueMs = R.QueueMs;
   Fin.Answers = static_cast<unsigned>(R.Answers.size());
+  Fin.TraceId = R.TraceId; // v2 emits trace= when retained; v1 unchanged
   Msg += protocol::encodeResponse(Fin, P.V);
   Msg += '\n';
   queueOutput(C, Msg);

@@ -40,7 +40,15 @@ public:
   std::vector<Completion> pollCompleted() override;
   std::vector<Completion> waitCompleted(int64_t TimeoutMs) override;
   std::string statsJson() const override;
+  bool statsSnapshot(engine::StatsSnapshot &Out) const override {
+    Out = Eng->snapshot();
+    return true;
+  }
   ServiceHealth health() const override;
+  std::string metricsText() const override { return Eng->metricsText(); }
+  std::string traceJson(uint64_t Id) const override {
+    return Eng->traceJson(Id);
+  }
   void setWakeup(std::function<void()> Fn) override;
 
   /// Local convenience bypass: submits directly to the engine and

@@ -297,6 +297,8 @@ std::string regel::protocol::encodeRequest(const Request &R, Version V) {
     case Request::Kind::Submit:
     case Request::Kind::Cancel:
     case Request::Kind::Health:
+    case Request::Kind::Metrics:
+    case Request::Kind::Trace:
       return ""; // not expressible in v1
     }
     return "";
@@ -339,10 +341,16 @@ std::string regel::protocol::encodeRequest(const Request &R, Version V) {
     Out = "v2 cancel";
     appendU64(Out, "id", R.Id);
     return Out;
+  case Request::Kind::Trace:
+    Out = "v2 trace";
+    appendU64(Out, "id", R.Id);
+    return Out;
   case Request::Kind::Stats:
     return "v2 stats";
   case Request::Kind::Health:
     return "v2 health";
+  case Request::Kind::Metrics:
+    return "v2 metrics";
   default:
     return ""; // stateful v1 commands have no v2 form
   }
@@ -429,7 +437,13 @@ ErrorCode decodeRequestV2(const std::string &Line, Request &Out) {
     Out.K = Request::Kind::Health;
     return ErrorCode::None;
   }
-  if (Type != "submit" && Type != "cancel") {
+  if (Type == "metrics") {
+    if (Toks.size() != 2)
+      return ErrorCode::Malformed;
+    Out.K = Request::Kind::Metrics;
+    return ErrorCode::None;
+  }
+  if (Type != "submit" && Type != "cancel" && Type != "trace") {
     Out.Text = Type;
     return ErrorCode::UnknownCommand;
   }
@@ -449,8 +463,8 @@ ErrorCode decodeRequestV2(const std::string &Line, Request &Out) {
       SawId = true;
       continue;
     }
-    if (Type == "cancel")
-      return ErrorCode::Malformed; // cancel takes only id
+    if (Type != "submit")
+      return ErrorCode::Malformed; // cancel/trace take only id
 
     if (Key == "desc") {
       Out.Text = Val;
@@ -497,7 +511,9 @@ ErrorCode decodeRequestV2(const std::string &Line, Request &Out) {
   }
   if (!SawId)
     return ErrorCode::Malformed;
-  Out.K = Type == "submit" ? Request::Kind::Submit : Request::Kind::Cancel;
+  Out.K = Type == "submit"   ? Request::Kind::Submit
+          : Type == "cancel" ? Request::Kind::Cancel
+                             : Request::Kind::Trace;
   return ErrorCode::None;
 }
 
@@ -737,6 +753,8 @@ ErrorCode decodeResponseV2(const std::string &Line, Response &Out) {
             Out.Answers = static_cast<unsigned>(N);
             return true;
           }
+          if (K == "trace")
+            return parseU64(V, Out.TraceId) && Out.TraceId != 0;
           return false;
         }) ||
         !SawId || !SawStatus)
@@ -775,6 +793,38 @@ ErrorCode decodeResponseV2(const std::string &Line, Response &Out) {
         !SawJson)
       return ErrorCode::Malformed;
     Out.K = Response::Kind::Stats;
+    return ErrorCode::None;
+  }
+  if (Type == "metrics") {
+    bool SawText = false;
+    if (!Pairs(2, [&](const std::string &K, const std::string &V) {
+          if (K == "text") {
+            Out.Detail = V;
+            SawText = true;
+            return true;
+          }
+          return false;
+        }) ||
+        !SawText)
+      return ErrorCode::Malformed;
+    Out.K = Response::Kind::Metrics;
+    return ErrorCode::None;
+  }
+  if (Type == "trace") {
+    bool SawId = false, SawJson = false;
+    if (!Pairs(2, [&](const std::string &K, const std::string &V) {
+          if (K == "id")
+            return SawId = parseU64(V, Out.Id), SawId;
+          if (K == "json") {
+            Out.Detail = V;
+            SawJson = true;
+            return true;
+          }
+          return false;
+        }) ||
+        !SawId || !SawJson)
+      return ErrorCode::Malformed;
+    Out.K = Response::Kind::Trace;
     return ErrorCode::None;
   }
   if (Type == "health") {
@@ -849,6 +899,8 @@ std::string regel::protocol::encodeResponse(const Response &R, Version V) {
     case Response::Kind::Stats:
       return "stats " + R.Detail;
     case Response::Kind::Health:
+    case Response::Kind::Metrics:
+    case Response::Kind::Trace:
     case Response::Kind::None:
       return ""; // not expressible in v1
     }
@@ -879,6 +931,8 @@ std::string regel::protocol::encodeResponse(const Response &R, Version V) {
     appendMs(Out, "exec_ms", R.ExecMs);
     appendMs(Out, "queue_ms", R.QueueMs);
     appendNum(Out, "answers", R.Answers);
+    if (R.TraceId != 0)
+      appendU64(Out, "trace", R.TraceId);
     return Out;
   case Response::Kind::Error:
     Out = "v2 error code=";
@@ -890,6 +944,15 @@ std::string regel::protocol::encodeResponse(const Response &R, Version V) {
     return Out;
   case Response::Kind::Stats:
     Out = "v2 stats";
+    appendPair(Out, "json", R.Detail);
+    return Out;
+  case Response::Kind::Metrics:
+    Out = "v2 metrics";
+    appendPair(Out, "text", R.Detail);
+    return Out;
+  case Response::Kind::Trace:
+    Out = "v2 trace";
+    appendU64(Out, "id", R.Id);
     appendPair(Out, "json", R.Detail);
     return Out;
   case Response::Kind::Health:

@@ -113,6 +113,8 @@ struct Request {
     Submit,   ///< v2 one-shot: everything below
     Cancel,   ///< v2: Id
     Health,   ///< v2
+    Metrics,  ///< v2: Prometheus-style metrics exposition fetch
+    Trace,    ///< v2: Id = trace id (from a done frame's trace=)
   };
 
   Kind K = Kind::None;
@@ -150,9 +152,11 @@ struct Response {
     Error,  ///< Err + Detail
     Queued, ///< Id
     Answer, ///< Id, Rank (v2 only), Detail = printed regex
-    Done,   ///< Id, Status, TotalMs, ExecMs (+ QueueMs/Answers in v2)
+    Done,   ///< Id, Status, TotalMs, ExecMs (+ QueueMs/Answers/TraceId in v2)
     Stats,  ///< Detail = stats JSON
     Health, ///< v2: the health block below
+    Metrics, ///< v2: Detail = Prometheus-style text exposition
+    Trace,   ///< v2: Id = trace id, Detail = trace_event JSON
   };
 
   Kind K = Kind::None;
@@ -167,6 +171,9 @@ struct Response {
   std::string Status;
   double TotalMs = 0, ExecMs = 0, QueueMs = 0;
   unsigned Answers = 0;
+  /// Retained span-trace id of a finished job (v2 done `trace=`); 0 when
+  /// the job's trace was not retained. Fetch it with a Trace request.
+  uint64_t TraceId = 0;
 
   // Health payload (v2).
   bool Healthy = true;

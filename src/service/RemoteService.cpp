@@ -274,6 +274,64 @@ ServiceHealth RemoteService::health() const {
   return HealthReply;
 }
 
+std::string RemoteService::metricsText() const {
+  // statsJson's discipline verbatim, for the metrics exposition: first
+  // fetch synchronous and bounded, then cached with rate-limited
+  // best-effort refreshes (a scraper polling every second must not be
+  // able to park the caller on a wedged shard).
+  bool NeedFirstFetch;
+  bool Probe = false;
+  const auto Now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    if (!Up)
+      return "";
+    NeedFirstFetch = !HaveMetrics;
+    if (NeedFirstFetch || Now >= NextMetricsProbe) {
+      Probe = true;
+      NextMetricsProbe = Now + std::chrono::milliseconds(MetricsRefreshMs);
+    }
+  }
+  protocol::Request Req;
+  Req.K = protocol::Request::Kind::Metrics;
+  if (Probe &&
+      !sendLine(protocol::encodeRequest(Req, protocol::Version::V2),
+                /*BestEffort=*/!NeedFirstFetch) &&
+      NeedFirstFetch)
+    return "";
+  std::unique_lock<std::mutex> Guard(M);
+  if (NeedFirstFetch)
+    CV.wait_for(Guard, std::chrono::milliseconds(RpcTimeoutMs),
+                [this] { return HaveMetrics || !Up; });
+  return HaveMetrics ? MetricsReply : "";
+}
+
+std::string RemoteService::traceJson(uint64_t Id) const {
+  if (Id == 0)
+    return "";
+  // Serialize whole fetches: the reader matches replies by id, and two
+  // interleaved fetches for different ids would race one reply slot.
+  std::lock_guard<std::mutex> Fetch(TraceM);
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    if (!Up)
+      return "";
+    TraceWantId = Id;
+    HaveTrace = false;
+    TraceReply.clear();
+  }
+  protocol::Request Req;
+  Req.K = protocol::Request::Kind::Trace;
+  Req.Id = Id;
+  if (!sendLine(protocol::encodeRequest(Req, protocol::Version::V2)))
+    return "";
+  std::unique_lock<std::mutex> Guard(M);
+  CV.wait_for(Guard, std::chrono::milliseconds(RpcTimeoutMs),
+              [this] { return HaveTrace || !Up; });
+  TraceWantId = 0;
+  return HaveTrace ? TraceReply : "";
+}
+
 void RemoteService::setWakeup(std::function<void()> Fn) {
   std::lock_guard<std::mutex> Guard(M);
   Wakeup = std::move(Fn);
@@ -376,6 +434,7 @@ void RemoteService::handleLine(const std::string &Line) {
     C.Result.TotalMs = R.TotalMs;
     C.Result.ExecMs = R.ExecMs;
     C.Result.QueueMs = R.QueueMs;
+    C.Result.TraceId = R.TraceId;
     pushCompletion(std::move(C));
     return;
   }
@@ -408,6 +467,22 @@ void RemoteService::handleLine(const std::string &Line) {
     CV.notify_all();
     return;
   }
+  case protocol::Response::Kind::Metrics: {
+    std::lock_guard<std::mutex> Guard(M);
+    MetricsReply = R.Detail;
+    HaveMetrics = true;
+    CV.notify_all();
+    return;
+  }
+  case protocol::Response::Kind::Trace: {
+    std::lock_guard<std::mutex> Guard(M);
+    if (R.Id != TraceWantId)
+      return; // stale reply for an abandoned (timed-out) fetch
+    TraceReply = R.Detail;
+    HaveTrace = true;
+    CV.notify_all();
+    return;
+  }
   case protocol::Response::Kind::Health: {
     std::lock_guard<std::mutex> Guard(M);
     HealthReply.Healthy = R.Healthy;
@@ -436,6 +511,7 @@ void RemoteService::dropConnection() {
     Up = false;
     EverHadHealth = false; // a reconnect must not serve stale caches
     HaveStats = false;
+    HaveMetrics = false;
     for (auto &KV : Outstanding) {
       Completion C;
       C.Id = KV.first;

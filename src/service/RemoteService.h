@@ -79,6 +79,18 @@ public:
   /// Unhealthy while disconnected or before the server ever answered.
   ServiceHealth health() const override;
 
+  /// Same cached-with-async-refresh discipline as statsJson(): the first
+  /// call after (re)connect is a bounded synchronous round trip ("" on
+  /// timeout), later calls serve the cache and refresh it at most once
+  /// per MetricsRefreshMs. "" while disconnected.
+  std::string metricsText() const override;
+
+  /// Bounded synchronous fetch of the server's retained trace \p Id
+  /// (RpcTimeoutMs): traces are immutable once retained, so there is
+  /// nothing to cache-and-refresh. "" when the server does not have the
+  /// trace, the transport is down, or the reply times out.
+  std::string traceJson(uint64_t Id) const override;
+
   void setWakeup(std::function<void()> Fn) override;
 
   bool connected() const;
@@ -92,6 +104,10 @@ public:
 
   /// Minimum spacing of asynchronous stats cache refreshes (real time).
   int64_t StatsRefreshMs = 1000;
+
+  /// Minimum spacing of asynchronous metrics cache refreshes (real
+  /// time). Matches a scraper's cadence better than health's 100ms.
+  int64_t MetricsRefreshMs = 1000;
 
 private:
   struct PartialJob {
@@ -132,12 +148,23 @@ private:
   // Stats and health caches, refreshed by the reader thread.
   mutable bool HaveStats = false;          ///< guarded by M
   mutable std::string StatsReply;          ///< guarded by M
+  mutable bool HaveMetrics = false;        ///< guarded by M
+  mutable std::string MetricsReply;        ///< guarded by M
   mutable bool EverHadHealth = false;      ///< guarded by M
   mutable ServiceHealth HealthReply;       ///< guarded by M
   mutable std::chrono::steady_clock::time_point NextHealthProbe{};
                                            ///< guarded by M
   mutable std::chrono::steady_clock::time_point NextStatsProbe{};
                                            ///< guarded by M
+  mutable std::chrono::steady_clock::time_point NextMetricsProbe{};
+                                           ///< guarded by M
+
+  // One trace fetch at a time (serialized by TraceM; the reader thread
+  // matches replies against TraceWantId under M).
+  mutable std::mutex TraceM;
+  mutable uint64_t TraceWantId = 0; ///< guarded by M
+  mutable bool HaveTrace = false;   ///< guarded by M
+  mutable std::string TraceReply;   ///< guarded by M
 };
 
 } // namespace regel::service

@@ -3,6 +3,7 @@
 #include "service/RouterService.h"
 
 #include "engine/Caches.h" // mix64
+#include "obs/Metrics.h"
 
 #include <cassert>
 #include <chrono>
@@ -227,14 +228,88 @@ std::string RouterService::statsJson() const {
       Json += ',';
     Json += std::to_string(S.PerBackend[I]);
   }
+  // One labeled entry per backend, snapshotted NOW — not a bare
+  // concatenation a reader cannot attribute to a shard — plus one
+  // merged fleet snapshot over every backend that yields a structured
+  // one. merged_backends says how many the merge actually covers, so a
+  // partial merge (opaque remote shard) is visible, never silent.
   Json += "],\"backend_stats\":[";
+  engine::StatsSnapshot Merged;
+  unsigned MergedCount = 0;
   for (size_t I = 0; I < Backends.size(); ++I) {
     if (I)
       Json += ',';
-    Json += Backends[I]->statsJson();
+    Json += "{\"backend\":";
+    Json += std::to_string(I);
+    Json += ",\"stats\":";
+    engine::StatsSnapshot Snap;
+    if (Backends[I]->statsSnapshot(Snap)) {
+      Json += Snap.toJson();
+      Merged.merge(Snap);
+      ++MergedCount;
+    } else {
+      Json += Backends[I]->statsJson();
+    }
+    Json += '}';
   }
-  Json += "]}}";
+  Json += "],\"merged_backends\":";
+  Json += std::to_string(MergedCount);
+  Json += ",\"merged\":";
+  Json += MergedCount ? Merged.toJson() : std::string("null");
+  Json += "}}";
   return Json;
+}
+
+bool RouterService::statsSnapshot(engine::StatsSnapshot &Out) const {
+  engine::StatsSnapshot Merged;
+  unsigned MergedCount = 0;
+  for (const std::shared_ptr<SynthService> &B : Backends) {
+    engine::StatsSnapshot Snap;
+    if (B->statsSnapshot(Snap)) {
+      Merged.merge(Snap);
+      ++MergedCount;
+    }
+  }
+  if (!MergedCount)
+    return false;
+  Out = Merged;
+  return true;
+}
+
+std::string RouterService::metricsText() const {
+  // Federate by absorbing each backend's text exposition into a scratch
+  // registry: counters/gauges sum, histograms merge bucket-by-bucket
+  // (fixed bucket bounds make the merge exact and associative), so a
+  // percentile read off the merged exposition is the percentile of the
+  // union of every shard's samples.
+  obs::Registry Merged(1);
+  for (const std::shared_ptr<SynthService> &B : Backends) {
+    const std::string Text = B->metricsText();
+    if (!Text.empty())
+      Merged.absorbText(Text);
+  }
+  RouterStats S = stats();
+  Merged.counter("regel_router_routed_total").set(S.Routed);
+  Merged.counter("regel_router_spilled_total").set(S.Spilled);
+  Merged.gauge("regel_router_backends").set(
+      static_cast<int64_t>(Backends.size()));
+  for (size_t I = 0; I < S.PerBackend.size(); ++I)
+    Merged
+        .counter("regel_router_routed_total",
+                 "backend=\"" + std::to_string(I) + "\"")
+        .set(S.PerBackend[I]);
+  return Merged.renderText();
+}
+
+std::string RouterService::traceJson(uint64_t Id) const {
+  if (Id == 0)
+    return "";
+  for (const std::shared_ptr<SynthService> &B : Backends) {
+    std::string Json = B->traceJson(Id);
+    if (!Json.empty())
+      return Json;
+  }
+  return "";
 }
 
 ServiceHealth RouterService::health() const {

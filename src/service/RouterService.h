@@ -70,12 +70,36 @@ public:
   bool cancel(Ticket T) override;
   std::vector<Completion> pollCompleted() override;
   std::vector<Completion> waitCompleted(int64_t TimeoutMs) override;
+
+  /// Composite taken AT CALL TIME: routing counters, one labeled entry
+  /// per backend ({"backend":N,"stats":...}), and a "merged" fleet
+  /// snapshot folded from every backend that can produce a structured
+  /// one (statsSnapshot) — counters summed, estimator figures
+  /// sample-weighted. Blob-only backends stay visible in the labeled
+  /// array and are counted out of "merged_backends".
   std::string statsJson() const override;
+
+  /// Fleet snapshot: every structured backend merged. False when no
+  /// backend could produce one.
+  bool statsSnapshot(engine::StatsSnapshot &Out) const override;
 
   /// Aggregate: summed depth/workers, min EstWaitMs (what a new
   /// submission would see after routing), min NextDeadlineDeltaMs,
   /// Healthy iff every backend is.
   ServiceHealth health() const override;
+
+  /// Federated exposition: every backend's metricsText absorbed into one
+  /// scratch registry (counters sum, histograms merge bucket-wise — the
+  /// fleet percentile is computed over the union of samples, never an
+  /// average of per-shard percentiles) plus the router's own routing
+  /// counters (regel_router_*).
+  std::string metricsText() const override;
+
+  /// Asks each backend in turn; first non-empty answer wins. In-process
+  /// tracers allocate disjoint id blocks (see obs::Tracer), so at most
+  /// one local backend knows a given id; separate server processes can
+  /// collide, in which case the first match is returned.
+  std::string traceJson(uint64_t Id) const override;
 
   void setWakeup(std::function<void()> Fn) override;
 

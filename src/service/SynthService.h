@@ -43,6 +43,7 @@
 #define REGEL_SERVICE_SYNTHSERVICE_H
 
 #include "engine/Job.h"
+#include "engine/Stats.h"
 
 #include <cstdint>
 #include <functional>
@@ -124,9 +125,35 @@ public:
   /// stats JSON for a local backend; a composite for the router).
   virtual std::string statsJson() const = 0;
 
+  /// Structured form of statsJson for backends that can produce one:
+  /// fills \p Out with a point-in-time engine snapshot and returns true.
+  /// Default false — a raw-JSON-only backend (remote) stays opaque, and
+  /// a caller that wants to MERGE N backends (the router) falls back to
+  /// labeling that backend's blob instead of silently excluding it.
+  virtual bool statsSnapshot(engine::StatsSnapshot &Out) const {
+    (void)Out;
+    return false;
+  }
+
   /// Cheap load/liveness figures (called per event-loop turn and per
   /// router routing decision; must not serialize the whole stats).
   virtual ServiceHealth health() const = 0;
+
+  /// Prometheus-style text exposition of the backend's metrics registry
+  /// (see obs::Registry and docs/OBSERVABILITY.md). Local backends render
+  /// their engine's registry; RemoteService fetches the server's over the
+  /// wire; RouterService federates its backends into merged histograms.
+  /// Default: "" — no metrics surface.
+  virtual std::string metricsText() const { return std::string(); }
+
+  /// Chrome trace_event JSON of retained span trace \p Id, as reported in
+  /// JobResult::TraceId ("" when unknown: never traced, sampled out, or
+  /// already evicted from the retention ring). Default: "" — no tracing
+  /// surface.
+  virtual std::string traceJson(uint64_t Id) const {
+    (void)Id;
+    return std::string();
+  }
 
   /// Installs \p Fn as the completion wakeup (nullptr clears it). May be
   /// invoked from arbitrary threads; spurious invocations allowed.

@@ -23,6 +23,10 @@ class Clock;
 class DfaStore;
 class SketchApproxStore;
 
+namespace obs {
+struct SynthProbe;
+}
+
 /// Configuration of one Synthesize run.
 struct SynthConfig {
   /// Hole depth budget d (Sec. 3.2 remark: a configurable parameter of the
@@ -88,6 +92,12 @@ struct SynthConfig {
   /// engine; nullptr = recompute per run). Like SharedDfa, the memo may
   /// evict: a missing approximation is recomputed, deterministically.
   SketchApproxStore *SharedApprox = nullptr;
+
+  /// Instrumentation sinks (owned by the engine, outliving the run like
+  /// TimeSource; nullptr = no instrumentation): DFA-compile and SMT-
+  /// inference latency histograms plus the job's span trace. See
+  /// obs/Probe.h.
+  const obs::SynthProbe *Probe = nullptr;
 
   /// Character classes available to hole expansion (Fig. 10 rule 2's C).
   /// Empty selects the default pool (num/let/low/cap/any/alphanum/spec).

@@ -2,7 +2,11 @@
 
 #include "synth/Synthesizer.h"
 
+#include "obs/Metrics.h"
+#include "obs/Probe.h"
+#include "obs/Trace.h"
 #include "regex/Matcher.h"
+#include "support/Clock.h"
 #include "support/Timer.h"
 #include "synth/Approximate.h"
 #include "synth/Expand.h"
@@ -122,6 +126,14 @@ SynthResult Synthesizer::run(const SketchPtr &S, const Examples &E) {
   const uint64_t CacheShared0 = Cache.sharedHits();
   ContainsFailed.clear();
   AtLeastFailed.clear();
+  // Instrumentation: DFA compilations pay their timing through the cache;
+  // SMT inference is timed around each inferConstants call below. The
+  // probe's clock times spans on the same (possibly virtual) timeline as
+  // the search budget.
+  Cache.setProbe(Cfg.Probe);
+  const bool TimeSmt =
+      Cfg.Probe && Cfg.Probe->Clk &&
+      (Cfg.Probe->SmtInferUs || Cfg.Probe->Trace);
   FeasibilityChecker Checker(E);
   Checker.setApproxMemo(Cfg.SharedApprox);
   if (Cfg.SharedDfa) {
@@ -239,10 +251,30 @@ SynthResult Synthesizer::run(const SketchPtr &S, const Examples &E) {
               P.str().c_str());
 
     if (P.isSymbolic()) {
-      // SMT-guided inference of the integer constants (Sec. 4.2).
+      // SMT-guided inference of the integer constants (Sec. 4.2). Timed
+      // as one unit: the thousands of individual solver formula
+      // evaluations inside are far too frequent to time one by one.
       InferStats IS;
+      const int64_t SmtStartUs = TimeSmt ? Cfg.Probe->Clk->nowUs() : 0;
       std::vector<RegexPtr> Concrete =
           inferConstants(P, E, Cfg, Checker, IS, &Budget);
+      if (TimeSmt) {
+        const int64_t SmtDurUs = Cfg.Probe->Clk->nowUs() - SmtStartUs;
+        if (Cfg.Probe->SmtInferUs)
+          Cfg.Probe->SmtInferUs->record(static_cast<uint64_t>(SmtDurUs));
+        if (Cfg.Probe->Trace) {
+          obs::Span S;
+          S.Name = "smt_infer";
+          S.Cat = "smt";
+          S.StartUs = SmtStartUs;
+          S.DurUs = SmtDurUs;
+          S.Tid = Cfg.Probe->Tid;
+          S.Args = {{"solve_calls", std::to_string(IS.SolveCalls)},
+                    {"iterations", std::to_string(IS.Iterations)},
+                    {"results", std::to_string(Concrete.size())}};
+          Cfg.Probe->Trace->span(std::move(S));
+        }
+      }
       Result.Stats.SmtSolveCalls += IS.SolveCalls;
       Result.Stats.InferIterations += IS.Iterations;
       for (RegexPtr &R : Concrete) {

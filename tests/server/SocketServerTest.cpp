@@ -11,6 +11,9 @@
 #include "server/SocketServer.h"
 
 #include "engine/Engine.h"
+#include "obs/Metrics.h"
+#include "service/Protocol.h"
+#include "support/Clock.h"
 #include "support/Timer.h"
 
 #include <gtest/gtest.h>
@@ -147,6 +150,20 @@ public:
     SC.Defaults.BudgetMs = 8000;
     if (MaxInflightPerConn)
       SC.MaxInflightPerConn = MaxInflightPerConn;
+    Server = std::make_unique<SocketServer>(Parser, Eng, SC);
+    Started = Server->start();
+    if (Started)
+      Loop = std::thread([this] { Server->run(); });
+  }
+
+  /// Fixture over a caller-built engine config (virtual-clock tests).
+  explicit ServerFixture(const engine::EngineConfig &EC) {
+    Eng = std::make_shared<engine::Engine>(EC);
+    Parser = std::make_shared<nlp::SemanticParser>();
+    ServerConfig SC;
+    SC.Port = 0; // ephemeral
+    SC.Defaults.NumSketches = 4;
+    SC.Defaults.BudgetMs = 8000;
     Server = std::make_unique<SocketServer>(Parser, Eng, SC);
     Started = Server->start();
     if (Started)
@@ -504,6 +521,98 @@ TEST(SocketServer, V2ErrorsCarryTheTaxonomy) {
   std::string Done = C.readUntil("v2 done ");
   ASSERT_NE(Done, "");
   EXPECT_NE(Done.find("id=5"), std::string::npos) << Done;
+}
+
+TEST(SocketServer, V2MetricsAndTraceEndToEnd) {
+  // The telemetry surface over the wire, with exact-tick durations: a
+  // zero-worker engine on a ManualClock queues a 5ms-SLA job, the test
+  // advances virtual time by 6ms, and the eager-expiry sweep (driven by
+  // the server loop's deadline-bounded poll) completes it. The done frame
+  // advertises the retained trace id, the fetched trace shows a 6000us
+  // queue span, and the metrics frame expositions the same sample — no
+  // sleeps anywhere; virtual time moves only when this test says so.
+  auto MC = std::make_shared<ManualClock>();
+  engine::EngineConfig EC;
+  EC.Threads = 0;
+  EC.CacheShards = 4;
+  EC.TimeSource = MC;
+  ServerFixture F(EC);
+  ASSERT_TRUE(F.started());
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(F.port()));
+  C.readLine(); // greeting
+
+  // The metrics frame works before any job exists.
+  ASSERT_TRUE(C.sendLine("v2 metrics"));
+  std::string MLine = C.readLine();
+  ASSERT_EQ(MLine.rfind("v2 metrics text=", 0), 0u) << MLine;
+
+  ASSERT_TRUE(C.sendLine("v2 submit id=3 pos=A12 sla=5"));
+  EXPECT_EQ(C.readLine(), "v2 queued id=3");
+  MC->advanceMs(6);
+  std::string Done = C.readUntil("v2 done ", 10000);
+  ASSERT_NE(Done, "") << "sweep never expired the lapsed job";
+  EXPECT_NE(Done.find("id=3"), std::string::npos) << Done;
+  EXPECT_NE(Done.find("status=expired"), std::string::npos) << Done;
+
+  // Failed jobs are always retained, so the done frame must carry trace=.
+  protocol::Response DoneR;
+  ASSERT_EQ(protocol::decodeResponse(Done, protocol::Version::V2, DoneR),
+            protocol::ErrorCode::None)
+      << Done;
+  ASSERT_NE(DoneR.TraceId, 0u) << Done;
+
+  // Fetch the trace: a 6000us queue span, no exec span, the verdict in
+  // the metadata — the "why was this job slow?" answer, to the tick.
+  ASSERT_TRUE(C.sendLine("v2 trace id=" + std::to_string(DoneR.TraceId)));
+  std::string TraceLine = C.readLine();
+  protocol::Response TraceR;
+  ASSERT_EQ(protocol::decodeResponse(TraceLine, protocol::Version::V2,
+                                     TraceR),
+            protocol::ErrorCode::None)
+      << TraceLine;
+  EXPECT_EQ(TraceR.Id, DoneR.TraceId);
+  EXPECT_NE(TraceR.Detail.find("\"name\":\"queue\""), std::string::npos);
+  EXPECT_NE(TraceR.Detail.find("\"dur\":6000"), std::string::npos)
+      << TraceR.Detail;
+  EXPECT_EQ(TraceR.Detail.find("\"name\":\"exec\""), std::string::npos)
+      << "a job expired in queue never ran";
+  EXPECT_NE(TraceR.Detail.find("\"verdict\":\"expired_in_queue\""),
+            std::string::npos);
+
+  // The metrics exposition carries the same job: absorbing the scraped
+  // text reproduces the 6000us queue sample in the per-class histogram.
+  ASSERT_TRUE(C.sendLine("v2 metrics"));
+  MLine = C.readLine();
+  protocol::Response MetricsR;
+  ASSERT_EQ(protocol::decodeResponse(MLine, protocol::Version::V2, MetricsR),
+            protocol::ErrorCode::None);
+  obs::Registry Fed;
+  ASSERT_GT(Fed.absorbText(MetricsR.Detail), 0u);
+  obs::HistogramSnapshot Q =
+      Fed.histogramSnapshot("regel_job_queue_us", "pri=\"interactive\"");
+  ASSERT_EQ(Q.Count, 1u);
+  EXPECT_EQ(Q.percentileUs(1.0),
+            obs::Histogram::bucketUpperUs(obs::Histogram::bucketFor(6000)));
+  EXPECT_NE(MetricsR.Detail.find("regel_jobs_expired_in_queue_total 1"),
+            std::string::npos);
+
+  // Unknown trace ids answer with an empty-json trace frame, never an
+  // error (error frames carry ticket ids; a trace id there could fail an
+  // innocent in-flight job).
+  ASSERT_TRUE(C.sendLine("v2 trace id=18446744073709551615"));
+  std::string Unknown = C.readLine();
+  protocol::Response UnknownR;
+  ASSERT_EQ(protocol::decodeResponse(Unknown, protocol::Version::V2,
+                                     UnknownR),
+            protocol::ErrorCode::None)
+      << Unknown;
+  EXPECT_EQ(UnknownR.K, protocol::Response::Kind::Trace);
+  EXPECT_EQ(UnknownR.Detail, "");
+
+  // v1 stays byte-frozen: "metrics" is the unknown command it always was.
+  ASSERT_TRUE(C.sendLine("metrics"));
+  EXPECT_EQ(C.readLine(), "error unknown command 'metrics'");
 }
 
 TEST(SocketServer, DeadlineDrivenPollTimeoutExpiresQueuedSla) {

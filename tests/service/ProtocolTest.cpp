@@ -173,6 +173,35 @@ TEST(ProtocolRequest, RoundTripV2CancelStatsHealth) {
   }
 }
 
+TEST(ProtocolRequest, RoundTripV2MetricsAndTrace) {
+  {
+    Request R;
+    R.K = Request::Kind::Metrics;
+    EXPECT_EQ(roundTripRequest(R, Version::V2).K, Request::Kind::Metrics);
+  }
+  {
+    Request R;
+    R.K = Request::Kind::Trace;
+    R.Id = 0x100000001ull; // block-allocated ids use the full uint64 range
+    Request Out = roundTripRequest(R, Version::V2);
+    EXPECT_EQ(Out.K, Request::Kind::Trace);
+    EXPECT_EQ(Out.Id, R.Id);
+  }
+  // Telemetry is v2-only. v1 has no bytes for these kinds in either
+  // direction — its wire format is frozen — and a v1 "metrics" line is
+  // what it always was: an unknown command.
+  Request M;
+  M.K = Request::Kind::Metrics;
+  EXPECT_EQ(encodeRequest(M, Version::V1), "");
+  Request T;
+  T.K = Request::Kind::Trace;
+  T.Id = 1;
+  EXPECT_EQ(encodeRequest(T, Version::V1), "");
+  Request Out;
+  EXPECT_EQ(decodeRequest("metrics", Out), ErrorCode::UnknownCommand);
+  EXPECT_EQ(decodeRequest("trace 3", Out), ErrorCode::UnknownCommand);
+}
+
 TEST(ProtocolResponse, RoundTripV1EveryKind) {
   for (Response::Kind K :
        {Response::Kind::Greeting, Response::Kind::Ok, Response::Kind::Bye,
@@ -363,6 +392,62 @@ TEST(ProtocolResponse, RoundTripV2EveryKind) {
   }
 }
 
+TEST(ProtocolResponse, RoundTripV2MetricsTraceAndDoneTraceId) {
+  {
+    Response R;
+    R.K = Response::Kind::Metrics;
+    R.Detail = "# TYPE regel_jobs_total counter\nregel_jobs_total 3\n";
+    Response Out = roundTripResponse(R, Version::V2);
+    EXPECT_EQ(Out.K, Response::Kind::Metrics);
+    EXPECT_EQ(Out.Detail, R.Detail) << "newlines must survive escaping";
+  }
+  {
+    Response R;
+    R.K = Response::Kind::Trace;
+    R.Id = 42;
+    R.Detail = "{\"traceEvents\":[{\"name\":\"queue\"}]}";
+    Response Out = roundTripResponse(R, Version::V2);
+    EXPECT_EQ(Out.K, Response::Kind::Trace);
+    EXPECT_EQ(Out.Id, 42u);
+    EXPECT_EQ(Out.Detail, R.Detail);
+    // Unknown ids answer with an empty json, not an error (an error frame
+    // carries a ticket id — a trace id in that field could fail an
+    // innocent in-flight job on the client). The empty form round-trips.
+    R.Detail.clear();
+    Out = roundTripResponse(R, Version::V2);
+    EXPECT_EQ(Out.Id, 42u);
+    EXPECT_EQ(Out.Detail, "");
+  }
+  {
+    Response R;
+    R.K = Response::Kind::Done;
+    R.Id = 9;
+    R.Status = "solved";
+    R.TotalMs = 1.0;
+    R.ExecMs = 1.0;
+    R.TraceId = 0x100000007ull;
+    Response Out = roundTripResponse(R, Version::V2);
+    EXPECT_EQ(Out.TraceId, R.TraceId);
+    // v1 done is byte-frozen: no trace key ever appears.
+    EXPECT_EQ(encodeResponse(R, Version::V1).find("trace"),
+              std::string::npos);
+    // TraceId 0 means "not retained": v2 omits the key entirely, and the
+    // decoder leaves the field at its 0 default.
+    R.TraceId = 0;
+    EXPECT_EQ(encodeResponse(R, Version::V2).find("trace="),
+              std::string::npos);
+    EXPECT_EQ(roundTripResponse(R, Version::V2).TraceId, 0u);
+  }
+  // v1 cannot carry the new response kinds at all.
+  Response M;
+  M.K = Response::Kind::Metrics;
+  EXPECT_EQ(encodeResponse(M, Version::V1), "");
+  Response T;
+  T.K = Response::Kind::Trace;
+  T.Id = 1;
+  EXPECT_EQ(encodeResponse(T, Version::V1), "");
+}
+
 TEST(ProtocolVerdicts, NamesRoundTripThroughFlags) {
   engine::JobResult R;
   EXPECT_STREQ(verdictName(R), "nosolution");
@@ -413,6 +498,10 @@ TEST(ProtocolFuzz, RejectWithoutCrashTable) {
       "v2 cancel",
       "v2 cancel id=1 extra=1",
       "v2 stats now",
+      "v2 metrics now",                 // metrics takes no arguments
+      "v2 trace",                       // no id
+      "v2 trace id=0",                  // zero id invalid
+      "v2 trace id=1 extra=2",
       "v2 frobnicate id=1",
       "v2 submit id=1 =x",
       "v2 submit id=1 desc",            // pair without '='
@@ -472,6 +561,10 @@ TEST(ProtocolFuzz, RejectWithoutCrashTable) {
       "v2 error msg=x",                  // no code
       "v2 error code=nonsense",
       "v2 health healthy=2",
+      "v2 metrics",                      // no text key
+      "v2 trace id=1",                   // no json key
+      "v2 trace json=x",                 // no id
+      "v2 done id=1 status=solved trace=0", // zero trace id invalid
       "\x01\x02\x03 binary",
   };
   for (const std::string &Line : BadResponses) {

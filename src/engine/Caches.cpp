@@ -37,8 +37,8 @@ ShardedDfaStore::Shard &ShardedDfaStore::shardFor(const RegexPtr &R) {
   return *Shards[mix64(R->hash()) % Shards.size()];
 }
 
-void ShardedDfaStore::evictOver(Shard &S) {
-  // Caller holds S.M. Evict cold entries until both caps hold; a single
+void ShardedDfaStore::evictOverLocked(Shard &S) {
+  // Evict cold entries until both caps hold; a single
   // DFA whose cost alone exceeds the shard's cost cap is evicted too (it
   // would otherwise pin the shard over budget forever). Second chance: a
   // hit-since-last-sweep entry reaching the cold end is recycled once
@@ -65,7 +65,7 @@ void ShardedDfaStore::evictOver(Shard &S) {
 
 std::shared_ptr<const Dfa> ShardedDfaStore::lookup(const RegexPtr &R) {
   Shard &S = shardFor(R);
-  std::lock_guard<std::mutex> Guard(S.M);
+  MutexLock Guard(S.M);
   auto It = S.Map.find(R);
   if (It == S.Map.end()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
@@ -80,7 +80,7 @@ std::shared_ptr<const Dfa> ShardedDfaStore::lookup(const RegexPtr &R) {
 void ShardedDfaStore::publish(const RegexPtr &R,
                               std::shared_ptr<const Dfa> D) {
   Shard &S = shardFor(R);
-  std::lock_guard<std::mutex> Guard(S.M);
+  MutexLock Guard(S.M);
   auto It = S.Map.find(R);
   if (It != S.Map.end()) {
     // First publisher wins; a duplicate publish means a second run needed
@@ -93,13 +93,13 @@ void ShardedDfaStore::publish(const RegexPtr &R,
   S.Lru.push_front(Entry{R, std::move(D), Cost});
   S.Cost += Cost;
   S.Map.emplace(R, S.Lru.begin());
-  evictOver(S);
+  evictOverLocked(S);
 }
 
 size_t ShardedDfaStore::size() const {
   size_t Total = 0;
   for (const std::unique_ptr<Shard> &S : Shards) {
-    std::lock_guard<std::mutex> Guard(S->M);
+    MutexLock Guard(S->M);
     Total += S->Map.size();
   }
   return Total;
@@ -108,7 +108,7 @@ size_t ShardedDfaStore::size() const {
 uint64_t ShardedDfaStore::costUnits() const {
   uint64_t Total = 0;
   for (const std::unique_ptr<Shard> &S : Shards) {
-    std::lock_guard<std::mutex> Guard(S->M);
+    MutexLock Guard(S->M);
     Total += S->Cost;
   }
   return Total;
@@ -116,7 +116,7 @@ uint64_t ShardedDfaStore::costUnits() const {
 
 void ShardedDfaStore::clear() {
   for (std::unique_ptr<Shard> &S : Shards) {
-    std::lock_guard<std::mutex> Guard(S->M);
+    MutexLock Guard(S->M);
     S->Map.clear();
     S->Lru.clear();
     S->Cost = 0;
@@ -148,8 +148,8 @@ ShardedApproxStore::shardFor(const SketchPtr &S, unsigned Depth,
   return *Shards[hashKey(S, Depth, WithClasses) % Shards.size()];
 }
 
-void ShardedApproxStore::evictOver(Shard &S) {
-  // Caller holds S.M. Same second-chance sweep as the DFA store.
+void ShardedApproxStore::evictOverLocked(Shard &S) {
+  // Same second-chance sweep as the DFA store.
   size_t Chances = S.Lru.size();
   while (MaxEntriesPerShard && S.Map.size() > MaxEntriesPerShard &&
          !S.Lru.empty()) {
@@ -169,7 +169,7 @@ void ShardedApproxStore::evictOver(Shard &S) {
 bool ShardedApproxStore::lookup(const SketchPtr &S, unsigned Depth,
                                 bool WithClasses, Approx &Out) {
   Shard &Sh = shardFor(S, Depth, WithClasses);
-  std::lock_guard<std::mutex> Guard(Sh.M);
+  MutexLock Guard(Sh.M);
   auto It = Sh.Map.find({S, Depth, WithClasses});
   if (It == Sh.Map.end()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
@@ -185,7 +185,7 @@ bool ShardedApproxStore::lookup(const SketchPtr &S, unsigned Depth,
 void ShardedApproxStore::publish(const SketchPtr &S, unsigned Depth,
                                  bool WithClasses, const Approx &A) {
   Shard &Sh = shardFor(S, Depth, WithClasses);
-  std::lock_guard<std::mutex> Guard(Sh.M);
+  MutexLock Guard(Sh.M);
   Key K{S, Depth, WithClasses};
   auto It = Sh.Map.find(K);
   if (It != Sh.Map.end()) {
@@ -197,13 +197,13 @@ void ShardedApproxStore::publish(const SketchPtr &S, unsigned Depth,
   }
   Sh.Lru.push_front(Entry{K, A});
   Sh.Map.emplace(std::move(K), Sh.Lru.begin());
-  evictOver(Sh);
+  evictOverLocked(Sh);
 }
 
 size_t ShardedApproxStore::size() const {
   size_t Total = 0;
   for (const std::unique_ptr<Shard> &S : Shards) {
-    std::lock_guard<std::mutex> Guard(S->M);
+    MutexLock Guard(S->M);
     Total += S->Map.size();
   }
   return Total;
@@ -211,7 +211,7 @@ size_t ShardedApproxStore::size() const {
 
 void ShardedApproxStore::clear() {
   for (std::unique_ptr<Shard> &S : Shards) {
-    std::lock_guard<std::mutex> Guard(S->M);
+    MutexLock Guard(S->M);
     S->Map.clear();
     S->Lru.clear();
   }

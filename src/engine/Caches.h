@@ -42,12 +42,12 @@
 #define REGEL_ENGINE_CACHES_H
 
 #include "automata/Compile.h"
+#include "support/Mutex.h"
 #include "synth/Approximate.h"
 
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 namespace regel::engine {
@@ -112,16 +112,16 @@ private:
     bool Hot = false; ///< hit since it last reached the cold end
   };
   struct Shard {
-    mutable std::mutex M;
-    std::list<Entry> Lru; ///< front = most recently used
+    mutable Mutex M;
+    std::list<Entry> Lru REGEL_GUARDED_BY(M); ///< front = most recently used
     std::unordered_map<RegexPtr, std::list<Entry>::iterator, RegexPtrHash,
                        RegexPtrEq>
-        Map;
-    uint64_t Cost = 0; ///< summed entry cost, guarded by M
+        Map REGEL_GUARDED_BY(M);
+    uint64_t Cost REGEL_GUARDED_BY(M) = 0; ///< summed entry cost
   };
 
   Shard &shardFor(const RegexPtr &R);
-  void evictOver(Shard &S);
+  void evictOverLocked(Shard &S) REGEL_REQUIRES(S.M);
 
   std::vector<std::unique_ptr<Shard>> Shards;
   CacheLimits Limits;
@@ -190,13 +190,14 @@ private:
     bool Hot = false; ///< hit since it last reached the cold end
   };
   struct Shard {
-    mutable std::mutex M;
-    std::list<Entry> Lru; ///< front = most recently used
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash, KeyEq> Map;
+    mutable Mutex M;
+    std::list<Entry> Lru REGEL_GUARDED_BY(M); ///< front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash, KeyEq>
+        Map REGEL_GUARDED_BY(M);
   };
 
   Shard &shardFor(const SketchPtr &S, unsigned Depth, bool WithClasses);
-  void evictOver(Shard &S);
+  void evictOverLocked(Shard &S) REGEL_REQUIRES(S.M);
 
   std::vector<std::unique_ptr<Shard>> Shards;
   CacheLimits Limits;

@@ -69,7 +69,7 @@ JobPtr Engine::submit(JobRequest R) {
     // Nothing to search: complete the job on the spot (it never occupies
     // the queue, so admission control does not apply).
     {
-      std::lock_guard<std::mutex> Guard(J->M);
+      MutexLock Guard(J->M);
       J->Result.TotalMs = J->sinceSubmitMs();
     }
     Stats.jobCompleted(/*Solved=*/false, /*DeadlineExpired=*/false,
@@ -88,7 +88,7 @@ JobPtr Engine::submit(JobRequest R) {
     // service times".
     Stats.jobShedOnArrival();
     {
-      std::lock_guard<std::mutex> Guard(J->M);
+      MutexLock Guard(J->M);
       J->Result.ShedOnArrival = true;
       J->Result.TotalMs = J->sinceSubmitMs();
     }
@@ -103,7 +103,7 @@ JobPtr Engine::submit(JobRequest R) {
     // so wait() returns (and continuations fire) immediately.
     Stats.jobRejected();
     {
-      std::lock_guard<std::mutex> Guard(J->M);
+      MutexLock Guard(J->M);
       J->Result.Rejected = true;
       J->Result.TotalMs = J->sinceSubmitMs();
     }
@@ -123,7 +123,7 @@ JobPtr Engine::submit(JobRequest R) {
       // still completes.
       Stats.taskSkipped();
       {
-        std::lock_guard<std::mutex> Guard(J->M);
+        MutexLock Guard(J->M);
         ++J->Result.TasksSkipped;
       }
       finishTask(J);
@@ -137,7 +137,7 @@ JobPtr Engine::submit(JobRequest R) {
     // (If every task failed, the job is already finalized; the sweep's
     // Finalized exchange drops it.)
     {
-      std::lock_guard<std::mutex> Guard(HeapM);
+      MutexLock Guard(HeapM);
       ResidencyHeap.push({J->residencyDeadlineUs(), J});
       NextResidencyDeadlineUs.store(ResidencyHeap.top().DeadlineUs,
                                     std::memory_order_release);
@@ -145,7 +145,7 @@ JobPtr Engine::submit(JobRequest R) {
     // Re-time any waitCompleted parked past this job's deadline. The
     // empty critical section orders the notify after a racing waiter has
     // either read the new deadline or entered its wait.
-    { std::lock_guard<std::mutex> Guard(CompletedM); }
+    { MutexLock Guard(CompletedM); }
     CompletedCV.notify_all();
   }
   return J;
@@ -172,7 +172,7 @@ std::vector<JobPtr> Engine::pollCompleted() {
   // even when every worker is pinned and no dispatch happens.
   sweepExpiredQueued();
   std::vector<JobPtr> Out;
-  std::lock_guard<std::mutex> Guard(CompletedM);
+  MutexLock Guard(CompletedM);
   Out.assign(std::make_move_iterator(Completed.begin()),
              std::make_move_iterator(Completed.end()));
   Completed.clear();
@@ -195,7 +195,7 @@ std::vector<JobPtr> Engine::waitCompleted(int64_t TimeoutMs) {
   for (;;) {
     sweepExpiredQueued();
     {
-      std::unique_lock<std::mutex> Guard(CompletedM);
+      UniqueLock Guard(CompletedM);
       if (Completed.empty()) {
         const int64_t NowUs = Clk->nowUs();
         if (NowUs >= DeadlineUs)
@@ -205,8 +205,8 @@ std::vector<JobPtr> Engine::waitCompleted(int64_t TimeoutMs) {
             NextResidencyDeadlineUs.load(std::memory_order_acquire));
         const int64_t LeftMs =
             std::max<int64_t>((WakeUs - NowUs + 999) / 1000, 1);
-        Clk->waitFor(CompletedCV, Guard, LeftMs,
-                     [this] { return !Completed.empty(); });
+        Clk->waitFor(CompletedCV, Guard.native(), LeftMs,
+                     [this] { return completionPendingPred(); });
       }
       if (!Completed.empty()) {
         std::vector<JobPtr> Out;
@@ -222,7 +222,7 @@ std::vector<JobPtr> Engine::waitCompleted(int64_t TimeoutMs) {
 }
 
 size_t Engine::completedPending() const {
-  std::lock_guard<std::mutex> Guard(CompletedM);
+  MutexLock Guard(CompletedM);
   return Completed.size();
 }
 
@@ -236,12 +236,15 @@ void Engine::publishCompletion(const JobPtr &J) {
   // Notifications and continuations run outside every lock so they are
   // free to call back into the job or the engine.
   std::vector<SynthJob::Callback> CBs;
+  JobResult Result;
   {
-    std::lock_guard<std::mutex> Guard(J->M);
+    MutexLock Guard(J->M);
     J->Ready = true;
     CBs.swap(J->Callbacks);
+    Result = J->Result; // immutable once Ready; copied for the unlocked
+                        // continuation calls below
     if (J->Req.EnqueueCompletion) {
-      std::lock_guard<std::mutex> QGuard(CompletedM);
+      MutexLock QGuard(CompletedM);
       Completed.push_back(J);
     }
   }
@@ -249,7 +252,7 @@ void Engine::publishCompletion(const JobPtr &J) {
     CompletedCV.notify_all();
   J->CV.notify_all();
   for (SynthJob::Callback &CB : CBs)
-    CB(J->Result); // Result is immutable once Ready
+    CB(Result);
 }
 
 bool Engine::cannotMeetBudget(Priority P, int64_t ResidencyBudgetMs) const {
@@ -278,7 +281,7 @@ void Engine::sweepExpiredQueued() {
     return;
   std::vector<JobPtr> Lapsed;
   {
-    std::lock_guard<std::mutex> Guard(HeapM);
+    MutexLock Guard(HeapM);
     const int64_t NowUs = Clk->nowUs();
     while (!ResidencyHeap.empty() &&
            ResidencyHeap.top().DeadlineUs <= NowUs) {
@@ -313,7 +316,7 @@ void Engine::expireQueued(const JobPtr &J) {
   const uint64_t NumTasks = J->Req.Sketches.size();
   bool Solved;
   {
-    std::lock_guard<std::mutex> Guard(J->M);
+    MutexLock Guard(J->M);
     // Account every not-yet-accounted task as skipped (tasks dropped at
     // submit because the pool was shutting down are already counted), so
     // TasksRun + TasksSkipped still partitions the sketch list exactly.
@@ -363,7 +366,7 @@ void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
     Stats.taskSkipped();
     if (obs::TraceContext *T = J->Req.Trace.get())
       T->span("task_skipped", "task", Clk->nowUs(), 0, 1 + Rank);
-    std::lock_guard<std::mutex> Guard(J->M);
+    MutexLock Guard(J->M);
     ++J->Result.TasksSkipped;
     if (DeadlineHit)
       J->Result.DeadlineExpired = true;
@@ -451,7 +454,7 @@ void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
       }
     }
 
-    std::lock_guard<std::mutex> Guard(J->M);
+    MutexLock Guard(J->M);
     ++J->Result.TasksRun;
     if (SR.Cancelled)
       ++J->Result.TasksStopped; // ran, but was stopped mid-search
@@ -494,7 +497,7 @@ void Engine::finalize(const JobPtr &J) {
   uint64_t NumAnswers;
   double ExecMs;
   {
-    std::lock_guard<std::mutex> Guard(J->M);
+    MutexLock Guard(J->M);
     if (J->Req.Deterministic) {
       // Merge per-rank buckets in rank order: the same answer set (and
       // order) a single worker produces, whatever the thread count.
@@ -589,7 +592,7 @@ void Engine::observeCompletion(const JobPtr &J, const char *Verdict,
   double QueueMs, ExecMs, TotalMs;
   bool Ran, Accepted;
   {
-    std::lock_guard<std::mutex> Guard(J->M);
+    MutexLock Guard(J->M);
     QueueMs = J->Result.QueueMs;
     ExecMs = J->Result.ExecMs;
     TotalMs = J->Result.TotalMs;
@@ -627,7 +630,7 @@ void Engine::observeCompletion(const JobPtr &J, const char *Verdict,
     // Advertise the trace id only when the ring retained the trace: a
     // trace= the server cannot serve is worse than none.
     if (Tracing->finish(T, ForceKeepTrace)) {
-      std::lock_guard<std::mutex> Guard(J->M);
+      MutexLock Guard(J->M);
       J->Result.TraceId = T->id();
     }
   }

@@ -33,13 +33,13 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Clock.h"
+#include "support/Mutex.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <vector>
 
@@ -277,10 +277,10 @@ private:
       return A.DeadlineUs > B.DeadlineUs;
     }
   };
-  mutable std::mutex HeapM;
+  mutable Mutex HeapM;
   std::priority_queue<ResidencyEntry, std::vector<ResidencyEntry>,
                       LaterDeadline>
-      ResidencyHeap; ///< guarded by HeapM
+      ResidencyHeap REGEL_GUARDED_BY(HeapM);
 
   /// Earliest deadline in ResidencyHeap (INT64_MAX = empty), written
   /// under HeapM, read lock-free: the sweep's fast path skips the mutex
@@ -290,9 +290,15 @@ private:
 
   /// Completion queue (multi-producer: finishing workers; consumers:
   /// pollCompleted / waitCompleted).
-  mutable std::mutex CompletedM;
+  mutable Mutex CompletedM;
   std::condition_variable CompletedCV;
-  std::deque<JobPtr> Completed;
+  std::deque<JobPtr> Completed REGEL_GUARDED_BY(CompletedM);
+
+  // CV-wait predicate: runs inside waitCompleted with CompletedM held,
+  // but Clang analyzes the lambda body as an unlocked function.
+  bool completionPendingPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS {
+    return !Completed.empty();
+  }
 
   WorkerPool Pool; ///< last member: destroyed (and drained) first
 };

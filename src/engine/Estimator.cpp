@@ -21,30 +21,30 @@ void feed(double Alpha, double Sample, double &Ewma, uint64_t &N) {
 } // namespace
 
 void ServiceTimeEstimator::recordSample(Priority P, double ExecMs) {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   Cell &C = ByClass[static_cast<unsigned>(P)];
   feed(Alpha, ExecMs, C.Ewma, C.N);
   feed(Alpha, ExecMs, Blended.Ewma, Blended.N);
 }
 
 double ServiceTimeEstimator::estimateMs(Priority P) const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   const Cell &C = ByClass[static_cast<unsigned>(P)];
   return C.N == 0 ? -1.0 : C.Ewma;
 }
 
 double ServiceTimeEstimator::blendedEstimateMs() const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   return Blended.N == 0 ? -1.0 : Blended.Ewma;
 }
 
 uint64_t ServiceTimeEstimator::samples(Priority P) const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   return ByClass[static_cast<unsigned>(P)].N;
 }
 
 ServiceTimeEstimator::Snapshot ServiceTimeEstimator::snapshot() const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   Snapshot S;
   for (unsigned I = 0; I < NumPriorities; ++I) {
     S.EstMs[I] = ByClass[I].N == 0 ? -1.0 : ByClass[I].Ewma;

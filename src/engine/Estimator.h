@@ -30,9 +30,9 @@
 #define REGEL_ENGINE_ESTIMATOR_H
 
 #include "engine/WorkerPool.h"
+#include "support/Mutex.h"
 
 #include <cstdint>
-#include <mutex>
 
 namespace regel::engine {
 
@@ -73,9 +73,9 @@ private:
   };
 
   const double Alpha;
-  mutable std::mutex M;
-  Cell ByClass[NumPriorities]; ///< guarded by M
-  Cell Blended;                ///< guarded by M
+  mutable Mutex M;
+  Cell ByClass[NumPriorities] REGEL_GUARDED_BY(M);
+  Cell Blended REGEL_GUARDED_BY(M);
 };
 
 } // namespace regel::engine

@@ -36,7 +36,7 @@ double SynthJob::execElapsedMs() const {
 
 void SynthJob::onComplete(Callback CB) {
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     if (!Ready) {
       Callbacks.push_back(std::move(CB));
       return;
@@ -47,8 +47,15 @@ void SynthJob::onComplete(Callback CB) {
     // runs it) or Ready was observed here (we run it) — never both.
   }
   // Result is immutable once Ready; invoking outside the lock keeps a
-  // continuation free to call done()/wait()/onComplete itself.
-  CB(Result);
+  // continuation free to call done()/wait()/onComplete itself. The
+  // unguarded read is safe for the same reason, which the analysis
+  // cannot see — copy it out under the lock instead of suppressing.
+  JobResult Copy;
+  {
+    MutexLock Guard(M);
+    Copy = Result;
+  }
+  CB(Copy);
 }
 
 JobResult SynthJob::wait() {
@@ -67,19 +74,20 @@ std::optional<JobResult> SynthJob::waitFor(int64_t TimeoutMs) {
   // The timeout runs on the job's clock: under a ManualClock a
   // waitFor(50) times out when 50 *virtual* ms have been advanced, which
   // is what makes timeout paths testable without real sleeps.
-  std::unique_lock<std::mutex> Guard(M);
-  if (!Clk->waitFor(CV, Guard, TimeoutMs, [this] { return Ready; }))
+  UniqueLock Guard(M);
+  if (!Clk->waitFor(CV, Guard.native(), TimeoutMs,
+                    [this] { return readyPred(); }))
     return std::nullopt;
   return Result;
 }
 
 bool SynthJob::done() const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   return Ready;
 }
 
 bool JobQueue::tryAdd(const JobPtr &J, size_t MaxDepth) {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   if (MaxDepth && Active.size() >= MaxDepth)
     return false;
   Active.push_back(J);
@@ -88,7 +96,7 @@ bool JobQueue::tryAdd(const JobPtr &J, size_t MaxDepth) {
 
 void JobQueue::remove(const SynthJob *J) {
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     Active.erase(std::remove_if(Active.begin(), Active.end(),
                                 [J](const JobPtr &P) { return P.get() == J; }),
                  Active.end());
@@ -97,14 +105,14 @@ void JobQueue::remove(const SynthJob *J) {
 }
 
 size_t JobQueue::depth() const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   return Active.size();
 }
 
 void JobQueue::cancelAll() {
   std::vector<JobPtr> Snapshot;
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     Snapshot = Active;
   }
   for (const JobPtr &J : Snapshot)
@@ -112,6 +120,6 @@ void JobQueue::cancelAll() {
 }
 
 void JobQueue::drain() {
-  std::unique_lock<std::mutex> Guard(M);
-  CV.wait(Guard, [this] { return Active.empty(); });
+  UniqueLock Guard(M);
+  CV.wait(Guard.native(), [this] { return drainedPred(); });
 }

@@ -27,6 +27,7 @@
 #include "engine/WorkerPool.h"
 #include "obs/Trace.h"
 #include "sketch/Sketch.h"
+#include "support/Mutex.h"
 #include "support/Timer.h"
 #include "synth/Config.h"
 #include "synth/PartialRegex.h"
@@ -37,7 +38,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_set>
@@ -259,13 +259,20 @@ private:
   double EstAtSubmitMs = -1.0;
 
   // Collector state (guarded by M).
-  mutable std::mutex M;
+  mutable Mutex M;
   std::condition_variable CV;
-  bool Ready = false;
-  std::vector<Callback> Callbacks; ///< pending continuations (pre-Ready)
-  std::unordered_set<size_t> SeenHashes; ///< structural dedup across sketches
-  std::vector<std::vector<RegexPtr>> PerSketch; ///< deterministic buckets
-  JobResult Result;
+  bool Ready REGEL_GUARDED_BY(M) = false;
+  /// Pending continuations (pre-Ready).
+  std::vector<Callback> Callbacks REGEL_GUARDED_BY(M);
+  /// Structural dedup across sketches.
+  std::unordered_set<size_t> SeenHashes REGEL_GUARDED_BY(M);
+  /// Deterministic buckets.
+  std::vector<std::vector<RegexPtr>> PerSketch REGEL_GUARDED_BY(M);
+  JobResult Result REGEL_GUARDED_BY(M);
+
+  // CV-wait predicate: runs inside waitFor with M held, but Clang
+  // analyzes the lambda body as an unlocked function.
+  bool readyPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS { return Ready; }
 };
 
 using JobPtr = std::shared_ptr<SynthJob>;
@@ -292,9 +299,14 @@ public:
   void drain();
 
 private:
-  mutable std::mutex M;
+  mutable Mutex M;
   std::condition_variable CV;
-  std::vector<JobPtr> Active;
+  std::vector<JobPtr> Active REGEL_GUARDED_BY(M);
+
+  // CV-wait predicate: runs inside drain with M held (see SynthJob).
+  bool drainedPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS {
+    return Active.empty();
+  }
 };
 
 } // namespace regel::engine

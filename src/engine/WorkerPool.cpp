@@ -86,7 +86,7 @@ WorkerPool::~WorkerPool() { shutdown(); }
 void WorkerPool::shutdown() {
   Stop.store(true, std::memory_order_seq_cst);
   {
-    std::lock_guard<std::mutex> Guard(IdleM);
+    MutexLock Guard(IdleM);
     ++WorkEpoch;
   }
   IdleCV.notify_all();
@@ -105,7 +105,7 @@ void WorkerPool::shutdown() {
     Entry E;
     bool Found = false;
     for (std::unique_ptr<Worker> &W : Workers) {
-      std::lock_guard<std::mutex> Guard(W->M);
+      MutexLock Guard(W->M);
       for (std::deque<Entry> &Band : W->Q) {
         if (Band.empty())
           continue;
@@ -142,7 +142,7 @@ bool WorkerPool::submit(Task T, Priority P) {
              Workers.size();
   }
   {
-    std::lock_guard<std::mutex> Guard(Workers[Target]->M);
+    MutexLock Guard(Workers[Target]->M);
     // Re-check under the deque mutex: shutdown() sets Stop and then locks
     // every deque during its post-join drain, so either this push is
     // ordered before the drain's lock (and the task runs) or this load is
@@ -157,7 +157,7 @@ bool WorkerPool::submit(Task T, Priority P) {
   // while holding IdleM before sleeping, so pairing the notify with the
   // same mutex closes the scan-then-sleep window (no lost wakeups).
   {
-    std::lock_guard<std::mutex> Guard(IdleM);
+    MutexLock Guard(IdleM);
     ++WorkEpoch;
   }
   IdleCV.notify_one();
@@ -166,7 +166,7 @@ bool WorkerPool::submit(Task T, Priority P) {
 
 bool WorkerPool::anyQueued() {
   for (std::unique_ptr<Worker> &W : Workers) {
-    std::lock_guard<std::mutex> Guard(W->M);
+    MutexLock Guard(W->M);
     for (const std::deque<Entry> &Band : W->Q)
       if (!Band.empty())
         return true;
@@ -176,7 +176,7 @@ bool WorkerPool::anyQueued() {
 
 bool WorkerPool::popLocal(unsigned Id, Entry &Out) {
   Worker &W = *Workers[Id];
-  std::lock_guard<std::mutex> Guard(W.M);
+  MutexLock Guard(W.M);
   // Start the band scan at the class the weighted schedule picks for this
   // pop, then fall through in priority order over the remaining bands —
   // so a pop "reserved" for Batch still runs Interactive work when no
@@ -212,7 +212,7 @@ bool WorkerPool::steal(unsigned Thief, Entry &Out) {
     unsigned Victim =
         static_cast<unsigned>((Thief + Offset) % Workers.size());
     Worker &W = *Workers[Victim];
-    std::lock_guard<std::mutex> Guard(W.M);
+    MutexLock Guard(W.M);
     for (std::deque<Entry> &Band : W.Q) {
       if (Band.empty())
         continue;
@@ -246,19 +246,19 @@ void WorkerPool::workerLoop(unsigned Id) {
     // the worker exits.
     if (Stop.load(std::memory_order_relaxed))
       return;
-    std::unique_lock<std::mutex> Guard(IdleM);
-    uint64_t Epoch = WorkEpoch;
+    UniqueLock Guard(IdleM);
     // Re-check under IdleM: submit bumps WorkEpoch under the same mutex
-    // after enqueueing, so either we see the new work here or the epoch
-    // predicate below sees the bump — a missed notify cannot strand a
-    // task. The timeout is only a belt-and-braces backstop, and it is
-    // deliberately REAL time, not the engine's Clock seam: dispatch
-    // plumbing must keep moving under a ManualClock that never advances,
-    // or virtual-time tests could never get work executed at all.
+    // after enqueueing, so either we see the new work here or the wait
+    // below is entered before the bump and the notify wakes it — a missed
+    // notify cannot strand a task. The timeout is only a belt-and-braces
+    // backstop, and it is deliberately REAL time, not the engine's Clock
+    // seam: dispatch plumbing must keep moving under a ManualClock that
+    // never advances, or virtual-time tests could never get work executed
+    // at all. An unpredicated wait suffices: any wakeup — epoch bump,
+    // timeout, or spurious — just re-runs the outer scan, which is the
+    // ground truth the old epoch predicate approximated.
     if (anyQueued() || Stop.load(std::memory_order_relaxed))
       continue;
-    IdleCV.wait_for(Guard, std::chrono::milliseconds(50), [&] {
-      return WorkEpoch != Epoch || Stop.load(std::memory_order_relaxed);
-    });
+    IdleCV.wait_for(Guard.native(), std::chrono::milliseconds(50));
   }
 }

@@ -31,6 +31,8 @@
 #ifndef REGEL_ENGINE_WORKERPOOL_H
 #define REGEL_ENGINE_WORKERPOOL_H
 
+#include "support/Mutex.h"
+
 #include <array>
 #include <atomic>
 #include <condition_variable>
@@ -38,7 +40,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -126,9 +127,10 @@ private:
   };
 
   struct Worker {
-    std::mutex M;
-    std::array<std::deque<Entry>, NumPriorities> Q; ///< one band per class
-    uint64_t PopSeq = 0; ///< weighted-schedule cursor (guarded by M)
+    Mutex M;
+    /// One band per class.
+    std::array<std::deque<Entry>, NumPriorities> Q REGEL_GUARDED_BY(M);
+    uint64_t PopSeq REGEL_GUARDED_BY(M) = 0; ///< weighted-schedule cursor
     std::thread Thread;
   };
 
@@ -154,9 +156,9 @@ private:
   /// Submissions bump WorkEpoch under IdleM; idle workers re-check the
   /// queues and the epoch under the same mutex, which makes the
   /// notify/wait pairing race-free.
-  std::mutex IdleM;
+  Mutex IdleM;
   std::condition_variable IdleCV;
-  uint64_t WorkEpoch = 0; ///< guarded by IdleM
+  uint64_t WorkEpoch REGEL_GUARDED_BY(IdleM) = 0;
 };
 
 } // namespace regel::engine

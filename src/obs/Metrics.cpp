@@ -119,7 +119,7 @@ const Registry::Shard &Registry::shardFor(const std::string &Name,
 Counter &Registry::counter(const std::string &Name,
                            const std::string &Labels) {
   Shard &S = shardFor(Name, Labels);
-  std::lock_guard<std::mutex> G(S.M);
+  MutexLock G(S.M);
   std::unique_ptr<Counter> &Slot = S.Counters[{Name, Labels}];
   if (!Slot)
     Slot = std::make_unique<Counter>();
@@ -128,7 +128,7 @@ Counter &Registry::counter(const std::string &Name,
 
 Gauge &Registry::gauge(const std::string &Name, const std::string &Labels) {
   Shard &S = shardFor(Name, Labels);
-  std::lock_guard<std::mutex> G(S.M);
+  MutexLock G(S.M);
   std::unique_ptr<Gauge> &Slot = S.Gauges[{Name, Labels}];
   if (!Slot)
     Slot = std::make_unique<Gauge>();
@@ -138,7 +138,7 @@ Gauge &Registry::gauge(const std::string &Name, const std::string &Labels) {
 Histogram &Registry::histogram(const std::string &Name,
                                const std::string &Labels) {
   Shard &S = shardFor(Name, Labels);
-  std::lock_guard<std::mutex> G(S.M);
+  MutexLock G(S.M);
   std::unique_ptr<Histogram> &Slot = S.Histograms[{Name, Labels}];
   if (!Slot)
     Slot = std::make_unique<Histogram>();
@@ -149,7 +149,7 @@ HistogramSnapshot
 Registry::histogramSnapshot(const std::string &Name,
                             const std::string &Labels) const {
   const Shard &S = shardFor(Name, Labels);
-  std::lock_guard<std::mutex> G(S.M);
+  MutexLock G(S.M);
   auto It = S.Histograms.find({Name, Labels});
   if (It == S.Histograms.end())
     return HistogramSnapshot();
@@ -194,7 +194,7 @@ std::string Registry::renderText() const {
   std::map<std::pair<std::string, std::string>, int64_t> Gauges;
   std::map<std::pair<std::string, std::string>, HistogramSnapshot> Hists;
   for (const std::unique_ptr<Shard> &S : Shards) {
-    std::lock_guard<std::mutex> G(S->M);
+    MutexLock G(S->M);
     for (const auto &KV : S->Counters)
       Counters[KV.first] = KV.second->value();
     for (const auto &KV : S->Gauges)

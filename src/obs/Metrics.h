@@ -32,12 +32,13 @@
 #ifndef REGEL_OBS_METRICS_H
 #define REGEL_OBS_METRICS_H
 
+#include "support/Mutex.h"
+
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -168,13 +169,15 @@ public:
 private:
   enum class Kind { Counter, Gauge, Histogram };
   struct Shard {
-    mutable std::mutex M;
+    mutable Mutex M;
+    // The maps are guarded; the metric objects behind the unique_ptrs are
+    // internally atomic, so returned references escape the lock by design.
     std::map<std::pair<std::string, std::string>, std::unique_ptr<Counter>>
-        Counters;
+        Counters REGEL_GUARDED_BY(M);
     std::map<std::pair<std::string, std::string>, std::unique_ptr<Gauge>>
-        Gauges;
+        Gauges REGEL_GUARDED_BY(M);
     std::map<std::pair<std::string, std::string>, std::unique_ptr<Histogram>>
-        Histograms;
+        Histograms REGEL_GUARDED_BY(M);
   };
 
   Shard &shardFor(const std::string &Name, const std::string &Labels);

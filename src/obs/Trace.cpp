@@ -69,7 +69,7 @@ bool Tracer::finish(const std::shared_ptr<TraceContext> &Ctx, bool ForceKeep) {
   bool Keep = Ctx->sampled() || (ForceKeep && Cfg.AlwaysKeepFailures);
   if (!Keep)
     return false;
-  std::lock_guard<std::mutex> G(M);
+  MutexLock G(M);
   Ring.push_back(Ctx);
   while (Ring.size() > Cfg.RingCapacity) {
     Ring.pop_front();
@@ -79,7 +79,7 @@ bool Tracer::finish(const std::shared_ptr<TraceContext> &Ctx, bool ForceKeep) {
 }
 
 std::shared_ptr<TraceContext> Tracer::find(uint64_t Id) const {
-  std::lock_guard<std::mutex> G(M);
+  MutexLock G(M);
   // Newest first: after an id wrap (never in practice) or duplicate
   // retention the most recent trace wins.
   for (auto It = Ring.rbegin(); It != Ring.rend(); ++It)
@@ -94,7 +94,7 @@ std::string Tracer::traceJson(uint64_t Id) const {
 }
 
 std::string TraceContext::toJson() const {
-  std::lock_guard<std::mutex> G(M);
+  MutexLock G(M);
   std::string Out;
   Out.reserve(256 + Spans.size() * 96);
   Out += "{\"traceEvents\":[";

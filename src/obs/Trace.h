@@ -25,11 +25,12 @@
 #ifndef REGEL_OBS_TRACE_H
 #define REGEL_OBS_TRACE_H
 
+#include "support/Mutex.h"
+
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -59,7 +60,7 @@ public:
   bool sampled() const { return Sampled; }
 
   void span(Span S) {
-    std::lock_guard<std::mutex> G(M);
+    MutexLock G(M);
     if (Spans.size() >= MaxSpans) {
       ++DroppedSpans;
       return;
@@ -94,14 +95,14 @@ public:
     S.StartUs = StartUs;
     S.DurUs = DurUs;
     S.Tid = Tid;
-    std::lock_guard<std::mutex> G(M);
+    MutexLock G(M);
     Spans.push_back(std::move(S));
   }
 
   /// Final verdict string ("solved", "shed", "expired", ...), shown in the
   /// exported trace metadata.
   void setVerdict(const std::string &V) {
-    std::lock_guard<std::mutex> G(M);
+    MutexLock G(M);
     Verdict = V;
   }
 
@@ -110,12 +111,12 @@ public:
 
   /// Copies out the recorded spans (tests assert exact timelines).
   std::vector<Span> spansCopy() const {
-    std::lock_guard<std::mutex> G(M);
+    MutexLock G(M);
     return Spans;
   }
 
   uint64_t droppedSpans() const {
-    std::lock_guard<std::mutex> G(M);
+    MutexLock G(M);
     return DroppedSpans;
   }
 
@@ -123,10 +124,10 @@ private:
   const uint64_t Id;
   const bool Sampled;
   const unsigned MaxSpans;
-  mutable std::mutex M;
-  std::vector<Span> Spans;
-  std::string Verdict;
-  uint64_t DroppedSpans = 0;
+  mutable Mutex M;
+  std::vector<Span> Spans REGEL_GUARDED_BY(M);
+  std::string Verdict REGEL_GUARDED_BY(M);
+  uint64_t DroppedSpans REGEL_GUARDED_BY(M) = 0;
 };
 
 /// Creates trace contexts (sampling) and retains finished ones (bounded
@@ -175,20 +176,20 @@ public:
   std::shared_ptr<TraceContext> find(uint64_t Id) const;
 
   size_t retainedCount() const {
-    std::lock_guard<std::mutex> G(M);
+    MutexLock G(M);
     return Ring.size();
   }
   uint64_t evictedCount() const {
-    std::lock_guard<std::mutex> G(M);
+    MutexLock G(M);
     return Evicted;
   }
 
 private:
   const Config Cfg;
   std::atomic<uint64_t> NextSeq{1};
-  mutable std::mutex M;
-  std::deque<std::shared_ptr<TraceContext>> Ring;
-  uint64_t Evicted = 0;
+  mutable Mutex M;
+  std::deque<std::shared_ptr<TraceContext>> Ring REGEL_GUARDED_BY(M);
+  uint64_t Evicted REGEL_GUARDED_BY(M) = 0;
 };
 
 } // namespace obs

@@ -29,6 +29,17 @@
 // hold: a chatty client pipelining solves gets `error busy` (v2: code=
 // busy) instead of monopolizing the engine's queue slots.
 //
+// Concurrency contract: this class owns NO mutexes, by design — all
+// mutable state belongs to the loop thread (the caller of run()). The
+// only members other threads may touch are the std::atomic fields below
+// (stop() flips Stopping and pokes the wakeup pipe; connectionCount()
+// reads a published snapshot), and the service wakeup hook only ever
+// writes one byte to the self-pipe. Anything else is loop-thread-only,
+// which is why the thread-safety annotation pass (support/
+// ThreadAnnotations.h) has nothing to annotate here: there is no lock
+// whose protocol could be violated. Keep it that way — new cross-thread
+// state must be an atomic or must move behind the pipe.
+//
 // Wire protocol (full spec in docs/PROTOCOL.md; codec in
 // service/Protocol.h): line-oriented, UTF-8, '\n'-terminated. v1 is the
 // original stateful command set, preserved byte-for-byte:

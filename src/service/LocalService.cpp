@@ -23,7 +23,7 @@ Ticket LocalService::submit(engine::JobRequest R) {
     // (rejected/shed) is in the engine's completion queue before this
     // returns, and a concurrent drain (which takes the same lock) must
     // find its ticket mapping already in place.
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     J = Eng->submit(std::move(R));
     T = NextTicket++;
     ByJob[J.get()] = T;
@@ -34,7 +34,7 @@ Ticket LocalService::submit(engine::JobRequest R) {
   J->onComplete([H = Hook](const engine::JobResult &) {
     std::function<void()> Fn;
     {
-      std::lock_guard<std::mutex> Guard(H->M);
+      MutexLock Guard(H->M);
       Fn = H->Fn;
     }
     if (Fn)
@@ -46,7 +46,7 @@ Ticket LocalService::submit(engine::JobRequest R) {
 bool LocalService::cancel(Ticket T) {
   engine::JobPtr J;
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     auto It = ByTicket.find(T);
     if (It == ByTicket.end())
       return false;
@@ -60,7 +60,7 @@ std::vector<Completion>
 LocalService::mapCompletions(std::vector<engine::JobPtr> Jobs) {
   std::vector<Completion> Out;
   Out.reserve(Jobs.size());
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   for (engine::JobPtr &J : Jobs) {
     auto It = ByJob.find(J.get());
     if (It == ByJob.end())
@@ -107,6 +107,6 @@ ServiceHealth LocalService::health() const {
 }
 
 void LocalService::setWakeup(std::function<void()> Fn) {
-  std::lock_guard<std::mutex> Guard(Hook->M);
+  MutexLock Guard(Hook->M);
   Hook->Fn = std::move(Fn);
 }

@@ -21,9 +21,9 @@
 
 #include "engine/Engine.h"
 #include "service/SynthService.h"
+#include "support/Mutex.h"
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 namespace regel::service {
@@ -67,17 +67,18 @@ private:
   /// The wakeup hook, shared with per-job continuations so a completion
   /// firing after this adapter died still targets live state.
   struct WakeHook {
-    std::mutex M;
-    std::function<void()> Fn; ///< guarded by M
+    Mutex M;
+    std::function<void()> Fn REGEL_GUARDED_BY(M);
   };
 
   std::shared_ptr<engine::Engine> Eng;
   std::shared_ptr<WakeHook> Hook;
 
-  mutable std::mutex M;
-  Ticket NextTicket = 1;                                    ///< guarded by M
-  std::unordered_map<const engine::SynthJob *, Ticket> ByJob; ///< guarded by M
-  std::unordered_map<Ticket, engine::JobPtr> ByTicket;        ///< guarded by M
+  mutable Mutex M;
+  Ticket NextTicket REGEL_GUARDED_BY(M) = 1;
+  std::unordered_map<const engine::SynthJob *, Ticket>
+      ByJob REGEL_GUARDED_BY(M);
+  std::unordered_map<Ticket, engine::JobPtr> ByTicket REGEL_GUARDED_BY(M);
 };
 
 } // namespace regel::service

@@ -24,7 +24,7 @@ RemoteService::RemoteService(std::string Host, uint16_t Port)
 RemoteService::~RemoteService() {
   int ToClose = -1;
   {
-    std::lock_guard<std::mutex> Guard(WriteM);
+    MutexLock Guard(WriteM);
     ToClose = Fd;
     Fd = -1;
   }
@@ -38,7 +38,7 @@ RemoteService::~RemoteService() {
 
 bool RemoteService::connect() {
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     if (Up)
       return true;
   }
@@ -48,7 +48,7 @@ bool RemoteService::connect() {
     Reader.join();
   int Stale = -1;
   {
-    std::lock_guard<std::mutex> Guard(WriteM);
+    MutexLock Guard(WriteM);
     Stale = Fd;
     Fd = -1;
   }
@@ -66,11 +66,11 @@ bool RemoteService::connect() {
     return false;
   }
   {
-    std::lock_guard<std::mutex> Guard(WriteM);
+    MutexLock Guard(WriteM);
     Fd = S;
   }
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     Up = true;
   }
   Reader = std::thread([this] { readerLoop(); });
@@ -78,13 +78,13 @@ bool RemoteService::connect() {
 }
 
 bool RemoteService::connected() const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   return Up;
 }
 
 bool RemoteService::sendLine(const std::string &Line,
                              bool BestEffort) const {
-  std::lock_guard<std::mutex> Guard(WriteM);
+  MutexLock Guard(WriteM);
   if (Fd < 0)
     return false;
   std::string Data = Line + "\n";
@@ -112,7 +112,7 @@ bool RemoteService::sendLine(const std::string &Line,
 Ticket RemoteService::submit(engine::JobRequest R) {
   Ticket T;
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     T = NextTicket++;
     Outstanding[T] = PartialJob();
   }
@@ -150,7 +150,7 @@ Ticket RemoteService::submit(engine::JobRequest R) {
     // not deliver a second completion for the same ticket).
     bool StillOurs;
     {
-      std::lock_guard<std::mutex> Guard(M);
+      MutexLock Guard(M);
       StillOurs = Outstanding.erase(T) > 0;
     }
     if (StillOurs) {
@@ -166,7 +166,7 @@ Ticket RemoteService::submit(engine::JobRequest R) {
 
 bool RemoteService::cancel(Ticket T) {
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     if (!Outstanding.count(T))
       return false;
   }
@@ -178,7 +178,7 @@ bool RemoteService::cancel(Ticket T) {
 
 std::vector<Completion> RemoteService::pollCompleted() {
   std::vector<Completion> Result;
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   Result.assign(std::make_move_iterator(Completed.begin()),
                 std::make_move_iterator(Completed.end()));
   Completed.clear();
@@ -186,9 +186,10 @@ std::vector<Completion> RemoteService::pollCompleted() {
 }
 
 std::vector<Completion> RemoteService::waitCompleted(int64_t TimeoutMs) {
-  std::unique_lock<std::mutex> Guard(M);
-  CV.wait_for(Guard, std::chrono::milliseconds(std::max<int64_t>(TimeoutMs, 0)),
-              [this] { return !Completed.empty(); });
+  UniqueLock Guard(M);
+  CV.wait_for(Guard.native(),
+              std::chrono::milliseconds(std::max<int64_t>(TimeoutMs, 0)),
+              [this] { return completionPendingPred(); });
   std::vector<Completion> Result;
   Result.assign(std::make_move_iterator(Completed.begin()),
                 std::make_move_iterator(Completed.end()));
@@ -207,7 +208,7 @@ std::string RemoteService::statsJson() const {
   bool Probe = false;
   const auto Now = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     if (!Up)
       return "{}";
     NeedFirstFetch = !HaveStats;
@@ -226,10 +227,10 @@ std::string RemoteService::statsJson() const {
                 /*BestEffort=*/!NeedFirstFetch) &&
       NeedFirstFetch)
     return "{}";
-  std::unique_lock<std::mutex> Guard(M);
+  UniqueLock Guard(M);
   if (NeedFirstFetch)
-    CV.wait_for(Guard, std::chrono::milliseconds(RpcTimeoutMs),
-                [this] { return HaveStats || !Up; });
+    CV.wait_for(Guard.native(), std::chrono::milliseconds(RpcTimeoutMs),
+                [this] { return statsReadyPred(); });
   return HaveStats ? StatsReply : "{}";
 }
 
@@ -247,7 +248,7 @@ ServiceHealth RemoteService::health() const {
   bool Probe = false;
   const auto Now = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     if (!Up)
       return Down;
     NeedFirstFetch = !EverHadHealth;
@@ -265,10 +266,10 @@ ServiceHealth RemoteService::health() const {
                 /*BestEffort=*/!NeedFirstFetch) &&
       NeedFirstFetch)
     return Down;
-  std::unique_lock<std::mutex> Guard(M);
+  UniqueLock Guard(M);
   if (NeedFirstFetch)
-    CV.wait_for(Guard, std::chrono::milliseconds(RpcTimeoutMs),
-                [this] { return EverHadHealth || !Up; });
+    CV.wait_for(Guard.native(), std::chrono::milliseconds(RpcTimeoutMs),
+                [this] { return healthReadyPred(); });
   if (!Up || !EverHadHealth)
     return Down;
   return HealthReply;
@@ -283,7 +284,7 @@ std::string RemoteService::metricsText() const {
   bool Probe = false;
   const auto Now = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     if (!Up)
       return "";
     NeedFirstFetch = !HaveMetrics;
@@ -299,10 +300,10 @@ std::string RemoteService::metricsText() const {
                 /*BestEffort=*/!NeedFirstFetch) &&
       NeedFirstFetch)
     return "";
-  std::unique_lock<std::mutex> Guard(M);
+  UniqueLock Guard(M);
   if (NeedFirstFetch)
-    CV.wait_for(Guard, std::chrono::milliseconds(RpcTimeoutMs),
-                [this] { return HaveMetrics || !Up; });
+    CV.wait_for(Guard.native(), std::chrono::milliseconds(RpcTimeoutMs),
+                [this] { return metricsReadyPred(); });
   return HaveMetrics ? MetricsReply : "";
 }
 
@@ -311,9 +312,9 @@ std::string RemoteService::traceJson(uint64_t Id) const {
     return "";
   // Serialize whole fetches: the reader matches replies by id, and two
   // interleaved fetches for different ids would race one reply slot.
-  std::lock_guard<std::mutex> Fetch(TraceM);
+  MutexLock Fetch(TraceM);
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     if (!Up)
       return "";
     TraceWantId = Id;
@@ -325,22 +326,22 @@ std::string RemoteService::traceJson(uint64_t Id) const {
   Req.Id = Id;
   if (!sendLine(protocol::encodeRequest(Req, protocol::Version::V2)))
     return "";
-  std::unique_lock<std::mutex> Guard(M);
-  CV.wait_for(Guard, std::chrono::milliseconds(RpcTimeoutMs),
-              [this] { return HaveTrace || !Up; });
+  UniqueLock Guard(M);
+  CV.wait_for(Guard.native(), std::chrono::milliseconds(RpcTimeoutMs),
+              [this] { return traceReadyPred(); });
   TraceWantId = 0;
   return HaveTrace ? TraceReply : "";
 }
 
 void RemoteService::setWakeup(std::function<void()> Fn) {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   Wakeup = std::move(Fn);
 }
 
 void RemoteService::wake() {
   std::function<void()> Fn;
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     Fn = Wakeup;
   }
   CV.notify_all();
@@ -350,7 +351,7 @@ void RemoteService::wake() {
 
 void RemoteService::pushCompletion(Completion C) {
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     Completed.push_back(std::move(C));
   }
   wake();
@@ -362,7 +363,7 @@ void RemoteService::readerLoop() {
   for (;;) {
     int S;
     {
-      std::lock_guard<std::mutex> Guard(WriteM);
+      MutexLock Guard(WriteM);
       S = Fd;
     }
     if (S < 0)
@@ -408,7 +409,7 @@ void RemoteService::handleLine(const std::string &Line) {
     RegexPtr Rx = parseRegex(R.Detail);
     if (!Rx)
       return;
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     auto It = Outstanding.find(R.Id);
     if (It == Outstanding.end())
       return;
@@ -422,7 +423,7 @@ void RemoteService::handleLine(const std::string &Line) {
   case protocol::Response::Kind::Done: {
     Completion C;
     {
-      std::lock_guard<std::mutex> Guard(M);
+      MutexLock Guard(M);
       auto It = Outstanding.find(R.Id);
       if (It == Outstanding.end())
         return;
@@ -448,7 +449,7 @@ void RemoteService::handleLine(const std::string &Line) {
       return;
     Completion C;
     {
-      std::lock_guard<std::mutex> Guard(M);
+      MutexLock Guard(M);
       auto It = Outstanding.find(R.Id);
       if (It == Outstanding.end())
         return; // a cancel's unknown_id, or already completed
@@ -461,21 +462,21 @@ void RemoteService::handleLine(const std::string &Line) {
     return;
   }
   case protocol::Response::Kind::Stats: {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     StatsReply = R.Detail;
     HaveStats = true;
     CV.notify_all();
     return;
   }
   case protocol::Response::Kind::Metrics: {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     MetricsReply = R.Detail;
     HaveMetrics = true;
     CV.notify_all();
     return;
   }
   case protocol::Response::Kind::Trace: {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     if (R.Id != TraceWantId)
       return; // stale reply for an abandoned (timed-out) fetch
     TraceReply = R.Detail;
@@ -484,7 +485,7 @@ void RemoteService::handleLine(const std::string &Line) {
     return;
   }
   case protocol::Response::Kind::Health: {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     HealthReply.Healthy = R.Healthy;
     HealthReply.QueueDepth = R.QueueDepth;
     HealthReply.Workers = R.Workers;
@@ -505,7 +506,7 @@ void RemoteService::dropConnection() {
   // down. The fd itself is closed by the destructor or a reconnect.
   std::vector<Completion> Lost;
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     if (!Up && Outstanding.empty())
       return;
     Up = false;

@@ -24,7 +24,7 @@ RouterService::RouterService(
     B->setWakeup([H = Hub] {
       std::function<void()> Fn;
       {
-        std::lock_guard<std::mutex> Guard(H->M);
+        MutexLock Guard(H->M);
         H->Pending = true;
         Fn = H->UserFn;
       }
@@ -87,13 +87,13 @@ Ticket RouterService::submit(engine::JobRequest R) {
   // while a submit is in flight, and this tail claims them.
   Ticket T;
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     T = NextTicket++;
     ++InFlightSubmits[Idx];
   }
   const Ticket BT = Backends[Idx]->submit(std::move(R));
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     --InFlightSubmits[Idx];
     ++Routed;
     ++PerBackend[Idx];
@@ -127,7 +127,7 @@ Ticket RouterService::submit(engine::JobRequest R) {
   // sleep out its timeout on a deliverable completion.
   std::function<void()> Fn;
   {
-    std::lock_guard<std::mutex> Guard(Hub->M);
+    MutexLock Guard(Hub->M);
     Hub->Pending = true;
     Fn = Hub->UserFn;
   }
@@ -141,7 +141,7 @@ bool RouterService::cancel(Ticket T) {
   size_t Idx;
   Ticket BT;
   {
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     auto It = Out.find(T);
     if (It == Out.end())
       return false;
@@ -156,7 +156,7 @@ std::vector<Completion> RouterService::pollCompleted() {
   {
     // Stash hits resolved by submit tails are already remapped; deliver
     // them first so completion order stays close to arrival order.
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     Result.assign(std::make_move_iterator(Ready.begin()),
                   std::make_move_iterator(Ready.end()));
     Ready.clear();
@@ -165,7 +165,7 @@ std::vector<Completion> RouterService::pollCompleted() {
     std::vector<Completion> Got = Backends[I]->pollCompleted();
     if (Got.empty())
       continue;
-    std::lock_guard<std::mutex> Guard(M);
+    MutexLock Guard(M);
     for (Completion &C : Got) {
       auto It = In[I].find(C.Id);
       if (It == In[I].end()) {
@@ -195,7 +195,7 @@ std::vector<Completion> RouterService::waitCompleted(int64_t TimeoutMs) {
     std::vector<Completion> Got = pollCompleted();
     if (!Got.empty())
       return Got;
-    std::unique_lock<std::mutex> Guard(Hub->M);
+    UniqueLock Guard(Hub->M);
     if (Hub->Pending) {
       // A poke landed between the drain above and here; consume it and
       // re-poll rather than clearing it into a lost wakeup.
@@ -203,7 +203,8 @@ std::vector<Completion> RouterService::waitCompleted(int64_t TimeoutMs) {
       Guard.unlock();
       continue;
     }
-    if (Hub->CV.wait_until(Guard, Deadline, [this] { return Hub->Pending; })) {
+    if (Hub->CV.wait_until(Guard.native(), Deadline,
+                           [this] { return Hub->pendingPred(); })) {
       Hub->Pending = false;
       Guard.unlock();
       continue;
@@ -336,12 +337,12 @@ ServiceHealth RouterService::health() const {
 }
 
 void RouterService::setWakeup(std::function<void()> Fn) {
-  std::lock_guard<std::mutex> Guard(Hub->M);
+  MutexLock Guard(Hub->M);
   Hub->UserFn = std::move(Fn);
 }
 
 RouterStats RouterService::stats() const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   RouterStats S;
   S.Routed = Routed;
   S.Spilled = Spilled;

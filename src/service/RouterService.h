@@ -37,10 +37,10 @@
 #define REGEL_SERVICE_ROUTERSERVICE_H
 
 #include "service/SynthService.h"
+#include "support/Mutex.h"
 
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 namespace regel::service {
@@ -121,10 +121,15 @@ private:
   /// Internal wakeup state: backend completions land here (and forward
   /// to the user hook) so waitCompleted can block across N backends.
   struct WakeHub {
-    std::mutex M;
+    Mutex M;
     std::condition_variable CV;
-    bool Pending = false;            ///< guarded by M
-    std::function<void()> UserFn;    ///< guarded by M
+    bool Pending REGEL_GUARDED_BY(M) = false;
+    std::function<void()> UserFn REGEL_GUARDED_BY(M);
+    /// CV-wait predicate: every call site holds M (house convention,
+    /// see support/ThreadAnnotations.h).
+    bool pendingPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS {
+      return Pending;
+    }
   };
   std::shared_ptr<WakeHub> Hub;
 
@@ -133,29 +138,30 @@ private:
   /// "home shard" definition cannot drift between the two).
   size_t pickFrom(size_t Home) const;
 
-  mutable std::mutex M;
-  Ticket NextTicket = 1; ///< guarded by M
+  mutable Mutex M;
+  Ticket NextTicket REGEL_GUARDED_BY(M) = 1;
   struct Route {
     size_t Backend;
     Ticket BackendTicket;
   };
-  std::unordered_map<Ticket, Route> Out;                  ///< guarded by M
-  std::vector<std::unordered_map<Ticket, Ticket>> In;     ///< guarded by M
+  std::unordered_map<Ticket, Route> Out REGEL_GUARDED_BY(M);
+  std::vector<std::unordered_map<Ticket, Ticket>> In REGEL_GUARDED_BY(M);
   /// Completions whose router ticket is already resolved, awaiting the
-  /// next drain (stash hits land here). Guarded by M.
-  std::vector<Completion> Ready;
+  /// next drain (stash hits land here).
+  std::vector<Completion> Ready REGEL_GUARDED_BY(M);
   /// Per backend: completions that arrived before their submit()
   /// finished inserting the In mapping (M is deliberately NOT held
   /// across the backend submit call, so a synchronously-completing or
   /// very fast job can be drained first). Matched by the tail of
   /// submit(); entries left when no submit is in flight are foreign and
-  /// dropped. Guarded by M.
-  std::vector<std::vector<Completion>> Stash;
+  /// dropped.
+  std::vector<std::vector<Completion>> Stash REGEL_GUARDED_BY(M);
   /// Submits that have allocated a ticket but not yet inserted their
-  /// mapping, per backend (bounds Stash). Guarded by M.
-  std::vector<unsigned> InFlightSubmits;
-  uint64_t Routed = 0, Spilled = 0;                       ///< guarded by M
-  std::vector<uint64_t> PerBackend;                       ///< guarded by M
+  /// mapping, per backend (bounds Stash).
+  std::vector<unsigned> InFlightSubmits REGEL_GUARDED_BY(M);
+  uint64_t Routed REGEL_GUARDED_BY(M) = 0;
+  uint64_t Spilled REGEL_GUARDED_BY(M) = 0;
+  std::vector<uint64_t> PerBackend REGEL_GUARDED_BY(M);
 };
 
 } // namespace regel::service

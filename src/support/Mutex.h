@@ -1,0 +1,94 @@
+//===- support/Mutex.h - Annotated mutex + RAII guards ----------*- C++ -*-===//
+//
+// Part of the Regel reproduction. libstdc++'s std::mutex carries no
+// capability attribute, so REGEL_GUARDED_BY(M) on a raw std::mutex member
+// is inert — Clang has no capability to track. These thin wrappers follow
+// the mutex.h pattern from the Clang thread-safety documentation (and
+// absl::Mutex): regel::Mutex is the named capability, MutexLock /
+// UniqueLock are the scoped acquirers, and native() bridges to the
+// std::condition_variable / support/Clock.h waitFor seam, which is
+// expressed in terms of std::unique_lock<std::mutex>.
+//
+// Zero-cost: every method is an inline forward to the std type; off
+// Clang the attributes vanish entirely.
+//
+// CV-wait convention: a condition variable wait releases and reacquires
+// the underlying mutex, but analysis-wise the capability is held for the
+// whole wait (the standard treatment — the predicate and the code after
+// the wait both run under the lock). Predicate lambdas are analyzed as
+// separate functions holding nothing, so guarded-field predicates live in
+// REGEL_NO_THREAD_SAFETY_ANALYSIS helpers or inline wait loops instead.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SUPPORT_MUTEX_H
+#define REGEL_SUPPORT_MUTEX_H
+
+#include "support/ThreadAnnotations.h"
+
+#include <mutex>
+
+namespace regel {
+
+/// std::mutex as a named Clang capability.
+class REGEL_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() REGEL_ACQUIRE() { M.lock(); }
+  void unlock() REGEL_RELEASE() { M.unlock(); }
+  bool try_lock() REGEL_TRY_ACQUIRE(true) { return M.try_lock(); }
+
+  /// The wrapped mutex, for std::condition_variable and the Clock seam.
+  /// Callers must already hold this capability as far as the analysis is
+  /// concerned — take it through UniqueLock::native(), not here.
+  std::mutex &native() { return M; }
+
+private:
+  // The one legitimate bare std::mutex member in the tree: this class IS
+  // the capability the guarded-mutex lint rule wants everything else to
+  // declare fields against.
+  std::mutex M; // lint:allow guarded-mutex
+};
+
+/// std::lock_guard over a regel::Mutex (scoped, non-releasable).
+class REGEL_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) REGEL_ACQUIRE(M) : G(M.native()) {}
+  ~MutexLock() REGEL_RELEASE() = default;
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+  std::lock_guard<std::mutex> G;
+};
+
+/// std::unique_lock over a regel::Mutex: supports early unlock/relock and
+/// exposes the underlying std::unique_lock for CV waits (Clock::waitFor,
+/// std::condition_variable::wait*).
+class REGEL_SCOPED_CAPABILITY UniqueLock {
+public:
+  explicit UniqueLock(Mutex &M) REGEL_ACQUIRE(M) : L(M.native()) {}
+  ~UniqueLock() REGEL_RELEASE() = default; // releases only if still held
+
+  UniqueLock(const UniqueLock &) = delete;
+  UniqueLock &operator=(const UniqueLock &) = delete;
+
+  void lock() REGEL_ACQUIRE() { L.lock(); }
+  void unlock() REGEL_RELEASE() { L.unlock(); }
+
+  /// The wrapped lock, for std::condition_variable::wait* and
+  /// support/Clock.h's waitFor. The capability remains held across the
+  /// wait as far as the analysis is concerned.
+  std::unique_lock<std::mutex> &native() { return L; }
+
+private:
+  std::unique_lock<std::mutex> L;
+};
+
+} // namespace regel
+
+#endif // REGEL_SUPPORT_MUTEX_H

@@ -1,0 +1,81 @@
+//===- support/ThreadAnnotations.h - Clang capability macros ----*- C++ -*-===//
+//
+// Part of the Regel reproduction. Portable wrappers for Clang's
+// -Wthread-safety capability attributes, following the pattern from the
+// Clang thread-safety-analysis documentation. Under Clang every macro
+// expands to the corresponding attribute and the dedicated CI lane builds
+// with -Wthread-safety -Werror; under GCC (the default local toolchain)
+// they all expand to nothing, so annotated code compiles identically.
+//
+// House conventions (enforced by tools/lint.py and docs/STATIC_ANALYSIS.md):
+//
+//   * Every mutex member is a regel::Mutex (support/Mutex.h) — a raw
+//     std::mutex carries no capability, so GUARDED_BY on fields behind it
+//     would be inert.
+//   * Every field a mutex protects carries REGEL_GUARDED_BY(M) — a class
+//     with a mutex member and no guarded field fails the linter.
+//   * Private helpers that expect the lock already held are suffixed
+//     ...Locked() and carry REGEL_REQUIRES(M).
+//   * Condition-variable predicate lambdas run inside the wait with the
+//     lock held, but Clang analyzes a lambda body as a separate function
+//     holding nothing; predicate helpers therefore carry
+//     REGEL_NO_THREAD_SAFETY_ANALYSIS with a comment naming the lock
+//     that the call site actually holds.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_SUPPORT_THREADANNOTATIONS_H
+#define REGEL_SUPPORT_THREADANNOTATIONS_H
+
+#if defined(__clang__) && defined(__has_attribute)
+#define REGEL_THREAD_ATTR(x) __attribute__((x))
+#else
+#define REGEL_THREAD_ATTR(x) // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in warnings).
+#define REGEL_CAPABILITY(x) REGEL_THREAD_ATTR(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define REGEL_SCOPED_CAPABILITY REGEL_THREAD_ATTR(scoped_lockable)
+
+/// Field attribute: reads and writes require holding \p x.
+#define REGEL_GUARDED_BY(x) REGEL_THREAD_ATTR(guarded_by(x))
+
+/// Field attribute for pointers: the pointed-to data requires \p x.
+#define REGEL_PT_GUARDED_BY(x) REGEL_THREAD_ATTR(pt_guarded_by(x))
+
+/// Function attribute: the caller must hold the listed capabilities.
+#define REGEL_REQUIRES(...) \
+  REGEL_THREAD_ATTR(requires_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the listed capabilities (not held on
+/// entry, held on exit).
+#define REGEL_ACQUIRE(...) \
+  REGEL_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: releases the listed capabilities.
+#define REGEL_RELEASE(...) \
+  REGEL_THREAD_ATTR(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability iff the return value
+/// equals \p ret.
+#define REGEL_TRY_ACQUIRE(ret, ...) \
+  REGEL_THREAD_ATTR(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function attribute: the caller must NOT hold the listed capabilities
+/// (deadlock prevention for self-locking public APIs).
+#define REGEL_EXCLUDES(...) REGEL_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Return-value attribute: the returned reference is the capability \p x
+/// (lets wrapper accessors participate in analysis).
+#define REGEL_RETURN_CAPABILITY(x) REGEL_THREAD_ATTR(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Every use must carry
+/// a comment naming the lock actually held and why the analysis cannot
+/// see it (typically CV-predicate helpers called from inside a wait).
+#define REGEL_NO_THREAD_SAFETY_ANALYSIS \
+  REGEL_THREAD_ATTR(no_thread_safety_analysis)
+
+#endif // REGEL_SUPPORT_THREADANNOTATIONS_H

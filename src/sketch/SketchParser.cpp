@@ -3,6 +3,7 @@
 #include "sketch/SketchParser.h"
 
 #include <cctype>
+#include <climits>
 
 using namespace regel;
 
@@ -154,10 +155,23 @@ private:
         Error = "expected integer or '?' in " + Word;
         return nullptr;
       }
+      // Overflow-checked accumulate: the old `V * 10 + digit` was signed
+      // overflow (UB) on a long enough digit run, and sketch text is
+      // external input.
       int V = 0;
+      bool TooBig = false;
       while (Pos < Text.size() &&
-             std::isdigit(static_cast<unsigned char>(Text[Pos])))
-        V = V * 10 + (Text[Pos++] - '0');
+             std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+        const int D = Text[Pos++] - '0';
+        if (V > (INT_MAX - D) / 10)
+          TooBig = true;
+        else
+          V = V * 10 + D;
+      }
+      if (TooBig) {
+        Error = "integer out of range in " + Word;
+        return nullptr;
+      }
       Ints.push_back(V);
     }
     if (Symbolic)

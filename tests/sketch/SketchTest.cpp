@@ -99,6 +99,18 @@ TEST(SketchParser, RejectsMalformed) {
   EXPECT_FALSE(parseSketch("", &Err));
 }
 
+TEST(SketchParser, RejectsIntOverflow) {
+  // Regression: the digit loop used to accumulate `V * 10 + digit` into a
+  // signed int with no bound — UB on a long digit run. The parser must
+  // reject instead.
+  std::string Err;
+  EXPECT_FALSE(parseSketch("Repeat(hole{<num>},99999999999999999999)", &Err));
+  EXPECT_NE(Err.find("out of range"), std::string::npos) << Err;
+  // INT_MAX itself still parses (boundary of the check).
+  EXPECT_TRUE(parseSketch("Repeat(hole{<num>},2147483647)", &Err));
+  EXPECT_FALSE(parseSketch("Repeat(hole{<num>},2147483648)", &Err));
+}
+
 TEST(SketchParser, SymbolicIntsPrintAsQuestionMark) {
   SketchPtr S = parseSketch("Repeat(hole{<num>},?)");
   ASSERT_TRUE(S);

@@ -9,13 +9,19 @@ using namespace regel;
 
 namespace {
 
+/// Nesting bound for parseExpr: sketch text is external input (it arrives
+/// over the wire via the v2 protocol), and recursion depth must not be
+/// attacker-controlled — a few KB of "op(op(op(..." would otherwise
+/// overflow the stack. Far deeper than any sketch the generator emits.
+constexpr unsigned MaxSketchDepth = 128;
+
 /// Recursive-descent parser for the sketch surface syntax.
 class SkParser {
 public:
   SkParser(const std::string &Text) : Text(Text) {}
 
   SketchPtr parse(std::string &Error) {
-    SketchPtr S = parseExpr(Error);
+    SketchPtr S = parseExpr(Error, 0);
     if (!S)
       return nullptr;
     skipSpace();
@@ -72,7 +78,11 @@ private:
     return Sketch::concrete(Regex::charClass(CC));
   }
 
-  SketchPtr parseExpr(std::string &Error) {
+  SketchPtr parseExpr(std::string &Error, unsigned Depth) {
+    if (Depth > MaxSketchDepth) {
+      Error = "sketch nesting deeper than " + std::to_string(MaxSketchDepth);
+      return nullptr;
+    }
     skipSpace();
     if (Pos >= Text.size()) {
       Error = "unexpected end of input";
@@ -103,7 +113,7 @@ private:
         return Sketch::hole({});
       }
       while (true) {
-        SketchPtr C = parseExpr(Error);
+        SketchPtr C = parseExpr(Error, Depth + 1);
         if (!C)
           return nullptr;
         Components.push_back(std::move(C));
@@ -132,7 +142,7 @@ private:
         Error = "expected ',' in " + Word;
         return nullptr;
       }
-      SketchPtr C = parseExpr(Error);
+      SketchPtr C = parseExpr(Error, Depth + 1);
       if (!C)
         return nullptr;
       Children.push_back(std::move(C));

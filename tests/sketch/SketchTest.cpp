@@ -111,6 +111,30 @@ TEST(SketchParser, RejectsIntOverflow) {
   EXPECT_FALSE(parseSketch("Repeat(hole{<num>},2147483648)", &Err));
 }
 
+TEST(SketchParser, RejectsExcessiveNesting) {
+  // Regression: parseExpr recursed once per nesting level with no depth
+  // bound, so a few KB of "Not(Not(..." from the wire could overflow the
+  // stack. Depth is now capped (far above anything the generator emits).
+  std::string Deep;
+  for (int I = 0; I < 20000; ++I)
+    Deep += "Not(";
+  Deep += "<num>";
+  for (int I = 0; I < 20000; ++I)
+    Deep += ")";
+  std::string Err;
+  EXPECT_FALSE(parseSketch(Deep, &Err));
+  EXPECT_NE(Err.find("nesting"), std::string::npos) << Err;
+
+  // A comfortably-nested sketch still parses.
+  std::string Ok;
+  for (int I = 0; I < 20; ++I)
+    Ok += "Not(hole{";
+  Ok += "<num>";
+  for (int I = 0; I < 20; ++I)
+    Ok += "})";
+  EXPECT_TRUE(parseSketch(Ok, &Err)) << Err;
+}
+
 TEST(SketchParser, SymbolicIntsPrintAsQuestionMark) {
   SketchPtr S = parseSketch("Repeat(hole{<num>},?)");
   ASSERT_TRUE(S);

@@ -10,6 +10,8 @@
 
 #include "service/Protocol.h"
 
+#include "sketch/SketchParser.h"
+
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
@@ -614,4 +616,38 @@ TEST(ProtocolFuzz, SeededRandomBytesNeverCrash) {
     (void)decodeResponse(Line, Version::V2, Res);
   }
   SUCCEED();
+}
+
+TEST(ProtocolFuzzRegression, HostileSketchPayloadsFailGracefully) {
+  // Fuzz-derived, end-to-end over the wire path: the protocol layer
+  // accepts these frames (the sketch text is opaque to the codec), and
+  // the sketch parser behind it must reject the payload with an error —
+  // it used to hit signed-overflow UB on the long digit run and a stack
+  // overflow on the deep nesting (see tests/sketch/SketchTest.cpp for
+  // the parser-level regressions).
+  std::string Deep;
+  for (int I = 0; I < 5000; ++I)
+    Deep += "Not(";
+  Deep += "<num>";
+  for (int I = 0; I < 5000; ++I)
+    Deep += ")";
+  const std::string Hostile[] = {
+      "Repeat(hole{<num>},99999999999999999999)",
+      Deep,
+  };
+  for (const std::string &Sketch : Hostile) {
+    Request Req;
+    Req.K = Request::Kind::Submit;
+    Req.Id = 1;
+    Req.Sketches.push_back(Sketch);
+    const std::string Frame = encodeRequest(Req, Version::V2);
+    if (Frame.size() > MaxFrameBytes)
+      continue; // the server would refuse it before parsing anyway
+    Request Out;
+    ASSERT_EQ(decodeRequest(Frame, Out), ErrorCode::None);
+    ASSERT_EQ(Out.Sketches.size(), 1u);
+    std::string Err;
+    EXPECT_FALSE(parseSketch(Out.Sketches[0], &Err)) << Out.Sketches[0];
+    EXPECT_FALSE(Err.empty());
+  }
 }

@@ -1,0 +1,9 @@
+// Fixture: an inline lint:allow marker suppresses the clock-seam rule on
+// exactly its own line.
+#include <chrono>
+
+void justified() {
+  // Real time on purpose: this fixture documents why.
+  auto T = std::chrono::steady_clock::now(); // lint:allow clock-seam
+  (void)T;
+}

@@ -1,0 +1,16 @@
+// Fixture: every real-time chrono access form the clock-seam rule must
+// catch, plus proof that comments and strings never trip it.
+#include <chrono>
+#include <thread>
+
+// std::chrono::steady_clock in a comment must NOT fire.
+static const char *Str = "std::chrono::system_clock in a string";
+
+void bad() {
+  auto T = std::chrono::steady_clock::now();              // line 10: fires
+  (void)T;
+  auto W = std::chrono::system_clock::now();              // line 12: fires
+  (void)W;
+  std::this_thread::sleep_for(std::chrono::seconds(1));   // line 14: fires
+  (void)Str;
+}

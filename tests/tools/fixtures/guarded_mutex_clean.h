@@ -1,0 +1,29 @@
+// Fixture: the shapes the guarded-mutex rule must accept.
+#include <mutex>
+
+// A class whose mutex guards an annotated field: clean.
+class Annotated {
+  mutable Mutex M;
+  int Value REGEL_GUARDED_BY(M) = 0;
+};
+
+// A nested struct is its own scope: its guarded field satisfies ITS
+// mutex, and the outer class has no mutex at all.
+class Outer {
+  struct Inner {
+    Mutex M;
+    bool Flag REGEL_GUARDED_BY(M) = false;
+  };
+  Inner I;
+};
+
+// Function-local mutexes are not members: never flagged.
+inline void local() {
+  std::mutex DoneM;
+  std::lock_guard<std::mutex> Guard(DoneM);
+}
+
+// Inline allow with a documented reason: the wrapper pattern.
+class Wrapper {
+  std::mutex Raw; // lint:allow guarded-mutex
+};

@@ -1,0 +1,16 @@
+// Fixture: a mutex member in a class with no REGEL_GUARDED_BY field.
+#include <mutex>
+
+class Unannotated {
+public:
+  void touch();
+
+private:
+  std::mutex M;   // line 9: fires (no guarded field anywhere in class)
+  int Counter = 0;
+};
+
+struct AlsoBare {
+  mutable Mutex Lock; // line 14: fires (regel::Mutex spelling too)
+  double Value = 0;
+};

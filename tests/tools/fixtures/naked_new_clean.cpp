@@ -1,0 +1,36 @@
+// Fixture: the new/delete shapes the rule must accept.
+#include <memory>
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+struct Node {
+  int X = 0;
+};
+
+// The private-constructor factory pattern: new wrapped directly in a
+// smart-pointer constructor, including across a line break.
+NodePtr makeNode() { return NodePtr(new Node()); }
+
+NodePtr makeNodeWrapped() {
+  return NodePtr(
+      new Node());
+}
+
+// Named-variable form (JobPtr J(new SynthJob(...)) in the engine).
+void named() {
+  NodePtr J(new Node());
+  std::unique_ptr<Node> U(new Node());
+  U.reset(new Node());
+  (void)J;
+}
+
+// Deleted functions are not deletes.
+struct NoCopy {
+  NoCopy(const NoCopy &) = delete;
+  NoCopy &operator=(const NoCopy &) = delete;
+};
+
+// Mentions in comments and strings never fire: new Node(), delete T.
+static const char *Doc = "new in a string, delete too";
+
+void use() { (void)Doc; }

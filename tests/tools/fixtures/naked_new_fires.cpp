@@ -1,0 +1,17 @@
+// Fixture: naked new and delete forms the rule must catch.
+struct Thing {
+  int X = 0;
+};
+
+Thing *leak() {
+  Thing *T = new Thing();  // line 7: fires (raw owning pointer)
+  return T;
+}
+
+void free_it(Thing *T) {
+  delete T;                // line 12: fires
+}
+
+void free_many(Thing *T) {
+  delete[] T;              // line 16: fires
+}

@@ -257,7 +257,12 @@ void WorkerPool::workerLoop(unsigned Id) {
     // at all. An unpredicated wait suffices: any wakeup — epoch bump,
     // timeout, or spurious — just re-runs the outer scan, which is the
     // ground truth the old epoch predicate approximated.
-    if (anyQueued() || Stop.load(std::memory_order_relaxed))
+    // The shard scan under IdleM is the lost-wakeup guard itself: it must
+    // run inside the submit-side epoch-bump window or a task enqueued
+    // between scan and wait would strand until the backstop timeout. The
+    // deques are bounded per-worker, so the sweep is O(workers) peeks.
+    if (anyQueued() || // analyze:allow shard-scan lost-wakeup guard must scan inside the IdleM window
+        Stop.load(std::memory_order_relaxed))
       continue;
     IdleCV.wait_for(Guard.native(), std::chrono::milliseconds(50));
   }

@@ -16,18 +16,62 @@ LocalService::LocalService(std::shared_ptr<engine::Engine> Eng)
 Ticket LocalService::submit(engine::JobRequest R) {
   // The completion stream is this API's only result channel.
   R.EnqueueCompletion = true;
+  // M is deliberately NOT held across the engine call: Engine::submit
+  // can run the whole synchronous-completion path (reject/shed,
+  // publishCompletion, per-sketch fan-out taking SynthJob::M) and a
+  // service lock held across it serializes every concurrent client
+  // behind one admission — the analyzer flags it as blocking-under-lock.
+  // The cost is a race — the job can complete and be drained before its
+  // ticket mapping exists — paid off through Stash, exactly like
+  // RouterService: the drain parks jobs it cannot resolve while a
+  // submit is in flight, and this tail claims them.
   Ticket T;
-  engine::JobPtr J;
   {
-    // Submit and map under one lock: a job that completes synchronously
-    // (rejected/shed) is in the engine's completion queue before this
-    // returns, and a concurrent drain (which takes the same lock) must
-    // find its ticket mapping already in place.
     MutexLock Guard(M);
-    J = Eng->submit(std::move(R));
     T = NextTicket++;
-    ByJob[J.get()] = T;
-    ByTicket[T] = J;
+    ++InFlightSubmits;
+  }
+  engine::JobPtr J = Eng->submit(std::move(R));
+  engine::JobPtr Claimed;
+  {
+    MutexLock Guard(M);
+    --InFlightSubmits;
+    for (auto It = Stash.begin(); It != Stash.end(); ++It)
+      if (It->get() == J.get()) {
+        Claimed = std::move(*It);
+        Stash.erase(It);
+        break;
+      }
+    if (!Claimed) {
+      ByJob[J.get()] = T;
+      ByTicket[T] = J;
+    }
+    // No submit in flight means every stash check has run: whatever is
+    // left can match nothing — foreign completions from a violated
+    // sole-consumer contract — so drop it.
+    if (InFlightSubmits == 0)
+      Stash.clear();
+  }
+  if (Claimed) {
+    // The drain beat the mapping; the job is complete, so the result
+    // copy is immediate — and taken outside M.
+    Completion C;
+    C.Id = T;
+    C.Result = Claimed->wait();
+    {
+      MutexLock Guard(M);
+      Ready.push_back(std::move(C));
+    }
+    // The original completion poke fired before the mapping existed and
+    // announced nothing deliverable: poke the hook ourselves.
+    std::function<void()> Fn;
+    {
+      MutexLock Guard(Hook->M);
+      Fn = Hook->Fn;
+    }
+    if (Fn)
+      Fn();
+    return T;
   }
   // Wakeup AFTER the mapping exists; for already-complete jobs this runs
   // synchronously right here, which is fine — the hook only signals.
@@ -59,18 +103,37 @@ bool LocalService::cancel(Ticket T) {
 std::vector<Completion>
 LocalService::mapCompletions(std::vector<engine::JobPtr> Jobs) {
   std::vector<Completion> Out;
-  Out.reserve(Jobs.size());
-  MutexLock Guard(M);
-  for (engine::JobPtr &J : Jobs) {
-    auto It = ByJob.find(J.get());
-    if (It == ByJob.end())
-      continue; // foreign handle-based job that opted into the queue:
-                // dropped, per the sole-consumer contract
+  std::vector<std::pair<Ticket, engine::JobPtr>> Done;
+  {
+    MutexLock Guard(M);
+    // Stash hits resolved by submit tails are already remapped; deliver
+    // them first so completion order stays close to arrival order.
+    Out.assign(std::make_move_iterator(Ready.begin()),
+               std::make_move_iterator(Ready.end()));
+    Ready.clear();
+    Done.reserve(Jobs.size());
+    for (engine::JobPtr &J : Jobs) {
+      auto It = ByJob.find(J.get());
+      if (It == ByJob.end()) {
+        if (InFlightSubmits > 0)
+          Stash.push_back(std::move(J)); // submit tail will claim it
+        // else: foreign handle-based job that opted into the queue —
+        // dropped, per the sole-consumer contract
+        continue;
+      }
+      Done.emplace_back(It->second, std::move(J));
+      ByTicket.erase(It->second);
+      ByJob.erase(It);
+    }
+  }
+  // Result copies outside M: the jobs are complete (they came off the
+  // completion queue), so wait() returns immediately — but it still
+  // takes SynthJob::M, and the mapping lock has no business being held
+  // across another class's lock.
+  for (auto &Entry : Done) {
     Completion C;
-    C.Id = It->second;
-    C.Result = J->wait(); // complete: returns immediately
-    ByTicket.erase(It->second);
-    ByJob.erase(It);
+    C.Id = Entry.first;
+    C.Result = Entry.second->wait();
     Out.push_back(std::move(C));
   }
   return Out;
@@ -81,6 +144,22 @@ std::vector<Completion> LocalService::pollCompleted() {
 }
 
 std::vector<Completion> LocalService::waitCompleted(int64_t TimeoutMs) {
+  {
+    // A stash claim parks its completion in Ready without anything in
+    // the engine's completion queue to wake the wait below — deliver it
+    // before blocking. A claim landing after this check waits for the
+    // engine's next completion or the timeout (bounded staleness, the
+    // same window RouterService accepts); event-loop users are covered
+    // by the synchronous wake-hook fire in submit().
+    MutexLock Guard(M);
+    if (!Ready.empty()) {
+      std::vector<Completion> Out(
+          std::make_move_iterator(Ready.begin()),
+          std::make_move_iterator(Ready.end()));
+      Ready.clear();
+      return Out;
+    }
+  }
   return mapCompletions(Eng->waitCompleted(TimeoutMs));
 }
 

@@ -79,6 +79,15 @@ private:
   std::unordered_map<const engine::SynthJob *, Ticket>
       ByJob REGEL_GUARDED_BY(M);
   std::unordered_map<Ticket, engine::JobPtr> ByTicket REGEL_GUARDED_BY(M);
+  /// Submits with a reserved ticket whose Eng->submit call (outside M)
+  /// has not returned; while nonzero, the drain parks unmapped jobs in
+  /// Stash instead of dropping them.
+  unsigned InFlightSubmits REGEL_GUARDED_BY(M) = 0;
+  /// Completed jobs the drain could not map to a ticket yet; the owning
+  /// submit tail claims its entry (bounded by InFlightSubmits).
+  std::vector<engine::JobPtr> Stash REGEL_GUARDED_BY(M);
+  /// Stash claims remapped to their tickets, awaiting the next drain.
+  std::vector<Completion> Ready REGEL_GUARDED_BY(M);
 };
 
 } // namespace regel::service

@@ -95,7 +95,11 @@ bool RemoteService::sendLine(const std::string &Line,
     // (blocking) or the line stream would be corrupted mid-frame.
     const int Flags =
         MSG_NOSIGNAL | (BestEffort && Off == 0 ? MSG_DONTWAIT : 0);
-    ssize_t Sent = ::send(Fd, Data.data() + Off, Data.size() - Off, Flags);
+    // Blocking send under WriteM is the wire contract: frames are lines,
+    // and two writers interleaving partial lines would corrupt the
+    // stream. Callers that must not stall use BestEffort.
+    ssize_t Sent = ::send( // analyze:allow socket-io WriteM serializes whole frames by design
+        Fd, Data.data() + Off, Data.size() - Off, Flags);
     if (Sent <= 0) {
       if (Sent < 0 && errno == EINTR)
         continue;
@@ -324,10 +328,16 @@ std::string RemoteService::traceJson(uint64_t Id) const {
   protocol::Request Req;
   Req.K = protocol::Request::Kind::Trace;
   Req.Id = Id;
-  if (!sendLine(protocol::encodeRequest(Req, protocol::Version::V2)))
+  // Both the send and the reply wait deliberately run under TraceM —
+  // that lock exists to serialize whole fetches, and both are bounded
+  // by RpcTimeoutMs, so the worst case is one slow fetch delaying the
+  // next, never a deadlock.
+  if (!sendLine(protocol::encodeRequest( // analyze:allow socket-io TraceM serializes whole fetches, bounded by RpcTimeoutMs
+          Req, protocol::Version::V2)))
     return "";
   UniqueLock Guard(M);
-  CV.wait_for(Guard.native(), std::chrono::milliseconds(RpcTimeoutMs),
+  CV.wait_for(Guard.native(), // analyze:allow cv-wait reply wait under TraceM is the fetch-serialization point, bounded by RpcTimeoutMs
+              std::chrono::milliseconds(RpcTimeoutMs),
               [this] { return traceReadyPred(); });
   TraceWantId = 0;
   return HaveTrace ? TraceReply : "";

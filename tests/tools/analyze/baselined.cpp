@@ -1,0 +1,15 @@
+// Fixture: baseline-file suppression. This file contains a real
+// blocking-under-lock defect; baselined.baseline.json carries its key,
+// so it must be reported as accepted debt, not as a new finding.
+#include <sys/socket.h>
+#include "support/Mutex.h"
+
+struct LegacyConn {
+  regel::Mutex M;
+  int Fd REGEL_GUARDED_BY(M) = -1;
+
+  void flush(const char *Buf, long N) {
+    regel::MutexLock Guard(M);
+    ::send(Fd, Buf, N, 0);                // in the committed baseline
+  }
+};

@@ -1,0 +1,24 @@
+// Fixture: the analyze:allow escape hatch. Same shape as
+// blocking_indirect_fires; the annotated call must be suppressed, the
+// reason-less annotation must NOT suppress.
+#include <sys/socket.h>
+#include "support/Mutex.h"
+
+struct Conn {
+  regel::Mutex M;
+  int Fd REGEL_GUARDED_BY(M) = -1;
+
+  void writeAll(const char *Buf, long N) {
+    ::send(Fd, Buf, N, 0);
+  }
+
+  void publish(const char *Buf, long N) {
+    regel::MutexLock Guard(M);
+    writeAll(Buf, N);  // analyze:allow socket-io wire writes are serialized under M by design
+  }
+
+  void publishBad(const char *Buf, long N) {
+    regel::MutexLock Guard(M);
+    writeAll(Buf, N);  // analyze:allow socket-io
+  }
+};

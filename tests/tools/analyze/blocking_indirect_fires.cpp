@@ -1,0 +1,18 @@
+// Fixture: blocking-under-lock through one level of indirection — the
+// socket write lives in a helper; the lock is held at the call site.
+#include <sys/socket.h>
+#include "support/Mutex.h"
+
+struct Conn {
+  regel::Mutex M;
+  int Fd REGEL_GUARDED_BY(M) = -1;
+
+  void writeAll(const char *Buf, long N) {
+    ::send(Fd, Buf, N, 0);                // the denylisted op
+  }
+
+  void publish(const char *Buf, long N) {
+    regel::MutexLock Guard(M);
+    writeAll(Buf, N);                     // socket-io under Conn::M
+  }
+};

@@ -1,0 +1,27 @@
+// Fixture: user-callback invocation inside a critical section — the
+// re-entrancy hazard (the callback may call straight back into us).
+#include <functional>
+#include "support/Mutex.h"
+
+struct Notifier {
+  using Callback = std::function<void(int)>;
+  regel::Mutex M;
+  Callback OnDone REGEL_GUARDED_BY(M);
+  int Value REGEL_GUARDED_BY(M) = 0;
+
+  void fire() {
+    regel::MutexLock Guard(M);
+    OnDone(Value);                        // callback-invoke under M
+  }
+
+  void fireSafe() {
+    Callback Local;
+    int V = 0;
+    {
+      regel::MutexLock Guard(M);
+      Local = OnDone;
+      V = Value;
+    }
+    Local(V);                             // outside the lock: clean
+  }
+};

@@ -1,0 +1,27 @@
+// Fixture: classic 2-lock AB/BA deadlock. The analyzer must report one
+// lock-cycle with witnesses for both orders.
+#include "support/Mutex.h"
+
+struct Account {
+  regel::Mutex M;
+  int Balance REGEL_GUARDED_BY(M) = 0;
+};
+
+struct Bank {
+  regel::Mutex LedgerM;
+  int Total REGEL_GUARDED_BY(LedgerM) = 0;
+
+  void deposit(Account &A, int Amt) {
+    regel::MutexLock Guard(LedgerM);
+    regel::MutexLock Inner(A.M);          // LedgerM -> Account::M
+    A.Balance += Amt;
+    Total += Amt;
+  }
+
+  void audit(Account &A) {
+    regel::MutexLock Guard(A.M);
+    regel::MutexLock Inner(LedgerM);      // Account::M -> LedgerM: cycle
+    (void)A.Balance;
+    (void)Total;
+  }
+};

@@ -1,0 +1,40 @@
+// Fixture: 3-lock ring closed interprocedurally — no single function
+// holds more than two locks; the cycle only exists through the call
+// graph (stepB called under A::M, stepC under B::M, stepA under C::M).
+#include "support/Mutex.h"
+
+struct A { regel::Mutex M; int X REGEL_GUARDED_BY(M) = 0; };
+struct B { regel::Mutex M; int X REGEL_GUARDED_BY(M) = 0; };
+struct C { regel::Mutex M; int X REGEL_GUARDED_BY(M) = 0; };
+
+struct Ring {
+  A Av;
+  B Bv;
+  C Cv;
+
+  void takeB() {
+    regel::MutexLock Guard(Bv.M);
+    Bv.X++;
+  }
+  void takeC() {
+    regel::MutexLock Guard(Cv.M);
+    Cv.X++;
+  }
+  void takeA() {
+    regel::MutexLock Guard(Av.M);
+    Av.X++;
+  }
+
+  void stepAB() {
+    regel::MutexLock Guard(Av.M);
+    takeB();                              // A::M -> B::M
+  }
+  void stepBC() {
+    regel::MutexLock Guard(Bv.M);
+    takeC();                              // B::M -> C::M
+  }
+  void stepCA() {
+    regel::MutexLock Guard(Cv.M);
+    takeA();                              // C::M -> A::M: ring closed
+  }
+};

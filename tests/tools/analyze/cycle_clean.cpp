@@ -1,0 +1,27 @@
+// Fixture: same two locks as cycle2_fires, but both paths take them in
+// the one canonical order — must be clean.
+#include "support/Mutex.h"
+
+struct Account {
+  regel::Mutex M;
+  int Balance REGEL_GUARDED_BY(M) = 0;
+};
+
+struct Bank {
+  regel::Mutex LedgerM;
+  int Total REGEL_GUARDED_BY(LedgerM) = 0;
+
+  void deposit(Account &A, int Amt) {
+    regel::MutexLock Guard(LedgerM);
+    regel::MutexLock Inner(A.M);
+    A.Balance += Amt;
+    Total += Amt;
+  }
+
+  void audit(Account &A) {
+    regel::MutexLock Guard(LedgerM);      // same order as deposit
+    regel::MutexLock Inner(A.M);
+    (void)A.Balance;
+    (void)Total;
+  }
+};

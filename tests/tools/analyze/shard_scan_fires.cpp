@@ -1,0 +1,29 @@
+// Fixture: a sharded-store sweep (lock acquisition inside a loop) is
+// fine on its own, but calling it while holding another lock serializes
+// every shard behind that lock — that is the finding.
+#include "support/Mutex.h"
+
+struct Store {
+  struct Shard {
+    regel::Mutex M;
+    int Count REGEL_GUARDED_BY(M) = 0;
+  };
+  Shard Shards[8];
+
+  regel::Mutex TotalsM;
+  int CachedTotal REGEL_GUARDED_BY(TotalsM) = 0;
+
+  int sweep() {
+    int Sum = 0;
+    for (auto &S : Shards) {
+      regel::MutexLock Guard(S.M);        // per-shard: fine standalone
+      Sum += S.Count;
+    }
+    return Sum;
+  }
+
+  void refreshTotal() {
+    regel::MutexLock Guard(TotalsM);
+    CachedTotal = sweep();                // shard-scan under TotalsM
+  }
+};

@@ -1,0 +1,28 @@
+// Fixture: the own-lock CV wait (guard named in the wait's arguments)
+// is the intended pattern and must be clean; the same wait with a
+// SECOND lock still held must fire.
+#include <condition_variable>
+#include "support/Mutex.h"
+
+struct Queue {
+  regel::Mutex M;
+  std::condition_variable CV;
+  int Depth REGEL_GUARDED_BY(M) = 0;
+
+  regel::Mutex StatsM;
+  int Waits REGEL_GUARDED_BY(StatsM) = 0;
+
+  void waitDrained() {
+    regel::UniqueLock Guard(M);
+    while (Depth > 0)
+      CV.wait(Guard.native());            // releases M: clean
+  }
+
+  void waitDrainedCounted() {
+    regel::MutexLock Outer(StatsM);
+    Waits++;
+    regel::UniqueLock Guard(M);
+    while (Depth > 0)
+      CV.wait(Guard.native());            // StatsM still held: fires
+  }
+};

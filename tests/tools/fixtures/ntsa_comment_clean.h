@@ -1,0 +1,21 @@
+// Fixture: compliant REGEL_NO_THREAD_SAFETY_ANALYSIS helpers — a
+// preceding block covering a run of predicates, and a trailing comment.
+
+struct Conn {
+  Mutex M;
+  bool Up REGEL_GUARDED_BY(M) = true;
+  bool HaveStats REGEL_GUARDED_BY(M) = false;
+
+  // CV-wait predicates; every call site holds M (the wait re-acquires
+  // it around the predicate), so one block covers the whole run.
+  bool statsReadyPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS {
+    return HaveStats || !Up;
+  }
+  bool upPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS {
+    return Up;
+  }
+
+  bool downPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS { // callers hold M
+    return !Up;
+  }
+};

@@ -1,0 +1,21 @@
+// Fixture: REGEL_NO_THREAD_SAFETY_ANALYSIS helpers that never say which
+// lock their callers hold — both must fire ntsa-lock-comment.
+
+struct Collector {
+  Mutex M;
+  int Remaining REGEL_GUARDED_BY(M) = 0;
+
+  bool bareNoComment() const REGEL_NO_THREAD_SAFETY_ANALYSIS {
+    return Remaining == 0;
+  }
+
+  // Talks about re-checking the predicate, but not about the mutex.
+  bool vaguePred() const REGEL_NO_THREAD_SAFETY_ANALYSIS {
+    return Remaining == 0;
+  }
+
+  // Suppressed: the justification for skipping the rule lives here.
+  bool legacyPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS { // lint:allow ntsa-lock-comment
+    return Remaining == 0;
+  }
+};

@@ -22,6 +22,15 @@ Rules, each with a short slug used in output and inline suppressions:
                  make_shared cannot express); `delete` only as
                  `= delete`.
 
+  ntsa-lock-comment
+                 Every REGEL_NO_THREAD_SAFETY_ANALYSIS helper must name,
+                 in a trailing comment or the comment block directly
+                 above it, the lock its callers hold — the annotation
+                 turns the checker off, so the contract has to live in
+                 prose. One block may cover a run of consecutive helpers
+                 with no blank line between them (the RemoteService
+                 CV-predicate style).
+
 A line may carry `// lint:allow <slug>` to suppress one finding with the
 justification expected in the surrounding comment. File-level allowlist
 entries (clock-seam only) are below, each with its reason.
@@ -217,7 +226,67 @@ def check_naked_new(rel, text, stripped, allows):
     return findings
 
 
-CHECKS = [check_clock_seam, check_guarded_mutex, check_naked_new]
+NTSA_RE = re.compile(r"\bREGEL_NO_THREAD_SAFETY_ANALYSIS\b")
+MUTEX_NAME_RE = re.compile(r"\b(?:std::mutex|Mutex)\s+(\w+)")
+COMMENT_LINE_RE = re.compile(r"\s*(?:///?|/\*+|\*+/?)(.*)$")
+
+
+def check_ntsa_lock_comment(rel, text, stripped, allows):
+    """Scans the ORIGINAL text for the covering comment (comments are
+    blanked in `stripped`, which is only used to find real macro uses —
+    never ones inside comments or the #define itself). A helper is
+    covered by a lock-naming comment trailing its signature line or in
+    the contiguous comment block directly above it; coverage extends
+    over the next helper when no blank line separates them, so one
+    block can document a run of CV predicates."""
+    lines = text.splitlines()
+    slines = stripped.splitlines()
+    mutexes = set(MUTEX_NAME_RE.findall(stripped))
+
+    def names_lock(comment):
+        words = set(re.findall(r"\w+", comment))
+        if mutexes & words:
+            return True
+        # No mutex declared in this file (the lock lives elsewhere):
+        # accept any lock-ish identifier rather than guessing names.
+        return not mutexes and bool(
+            re.search(r"\b\w*(?:M|Mutex|Lock)\b", comment))
+
+    findings = []
+    prev_line, prev_ok = None, False
+    for m in NTSA_RE.finditer(stripped):
+        ln = line_of(stripped, m.start())
+        if slines[ln - 1].lstrip().startswith("#"):
+            continue  # the macro's own #define in ThreadAnnotations.h
+        comment = []
+        cm = re.search(r"//+(.*)$|/\*(.*?)\*/", lines[ln - 1])
+        if cm:
+            comment.append(cm.group(1) or cm.group(2) or "")
+        k = ln - 2
+        while k >= 0:
+            cb = COMMENT_LINE_RE.match(lines[k])
+            if not cb:
+                break
+            comment.append(cb.group(1))
+            k -= 1
+        ok = names_lock(" ".join(comment))
+        if not ok and prev_ok and prev_line is not None and \
+                all(lines[i].strip() for i in range(prev_line, ln - 1)):
+            ok = True  # covered run: no blank line since the last helper
+        prev_line, prev_ok = ln, ok
+        if ok or "ntsa-lock-comment" in allows.get(ln, ()):
+            continue
+        findings.append(Finding(
+            rel, ln, "ntsa-lock-comment",
+            "REGEL_NO_THREAD_SAFETY_ANALYSIS without a comment naming "
+            "the lock its callers hold (trailing, or in the comment "
+            "block directly above; one block may cover consecutive "
+            "helpers)"))
+    return findings
+
+
+CHECKS = [check_clock_seam, check_guarded_mutex, check_naked_new,
+          check_ntsa_lock_comment]
 
 
 def lint_file(root, path):

@@ -149,13 +149,13 @@ Regel::synthesizeBatch(const std::vector<RegelQuery> &Queries) const {
     engine::JobPtr J =
         Svc->submitJob(buildJobRequest(Cfg, SketchLists[I], Queries[I].E));
     J->onComplete([&C, I](const engine::JobResult &JR) {
-      bool Done = false;
-      {
-        MutexLock Guard(C.M);
-        C.Results[I] = JR;
-        Done = --C.Remaining == 0;
-      }
-      if (Done) // notify outside M: the waiter never wakes into a held lock
+      // The notify stays under M: C is stack-local, so the instant the
+      // last callback releases the lock the (possibly spuriously woken)
+      // waiter can see Remaining==0, return, and destroy C — notifying
+      // after the unlock would touch a dead condition_variable.
+      MutexLock Guard(C.M);
+      C.Results[I] = JR;
+      if (--C.Remaining == 0)
         C.CV.notify_all();
     });
   }

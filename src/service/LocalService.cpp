@@ -31,7 +31,18 @@ Ticket LocalService::submit(engine::JobRequest R) {
     T = NextTicket++;
     ++InFlightSubmits;
   }
-  engine::JobPtr J = Eng->submit(std::move(R));
+  engine::JobPtr J;
+  try {
+    J = Eng->submit(std::move(R));
+  } catch (...) {
+    // Undo the in-flight count on the throwing path too: a stuck
+    // nonzero counter makes mapCompletions stash every unmatched job
+    // forever and the stash would never drain.
+    MutexLock Guard(M);
+    if (--InFlightSubmits == 0)
+      Stash.clear();
+    throw;
+  }
   engine::JobPtr Claimed;
   {
     MutexLock Guard(M);

@@ -91,7 +91,18 @@ Ticket RouterService::submit(engine::JobRequest R) {
     T = NextTicket++;
     ++InFlightSubmits[Idx];
   }
-  const Ticket BT = Backends[Idx]->submit(std::move(R));
+  Ticket BT = 0;
+  try {
+    BT = Backends[Idx]->submit(std::move(R));
+  } catch (...) {
+    // Undo the in-flight count on the throwing path too: a stuck
+    // nonzero counter makes the drain stash this backend's unmatched
+    // completions forever.
+    MutexLock Guard(M);
+    if (--InFlightSubmits[Idx] == 0)
+      Stash[Idx].clear();
+    throw;
+  }
   {
     MutexLock Guard(M);
     --InFlightSubmits[Idx];

@@ -14,6 +14,10 @@ struct Conn {
   bool upPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS {
     return Up;
   }
+  // An interleaved plain comment keeps the covered run alive.
+  bool stillUpPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS {
+    return Up && HaveStats;
+  }
 
   bool downPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS { // callers hold M
     return !Up;

@@ -19,3 +19,19 @@ struct Collector {
     return Remaining == 0;
   }
 };
+
+struct RunBreaker {
+  Mutex M;
+  int Remaining REGEL_GUARDED_BY(M) = 0;
+
+  // CV predicate; callers hold M around the wait.
+  bool documentedPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS {
+    return Remaining == 0;
+  }
+  int unrelatedHelper() { return 42; }
+  // strayPred must NOT inherit documentedPred's comment: unrelated
+  // code between them breaks the covered run even without a blank line.
+  bool strayPred() const REGEL_NO_THREAD_SAFETY_ANALYSIS {
+    return Remaining != 0;
+  }
+};

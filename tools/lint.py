@@ -237,8 +237,9 @@ def check_ntsa_lock_comment(rel, text, stripped, allows):
     never ones inside comments or the #define itself). A helper is
     covered by a lock-naming comment trailing its signature line or in
     the contiguous comment block directly above it; coverage extends
-    over the next helper when no blank line separates them, so one
-    block can document a run of CV predicates."""
+    over the next helper when only the previous helper's own definition
+    and comment lines separate them, so one block can document a run of
+    CV predicates — any other code (or a blank line) breaks the run."""
     lines = text.splitlines()
     slines = stripped.splitlines()
     mutexes = set(MUTEX_NAME_RE.findall(stripped))
@@ -251,6 +252,26 @@ def check_ntsa_lock_comment(rel, text, stripped, allows):
         # accept any lock-ish identifier rather than guessing names.
         return not mutexes and bool(
             re.search(r"\b\w*(?:M|Mutex|Lock)\b", comment))
+
+    def run_covers(prev_ln, ln):
+        # The run stays alive only across the previous helper's own
+        # definition (signature + brace-balanced body, or a declaration
+        # ending in ';') and comment lines; unrelated code in between
+        # must not inherit a distant helper's comment.
+        depth, opened, in_helper = 0, False, True
+        for i in range(prev_ln - 1, ln - 1):
+            if not lines[i].strip():
+                return False  # blank line breaks the run
+            if in_helper:
+                s = slines[i]
+                depth += s.count("{") - s.count("}")
+                opened = opened or "{" in s
+                if (opened and depth <= 0) or (not opened and ";" in s):
+                    in_helper = False
+                continue
+            if not COMMENT_LINE_RE.match(lines[i]):
+                return False
+        return True
 
     findings = []
     prev_line, prev_ok = None, False
@@ -271,8 +292,8 @@ def check_ntsa_lock_comment(rel, text, stripped, allows):
             k -= 1
         ok = names_lock(" ".join(comment))
         if not ok and prev_ok and prev_line is not None and \
-                all(lines[i].strip() for i in range(prev_line, ln - 1)):
-            ok = True  # covered run: no blank line since the last helper
+                run_covers(prev_line, ln):
+            ok = True  # covered run: only the prior helper + comments since
         prev_line, prev_ok = ln, ok
         if ok or "ntsa-lock-comment" in allows.get(ln, ()):
             continue

@@ -13,6 +13,17 @@
 //     example-independent, so concurrent jobs over a corpus that reuses
 //     sketches share them outright.
 //
+//   * (canonical formula, domains) -> Sat/Unsat verdict (smt/Solver's
+//     VerdictStore): constant-inference queries repeat heavily across
+//     jobs that share sketches and example lengths, and hash-consing
+//     makes the key O(1) to hash and compare. Each shard additionally
+//     keeps a small ring of known-Unsat keys so a query whose conjunct
+//     set merely CONTAINS a known-Unsat core is answered without any
+//     search (adding conjuncts only removes models). The ring scan's
+//     subset tests run on a snapshot taken under the shard lock and
+//     released before testing — no smt:: call ever executes under a
+//     cache mutex.
+//
 // Sharding bounds lock contention: keys hash to one of N independently
 // locked maps, so workers rarely collide on a mutex.
 //
@@ -42,6 +53,7 @@
 #define REGEL_ENGINE_CACHES_H
 
 #include "automata/Compile.h"
+#include "smt/Solver.h"
 #include "support/Mutex.h"
 #include "synth/Approximate.h"
 
@@ -207,15 +219,111 @@ private:
   std::atomic<uint64_t> Evictions{0};
 };
 
+/// A sharded, thread-safe, LRU-bounded (canonical formula, domains) ->
+/// Sat/Unsat verdict store — the engine-side implementation of
+/// smt::VerdictStore. Verdicts are facts (solving is deterministic and
+/// a Sat model is the DFS's unique smallest model), so eviction only
+/// costs a re-solve, exactly like the DFA store's recompilation.
+class ShardedSmtCache : public smt::VerdictStore {
+public:
+  explicit ShardedSmtCache(unsigned NumShards = 16, CacheLimits Limits = {});
+
+  bool lookup(const smt::FormulaPtr &F,
+              const std::vector<smt::Interval> &Domains,
+              smt::SolveResult &Out) override;
+  void publish(const smt::FormulaPtr &F,
+               const std::vector<smt::Interval> &Domains,
+               const smt::SolveResult &R) override;
+
+  size_t size() const;
+  void clear();
+
+  const CacheLimits &limits() const { return Limits; }
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+
+  /// Lookups answered Unsat by the implication ring rather than an exact
+  /// entry (counted separately from hits; a lookup is exactly one of
+  /// hit, implied hit, or miss).
+  uint64_t impliedHits() const {
+    return ImpliedHits.load(std::memory_order_relaxed);
+  }
+
+  /// The combined key hash (exposed so tests can check shard balance).
+  /// Hash-consing makes the formula component O(1); the domain vector is
+  /// folded through mix64 so shard choice sees every bound.
+  static size_t hashKey(const smt::FormulaPtr &F,
+                        const std::vector<smt::Interval> &Domains);
+
+private:
+  struct Key {
+    smt::FormulaPtr F;
+    std::vector<smt::Interval> D;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return hashKey(K.F, K.D); }
+  };
+  struct KeyEq {
+    bool operator()(const Key &A, const Key &B) const {
+      // Interning makes structural formula equality pointer equality.
+      return A.F == B.F && A.D == B.D;
+    }
+  };
+  struct Entry {
+    Key K;
+    smt::SolveResult R;
+    bool Hot = false; ///< hit since it last reached the cold end
+  };
+  struct Shard {
+    mutable Mutex M;
+    std::list<Entry> Lru REGEL_GUARDED_BY(M); ///< front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash, KeyEq>
+        Map REGEL_GUARDED_BY(M);
+  };
+
+  static constexpr size_t UnsatRingCap = 32;
+
+  Shard &shardFor(const smt::FormulaPtr &F,
+                  const std::vector<smt::Interval> &Domains);
+  void evictOverLocked(Shard &S) REGEL_REQUIRES(S.M);
+
+  /// Bounded overwrite-oldest ring of keys published Unsat, global to
+  /// the cache: an exact lookup shards by its OWN (formula, domains)
+  /// hash, so a superset query lands in a different shard than the core
+  /// that refutes it — a per-shard ring would almost never be consulted
+  /// by the lookups it can answer. Its own leaf mutex, never held
+  /// together with a shard lock. Advisory: a ring entry outliving its
+  /// LRU twin stays sound (Unsat is a fact about the formula), and
+  /// overwriting one only loses a short-circuit.
+  Mutex RingM;
+  std::vector<Key> UnsatRing REGEL_GUARDED_BY(RingM);
+  size_t UnsatNext REGEL_GUARDED_BY(RingM) = 0;
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  CacheLimits Limits;
+  size_t MaxEntriesPerShard = 0;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> ImpliedHits{0};
+  std::atomic<uint64_t> Evictions{0};
+};
+
 /// The caches one engine (or several engines, when passed explicitly)
 /// share across all jobs.
 struct SharedCaches {
   explicit SharedCaches(unsigned NumShards = 16, CacheLimits DfaLimits = {},
-                        CacheLimits ApproxLimits = {})
-      : Dfa(NumShards, DfaLimits), Approx(NumShards, ApproxLimits) {}
+                        CacheLimits ApproxLimits = {},
+                        CacheLimits SmtLimits = {})
+      : Dfa(NumShards, DfaLimits), Approx(NumShards, ApproxLimits),
+        Smt(NumShards, SmtLimits) {}
 
   ShardedDfaStore Dfa;
   ShardedApproxStore Approx;
+  ShardedSmtCache Smt;
 };
 
 } // namespace regel::engine

@@ -28,7 +28,8 @@ Engine::Engine(EngineConfig C)
       Caches(Cfg.Caches ? Cfg.Caches
                         : std::make_shared<SharedCaches>(Cfg.CacheShards,
                                                          Cfg.DfaCacheLimits,
-                                                         Cfg.ApproxCacheLimits)),
+                                                         Cfg.ApproxCacheLimits,
+                                                         Cfg.SmtCacheLimits)),
       Reg(std::make_shared<obs::Registry>()),
       Tracing(std::make_shared<obs::Tracer>(Cfg.Trace)),
       Pool(Cfg.Threads, Cfg.FifoScheduling) {
@@ -378,6 +379,7 @@ void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
     SC.TopK = Req.TopK;
     SC.SharedDfa = &Caches->Dfa;
     SC.SharedApprox = &Caches->Approx;
+    SC.SharedSmt = Cfg.SmtMemo ? &Caches->Smt : nullptr;
     // Deterministic jobs must not stop mid-search because a sibling
     // succeeded; they still honour client cancel() and the job deadline
     // through the same flag (set above on deadline expiry).
@@ -448,7 +450,10 @@ void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
                   {"dfa_local_hits", std::to_string(SR.Stats.DfaLocalHits)},
                   {"dfa_shared_hits", std::to_string(SR.Stats.DfaSharedHits)},
                   {"dfa_compiles", std::to_string(SR.Stats.DfaCompiles)},
-                  {"smt_solve_calls", std::to_string(SR.Stats.SmtSolveCalls)},
+                  {"smt_interval_evals",
+                   std::to_string(SR.Stats.SmtIntervalEvals)},
+                  {"smt_solves", std::to_string(SR.Stats.SmtSolves)},
+                  {"smt_cache_hits", std::to_string(SR.Stats.SmtCacheHits)},
                   {"cancelled", SR.Cancelled ? "true" : "false"}};
         T->span(std::move(S));
       }
@@ -568,6 +573,11 @@ StatsSnapshot Engine::snapshot() const {
   S.ApproxStoreMisses = Caches->Approx.misses();
   S.ApproxStoreSize = Caches->Approx.size();
   S.ApproxStoreEvictions = Caches->Approx.evictions();
+  S.SmtStoreHits = Caches->Smt.hits();
+  S.SmtStoreImpliedHits = Caches->Smt.impliedHits();
+  S.SmtStoreMisses = Caches->Smt.misses();
+  S.SmtStoreSize = Caches->Smt.size();
+  S.SmtStoreEvictions = Caches->Smt.evictions();
   const ServiceTimeEstimator::Snapshot E = Estimator.snapshot();
   S.EstimatorInteractiveMs =
       E.EstMs[static_cast<unsigned>(Priority::Interactive)];
@@ -664,8 +674,16 @@ void Engine::mirrorSnapshot() const {
   R.counter("regel_synth_expansions_total").set(S.Expansions);
   R.counter("regel_synth_pruned_infeasible_total").set(S.PrunedInfeasible);
   R.counter("regel_synth_concrete_checked_total").set(S.ConcreteChecked);
-  R.counter("regel_smt_solve_calls_total").set(S.SmtSolveCalls);
+  R.counter("regel_smt_interval_evals_total").set(S.SmtIntervalEvals);
+  R.counter("regel_smt_solves_total").set(S.SmtSolves);
+  // DEPRECATED alias of interval_evals + solves; remove after one release
+  // (see docs/OBSERVABILITY.md).
+  R.counter("regel_smt_solve_calls_total").set(S.smtCalls());
+  R.counter("regel_smt_unsat_short_circuits_total")
+      .set(S.SmtUnsatShortCircuits);
   R.counter("regel_dfa_gets_total").set(S.DfaGets);
+  R.counter("regel_dfa_local_hits_total").set(S.DfaLocalHits);
+  R.counter("regel_dfa_shared_hits_total").set(S.DfaSharedHits);
   R.counter("regel_dfa_compiles_total").set(S.DfaCompiles);
   R.counter("regel_synth_time_us_total")
       .set(static_cast<uint64_t>(S.SynthMsTotal * 1000.0));
@@ -676,6 +694,10 @@ void Engine::mirrorSnapshot() const {
   R.counter("regel_approx_store_misses_total").set(S.ApproxStoreMisses);
   R.counter("regel_approx_store_evictions_total")
       .set(S.ApproxStoreEvictions);
+  R.counter("regel_smt_cache_hits_total").set(S.SmtStoreHits);
+  R.counter("regel_smt_cache_implied_hits_total").set(S.SmtStoreImpliedHits);
+  R.counter("regel_smt_cache_misses_total").set(S.SmtStoreMisses);
+  R.counter("regel_smt_cache_evictions_total").set(S.SmtStoreEvictions);
   R.gauge("regel_queue_depth_jobs")
       .set(static_cast<int64_t>(queueDepth()));
   R.gauge("regel_completions_pending")
@@ -688,6 +710,8 @@ void Engine::mirrorSnapshot() const {
       .set(static_cast<int64_t>(S.DfaStoreCost));
   R.gauge("regel_approx_store_size_entries")
       .set(static_cast<int64_t>(S.ApproxStoreSize));
+  R.gauge("regel_smt_cache_size_entries")
+      .set(static_cast<int64_t>(S.SmtStoreSize));
   // Estimator state in integer us (-1 = cold). A federated SUM of these
   // gauges is meaningless — readers must consume them per backend.
   auto EstUs = [](double Ms) {

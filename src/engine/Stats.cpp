@@ -7,7 +7,10 @@
 using namespace regel::engine;
 
 std::string StatsSnapshot::toJson() const {
-  char Buf[3072];
+  // "smt_calls" is the DEPRECATED pre-split aggregate (interval evals +
+  // solves), kept for one release so dashboards can migrate to
+  // "smt_interval_evals"/"smt_solves"; see docs/OBSERVABILITY.md.
+  char Buf[4096];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"jobs\":{\"submitted\":%llu,\"completed\":%llu,\"solved\":%llu,"
@@ -20,12 +23,17 @@ std::string StatsSnapshot::toJson() const {
       "\"completions_pending\":%llu,"
       "\"solutions\":%llu,"
       "\"synth\":{\"pops\":%llu,\"expansions\":%llu,\"pruned\":%llu,"
-      "\"checked\":%llu,\"smt_calls\":%llu,\"dfa_gets\":%llu,"
+      "\"checked\":%llu,\"smt_interval_evals\":%llu,\"smt_solves\":%llu,"
+      "\"smt_cache_hits\":%llu,\"smt_unsat_short_circuits\":%llu,"
+      "\"smt_calls\":%llu,\"dfa_gets\":%llu,\"dfa_local_hits\":%llu,"
+      "\"dfa_shared_hits\":%llu,"
       "\"dfa_compiles\":%llu,\"total_ms\":%.1f},"
       "\"dfa_store\":{\"hits\":%llu,\"misses\":%llu,\"size\":%llu,"
       "\"cost\":%llu,\"evictions\":%llu},"
       "\"approx_store\":{\"hits\":%llu,\"misses\":%llu,\"size\":%llu,"
       "\"evictions\":%llu},"
+      "\"smt_store\":{\"hits\":%llu,\"implied_hits\":%llu,\"misses\":%llu,"
+      "\"size\":%llu,\"evictions\":%llu},"
       "\"estimator\":{\"interactive_ms\":%.2f,\"batch_ms\":%.2f,"
       "\"background_ms\":%.2f,\"blended_ms\":%.2f,"
       "\"samples_interactive\":%llu,\"samples_batch\":%llu,"
@@ -45,7 +53,11 @@ std::string StatsSnapshot::toJson() const {
       (unsigned long long)SolutionsFound,
       (unsigned long long)Pops, (unsigned long long)Expansions,
       (unsigned long long)PrunedInfeasible, (unsigned long long)ConcreteChecked,
-      (unsigned long long)SmtSolveCalls, (unsigned long long)DfaGets,
+      (unsigned long long)SmtIntervalEvals, (unsigned long long)SmtSolves,
+      (unsigned long long)SmtCacheHits,
+      (unsigned long long)SmtUnsatShortCircuits,
+      (unsigned long long)smtCalls(), (unsigned long long)DfaGets,
+      (unsigned long long)DfaLocalHits, (unsigned long long)DfaSharedHits,
       (unsigned long long)DfaCompiles, SynthMsTotal,
       (unsigned long long)DfaStoreHits, (unsigned long long)DfaStoreMisses,
       (unsigned long long)DfaStoreSize, (unsigned long long)DfaStoreCost,
@@ -54,6 +66,11 @@ std::string StatsSnapshot::toJson() const {
       (unsigned long long)ApproxStoreMisses,
       (unsigned long long)ApproxStoreSize,
       (unsigned long long)ApproxStoreEvictions,
+      (unsigned long long)SmtStoreHits,
+      (unsigned long long)SmtStoreImpliedHits,
+      (unsigned long long)SmtStoreMisses,
+      (unsigned long long)SmtStoreSize,
+      (unsigned long long)SmtStoreEvictions,
       EstimatorInteractiveMs, EstimatorBatchMs, EstimatorBackgroundMs,
       EstimatorBlendedMs,
       (unsigned long long)EstimatorSamplesInteractive,
@@ -84,8 +101,13 @@ void StatsSnapshot::merge(const StatsSnapshot &O) {
   Expansions += O.Expansions;
   PrunedInfeasible += O.PrunedInfeasible;
   ConcreteChecked += O.ConcreteChecked;
-  SmtSolveCalls += O.SmtSolveCalls;
+  SmtIntervalEvals += O.SmtIntervalEvals;
+  SmtSolves += O.SmtSolves;
+  SmtCacheHits += O.SmtCacheHits;
+  SmtUnsatShortCircuits += O.SmtUnsatShortCircuits;
   DfaGets += O.DfaGets;
+  DfaLocalHits += O.DfaLocalHits;
+  DfaSharedHits += O.DfaSharedHits;
   DfaCompiles += O.DfaCompiles;
   SynthMsTotal += O.SynthMsTotal;
   DfaStoreHits += O.DfaStoreHits;
@@ -97,6 +119,11 @@ void StatsSnapshot::merge(const StatsSnapshot &O) {
   ApproxStoreMisses += O.ApproxStoreMisses;
   ApproxStoreSize += O.ApproxStoreSize;
   ApproxStoreEvictions += O.ApproxStoreEvictions;
+  SmtStoreHits += O.SmtStoreHits;
+  SmtStoreImpliedHits += O.SmtStoreImpliedHits;
+  SmtStoreMisses += O.SmtStoreMisses;
+  SmtStoreSize += O.SmtStoreSize;
+  SmtStoreEvictions += O.SmtStoreEvictions;
 
   // Estimator EWMAs combine sample-weighted; a cold side (negative
   // estimate / zero samples) contributes nothing, so one warm shard's

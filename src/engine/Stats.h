@@ -62,10 +62,31 @@ struct StatsSnapshot {
   uint64_t Expansions = 0;
   uint64_t PrunedInfeasible = 0;
   uint64_t ConcreteChecked = 0;
-  uint64_t SmtSolveCalls = 0;
-  uint64_t DfaGets = 0;     ///< DFA requests across all runs
-  uint64_t DfaCompiles = 0; ///< compilations actually paid
+
+  // SMT accounting, split by what actually ran (see SynthStats):
+  // SmtIntervalEvals are the cheap three-valued sweeps, SmtSolves are
+  // bounded DFS model searches actually executed, SmtCacheHits are
+  // solve() calls answered by the shared verdict store. With one engine
+  // owning its caches, SmtSolves == SmtStoreMisses and SmtCacheHits ==
+  // SmtStoreHits + SmtStoreImpliedHits — the partition is exact.
+  uint64_t SmtIntervalEvals = 0;
+  uint64_t SmtSolves = 0;
+  uint64_t SmtCacheHits = 0;
+  uint64_t SmtUnsatShortCircuits = 0;
+
+  // DFA resolution is an exact partition: every get is served by the
+  // run-local cache (LocalHits, the store is never consulted), by the
+  // shared store (SharedHits), or by a compile.
+  // DfaGets == DfaLocalHits + DfaSharedHits + DfaCompiles, always.
+  uint64_t DfaGets = 0;       ///< DFA requests across all runs
+  uint64_t DfaLocalHits = 0;  ///< served run-locally, store not consulted
+  uint64_t DfaSharedHits = 0; ///< local misses served by the shared store
+  uint64_t DfaCompiles = 0;   ///< compilations actually paid
   double SynthMsTotal = 0;
+
+  /// DEPRECATED: the pre-split "smt_calls" aggregate (interval evals +
+  /// solves). Remove after one release; read the split fields instead.
+  uint64_t smtCalls() const { return SmtIntervalEvals + SmtSolves; }
 
   /// Share of DFA requests served without compiling (local cache, shared
   /// store, or eviction-then-recompile absorbed elsewhere) — the
@@ -86,6 +107,21 @@ struct StatsSnapshot {
   uint64_t ApproxStoreMisses = 0;
   uint64_t ApproxStoreSize = 0;
   uint64_t ApproxStoreEvictions = 0;
+  uint64_t SmtStoreHits = 0;        ///< exact (formula, domains) answers
+  uint64_t SmtStoreImpliedHits = 0; ///< Unsat answers by conjunct subset
+  uint64_t SmtStoreMisses = 0;
+  uint64_t SmtStoreSize = 0;
+  uint64_t SmtStoreEvictions = 0;
+
+  /// Share of verdict-store lookups answered without a search (exact or
+  /// implied) — the warm-pass figure the SMT cache is judged by.
+  double smtCacheHitRate() const {
+    const uint64_t Answered = SmtStoreHits + SmtStoreImpliedHits;
+    const uint64_t Lookups = Answered + SmtStoreMisses;
+    return Lookups ? static_cast<double>(Answered) /
+                         static_cast<double>(Lookups)
+                   : 0.0;
+  }
 
   // Service-time estimator state (EWMA exec ms per class; negative =
   // cold, no samples yet). What deadline-aware shedding decides on.
@@ -134,8 +170,13 @@ public:
     add(Expansions, S.Expansions);
     add(PrunedInfeasible, S.PrunedInfeasible);
     add(ConcreteChecked, S.ConcreteChecked);
-    add(SmtSolveCalls, S.SmtSolveCalls);
+    add(SmtIntervalEvals, S.SmtIntervalEvals);
+    add(SmtSolves, S.SmtSolves);
+    add(SmtCacheHits, S.SmtCacheHits);
+    add(SmtUnsatShortCircuits, S.SmtUnsatShortCircuits);
     add(DfaGets, S.DfaGets);
+    add(DfaLocalHits, S.DfaLocalHits);
+    add(DfaSharedHits, S.DfaSharedHits);
     add(DfaCompiles, S.DfaCompiles);
     SynthMsTotalU.fetch_add(static_cast<uint64_t>(S.TimeMs * 1000.0),
                             std::memory_order_relaxed);
@@ -160,8 +201,13 @@ public:
     Out.Expansions = get(Expansions);
     Out.PrunedInfeasible = get(PrunedInfeasible);
     Out.ConcreteChecked = get(ConcreteChecked);
-    Out.SmtSolveCalls = get(SmtSolveCalls);
+    Out.SmtIntervalEvals = get(SmtIntervalEvals);
+    Out.SmtSolves = get(SmtSolves);
+    Out.SmtCacheHits = get(SmtCacheHits);
+    Out.SmtUnsatShortCircuits = get(SmtUnsatShortCircuits);
     Out.DfaGets = get(DfaGets);
+    Out.DfaLocalHits = get(DfaLocalHits);
+    Out.DfaSharedHits = get(DfaSharedHits);
     Out.DfaCompiles = get(DfaCompiles);
     Out.SynthMsTotal =
         static_cast<double>(SynthMsTotalU.load(std::memory_order_relaxed)) /
@@ -183,7 +229,9 @@ private:
       JobsResidencyExpired{0};
   Counter TasksRun{0}, TasksSkipped{0}, TasksStopped{0}, SolutionsFound{0};
   Counter Pops{0}, Expansions{0}, PrunedInfeasible{0}, ConcreteChecked{0},
-      SmtSolveCalls{0}, DfaGets{0}, DfaCompiles{0};
+      SmtIntervalEvals{0}, SmtSolves{0}, SmtCacheHits{0},
+      SmtUnsatShortCircuits{0}, DfaGets{0}, DfaLocalHits{0},
+      DfaSharedHits{0}, DfaCompiles{0};
   Counter SynthMsTotalU{0}; ///< microseconds, to keep the counter integral
 };
 

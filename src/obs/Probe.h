@@ -38,9 +38,9 @@ struct SynthProbe {
   Histogram *DfaCompileUs = nullptr;
 
   /// Latency of each SMT-guided inferConstants invocation. (Individual
-  /// solver formula evaluations are far too frequent to time one by one —
-  /// SynthStats::SmtSolveCalls counts them; the probe times the enclosing
-  /// inference call.)
+  /// interval sweeps and solver calls are far too frequent to time one by
+  /// one — SynthStats::SmtIntervalEvals/SmtSolves count them; the probe
+  /// times the enclosing inference call.)
   Histogram *SmtInferUs = nullptr;
 
   /// The job's trace, when sampled (nullptr otherwise): dfa_compile and

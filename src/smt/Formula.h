@@ -4,6 +4,18 @@
 // over smt terms, with three-valued interval evaluation (the Solver's
 // pruning oracle). Substitutes for the formula layer of Z3.
 //
+// Like terms, formulas are hash-consed into canonical form: conj/disj
+// flatten nested conjunctions/disjunctions, drop units, sort the parts
+// into the deterministic structural order of Formula::compare, and
+// de-duplicate — so the same SET of constraints builds the same pointer
+// regardless of insertion order. Structural equality is pointer equality
+// and hash() is O(1), which is what lets the engine key a cross-run
+// verdict cache on formulas, and what makes the conjunct-subset test
+// behind the cache's Unsat implication short-circuit a linear merge.
+// Atoms are interned as constructed: Le/Ge keep their operand direction
+// (every atom in the system is built by one encoder, so mirrored
+// spellings of one comparison do not occur in practice).
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef REGEL_SMT_FORMULA_H
@@ -56,6 +68,15 @@ public:
     return atom(CmpOp::Ne, std::move(A), std::move(B));
   }
 
+  /// Structural hash, stored at interning time (O(1), cache-key grade:
+  /// interning makes structurally equal formulas pointer-equal).
+  size_t hash() const { return static_cast<size_t>(Hash); }
+
+  /// Deterministic structural total order (by kind, then contents; And/Or
+  /// parts lexicographically). Returns 0 iff &A == &B. The canonical sort
+  /// order of conj/disj parts.
+  static int compare(const Formula &A, const Formula &B);
+
   /// Three-valued evaluation under interval domains: returns True (resp.
   /// False) only when every (resp. no) completion satisfies the formula.
   Tri eval(const std::vector<Interval> &Domains) const;
@@ -71,17 +92,30 @@ public:
 
 private:
   Formula(FormulaKind Kind, CmpOp Op, TermPtr Lhs, TermPtr Rhs,
-          std::vector<FormulaPtr> Parts)
-      : Kind(Kind), Op(Op), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)),
-        Parts(std::move(Parts)) {}
+          std::vector<FormulaPtr> Parts, uint64_t Hash)
+      : Kind(Kind), Op(Op), Hash(Hash), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)), Parts(std::move(Parts)) {}
+
+  /// Finds or creates the interned node for the (already canonicalized)
+  /// shape.
+  static FormulaPtr intern(FormulaKind Kind, CmpOp Op, TermPtr Lhs,
+                           TermPtr Rhs, std::vector<FormulaPtr> Parts);
 
   FormulaKind Kind;
   CmpOp Op = CmpOp::Le;
+  uint64_t Hash = 0;
   TermPtr Lhs, Rhs;
   std::vector<FormulaPtr> Parts;
 
   void collectVars(std::vector<VarId> &Out) const;
 };
+
+/// True when every conjunct of \p Sub is a conjunct of \p Sup (treating a
+/// non-And formula as the singleton set of itself, truth as the empty
+/// set). Over identical domains, Sup unsatisfiable follows from Sub
+/// unsatisfiable — the cache's implication short-circuit. Linear merge
+/// over the canonical (sorted) part order.
+bool conjSubset(const FormulaPtr &Sub, const FormulaPtr &Sup);
 
 } // namespace regel::smt
 

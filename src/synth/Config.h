@@ -23,6 +23,10 @@ class Clock;
 class DfaStore;
 class SketchApproxStore;
 
+namespace smt {
+class VerdictStore;
+}
+
 namespace obs {
 struct SynthProbe;
 }
@@ -60,8 +64,11 @@ struct SynthConfig {
   /// enumerative ablations.
   uint64_t MaxPops = 0;
 
-  /// DFS node budget per SMT solve call (0 = unlimited).
-  uint64_t SmtNodeBudget = 500000;
+  /// DFS node budget per SMT solve call (0 = unlimited). Bounds each of
+  /// the per-example and joint satisfiability checks InferConstants runs
+  /// before enumerating; a budget-out is treated as "unknown" and the
+  /// enumeration proceeds (soundness never depends on a solve finishing).
+  uint64_t SmtNodeBudget = 20000;
 
   /// Cap on InferConstants worklist iterations per symbolic regex.
   uint64_t MaxInferIters = 4000;
@@ -92,6 +99,13 @@ struct SynthConfig {
   /// engine; nullptr = recompute per run). Like SharedDfa, the memo may
   /// evict: a missing approximation is recomputed, deterministically.
   SketchApproxStore *SharedApprox = nullptr;
+
+  /// Cross-run SMT verdict store (thread-safe, owned by the engine;
+  /// nullptr = every satisfiability check solves from scratch). Attached
+  /// to InferConstants' solver sessions; like the other stores it is
+  /// bounded and advisory — an evicted verdict is just re-solved
+  /// (solving is deterministic, including the model found).
+  smt::VerdictStore *SharedSmt = nullptr;
 
   /// Instrumentation sinks (owned by the engine, outliving the run like
   /// TimeSource; nullptr = no instrumentation): DFA-compile and SMT-

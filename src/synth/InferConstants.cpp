@@ -6,6 +6,8 @@
 #include "synth/Approximate.h"
 #include "synth/Encode.h"
 
+#include <algorithm>
+
 using namespace regel;
 
 namespace {
@@ -18,26 +20,61 @@ namespace {
 /// three-valued interval evaluation of psi_0 to skip definitely-infeasible
 /// subtrees. The partial-assignment feasibility check (footnote 4) prunes
 /// whole families of constants exactly as in the paper.
+///
+/// Before enumerating at all, one batched solver session checks the
+/// length constraints for satisfiability: variables are declared once,
+/// the example-independent prefix (range-order constraints) is asserted
+/// once, and each distinct example length is checked under push/pop
+/// against that shared prefix, followed by a joint check of the full
+/// conjunction. Any Unsat refutes every concretization at once — the
+/// enumeration would have rejected each of its up-to-MaxInt^n leaves one
+/// interval sweep at a time. With a verdict store attached
+/// (SynthConfig::SharedSmt) the session's queries hit across jobs that
+/// share sketches and example lengths, and a cached per-example Unsat
+/// core answers the larger joint query by conjunct-subset implication
+/// without any search.
 class InferSession {
 public:
   InferSession(const PartialRegex &P0, const Examples &E,
                const SynthConfig &Cfg, FeasibilityChecker &Checker,
                InferStats &Stats, const Deadline *Budget)
-      : E(E), Cfg(Cfg), Checker(Checker), Stats(Stats), Budget(Budget) {
+      : Cfg(Cfg), Checker(Checker), Stats(Stats), Budget(Budget) {
     NumVars = P0.numSymInts();
     Domains.assign(NumVars, {1, Cfg.MaxInt});
-    SymIntervalSet Lengths = encodeLengths(P0.root());
-    for (const std::string &S : E.Pos)
-      Constraints.push_back(
-          lengthMembership(Lengths, static_cast<int64_t>(S.size())));
-    // Well-formedness: RepeatRange(r, k1, k2) requires k1 <= k2.
+    // Well-formedness: RepeatRange(r, k1, k2) requires k1 <= k2. This is
+    // the example-independent prefix shared by every check below.
     addRangeOrderConstraints(P0.root());
-    enumerate(P0, 0);
+    const size_t PrefixEnd = Constraints.size();
+
+    SymIntervalSet Lengths = encodeLengths(P0.root());
+    std::vector<smt::FormulaPtr> LengthConstraints;
+    for (const std::string &S : E.Pos)
+      addConstraintOnce(LengthConstraints,
+                        lengthMembership(Lengths, static_cast<int64_t>(S.size())));
+    for (const smt::FormulaPtr &C : LengthConstraints)
+      addConstraintOnce(Constraints, C);
+
+    if (Budget && Budget->expired())
+      return;
+    if (!checkLengthsSatisfiable(PrefixEnd, LengthConstraints)) {
+      ++Stats.UnsatShortCircuits;
+      return;
+    }
+    enumerate(P0, 0, 0);
   }
 
   std::vector<RegexPtr> take() { return std::move(Results); }
 
 private:
+  /// Appends \p C unless already present. Hash-consing makes structural
+  /// equality pointer equality, so duplicate conjuncts (repeated example
+  /// lengths, repeated subsketches) cost one pointer scan to drop.
+  static void addConstraintOnce(std::vector<smt::FormulaPtr> &Out,
+                                smt::FormulaPtr C) {
+    if (std::find(Out.begin(), Out.end(), C) == Out.end())
+      Out.push_back(std::move(C));
+  }
+
   void addRangeOrderConstraints(const PNodePtr &N) {
     if (N->getKind() == PLabelKind::OpLabel &&
         N->op() == RegexKind::RepeatRange) {
@@ -48,44 +85,117 @@ private:
                    ? smt::Term::constant(C->intValue())
                    : smt::Term::var(C->symInt());
       };
-      Constraints.push_back(smt::Formula::le(toTerm(K1), toTerm(K2)));
+      addConstraintOnce(Constraints, smt::Formula::le(toTerm(K1), toTerm(K2)));
     }
     for (const PNodePtr &C : N->children())
       addRangeOrderConstraints(C);
   }
 
+  /// One batched solver session over the shared prefix: a per-example
+  /// push/pop check for each distinct length, then (when there is more
+  /// than one) a joint check of the full conjunction. Returns false when
+  /// any check is Unsat — no concretization can satisfy the examples.
+  /// ResourceOut is "unknown": the enumeration proceeds, its exactness
+  /// does not depend on any solve finishing.
+  bool checkLengthsSatisfiable(
+      size_t PrefixEnd, const std::vector<smt::FormulaPtr> &LengthConstraints) {
+    smt::Solver S;
+    S.setStore(Cfg.SharedSmt);
+    for (uint32_t I = 0; I < NumVars; ++I)
+      S.declareVar(1, Cfg.MaxInt);
+    for (size_t I = 0; I < PrefixEnd; ++I)
+      S.addConstraint(Constraints[I]);
+    bool AnyUnsat = false;
+    for (const smt::FormulaPtr &LenC : LengthConstraints) {
+      if (AnyUnsat)
+        break;
+      S.push();
+      S.addConstraint(LenC);
+      if (S.solve(Cfg.SmtNodeBudget).Status == smt::SolveStatus::Unsat)
+        AnyUnsat = true;
+      S.pop();
+    }
+    if (!AnyUnsat && LengthConstraints.size() > 1) {
+      // The joint query's conjunct set contains each per-example set, so
+      // a store can answer it from a cached per-example Unsat core.
+      for (const smt::FormulaPtr &LenC : LengthConstraints)
+        S.addConstraint(LenC);
+      if (S.solve(Cfg.SmtNodeBudget).Status == smt::SolveStatus::Unsat)
+        AnyUnsat = true;
+    }
+    Stats.SmtSolves += S.solves();
+    Stats.SmtCacheHits += S.storeHits();
+    return !AnyUnsat;
+  }
+
   /// True when some constraint is already definitely violated under the
-  /// current variable domains.
-  bool definitelyInfeasible() {
-    ++Stats.SolveCalls;
-    for (const smt::FormulaPtr &C : Constraints)
-      if (C->eval(Domains) == smt::Tri::False)
+  /// current variable domains. Constraints whose \p TrueMask bit is set
+  /// were proven definitely-true at an ancestor node and are skipped:
+  /// three-valued evaluation is monotone under domain restriction, so
+  /// True can never degrade. Newly proven constraints are recorded into
+  /// \p ChildMask (first 64 constraints; the tail is simply re-checked).
+  bool definitelyInfeasible(uint64_t TrueMask, uint64_t *ChildMask) {
+    ++Stats.IntervalEvals;
+    for (size_t I = 0; I < Constraints.size(); ++I) {
+      if (I < 64 && (TrueMask >> I) & 1)
+        continue;
+      smt::Tri T = Constraints[I]->eval(Domains);
+      if (T == smt::Tri::False)
         return true;
+      if (T == smt::Tri::True && ChildMask && I < 64)
+        *ChildMask |= uint64_t(1) << I;
+    }
     return false;
   }
 
-  void enumerate(const PartialRegex &P, uint32_t VarIdx) {
-    if (Results.size() >= Cfg.MaxInferResults)
-      return;
-    if (Budget && Budget->expired())
+  /// Restores one variable's domain to its full range on scope exit, so
+  /// EVERY exit path of an enumeration frame — result cap, deadline,
+  /// iteration cap — leaves Domains clean. (The cap used to be able to
+  /// fire mid-loop and leave a stale singleton behind, corrupting the
+  /// sibling subtrees the caller visits next.)
+  class DomainScope {
+  public:
+    DomainScope(std::vector<smt::Interval> &D, uint32_t I)
+        : D(D), I(I), Saved(D[I]) {}
+    ~DomainScope() { D[I] = Saved; }
+    DomainScope(const DomainScope &) = delete;
+    DomainScope &operator=(const DomainScope &) = delete;
+
+  private:
+    std::vector<smt::Interval> &D;
+    uint32_t I;
+    smt::Interval Saved;
+  };
+
+  /// True when the enumeration should unwind completely: result cap,
+  /// deadline, or the iteration cap (which, once hit, must stop the
+  /// whole walk rather than charge one wasted iteration per remaining
+  /// sibling on the way out).
+  bool stopped() const {
+    return Stop || Results.size() >= Cfg.MaxInferResults ||
+           (Budget && Budget->expired());
+  }
+
+  void enumerate(const PartialRegex &P, uint32_t VarIdx, uint64_t TrueMask) {
+    if (stopped())
       return;
     if (++Stats.Iterations > Cfg.MaxInferIters) {
       Stats.HitIterationCap = true;
+      Stop = true;
       return;
     }
     if (VarIdx == NumVars) {
-      if (!definitelyInfeasible())
+      if (!definitelyInfeasible(TrueMask, nullptr))
         Results.push_back(P.toRegex());
       return;
     }
-    for (int V = 1; V <= Cfg.MaxInt; ++V) {
-      if (Results.size() >= Cfg.MaxInferResults)
-        break;
-      if (Budget && Budget->expired())
-        break;
+    DomainScope Scope(Domains, VarIdx);
+    for (int V = 1; V <= Cfg.MaxInt && !stopped(); ++V) {
       Domains[VarIdx] = {V, V};
-      // Cheap length-based check before touching automata.
-      if (definitelyInfeasible())
+      // Cheap length-based check before touching automata; constraints
+      // proven at this node stay proven for the whole subtree.
+      uint64_t ChildMask = TrueMask;
+      if (definitelyInfeasible(TrueMask, &ChildMask))
         continue;
       PartialRegex PPrime = P.assignSymInt(VarIdx, V);
       // Partial-assignment feasibility (footnote 4): one infeasible value
@@ -95,18 +205,17 @@ private:
         ++Stats.PrunedPartialAssignments;
         continue;
       }
-      enumerate(PPrime, VarIdx + 1);
+      enumerate(PPrime, VarIdx + 1, ChildMask);
     }
-    Domains[VarIdx] = {1, Cfg.MaxInt};
   }
 
-  const Examples &E;
   const SynthConfig &Cfg;
   FeasibilityChecker &Checker;
   InferStats &Stats;
   const Deadline *Budget;
 
   uint32_t NumVars = 0;
+  bool Stop = false;
   std::vector<smt::Interval> Domains;
   std::vector<smt::FormulaPtr> Constraints;
   std::vector<RegexPtr> Results;

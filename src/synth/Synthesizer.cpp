@@ -269,13 +269,18 @@ SynthResult Synthesizer::run(const SketchPtr &S, const Examples &E) {
           S.StartUs = SmtStartUs;
           S.DurUs = SmtDurUs;
           S.Tid = Cfg.Probe->Tid;
-          S.Args = {{"solve_calls", std::to_string(IS.SolveCalls)},
+          S.Args = {{"interval_evals", std::to_string(IS.IntervalEvals)},
+                    {"solves", std::to_string(IS.SmtSolves)},
+                    {"cache_hits", std::to_string(IS.SmtCacheHits)},
                     {"iterations", std::to_string(IS.Iterations)},
                     {"results", std::to_string(Concrete.size())}};
           Cfg.Probe->Trace->span(std::move(S));
         }
       }
-      Result.Stats.SmtSolveCalls += IS.SolveCalls;
+      Result.Stats.SmtIntervalEvals += IS.IntervalEvals;
+      Result.Stats.SmtSolves += IS.SmtSolves;
+      Result.Stats.SmtCacheHits += IS.SmtCacheHits;
+      Result.Stats.SmtUnsatShortCircuits += IS.UnsatShortCircuits;
       Result.Stats.InferIterations += IS.Iterations;
       for (RegexPtr &R : Concrete) {
         recordIfSolution(std::move(R));

@@ -267,6 +267,140 @@ TEST(ShardedApproxStore, KeyHashSpreadsConsecutiveDepthsAcrossShards) {
   EXPECT_GE(Distinct, 12u);
 }
 
+namespace {
+
+smt::FormulaPtr geAtom(int64_t Bound) {
+  return smt::Formula::ge(smt::Term::var(0), smt::Term::constant(Bound));
+}
+
+smt::SolveResult satResult(int64_t K0) {
+  smt::SolveResult R;
+  R.Status = smt::SolveStatus::Sat;
+  R.Assignment = {K0};
+  return R;
+}
+
+const smt::SolveResult UnsatResult{smt::SolveStatus::Unsat, {}};
+
+} // namespace
+
+TEST(ShardedSmtCache, LookupMissThenPublishThenHit) {
+  ShardedSmtCache Store(4);
+  const std::vector<smt::Interval> D = {{1, 10}};
+  smt::FormulaPtr F = geAtom(7);
+  smt::SolveResult Out;
+  EXPECT_FALSE(Store.lookup(F, D, Out));
+  EXPECT_EQ(Store.misses(), 1u);
+
+  Store.publish(F, D, satResult(7));
+  EXPECT_EQ(Store.size(), 1u);
+
+  // A structurally equal formula built independently is the SAME pointer
+  // (hash-consing), so it hits; different domains miss.
+  smt::FormulaPtr F2 = geAtom(7);
+  ASSERT_EQ(F.get(), F2.get());
+  ASSERT_TRUE(Store.lookup(F2, D, Out));
+  EXPECT_EQ(Out.Status, smt::SolveStatus::Sat);
+  EXPECT_EQ(Out.Assignment, (smt::Model{7}));
+  EXPECT_EQ(Store.hits(), 1u);
+  EXPECT_FALSE(Store.lookup(F2, {{1, 5}}, Out));
+}
+
+TEST(ShardedSmtCache, LruEvictionRespectsEntryCap) {
+  // One shard so the LRU order is global and fully observable.
+  ShardedSmtCache Store(1, CacheLimits{/*MaxEntries=*/2, /*MaxCost=*/0});
+  const std::vector<smt::Interval> D = {{1, 10}};
+  Store.publish(geAtom(1), D, satResult(1));
+  Store.publish(geAtom(2), D, satResult(2));
+  EXPECT_EQ(Store.size(), 2u);
+
+  // Touch entry 1: entry 2 becomes least recently used...
+  smt::SolveResult Out;
+  EXPECT_TRUE(Store.lookup(geAtom(1), D, Out));
+  // ...so publishing a third evicts entry 2, not entry 1.
+  Store.publish(geAtom(3), D, satResult(3));
+  EXPECT_EQ(Store.size(), 2u);
+  EXPECT_EQ(Store.evictions(), 1u);
+  EXPECT_TRUE(Store.lookup(geAtom(1), D, Out));
+  EXPECT_FALSE(Store.lookup(geAtom(2), D, Out));
+  EXPECT_TRUE(Store.lookup(geAtom(3), D, Out));
+}
+
+TEST(ShardedSmtCache, CachedUnsatAnswersSupersetByImplication) {
+  ShardedSmtCache Store(4);
+  const std::vector<smt::Interval> D = {{1, 10}, {1, 10}};
+  smt::FormulaPtr A =
+      smt::Formula::ge(smt::Term::var(0), smt::Term::constant(4));
+  smt::FormulaPtr B =
+      smt::Formula::le(smt::Term::var(0), smt::Term::constant(2));
+  smt::FormulaPtr C =
+      smt::Formula::ge(smt::Term::var(1), smt::Term::constant(3));
+  smt::FormulaPtr Core = smt::Formula::conj({A, B}); // Unsat: k0>=4 & k0<=2
+  Store.publish(Core, D, UnsatResult);
+
+  // The superset conjunction was never published, but its conjuncts
+  // include the cached Unsat core, so it is Unsat by implication.
+  smt::SolveResult Out;
+  ASSERT_TRUE(Store.lookup(smt::Formula::conj({A, B, C}), D, Out));
+  EXPECT_EQ(Out.Status, smt::SolveStatus::Unsat);
+  EXPECT_EQ(Store.impliedHits(), 1u);
+  EXPECT_EQ(Store.hits(), 0u); // disjoint counters
+
+  // Implication requires the SAME domain vector (Unsat under one domain
+  // box says nothing about a wider one) and does not run in reverse (a
+  // subset of the core is not implied).
+  EXPECT_FALSE(Store.lookup(smt::Formula::conj({A, B, C}), {{1, 99}, {1, 10}},
+                            Out));
+  EXPECT_FALSE(Store.lookup(A, D, Out));
+}
+
+TEST(ShardedSmtCache, UnsatRingSurvivesLruEviction) {
+  // Unsat is a mathematical fact, not a cached artifact: evicting the
+  // LRU entry must not forget the core for implication purposes.
+  ShardedSmtCache Store(1, CacheLimits{/*MaxEntries=*/1, /*MaxCost=*/0});
+  const std::vector<smt::Interval> D = {{1, 10}};
+  smt::FormulaPtr A = geAtom(4);
+  smt::FormulaPtr B =
+      smt::Formula::le(smt::Term::var(0), smt::Term::constant(2));
+  smt::FormulaPtr Core = smt::Formula::conj({A, B});
+  Store.publish(Core, D, UnsatResult);
+  Store.publish(geAtom(1), D, satResult(1)); // evicts the Unsat entry
+  EXPECT_EQ(Store.size(), 1u);
+  EXPECT_GE(Store.evictions(), 1u);
+
+  smt::FormulaPtr Extra =
+      smt::Formula::ne(smt::Term::var(0), smt::Term::constant(9));
+  smt::SolveResult Out;
+  ASSERT_TRUE(Store.lookup(smt::Formula::conj({A, B, Extra}), D, Out));
+  EXPECT_EQ(Out.Status, smt::SolveStatus::Unsat);
+  EXPECT_EQ(Store.impliedHits(), 1u);
+}
+
+TEST(ShardedSmtCache, CapHoldsUnderConcurrentPublishers) {
+  const size_t Cap = 32;
+  ShardedSmtCache Store(4, CacheLimits{Cap, /*MaxCost=*/0});
+  const std::vector<smt::Interval> D = {{1, 200}};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&Store, &D, Cap, T] {
+      for (int I = 1; I <= 100; ++I) {
+        const int64_t Bound = ((I + T * 31) % 100) + 1;
+        smt::FormulaPtr F = geAtom(Bound);
+        smt::SolveResult Out;
+        if (Store.lookup(F, D, Out)) {
+          EXPECT_EQ(Out.Assignment, (smt::Model{Bound}));
+          continue;
+        }
+        Store.publish(F, D, satResult(Bound));
+        EXPECT_LE(Store.size(), Cap);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_LE(Store.size(), Cap);
+  EXPECT_GT(Store.evictions(), 0u);
+}
+
 TEST(ShardedDfaStore, ConcurrentPublishersConverge) {
   ShardedDfaStore Store(8);
   std::vector<const char *> Patterns = {

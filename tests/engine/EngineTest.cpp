@@ -153,6 +153,73 @@ TEST(EngineDeterminism, RepeatedRunsAreStable) {
       << "second round should hit the cross-run caches";
 }
 
+TEST(EngineStats, CounterPartitionsReconcileWithStores) {
+  // A fresh engine owns fresh caches, so the run-level counters and the
+  // store-level counters must reconcile exactly — no unaccounted gets,
+  // no phantom solves.
+  std::vector<CorpusTask> Tasks = corpusTasks(8);
+  ASSERT_FALSE(Tasks.empty());
+  Engine Eng(EngineConfig{3, 8, nullptr});
+  std::vector<JobRequest> A, B;
+  for (const CorpusTask &T : Tasks) {
+    A.push_back(deterministicRequest(T));
+    B.push_back(deterministicRequest(T));
+  }
+  Eng.runBatch(std::move(A));
+  const StatsSnapshot Cold = Eng.snapshot();
+
+  // DFA resolution partitions: every get was served run-locally, by the
+  // shared store, or by a compile — and the store's own view agrees
+  // (every shared hit was a store hit, every compile a store miss).
+  ASSERT_GT(Cold.DfaGets, 0u);
+  EXPECT_EQ(Cold.DfaGets,
+            Cold.DfaLocalHits + Cold.DfaSharedHits + Cold.DfaCompiles);
+  EXPECT_EQ(Cold.DfaSharedHits, Cold.DfaStoreHits);
+  EXPECT_EQ(Cold.DfaCompiles, Cold.DfaStoreMisses);
+
+  // SMT accounting partitions the same way: every solve was a verdict-
+  // store miss, every cache hit a store answer (exact or implied), and
+  // the deprecated aggregate is exactly the sum of the split fields.
+  ASSERT_GT(Cold.SmtSolves, 0u);
+  EXPECT_EQ(Cold.SmtSolves, Cold.SmtStoreMisses);
+  EXPECT_EQ(Cold.SmtCacheHits, Cold.SmtStoreHits + Cold.SmtStoreImpliedHits);
+  EXPECT_EQ(Cold.smtCalls(), Cold.SmtIntervalEvals + Cold.SmtSolves);
+
+  // The warm pass repeats the same deterministic searches, so its
+  // satisfiability checks are answered from the verdict store: strictly
+  // fewer new solves than the cold pass, and the partition still holds.
+  Eng.runBatch(std::move(B));
+  const StatsSnapshot Warm = Eng.snapshot();
+  const uint64_t WarmSolves = Warm.SmtSolves - Cold.SmtSolves;
+  const uint64_t WarmHits = Warm.SmtCacheHits - Cold.SmtCacheHits;
+  EXPECT_LT(WarmSolves, Cold.SmtSolves);
+  EXPECT_GT(WarmHits, 0u);
+  EXPECT_EQ(Warm.DfaGets,
+            Warm.DfaLocalHits + Warm.DfaSharedHits + Warm.DfaCompiles);
+  EXPECT_EQ(Warm.SmtSolves, Warm.SmtStoreMisses);
+  EXPECT_EQ(Warm.SmtCacheHits, Warm.SmtStoreHits + Warm.SmtStoreImpliedHits);
+}
+
+TEST(EngineStats, SmtMemoOffDetachesVerdictStore) {
+  std::vector<CorpusTask> Tasks = corpusTasks(4);
+  ASSERT_FALSE(Tasks.empty());
+  EngineConfig C;
+  C.Threads = 2;
+  C.SmtMemo = false;
+  Engine Eng(std::move(C));
+  std::vector<JobRequest> A;
+  for (const CorpusTask &T : Tasks)
+    A.push_back(deterministicRequest(T));
+  std::vector<JobResult> R = Eng.runBatch(std::move(A));
+  const StatsSnapshot S = Eng.snapshot();
+  // Solving still happened, but nothing touched the verdict store.
+  EXPECT_GT(S.SmtSolves, 0u);
+  EXPECT_EQ(S.SmtCacheHits, 0u);
+  EXPECT_EQ(S.SmtStoreHits, 0u);
+  EXPECT_EQ(S.SmtStoreMisses, 0u);
+  EXPECT_EQ(S.SmtStoreSize, 0u);
+}
+
 TEST(EngineCancellation, FirstSolutionSkipsQueuedSiblings) {
   // One worker: the rank-0 task solves instantly (concrete sketch), so
   // every sibling task must be skipped without running a search.

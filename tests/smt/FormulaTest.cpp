@@ -45,10 +45,16 @@ TEST(Formula, ConjSimplification) {
             FormulaKind::False);
   FormulaPtr A = Formula::le(K0(), C(5));
   EXPECT_EQ(Formula::conj({Formula::truth(), A}), A);
-  // Nested conjunctions flatten.
-  FormulaPtr Nested = Formula::conj({A, Formula::conj({A, A})});
+  // Nested conjunctions flatten; duplicates collapse (canonical form).
+  FormulaPtr B = Formula::ge(K0(), C(1));
+  FormulaPtr N = Formula::ne(K0(), C(2));
+  FormulaPtr Nested = Formula::conj({A, Formula::conj({B, N, B})});
   EXPECT_EQ(Nested->getKind(), FormulaKind::And);
   EXPECT_EQ(Nested->getParts().size(), 3u);
+  // Hash-consing: the same SET of conjuncts interns to the same node
+  // regardless of insertion order or repetition.
+  EXPECT_EQ(Formula::conj({N, A, B, A}), Nested);
+  EXPECT_EQ(Formula::conj({A, A}), A);
 }
 
 TEST(Formula, DisjSimplification) {

@@ -114,6 +114,133 @@ TEST(Solver, NodeBudgetYieldsResourceOut) {
   EXPECT_EQ(R.Status, SolveStatus::ResourceOut);
 }
 
+TEST(Solver, SmallestModelOrderingDeterministic) {
+  // Ascending enumeration is a spec, not an accident: two fresh solvers
+  // over the same constraints emit the same model sequence, and each
+  // model is lexicographically larger than the one before.
+  auto Enumerate = [] {
+    Solver S;
+    VarId K0 = S.declareVar(1, 4), K1 = S.declareVar(1, 4);
+    S.addConstraint(Formula::le(Term::add(V(K0), V(K1)), C(5)));
+    std::vector<Model> Out;
+    while (true) {
+      SolveResult R = S.solve();
+      if (!R.isSat())
+        break;
+      Out.push_back(R.Assignment);
+      S.blockValue(K0, R.Assignment[K0]);
+    }
+    return Out;
+  };
+  std::vector<Model> A = Enumerate(), B = Enumerate();
+  ASSERT_FALSE(A.empty());
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.front(), (Model{1, 1})); // smallest model first
+  for (size_t I = 1; I < A.size(); ++I)
+    EXPECT_LT(A[I - 1], A[I]);
+}
+
+TEST(Solver, PushPopRestoresConstraints) {
+  Solver S;
+  VarId K = S.declareVar(1, 5);
+  S.addConstraint(Formula::ge(V(K), C(2)));
+  S.push();
+  S.addConstraint(Formula::ge(V(K), C(6))); // contradicts the domain
+  EXPECT_EQ(S.solve().Status, SolveStatus::Unsat);
+  S.pop();
+  SolveResult R = S.solve();
+  ASSERT_TRUE(R.isSat());
+  EXPECT_EQ(R.Assignment[K], 2);
+
+  // Nested frames unwind independently.
+  S.push();
+  S.addConstraint(Formula::le(V(K), C(3)));
+  S.push();
+  S.addConstraint(Formula::ge(V(K), C(3)));
+  ASSERT_TRUE(S.solve().isSat());
+  EXPECT_EQ(S.solve().Assignment[K], 3);
+  S.pop();
+  EXPECT_EQ(S.solve().Assignment[K], 2);
+  S.pop();
+}
+
+namespace {
+
+/// Minimal single-threaded VerdictStore for seam tests: exact-key memory
+/// plus a publish log.
+class MapStore : public VerdictStore {
+public:
+  bool lookup(const FormulaPtr &F, const std::vector<Interval> &Domains,
+              SolveResult &Out) override {
+    for (const Entry &E : Entries)
+      if (E.F == F && E.D == Domains) {
+        Out = E.R;
+        return true;
+      }
+    return false;
+  }
+  void publish(const FormulaPtr &F, const std::vector<Interval> &Domains,
+               const SolveResult &R) override {
+    Entries.push_back({F, Domains, R});
+  }
+
+  struct Entry {
+    FormulaPtr F;
+    std::vector<Interval> D;
+    SolveResult R;
+  };
+  std::vector<Entry> Entries;
+};
+
+} // namespace
+
+TEST(Solver, VerdictStoreRoundTrip) {
+  MapStore Store;
+  auto MakeSolver = [&Store] {
+    Solver S;
+    S.setStore(&Store);
+    VarId K0 = S.declareVar(1, 15), K1 = S.declareVar(1, 15);
+    S.addConstraint(Formula::ge(Term::add(V(K0), V(K1)), C(10)));
+    S.addConstraint(Formula::le(V(K0), C(4)));
+    return S;
+  };
+
+  Solver First = MakeSolver();
+  SolveResult Cold = First.solve();
+  ASSERT_TRUE(Cold.isSat());
+  EXPECT_EQ(First.solves(), 1u);
+  EXPECT_EQ(First.storeHits(), 0u);
+  ASSERT_EQ(Store.Entries.size(), 1u);
+
+  // A fresh solver over the same constraints is answered from the store:
+  // no search, identical model (the cache returns the smallest model the
+  // original search found, so ordering guarantees survive memoization).
+  Solver Second = MakeSolver();
+  SolveResult Warm = Second.solve();
+  ASSERT_TRUE(Warm.isSat());
+  EXPECT_EQ(Warm.Assignment, Cold.Assignment);
+  EXPECT_EQ(Second.solves(), 0u);
+  EXPECT_EQ(Second.storeHits(), 1u);
+}
+
+TEST(Solver, ResourceOutNeverPublished) {
+  // A budget-dependent verdict must not poison the cache: a later caller
+  // with a bigger budget would inherit the wrong answer.
+  MapStore Store;
+  Solver S;
+  S.setStore(&Store);
+  for (int I = 0; I < 4; ++I)
+    S.declareVar(1, 30);
+  S.addConstraint(Formula::eq(
+      Term::mul(V(0), V(1)), Term::add(Term::mul(V(2), V(3)), C(1))));
+  EXPECT_EQ(S.solve(/*NodeBudget=*/2).Status, SolveStatus::ResourceOut);
+  EXPECT_TRUE(Store.Entries.empty());
+  // With budget, the same solver decides and publishes.
+  SolveResult R = S.solve();
+  EXPECT_NE(R.Status, SolveStatus::ResourceOut);
+  EXPECT_EQ(Store.Entries.size(), 1u);
+}
+
 TEST(Solver, ModelSatisfiesAllConstraints) {
   Solver S;
   VarId K0 = S.declareVar(1, 15), K1 = S.declareVar(1, 15);

@@ -82,7 +82,23 @@ TEST(Term, CollectVars) {
 }
 
 TEST(Term, Printing) {
+  // Commutative operands print in canonical order: constants sort before
+  // variables under Term::compare.
   TermPtr T = Term::add(Term::var(0), Term::constant(2));
-  EXPECT_EQ(T->str(), "(k0 + 2)");
+  EXPECT_EQ(T->str(), "(2 + k0)");
   EXPECT_EQ(Term::infinity()->str(), "inf");
+}
+
+TEST(Term, HashConsing) {
+  // Structurally equal terms are pointer-equal, commutative operands in
+  // either order included.
+  EXPECT_EQ(Term::add(Term::var(0), Term::constant(2)),
+            Term::add(Term::constant(2), Term::var(0)));
+  EXPECT_EQ(Term::mul(Term::var(1), Term::var(0)),
+            Term::mul(Term::var(0), Term::var(1)));
+  EXPECT_NE(Term::add(Term::var(0), Term::constant(2)),
+            Term::add(Term::var(0), Term::constant(3)));
+  // Stored structural hashes agree for equal terms.
+  EXPECT_EQ(Term::min(Term::var(2), Term::var(7))->hash(),
+            Term::min(Term::var(7), Term::var(2))->hash());
 }

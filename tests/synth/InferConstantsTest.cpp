@@ -7,6 +7,7 @@
 
 #include "synth/InferConstants.h"
 
+#include "engine/Caches.h"
 #include "regex/Matcher.h"
 #include "regex/Parser.h"
 
@@ -164,7 +165,114 @@ TEST(InferConstants, StatsPopulated) {
   SynthConfig Cfg;
   auto Out = inferConstants(PartialRegex(Root, 1), E, Cfg, Checker, Stats);
   EXPECT_EQ(Out.size(), 1u);
-  EXPECT_GT(Stats.SolveCalls, 0u);
+  // The split counters: interval sweeps drive the enumeration, the
+  // length pre-check runs at least one real solve (no store attached, so
+  // nothing can be answered from cache).
+  EXPECT_GT(Stats.IntervalEvals, 0u);
+  EXPECT_GT(Stats.SmtSolves, 0u);
+  EXPECT_EQ(Stats.SmtCacheHits, 0u);
+  EXPECT_EQ(Stats.solveCalls(), Stats.IntervalEvals + Stats.SmtSolves);
   EXPECT_GT(Stats.Iterations, 0u);
   EXPECT_FALSE(Stats.HitIterationCap);
+}
+
+TEST(InferConstants, IterationCapMidEnumerationIsCleanPrefix) {
+  // Two variables, so the iteration cap fires mid-loop at depth 1 with
+  // the depth-0 domain still restricted. Regression for the stale-domain
+  // bug: an early unwind must restore every Domains entry (DomainScope)
+  // and stop the whole walk promptly (Stop flag) — the capped run's
+  // results must be exactly a prefix of the uncapped run's, and the
+  // iteration counter must not keep charging siblings on the way out.
+  PNodePtr Root = PNode::opNode(
+      RegexKind::Concat,
+      {PNode::opNode(RegexKind::RepeatAtLeast,
+                     {PNode::leafNode(parseRegex("<a>")),
+                      PNode::symIntNode(0)}),
+       PNode::opNode(RegexKind::RepeatAtLeast,
+                     {PNode::leafNode(parseRegex("<b>")),
+                      PNode::symIntNode(1)})});
+  Examples E;
+  E.Pos = {"aaaabbbb"};
+  SynthConfig Cfg;
+  Cfg.MaxInt = 4;
+  FeasibilityChecker Checker(E);
+  InferStats Full;
+  auto All = inferConstants(PartialRegex(Root, 2), E, Cfg, Checker, Full);
+  ASSERT_GT(All.size(), 2u);
+  EXPECT_FALSE(Full.HitIterationCap);
+
+  Cfg.MaxInferIters = Full.Iterations / 2;
+  InferStats Capped;
+  auto Some = inferConstants(PartialRegex(Root, 2), E, Cfg, Checker, Capped);
+  EXPECT_TRUE(Capped.HitIterationCap);
+  // Prompt stop: the cap charges exactly one extra iteration (the one
+  // that trips it), not one per remaining sibling frame.
+  EXPECT_EQ(Capped.Iterations, Cfg.MaxInferIters + 1);
+  ASSERT_LE(Some.size(), All.size());
+  for (size_t I = 0; I < Some.size(); ++I)
+    EXPECT_TRUE(regexEquals(Some[I], All[I]))
+        << "capped run diverged at result " << I;
+}
+
+TEST(InferConstants, VerdictStoreRerunSkipsSolves) {
+  // With a verdict store attached, a rerun of the same inference answers
+  // its satisfiability checks from cache: no new solves, and the run/
+  // store counters partition exactly.
+  PNodePtr Root = PNode::opNode(
+      RegexKind::Repeat,
+      {PNode::leafNode(parseRegex("<num>")), PNode::symIntNode(0)});
+  Examples E;
+  E.Pos = {"1234", "12345"};
+  engine::ShardedSmtCache Store(4);
+  SynthConfig Cfg;
+  Cfg.SharedSmt = &Store;
+  FeasibilityChecker Checker(E);
+
+  InferStats Cold;
+  auto First = inferConstants(PartialRegex(Root, 1), E, Cfg, Checker, Cold);
+  EXPECT_GT(Cold.SmtSolves, 0u);
+
+  InferStats Warm;
+  auto Second = inferConstants(PartialRegex(Root, 1), E, Cfg, Checker, Warm);
+  EXPECT_EQ(Warm.SmtSolves, 0u);
+  EXPECT_GT(Warm.SmtCacheHits, 0u);
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I < First.size(); ++I)
+    EXPECT_TRUE(regexEquals(First[I], Second[I]));
+
+  // Store-level figures reconcile with the run-level ones: every solve
+  // was a store miss, every cache hit a store answer.
+  EXPECT_EQ(Store.misses(), Cold.SmtSolves + Warm.SmtSolves);
+  EXPECT_EQ(Store.hits() + Store.impliedHits(),
+            Cold.SmtCacheHits + Warm.SmtCacheHits);
+}
+
+TEST(InferConstants, VerdictStoreCachesUnsatShortCircuit) {
+  // Unsatisfiable lengths: the first run pays the solves, the rerun is
+  // answered entirely from the store, and both short-circuit before
+  // enumerating anything.
+  PNodePtr Root = PNode::opNode(
+      RegexKind::Repeat,
+      {PNode::leafNode(parseRegex("Repeat(<num>,2)")), PNode::symIntNode(0)});
+  Examples E;
+  E.Pos = {"123"};
+  engine::ShardedSmtCache Store(4);
+  SynthConfig Cfg;
+  Cfg.SharedSmt = &Store;
+  FeasibilityChecker Checker(E);
+
+  InferStats Cold;
+  EXPECT_TRUE(
+      inferConstants(PartialRegex(Root, 1), E, Cfg, Checker, Cold).empty());
+  EXPECT_EQ(Cold.UnsatShortCircuits, 1u);
+  EXPECT_GT(Cold.SmtSolves, 0u);
+  EXPECT_EQ(Cold.Iterations, 0u);
+
+  InferStats Warm;
+  EXPECT_TRUE(
+      inferConstants(PartialRegex(Root, 1), E, Cfg, Checker, Warm).empty());
+  EXPECT_EQ(Warm.UnsatShortCircuits, 1u);
+  EXPECT_EQ(Warm.SmtSolves, 0u);
+  EXPECT_GT(Warm.SmtCacheHits, 0u);
+  EXPECT_EQ(Warm.Iterations, 0u);
 }

@@ -1,0 +1,95 @@
+//===- examples/regel_dfad.cpp - Standalone shared DFA tier ---------------===//
+//
+// Build & run:  ./build/examples/regel_dfad [port] [cache-cap] [shards]
+//
+// A dedicated DFA-tier process (src/dfad/): the hash-partitioned,
+// LRU-bounded store of serialized DFAs that a fleet of regel_server
+// engines shares over TCP, so each distinct regex is determinized and
+// minimized once per FLEET instead of once per engine process. The
+// process is only a tier — it never parses a regex and never runs a
+// search; engines reach it through dfad::RemoteDfaTier and speak the v2
+// `dfa` frames (docs/PROTOCOL.md):
+//
+//   v2 dfa get key=<k>          ->  v2 dfa found=0|1 key=<k> [blob=<b>]
+//   v2 dfa put key=<k> blob=<b> ->  v2 ok
+//   v2 dfa stats                ->  v2 stats json=<store counters>
+//
+// Reuses the whole src/server front-end unchanged: the same poll() loop,
+// framing, line caps and overload behaviour as a synthesis server, with
+// a dfad::DfaTierService standing in for the engine (synthesis frames
+// answer `rejected`; `v2 health` reports zero workers).
+//
+// [port] default 7412 (0 = ephemeral, printed). [cache-cap] bounds the
+// store to that many blobs (default 100000, 0 = unbounded) under
+// second-chance LRU eviction. [shards] sets lock partitions (default 16).
+//
+// Try it:
+//   ./build/examples/regel_dfad &
+//   ./build/examples/regel_server 7411 2 25000 64 1 4 0 127.0.0.1:7412
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfad/Tier.h"
+#include "dfad/TierService.h"
+#include "server/SocketServer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace regel;
+
+namespace {
+
+std::atomic<server::SocketServer *> ActiveServer{nullptr};
+
+void onSignal(int) {
+  if (server::SocketServer *S = ActiveServer.load())
+    S->stop(); // async-signal-safe by contract: atomic store + pipe write
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint16_t Port = 7412;
+  size_t CacheCap = 100000; // blobs; 0 = unbounded
+  unsigned Shards = 16;
+  if (argc > 1)
+    Port = static_cast<uint16_t>(std::atoi(argv[1]));
+  if (argc > 2)
+    CacheCap = static_cast<size_t>(std::atoll(argv[2]));
+  if (argc > 3)
+    Shards = std::max(1u, static_cast<unsigned>(std::atoi(argv[3])));
+
+  engine::CacheLimits Limits;
+  Limits.MaxEntries = CacheCap;
+  auto Store = std::make_shared<dfad::DfaTierStore>(Shards, Limits);
+  auto Svc = std::make_shared<dfad::DfaTierService>(Store);
+
+  server::ServerConfig SC;
+  SC.Port = Port;
+  SC.DfaTier = Store;
+
+  // The parser is required by the server's v1 solve path; a tier process
+  // never exercises it (submits complete Rejected before any parse).
+  auto Parser = std::make_shared<nlp::SemanticParser>();
+  server::SocketServer Server(Parser, Svc, SC);
+  if (!Server.start())
+    return 1;
+  ActiveServer.store(&Server);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::printf("regel_dfad: DFA tier on %s:%u — cap %zu blobs, %u shards\n",
+              SC.BindAddr.c_str(), Server.port(), CacheCap, Shards);
+  std::fflush(stdout);
+
+  Server.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  ActiveServer.store(nullptr);
+  std::printf("regel_dfad: shut down — %s\n", Store->statsJson().c_str());
+  return 0;
+}

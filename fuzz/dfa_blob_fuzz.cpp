@@ -1,0 +1,60 @@
+//===- fuzz/dfa_blob_fuzz.cpp - DFA wire-codec fuzz harness ---------------===//
+//
+// Part of the Regel reproduction. Fuzzes the DFA blob parser
+// (automata/Serialize.h) — the exact bytes an untrusted client can hand
+// a tier over `v2 dfa put`, and that a tier can hand an engine back.
+// parseDfa's contract is: any input, any length, no crash, no UB, no
+// out-of-bounds Dfa — errors are nullptr, never exceptions. Beyond
+// "does not crash", the harness checks the canonical-round-trip floor:
+// a blob that parses must re-serialize to an identical blob (the
+// blob-as-fingerprint property the tier's dedup rests on), and the
+// parsed automaton must survive a full table walk.
+//
+// Two build modes (fuzz/CMakeLists.txt):
+//   * libFuzzer (Clang, -fsanitize=fuzzer): LLVMFuzzerTestOneInput only.
+//   * standalone (any compiler): a main() that replays each file named
+//     on the command line — CI's ASan/UBSan lane and local g++ builds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Serialize.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  const std::string Blob(reinterpret_cast<const char *>(Data), Size);
+
+  std::string Err;
+  std::shared_ptr<const regel::Dfa> D = regel::parseDfa(Blob, &Err);
+  if (!D)
+    return 0;
+
+  // Canonical round trip: serialization is greedy-maximal-run RLE, so
+  // any blob that parses must re-serialize to exactly itself. A second
+  // accepted encoding of the same DFA would break blob-as-fingerprint.
+  if (regel::serializeDfa(*D) != Blob)
+    __builtin_trap();
+
+  // Every transition the parser admitted must be in range — walk the
+  // whole table (step() asserts in debug; the sum checks release too).
+  uint64_t Sum = 0;
+  for (uint32_t S = 0; S < D->numStates(); ++S) {
+    if (D->isAccept(S))
+      ++Sum;
+    for (unsigned C = 0; C < regel::AlphabetSize; ++C) {
+      const uint32_t To =
+          D->step(S, static_cast<char>(regel::MinAlphabetChar + C));
+      if (To >= D->numStates())
+        __builtin_trap();
+      Sum += To;
+    }
+  }
+  (void)Sum;
+  return 0;
+}
+
+#ifndef REGEL_FUZZ_LIBFUZZER
+#include "fuzz_driver_main.inc"
+#endif

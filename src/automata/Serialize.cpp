@@ -1,0 +1,137 @@
+//===- automata/Serialize.cpp ---------------------------------------------===//
+
+#include "automata/Serialize.h"
+
+#include "regex/CharClass.h"
+
+using namespace regel;
+
+namespace {
+
+constexpr char MagicR = 'R';
+constexpr char MagicD = 'D';
+constexpr char FormatVersion = 0x01;
+
+void putVarint(std::string &Out, uint32_t V) {
+  while (V >= 0x80) {
+    Out += static_cast<char>((V & 0x7f) | 0x80);
+    V >>= 7;
+  }
+  Out += static_cast<char>(V);
+}
+
+/// Reads one LEB128 uint32 at \p Pos, advancing it. False on truncation
+/// or a value that does not fit 32 bits.
+bool getVarint(const std::string &B, size_t &Pos, uint32_t &Out) {
+  uint64_t V = 0;
+  for (unsigned Shift = 0; Shift < 35; Shift += 7) {
+    if (Pos >= B.size())
+      return false;
+    unsigned char Byte = static_cast<unsigned char>(B[Pos++]);
+    V |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80)) {
+      if (V > UINT32_MAX)
+        return false;
+      Out = static_cast<uint32_t>(V);
+      return true;
+    }
+  }
+  return false; // 5 continuation bytes: not a uint32
+}
+
+std::shared_ptr<const Dfa> fail(std::string *Err, const char *Why) {
+  if (Err)
+    *Err = Why;
+  return nullptr;
+}
+
+} // namespace
+
+std::string regel::serializeDfa(const Dfa &D) {
+  std::string Out;
+  const uint32_t N = D.numStates();
+  Out += MagicR;
+  Out += MagicD;
+  Out += FormatVersion;
+  putVarint(Out, N);
+  putVarint(Out, D.start());
+  // Accept bitmap, LSB-first within each byte.
+  for (uint32_t S = 0; S < N; S += 8) {
+    unsigned char Byte = 0;
+    for (uint32_t Bit = 0; Bit < 8 && S + Bit < N; ++Bit)
+      if (D.isAccept(S + Bit))
+        Byte |= static_cast<unsigned char>(1u << Bit);
+    Out += static_cast<char>(Byte);
+  }
+  // Greedy maximal runs make the encoding canonical: two equal tables
+  // always produce identical bytes.
+  for (uint32_t S = 0; S < N; ++S) {
+    unsigned C = 0;
+    while (C < AlphabetSize) {
+      const uint32_t Target =
+          D.step(S, static_cast<char>(MinAlphabetChar + C));
+      unsigned Run = 1;
+      while (C + Run < AlphabetSize &&
+             D.step(S, static_cast<char>(MinAlphabetChar + C + Run)) ==
+                 Target)
+        ++Run;
+      putVarint(Out, Run);
+      putVarint(Out, Target);
+      C += Run;
+    }
+  }
+  return Out;
+}
+
+std::shared_ptr<const Dfa> regel::parseDfa(const std::string &Blob,
+                                           std::string *Err) {
+  if (Blob.size() > MaxDfaBlobBytes)
+    return fail(Err, "oversized blob");
+  if (Blob.size() < 5)
+    return fail(Err, "truncated header");
+  if (Blob[0] != MagicR || Blob[1] != MagicD)
+    return fail(Err, "bad magic");
+  if (Blob[2] != FormatVersion)
+    return fail(Err, "unknown version");
+
+  size_t Pos = 3;
+  uint32_t N = 0, Start = 0;
+  if (!getVarint(Blob, Pos, N))
+    return fail(Err, "truncated state count");
+  if (N == 0 || N > MaxDfaBlobStates)
+    return fail(Err, "state count out of range");
+  if (!getVarint(Blob, Pos, Start))
+    return fail(Err, "truncated start state");
+  if (Start >= N)
+    return fail(Err, "start state out of range");
+
+  const size_t BitmapBytes = (static_cast<size_t>(N) + 7) / 8;
+  if (Pos + BitmapBytes > Blob.size())
+    return fail(Err, "truncated accept bitmap");
+  DfaBuilder B;
+  for (uint32_t S = 0; S < N; ++S) {
+    unsigned char Byte = static_cast<unsigned char>(Blob[Pos + S / 8]);
+    B.addState((Byte >> (S % 8)) & 1);
+  }
+  Pos += BitmapBytes;
+
+  for (uint32_t S = 0; S < N; ++S) {
+    unsigned C = 0;
+    while (C < AlphabetSize) {
+      uint32_t Run = 0, Target = 0;
+      if (!getVarint(Blob, Pos, Run) || !getVarint(Blob, Pos, Target))
+        return fail(Err, "truncated transition row");
+      if (Run == 0 || Run > AlphabetSize - C)
+        return fail(Err, "transition run overflows row");
+      if (Target >= N)
+        return fail(Err, "transition target out of range");
+      for (uint32_t I = 0; I < Run; ++I)
+        B.setTransition(S, C + I, Target);
+      C += Run;
+    }
+  }
+  if (Pos != Blob.size())
+    return fail(Err, "trailing bytes");
+  B.setStart(Start);
+  return std::make_shared<const Dfa>(B.finish());
+}

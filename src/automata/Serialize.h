@@ -1,0 +1,71 @@
+//===- automata/Serialize.h - DFA wire serialization ------------*- C++ -*-===//
+//
+// Part of the Regel reproduction. Turns a compiled DFA into a compact,
+// versioned binary blob and back, so a cached automaton is a shippable
+// value the shared DFA tier (src/dfad/) can hold and serve over the wire
+// without ever parsing a regex.
+//
+// Format v1 (little-endian, byte-oriented):
+//
+//   'R' 'D' <version=0x01>
+//   varint NumStates            (>= 1)
+//   varint Start                (< NumStates)
+//   accept bitmap               ceil(NumStates/8) bytes, LSB-first
+//   per state, in state order:  run-length-encoded transition row —
+//     (varint RunLen >= 1, varint Target < NumStates) pairs whose run
+//     lengths sum to exactly AlphabetSize
+//
+// varints are LEB128 (7 bits per byte, high bit = continuation), at most
+// 5 bytes for a uint32. RLE exploits that minimized DFA rows map long
+// character ranges to one successor, so a typical row is a handful of
+// pairs instead of AlphabetSize words.
+//
+// The codec is defensive by contract, like service/Protocol: parseDfa
+// rejects any blob that is truncated, oversized, version-unknown, or
+// structurally invalid (out-of-range start/target, rows not summing to
+// the alphabet, trailing bytes) — it never throws and never constructs a
+// Dfa that could index out of bounds.
+//
+// Round-trip exactness: serialize(parse(B)) == B and the parsed DFA has
+// byte-identical tables — serialization is canonical (greedy maximal
+// runs), so a blob is also a usable equality/fingerprint key.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_AUTOMATA_SERIALIZE_H
+#define REGEL_AUTOMATA_SERIALIZE_H
+
+#include "automata/Dfa.h"
+
+#include <memory>
+#include <string>
+
+namespace regel {
+
+/// Hard cap on a serialized DFA blob. Chosen so a blob rides inside one
+/// v2 protocol frame even fully percent-escaped (3x expansion is the
+/// escaping worst case; 3 * 16 KiB + frame overhead < MaxFrameBytes =
+/// 64 KiB). DFAs that serialize larger are simply not shareable through
+/// the tier — the cross-job hot core is small character-class automata,
+/// and an oversized outlier just stays shard-local.
+inline constexpr size_t MaxDfaBlobBytes = 16 * 1024;
+
+/// Cap on NumStates accepted by parseDfa, bounding the table allocation
+/// (NumStates * AlphabetSize * 4 bytes) a hostile blob can demand before
+/// any row is validated.
+inline constexpr uint32_t MaxDfaBlobStates = 4096;
+
+/// Serializes \p D to the format above. Always succeeds (the format can
+/// express any Dfa); callers that intend to ship the blob must check it
+/// against MaxDfaBlobBytes themselves.
+std::string serializeDfa(const Dfa &D);
+
+/// Parses a blob produced by serializeDfa. Returns nullptr on any
+/// malformed input (truncated, oversized, bad magic/version, structural
+/// violations); when \p Err is non-null it receives a short reason.
+std::shared_ptr<const Dfa> parseDfa(const std::string &Blob,
+                                    std::string *Err = nullptr);
+
+} // namespace regel
+
+#endif // REGEL_AUTOMATA_SERIALIZE_H

@@ -1,0 +1,190 @@
+//===- dfad/RemoteTier.cpp ------------------------------------------------===//
+
+#include "dfad/RemoteTier.h"
+
+#include "service/Protocol.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+using namespace regel;
+using namespace regel::dfad;
+
+RemoteDfaTier::RemoteDfaTier(std::string H, uint16_t P)
+    : RemoteDfaTier(std::move(H), P, Options()) {}
+
+RemoteDfaTier::RemoteDfaTier(std::string H, uint16_t P, Options O)
+    : Host(std::move(H)), Port(P), Opts(O) {}
+
+RemoteDfaTier::~RemoteDfaTier() {
+  MutexLock Guard(PoolM);
+  for (Conn &C : Pool)
+    if (C.Fd >= 0)
+      ::close(C.Fd);
+  Pool.clear();
+}
+
+RemoteDfaTier::Conn RemoteDfaTier::connectNew() {
+  Conn C;
+  int S = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (S < 0)
+    return C;
+  // Kernel-side RPC bound: every send/recv on this socket gives up after
+  // RpcTimeoutMs, so no tier call can stall a synthesis worker.
+  timeval Tv{};
+  Tv.tv_sec = Opts.RpcTimeoutMs / 1000;
+  Tv.tv_usec = (Opts.RpcTimeoutMs % 1000) * 1000;
+  ::setsockopt(S, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(S, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1 ||
+      ::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(S);
+    return C;
+  }
+  C.Fd = S;
+  // The server greets every connection with the v1 banner line; consume
+  // it so the stream is positioned at request/reply framing.
+  std::string Banner;
+  if (!readLine(C, Banner)) {
+    ::close(C.Fd);
+    C.Fd = -1;
+  }
+  return C;
+}
+
+RemoteDfaTier::Conn RemoteDfaTier::acquire() {
+  {
+    MutexLock Guard(PoolM);
+    if (!Pool.empty()) {
+      Conn C = std::move(Pool.back());
+      Pool.pop_back();
+      return C;
+    }
+  }
+  // Connect OUTSIDE the pool lock: other threads keep draining/refilling
+  // the pool while this one performs the handshake.
+  return connectNew();
+}
+
+void RemoteDfaTier::release(Conn C, bool Healthy) {
+  if (C.Fd < 0)
+    return;
+  if (Healthy) {
+    MutexLock Guard(PoolM);
+    if (Pool.size() < Opts.MaxIdleConns) {
+      Pool.push_back(std::move(C));
+      return;
+    }
+  }
+  ::close(C.Fd);
+}
+
+bool RemoteDfaTier::writeAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t Sent =
+        ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (Sent <= 0) {
+      if (Sent < 0 && errno == EINTR)
+        continue;
+      return false; // includes EAGAIN from SO_SNDTIMEO: RPC over budget
+    }
+    Off += static_cast<size_t>(Sent);
+  }
+  return true;
+}
+
+bool RemoteDfaTier::readLine(Conn &C, std::string &Line) {
+  // One frame plus slack: a conforming peer never sends more (the codec
+  // rejects oversized frames), so beyond this the stream is garbage.
+  const size_t MaxBuf = protocol::MaxFrameBytes + 1024;
+  for (;;) {
+    size_t Nl = C.Buf.find('\n');
+    if (Nl != std::string::npos) {
+      Line = C.Buf.substr(0, Nl);
+      C.Buf.erase(0, Nl + 1);
+      return true;
+    }
+    if (C.Buf.size() > MaxBuf)
+      return false;
+    char Tmp[4096];
+    ssize_t Got = ::recv(C.Fd, Tmp, sizeof(Tmp), 0);
+    if (Got <= 0) {
+      if (Got < 0 && errno == EINTR)
+        continue;
+      return false; // peer closed, or SO_RCVTIMEO: RPC over budget
+    }
+    C.Buf.append(Tmp, static_cast<size_t>(Got));
+  }
+}
+
+bool RemoteDfaTier::exchange(const std::string &Frame,
+                             std::string &ReplyLine) {
+  Conn C = acquire();
+  if (C.Fd < 0) {
+    RpcFailures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const bool Ok = writeAll(C.Fd, Frame + "\n") && readLine(C, ReplyLine);
+  release(std::move(C), Ok);
+  if (!Ok)
+    RpcFailures.fetch_add(1, std::memory_order_relaxed);
+  return Ok;
+}
+
+bool RemoteDfaTier::get(const std::string &Key, std::string &Out) {
+  protocol::Request Req;
+  Req.K = protocol::Request::Kind::DfaGet;
+  Req.Key = Key;
+  std::string Reply;
+  if (!exchange(protocol::encodeRequest(Req, protocol::Version::V2), Reply))
+    return false;
+  protocol::Response Resp;
+  if (protocol::decodeResponse(Reply, protocol::Version::V2, Resp) !=
+          protocol::ErrorCode::None ||
+      Resp.K != protocol::Response::Kind::Dfa || !Resp.Found) {
+    if (Resp.K != protocol::Response::Kind::Dfa)
+      RpcFailures.fetch_add(1, std::memory_order_relaxed);
+    return false; // miss, or a malformed/error reply degrading to one
+  }
+  Out = Resp.Detail;
+  return true;
+}
+
+void RemoteDfaTier::put(const std::string &Key, const std::string &Blob) {
+  protocol::Request Req;
+  Req.K = protocol::Request::Kind::DfaPut;
+  Req.Key = Key;
+  Req.Blob = Blob;
+  std::string Reply;
+  if (!exchange(protocol::encodeRequest(Req, protocol::Version::V2), Reply))
+    return; // best-effort by contract
+  protocol::Response Resp;
+  if (protocol::decodeResponse(Reply, protocol::Version::V2, Resp) !=
+          protocol::ErrorCode::None ||
+      Resp.K != protocol::Response::Kind::Ok)
+    RpcFailures.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string RemoteDfaTier::statsJson() {
+  protocol::Request Req;
+  Req.K = protocol::Request::Kind::DfaStats;
+  std::string Reply;
+  if (!exchange(protocol::encodeRequest(Req, protocol::Version::V2), Reply))
+    return std::string();
+  protocol::Response Resp;
+  if (protocol::decodeResponse(Reply, protocol::Version::V2, Resp) !=
+          protocol::ErrorCode::None ||
+      Resp.K != protocol::Response::Kind::Stats)
+    return std::string();
+  return Resp.Detail;
+}

@@ -1,0 +1,100 @@
+//===- dfad/RemoteTier.h - TCP client for a remote DFA tier -----*- C++ -*-===//
+//
+// Part of the Regel reproduction. DfaTierClient over the v2 wire
+// protocol's `dfa` frames, for engines whose tier lives in another
+// process (examples/regel_dfad). Synchronous bounded RPC, deliberately
+// simpler than service/RemoteService's reader-thread machinery: a tier
+// fetch happens at most once per (engine, distinct regex) cold miss —
+// single-flight collapses concurrent ones — so per-call latency matters
+// far less than never stalling synthesis.
+//
+// Concurrency model: a small pool of connections, each checked out
+// EXCLUSIVELY for the duration of one RPC. The pool mutex only guards
+// the vector push/pop — no socket I/O, connect, or parse ever runs
+// under it (tools/analyze's blocking-under-lock gate enforces this
+// repo-wide). Boundedness comes from SO_RCVTIMEO/SO_SNDTIMEO on every
+// socket: a dead or slow tier turns an RPC into an error after
+// RpcTimeoutMs, and an error IS a miss to the caller. No clock reads —
+// kernel socket timeouts are transport configuration, not semantic
+// time, so the Clock seam is not involved.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_DFAD_REMOTETIER_H
+#define REGEL_DFAD_REMOTETIER_H
+
+#include "dfad/Tier.h"
+#include "support/Mutex.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace regel::dfad {
+
+/// TCP DfaTierClient speaking `v2 dfa get/put/stats` frames.
+class RemoteDfaTier : public DfaTierClient {
+public:
+  struct Options {
+    /// Per-RPC socket send/receive timeout. An RPC that trips it fails
+    /// (and the connection is discarded), it never blocks past this.
+    int RpcTimeoutMs = 2000;
+
+    /// Connections kept open for reuse; checkouts beyond this connect
+    /// fresh and close on release.
+    unsigned MaxIdleConns = 4;
+  };
+
+  // (No `= {}` default arg: GCC rejects brace defaults for NSDMI-bearing
+  // nested structs inside an incomplete enclosing class.)
+  RemoteDfaTier(std::string Host, uint16_t Port);
+  RemoteDfaTier(std::string Host, uint16_t Port, Options O);
+  ~RemoteDfaTier() override;
+
+  RemoteDfaTier(const RemoteDfaTier &) = delete;
+  RemoteDfaTier &operator=(const RemoteDfaTier &) = delete;
+
+  bool get(const std::string &Key, std::string &Out) override;
+  void put(const std::string &Key, const std::string &Blob) override;
+
+  /// Fetches the tier's stats JSON over the wire; "" on failure. Used by
+  /// monitoring and tests, never by the synthesis hot path.
+  std::string statsJson();
+
+  /// RPCs that failed (connect, timeout, malformed reply). Each one
+  /// degraded to a miss or a dropped write-through.
+  uint64_t rpcFailures() const {
+    return RpcFailures.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// One pooled connection: the fd plus any bytes received past the last
+  /// consumed line (stream framing is per-connection state).
+  struct Conn {
+    int Fd = -1;
+    std::string Buf;
+  };
+
+  Conn acquire();                      ///< pooled or fresh; Fd<0 on failure
+  void release(Conn C, bool Healthy);  ///< return to pool or close
+  Conn connectNew();                   ///< fresh connection, greeting consumed
+  bool readLine(Conn &C, std::string &Line);
+  bool writeAll(int Fd, const std::string &Data);
+  /// One request/reply exchange on a checked-out connection; false on
+  /// any transport error.
+  bool exchange(const std::string &Frame, std::string &ReplyLine);
+
+  std::string Host;
+  uint16_t Port;
+  Options Opts;
+
+  Mutex PoolM;
+  std::vector<Conn> Pool REGEL_GUARDED_BY(PoolM);
+
+  std::atomic<uint64_t> RpcFailures{0};
+};
+
+} // namespace regel::dfad
+
+#endif // REGEL_DFAD_REMOTETIER_H

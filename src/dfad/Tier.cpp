@@ -1,0 +1,145 @@
+//===- dfad/Tier.cpp ------------------------------------------------------===//
+
+#include "dfad/Tier.h"
+
+#include "automata/Serialize.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+using namespace regel;
+using namespace regel::dfad;
+
+namespace {
+
+/// Splits a global cap over \p NumShards (same policy as engine/Caches):
+/// floored, but never below one entry per shard.
+template <typename T> T perShard(T GlobalCap, size_t NumShards) {
+  if (GlobalCap == 0)
+    return 0;
+  return std::max<T>(1, GlobalCap / static_cast<T>(NumShards));
+}
+
+} // namespace
+
+DfaTierStore::DfaTierStore(unsigned NumShards, engine::CacheLimits L)
+    : Limits(L) {
+  NumShards = std::max(1u, NumShards);
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  MaxEntriesPerShard = perShard(Limits.MaxEntries, Shards.size());
+  MaxCostPerShard = perShard(Limits.MaxCost, Shards.size());
+}
+
+DfaTierStore::Shard &DfaTierStore::shardFor(const std::string &Key) {
+  return *Shards[engine::mix64(std::hash<std::string>{}(Key)) %
+                 Shards.size()];
+}
+
+void DfaTierStore::evictOverLocked(Shard &S) {
+  // Second-chance sweep, exactly like the engine's stores: a
+  // hit-since-last-sweep entry reaching the cold end is recycled once
+  // instead of evicted, bounded by the list length at entry.
+  size_t Chances = S.Lru.size();
+  while (!S.Lru.empty() &&
+         ((MaxEntriesPerShard && S.Map.size() > MaxEntriesPerShard) ||
+          (MaxCostPerShard && S.Cost > MaxCostPerShard))) {
+    Entry &Victim = S.Lru.back();
+    if (Victim.Hot && Chances > 0) {
+      --Chances;
+      Victim.Hot = false;
+      S.Lru.splice(S.Lru.begin(), S.Lru, std::prev(S.Lru.end()));
+      continue;
+    }
+    S.Cost -= Victim.Cost;
+    S.Map.erase(Victim.Key);
+    S.Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool DfaTierStore::get(const std::string &Key, std::string &Out) {
+  Shard &S = shardFor(Key);
+  MutexLock Guard(S.M);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  It->second->Hot = true;
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // LRU touch
+  Out = It->second->Blob;
+  return true;
+}
+
+bool DfaTierStore::put(const std::string &Key, const std::string &Blob) {
+  // Validation runs before any lock: parseDfa walks the whole blob, and
+  // shard mutexes are leaf-level by contract. The tier re-validates even
+  // blobs from trusted in-process engines — one check here keeps poison
+  // out of a store the entire fleet reads.
+  if (Key.empty() || !parseDfa(Blob)) {
+    PutRejected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const uint64_t Cost = Key.size() + Blob.size();
+  Shard &S = shardFor(Key);
+  MutexLock Guard(S.M);
+  auto It = S.Map.find(Key);
+  if (It != S.Map.end()) {
+    // First publisher wins; a duplicate put means a second engine needed
+    // this entry, so it counts as a reference like a get hit does.
+    It->second->Hot = true;
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    return true;
+  }
+  Puts.fetch_add(1, std::memory_order_relaxed);
+  S.Lru.push_front(Entry{Key, Blob, Cost});
+  S.Cost += Cost;
+  S.Map.emplace(Key, S.Lru.begin());
+  evictOverLocked(S);
+  return true;
+}
+
+size_t DfaTierStore::size() const {
+  size_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    MutexLock Guard(S->M);
+    Total += S->Map.size();
+  }
+  return Total;
+}
+
+uint64_t DfaTierStore::blobBytes() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    MutexLock Guard(S->M);
+    Total += S->Cost;
+  }
+  return Total;
+}
+
+void DfaTierStore::clear() {
+  for (std::unique_ptr<Shard> &S : Shards) {
+    MutexLock Guard(S->M);
+    S->Map.clear();
+    S->Lru.clear();
+    S->Cost = 0;
+  }
+}
+
+std::string DfaTierStore::statsJson() const {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"dfa_tier\":{\"entries\":%llu,\"blob_bytes\":%llu,"
+      "\"hits\":%llu,\"misses\":%llu,\"puts\":%llu,"
+      "\"put_rejected\":%llu,\"evictions\":%llu}}",
+      (unsigned long long)size(), (unsigned long long)blobBytes(),
+      (unsigned long long)hits(), (unsigned long long)misses(),
+      (unsigned long long)puts(), (unsigned long long)putRejected(),
+      (unsigned long long)evictions());
+  return Buf;
+}

@@ -1,0 +1,147 @@
+//===- dfad/Tier.h - Shared DFA tier: store + client seam -------*- C++ -*-===//
+//
+// Part of the Regel reproduction. The fleet-shared DFA tier (the
+// ROADMAP's "compute each shared artifact once" item): a bounded,
+// sharded map from canonical regex text to serialized DFA blobs
+// (automata/Serialize.h), owned once per fleet instead of once per
+// engine. Engines reach it through the DfaTierClient seam —
+// LocalDfaTier for a router-embedded tier serving N in-process engines,
+// RemoteTier.h's TCP client for the standalone examples/regel_dfad
+// process — and layer it under their shard-local stores via
+// engine::TieredDfaStore.
+//
+// The tier is deliberately dumb: it never parses a regex and never
+// compiles anything. Keys are opaque strings (the engine uses
+// printRegex's canonical form), values are opaque-but-validated blobs —
+// put() runs parseDfa once so a corrupt or hostile blob can never enter
+// the shared store and be served to the whole fleet.
+//
+// Bounded exactly like the engine's caches: engine::CacheLimits with a
+// per-shard second-chance LRU; cost here is bytes (key + blob), since
+// blob size is what a serving tier process actually spends.
+//
+// Lock discipline: shard mutexes are leaf-level — no I/O, no parse, no
+// callback runs under them (put() validates BEFORE locking).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_DFAD_TIER_H
+#define REGEL_DFAD_TIER_H
+
+#include "engine/Caches.h"
+#include "support/Mutex.h"
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace regel::dfad {
+
+/// A sharded, thread-safe, LRU-bounded key -> DFA-blob store.
+class DfaTierStore {
+public:
+  explicit DfaTierStore(unsigned NumShards = 16,
+                        engine::CacheLimits Limits = {});
+
+  /// Fills \p Out with the blob for \p Key and returns true (touching
+  /// the entry's recency); false on a miss.
+  bool get(const std::string &Key, std::string &Out);
+
+  /// Validates \p Blob (parseDfa + MaxDfaBlobBytes) and stores it; the
+  /// first publisher wins, a duplicate put counts as a reference.
+  /// Returns false only when the blob is rejected (oversized or
+  /// malformed — counted in putRejected), never for duplicates.
+  bool put(const std::string &Key, const std::string &Blob);
+
+  size_t size() const;
+  uint64_t blobBytes() const; ///< summed cost (key + blob bytes)
+  void clear();
+
+  const engine::CacheLimits &limits() const { return Limits; }
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t puts() const { return Puts.load(std::memory_order_relaxed); }
+  uint64_t putRejected() const {
+    return PutRejected.load(std::memory_order_relaxed);
+  }
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+
+  /// One JSON object with the counters and occupancy above (the
+  /// standalone tier process serves this as its stats surface).
+  std::string statsJson() const;
+
+private:
+  struct Entry {
+    std::string Key;
+    std::string Blob;
+    uint64_t Cost;
+    bool Hot = false; ///< hit since it last reached the cold end
+  };
+  struct Shard {
+    mutable Mutex M;
+    std::list<Entry> Lru REGEL_GUARDED_BY(M); ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator>
+        Map REGEL_GUARDED_BY(M);
+    uint64_t Cost REGEL_GUARDED_BY(M) = 0; ///< summed entry cost
+  };
+
+  Shard &shardFor(const std::string &Key);
+  void evictOverLocked(Shard &S) REGEL_REQUIRES(S.M);
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  engine::CacheLimits Limits;
+  size_t MaxEntriesPerShard = 0;
+  uint64_t MaxCostPerShard = 0;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Puts{0};
+  std::atomic<uint64_t> PutRejected{0};
+  std::atomic<uint64_t> Evictions{0};
+};
+
+/// How an engine reaches a DFA tier, local or remote. Implementations
+/// must be thread-safe (every worker thread of every engine calls
+/// through one client) and must NEVER block unboundedly: a slow or dead
+/// tier degrades to a miss, it must not stall synthesis.
+class DfaTierClient {
+public:
+  virtual ~DfaTierClient() = default;
+
+  /// Fetches the blob for \p Key into \p Out. False on miss or any
+  /// transport problem (a failed fetch IS a miss to the caller).
+  virtual bool get(const std::string &Key, std::string &Out) = 0;
+
+  /// Best-effort write-through of a freshly compiled DFA's blob. May
+  /// drop silently (tier full, transport down).
+  virtual void put(const std::string &Key, const std::string &Blob) = 0;
+};
+
+/// In-process client: the router-embedded tier, shared by N local
+/// engines through plain pointer calls.
+class LocalDfaTier : public DfaTierClient {
+public:
+  explicit LocalDfaTier(std::shared_ptr<DfaTierStore> S)
+      : Store(std::move(S)) {}
+
+  bool get(const std::string &Key, std::string &Out) override {
+    return Store->get(Key, Out);
+  }
+  void put(const std::string &Key, const std::string &Blob) override {
+    Store->put(Key, Blob);
+  }
+
+  const std::shared_ptr<DfaTierStore> &store() const { return Store; }
+
+private:
+  std::shared_ptr<DfaTierStore> Store;
+};
+
+} // namespace regel::dfad
+
+#endif // REGEL_DFAD_TIER_H

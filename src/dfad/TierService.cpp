@@ -1,0 +1,78 @@
+//===- dfad/TierService.cpp -----------------------------------------------===//
+
+#include "dfad/TierService.h"
+
+using namespace regel;
+using namespace regel::dfad;
+using namespace regel::service;
+
+DfaTierService::DfaTierService(std::shared_ptr<DfaTierStore> S,
+                               std::shared_ptr<const Clock> C)
+    : Store(std::move(S)), Clk(std::move(C)) {}
+
+Ticket DfaTierService::submit(engine::JobRequest R) {
+  (void)R;
+  // A tier process does not synthesize: reject at submit, delivering the
+  // verdict through the completion stream like every other backend
+  // (exactly one completion per submission).
+  Completion C;
+  C.Result.Rejected = true;
+  std::function<void()> Poke;
+  {
+    MutexLock Guard(M);
+    C.Id = NextTicket++;
+    Done.push_back(C);
+    Poke = Wakeup;
+  }
+  DoneCv.notify_all();
+  if (Poke)
+    Poke(); // invoked outside the lock (callback discipline)
+  return C.Id;
+}
+
+bool DfaTierService::cancel(Ticket T) {
+  (void)T;
+  return false; // nothing is ever in flight
+}
+
+std::vector<Completion> DfaTierService::pollCompleted() {
+  MutexLock Guard(M);
+  std::vector<Completion> Out;
+  Out.swap(Done);
+  return Out;
+}
+
+std::vector<Completion> DfaTierService::waitCompleted(int64_t TimeoutMs) {
+  UniqueLock Lock(M);
+  Clk->waitFor(DoneCv, Lock.native(), TimeoutMs,
+               [this] { return hasCompletionsLocked(); });
+  std::vector<Completion> Out;
+  Out.swap(Done);
+  return Out;
+}
+
+std::string DfaTierService::statsJson() const { return Store->statsJson(); }
+
+ServiceHealth DfaTierService::health() const {
+  ServiceHealth H;
+  H.Healthy = true;
+  H.Workers = 0; // a tier serves lookups, it runs no synthesis workers
+  return H;
+}
+
+std::string DfaTierService::metricsText() const {
+  Reg.counter("regel_dfa_tier_hits_total").set(Store->hits());
+  Reg.counter("regel_dfa_tier_misses_total").set(Store->misses());
+  Reg.counter("regel_dfa_tier_puts_total").set(Store->puts());
+  Reg.counter("regel_dfa_tier_put_rejected_total").set(Store->putRejected());
+  Reg.counter("regel_dfa_tier_evictions_total").set(Store->evictions());
+  Reg.gauge("regel_dfa_tier_entries").set(static_cast<int64_t>(Store->size()));
+  Reg.gauge("regel_dfa_tier_blob_bytes")
+      .set(static_cast<int64_t>(Store->blobBytes()));
+  return Reg.renderText();
+}
+
+void DfaTierService::setWakeup(std::function<void()> Fn) {
+  MutexLock Guard(M);
+  Wakeup = std::move(Fn);
+}

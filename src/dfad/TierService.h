@@ -1,0 +1,74 @@
+//===- dfad/TierService.h - SynthService facade for the DFA tier *- C++ -*-===//
+//
+// Part of the Regel reproduction. Adapts a DfaTierStore to the
+// service::SynthService interface so the existing SocketServer can host
+// a dedicated tier process (examples/regel_dfad) with zero transport
+// changes: the server's poll() loop, framing, overload handling and
+// `dfa` frame dispatch all work as they do for a synthesis backend.
+//
+// A tier process does not synthesize. Any job submitted to it completes
+// immediately as Rejected (exactly-one-completion contract preserved),
+// health reports zero workers, and statsJson/metricsText surface the
+// tier store's counters. Clients that only speak `dfa get/put/stats`
+// never see any of that — it exists so the server harness has a
+// well-formed backend to stand on.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGEL_DFAD_TIERSERVICE_H
+#define REGEL_DFAD_TIERSERVICE_H
+
+#include "dfad/Tier.h"
+#include "obs/Metrics.h"
+#include "service/SynthService.h"
+#include "support/Clock.h"
+#include "support/Mutex.h"
+
+#include <condition_variable>
+#include <memory>
+
+namespace regel::dfad {
+
+/// The standalone tier's service backend: a DfaTierStore plus the
+/// minimal SynthService surface the socket server requires.
+class DfaTierService : public service::SynthService {
+public:
+  explicit DfaTierService(
+      std::shared_ptr<DfaTierStore> S,
+      std::shared_ptr<const Clock> Clk = Clock::steady());
+
+  service::Ticket submit(engine::JobRequest R) override;
+  bool cancel(service::Ticket T) override;
+  std::vector<service::Completion> pollCompleted() override;
+  std::vector<service::Completion> waitCompleted(int64_t TimeoutMs) override;
+  std::string statsJson() const override;
+  service::ServiceHealth health() const override;
+  std::string metricsText() const override;
+  void setWakeup(std::function<void()> Fn) override;
+
+  const std::shared_ptr<DfaTierStore> &store() const { return Store; }
+
+private:
+  // Requires M held by the caller (CV-wait predicate: Clang analyzes the
+  // lambda body as an unlocked function).
+  bool hasCompletionsLocked() const REGEL_NO_THREAD_SAFETY_ANALYSIS {
+    return !Done.empty();
+  }
+
+  std::shared_ptr<DfaTierStore> Store;
+  std::shared_ptr<const Clock> Clk;
+
+  mutable Mutex M;
+  uint64_t NextTicket REGEL_GUARDED_BY(M) = 1;
+  std::vector<service::Completion> Done REGEL_GUARDED_BY(M);
+  std::function<void()> Wakeup REGEL_GUARDED_BY(M);
+  std::condition_variable DoneCv;
+
+  /// Rendered at metricsText() time by mirroring the store's counters —
+  /// the same set-at-exposition pattern the engine uses.
+  mutable obs::Registry Reg;
+};
+
+} // namespace regel::dfad
+
+#endif // REGEL_DFAD_TIERSERVICE_H

@@ -54,13 +54,20 @@
 
 #include "automata/Compile.h"
 #include "smt/Solver.h"
+#include "support/Clock.h"
 #include "support/Mutex.h"
 #include "synth/Approximate.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <list>
 #include <memory>
+#include <unordered_map>
 #include <vector>
+
+namespace regel::dfad {
+class DfaTierClient;
+}
 
 namespace regel::engine {
 
@@ -93,6 +100,7 @@ class ShardedDfaStore : public DfaStore {
 public:
   explicit ShardedDfaStore(unsigned NumShards = 16, CacheLimits Limits = {});
 
+  using DfaStore::lookup; // keep the probe-carrying overload visible
   std::shared_ptr<const Dfa> lookup(const RegexPtr &R) override;
   void publish(const RegexPtr &R, std::shared_ptr<const Dfa> D) override;
 
@@ -142,6 +150,120 @@ private:
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Evictions{0};
+};
+
+/// Layers a shard-local ShardedDfaStore under an optional fleet-shared
+/// DFA tier (src/dfad/), and adds single-flight compile deduplication:
+///
+///   * lookup: local store first; on a local miss, exactly ONE caller
+///     per distinct regex (the flight leader) proceeds — to the tier
+///     when one is attached, else straight to returning nullptr so its
+///     DfaCache compiles. Concurrent missers wait (bounded by
+///     Config::FlightWaitMs) on the in-flight entry instead of each
+///     paying the same determinization — the ShardedDfaStore
+///     thundering-herd fix, useful even with no tier at all.
+///   * publish: write-through — the local store keeps the DFA, and when
+///     a tier is attached the serialized blob (when it fits
+///     MaxDfaBlobBytes) is offered best-effort, then the flight is
+///     fulfilled and every waiter served.
+///
+/// A flight-wait timeout or a tier failure degrades to a duplicate
+/// compile, never an error: compilation is deterministic and publish is
+/// idempotent, so correctness never depends on the tier or the flights.
+///
+/// Lock discipline: FlightM is leaf-level — the tier RPC, the regex
+/// print, serialization and compilation all run with NO lock held (the
+/// tools/analyze gate checks this); FlightM is only taken to join,
+/// open, or fulfil a flight entry.
+class TieredDfaStore : public DfaStore {
+public:
+  struct Config {
+    /// The shared tier; null = single-flight only (no remote layer).
+    std::shared_ptr<dfad::DfaTierClient> Tier;
+
+    /// Clock for bounded flight waits (and fetch timing when the probe
+    /// carries no clock). Defaults to Clock::steady().
+    std::shared_ptr<const Clock> Clk;
+
+    /// Longest a lookup waits on another caller's in-flight compile
+    /// before giving up and compiling itself.
+    int64_t FlightWaitMs = 1000;
+  };
+
+  /// Single-flight-only store (no tier, steady clock): the no-config
+  /// overload exists because a `Config C = {}` default argument trips
+  /// GCC's NSDMI-in-incomplete-class handling.
+  explicit TieredDfaStore(ShardedDfaStore &Local);
+  TieredDfaStore(ShardedDfaStore &Local, Config C);
+
+  std::shared_ptr<const Dfa> lookup(const RegexPtr &R) override;
+  std::shared_ptr<const Dfa> lookup(const RegexPtr &R,
+                                    const obs::SynthProbe *P) override;
+  void publish(const RegexPtr &R, std::shared_ptr<const Dfa> D) override;
+
+  ShardedDfaStore &local() { return Local; }
+  const std::shared_ptr<dfad::DfaTierClient> &tier() const {
+    return Cfg.Tier;
+  }
+
+  uint64_t tierHits() const {
+    return TierHits.load(std::memory_order_relaxed);
+  }
+  uint64_t tierMisses() const {
+    return TierMisses.load(std::memory_order_relaxed);
+  }
+  uint64_t tierPuts() const {
+    return TierPuts.load(std::memory_order_relaxed);
+  }
+  /// Write-throughs skipped because the blob exceeded MaxDfaBlobBytes.
+  uint64_t tierPutsSkipped() const {
+    return TierPutSkipped.load(std::memory_order_relaxed);
+  }
+  /// Lookups served by waiting on another caller's in-flight compile.
+  uint64_t flightServed() const {
+    return FlightServed.load(std::memory_order_relaxed);
+  }
+  /// Flight waits that timed out (the waiter compiled redundantly).
+  uint64_t flightTimeouts() const {
+    return FlightTimeouts.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// One in-flight resolution of a single regex. D/Done are guarded by
+  /// the owning store's FlightM (annotation needs the member in scope).
+  struct Flight {
+    std::condition_variable CV;
+    std::shared_ptr<const Dfa> D;
+    bool Done = false;
+  };
+  using FlightPtr = std::shared_ptr<Flight>;
+
+  // CV-wait predicate: Clang analyzes the lambda body as an unlocked
+  // function.
+  bool flightDoneLocked(const FlightPtr &F) const
+      REGEL_NO_THREAD_SAFETY_ANALYSIS { // callers hold FlightM
+    return F->Done;
+  }
+
+  std::shared_ptr<const Dfa> waitOnFlight(const RegexPtr &R,
+                                          const FlightPtr &F);
+  std::shared_ptr<const Dfa> tierFetch(const RegexPtr &R,
+                                       const obs::SynthProbe *P);
+  void fulfillFlight(const RegexPtr &R, const std::shared_ptr<const Dfa> &D);
+
+  ShardedDfaStore &Local;
+  Config Cfg;
+
+  Mutex FlightM;
+  std::unordered_map<RegexPtr, FlightPtr, RegexPtrHash, RegexPtrEq>
+      Flights REGEL_GUARDED_BY(FlightM);
+
+  std::atomic<uint64_t> TierHits{0};
+  std::atomic<uint64_t> TierMisses{0};
+  std::atomic<uint64_t> TierPuts{0};
+  std::atomic<uint64_t> TierPutSkipped{0};
+  std::atomic<uint64_t> FlightServed{0};
+  std::atomic<uint64_t> FlightTimeouts{0};
 };
 
 /// A sharded, thread-safe, LRU-bounded (sketch, depth, widened) ->

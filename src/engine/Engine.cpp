@@ -45,7 +45,18 @@ Engine::Engine(EngineConfig C)
     }
     TaskExecUs = &Reg->histogram("regel_task_exec_us");
     DfaCompileUs = &Reg->histogram("regel_dfa_compile_us");
+    DfaTierFetchUs = &Reg->histogram("regel_dfa_tier_fetch_us");
     SmtInferUs = &Reg->histogram("regel_smt_infer_us");
+  }
+  if (Cfg.DfaTier && (Cfg.TieredDfa || Cfg.TierClient)) {
+    if (Cfg.TieredDfa) {
+      TierStore = Cfg.TieredDfa;
+    } else {
+      TieredDfaStore::Config TC;
+      TC.Tier = Cfg.TierClient;
+      TC.Clk = Clk;
+      TierStore = std::make_shared<TieredDfaStore>(Caches->Dfa, TC);
+    }
   }
 }
 
@@ -377,7 +388,11 @@ void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
   } else {
     SynthConfig SC = Req.Synth;
     SC.TopK = Req.TopK;
-    SC.SharedDfa = &Caches->Dfa;
+    // With a tier attached, runs resolve DFAs through the tiered store:
+    // run-local cache -> shard-local store -> tier fetch -> compile, with
+    // concurrent cold misses deduped to one compile (single-flight).
+    SC.SharedDfa =
+        TierStore ? static_cast<DfaStore *>(TierStore.get()) : &Caches->Dfa;
     SC.SharedApprox = &Caches->Approx;
     SC.SharedSmt = Cfg.SmtMemo ? &Caches->Smt : nullptr;
     // Deterministic jobs must not stop mid-search because a sibling
@@ -421,6 +436,7 @@ void Engine::runSketchTask(const JobPtr &J, unsigned Rank) {
     if (Observe) {
       Probe.Clk = Clk.get();
       Probe.DfaCompileUs = DfaCompileUs;
+      Probe.DfaTierFetchUs = TierStore ? DfaTierFetchUs : nullptr;
       Probe.SmtInferUs = SmtInferUs;
       Probe.Trace = T;
       Probe.Tid = 1 + Rank;
@@ -564,6 +580,14 @@ StatsSnapshot Engine::snapshot() const {
   S.TasksRunBatch = Pool.tasksRun(Priority::Batch);
   S.TasksRunBackground = Pool.tasksRun(Priority::Background);
   S.CompletionsPending = completedPending();
+  if (TierStore) {
+    S.DfaTierHits = TierStore->tierHits();
+    S.DfaTierMisses = TierStore->tierMisses();
+    S.DfaTierPuts = TierStore->tierPuts();
+    S.DfaTierPutsSkipped = TierStore->tierPutsSkipped();
+    S.DfaFlightServed = TierStore->flightServed();
+    S.DfaFlightTimeouts = TierStore->flightTimeouts();
+  }
   S.DfaStoreHits = Caches->Dfa.hits();
   S.DfaStoreMisses = Caches->Dfa.misses();
   S.DfaStoreSize = Caches->Dfa.size();
@@ -676,15 +700,18 @@ void Engine::mirrorSnapshot() const {
   R.counter("regel_synth_concrete_checked_total").set(S.ConcreteChecked);
   R.counter("regel_smt_interval_evals_total").set(S.SmtIntervalEvals);
   R.counter("regel_smt_solves_total").set(S.SmtSolves);
-  // DEPRECATED alias of interval_evals + solves; remove after one release
-  // (see docs/OBSERVABILITY.md).
-  R.counter("regel_smt_solve_calls_total").set(S.smtCalls());
   R.counter("regel_smt_unsat_short_circuits_total")
       .set(S.SmtUnsatShortCircuits);
   R.counter("regel_dfa_gets_total").set(S.DfaGets);
   R.counter("regel_dfa_local_hits_total").set(S.DfaLocalHits);
   R.counter("regel_dfa_shared_hits_total").set(S.DfaSharedHits);
   R.counter("regel_dfa_compiles_total").set(S.DfaCompiles);
+  R.counter("regel_dfa_tier_hits_total").set(S.DfaTierHits);
+  R.counter("regel_dfa_tier_misses_total").set(S.DfaTierMisses);
+  R.counter("regel_dfa_tier_puts_total").set(S.DfaTierPuts);
+  R.counter("regel_dfa_tier_puts_skipped_total").set(S.DfaTierPutsSkipped);
+  R.counter("regel_dfa_flight_served_total").set(S.DfaFlightServed);
+  R.counter("regel_dfa_flight_timeouts_total").set(S.DfaFlightTimeouts);
   R.counter("regel_synth_time_us_total")
       .set(static_cast<uint64_t>(S.SynthMsTotal * 1000.0));
   R.counter("regel_dfa_store_hits_total").set(S.DfaStoreHits);

@@ -7,10 +7,7 @@
 using namespace regel::engine;
 
 std::string StatsSnapshot::toJson() const {
-  // "smt_calls" is the DEPRECATED pre-split aggregate (interval evals +
-  // solves), kept for one release so dashboards can migrate to
-  // "smt_interval_evals"/"smt_solves"; see docs/OBSERVABILITY.md.
-  char Buf[4096];
+  char Buf[4608];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"jobs\":{\"submitted\":%llu,\"completed\":%llu,\"solved\":%llu,"
@@ -25,9 +22,12 @@ std::string StatsSnapshot::toJson() const {
       "\"synth\":{\"pops\":%llu,\"expansions\":%llu,\"pruned\":%llu,"
       "\"checked\":%llu,\"smt_interval_evals\":%llu,\"smt_solves\":%llu,"
       "\"smt_cache_hits\":%llu,\"smt_unsat_short_circuits\":%llu,"
-      "\"smt_calls\":%llu,\"dfa_gets\":%llu,\"dfa_local_hits\":%llu,"
+      "\"dfa_gets\":%llu,\"dfa_local_hits\":%llu,"
       "\"dfa_shared_hits\":%llu,"
       "\"dfa_compiles\":%llu,\"total_ms\":%.1f},"
+      "\"dfa_tier\":{\"hits\":%llu,\"misses\":%llu,\"puts\":%llu,"
+      "\"puts_skipped\":%llu,\"flight_served\":%llu,"
+      "\"flight_timeouts\":%llu},"
       "\"dfa_store\":{\"hits\":%llu,\"misses\":%llu,\"size\":%llu,"
       "\"cost\":%llu,\"evictions\":%llu},"
       "\"approx_store\":{\"hits\":%llu,\"misses\":%llu,\"size\":%llu,"
@@ -56,9 +56,14 @@ std::string StatsSnapshot::toJson() const {
       (unsigned long long)SmtIntervalEvals, (unsigned long long)SmtSolves,
       (unsigned long long)SmtCacheHits,
       (unsigned long long)SmtUnsatShortCircuits,
-      (unsigned long long)smtCalls(), (unsigned long long)DfaGets,
+      (unsigned long long)DfaGets,
       (unsigned long long)DfaLocalHits, (unsigned long long)DfaSharedHits,
       (unsigned long long)DfaCompiles, SynthMsTotal,
+      (unsigned long long)DfaTierHits, (unsigned long long)DfaTierMisses,
+      (unsigned long long)DfaTierPuts,
+      (unsigned long long)DfaTierPutsSkipped,
+      (unsigned long long)DfaFlightServed,
+      (unsigned long long)DfaFlightTimeouts,
       (unsigned long long)DfaStoreHits, (unsigned long long)DfaStoreMisses,
       (unsigned long long)DfaStoreSize, (unsigned long long)DfaStoreCost,
       (unsigned long long)DfaStoreEvictions,
@@ -110,6 +115,12 @@ void StatsSnapshot::merge(const StatsSnapshot &O) {
   DfaSharedHits += O.DfaSharedHits;
   DfaCompiles += O.DfaCompiles;
   SynthMsTotal += O.SynthMsTotal;
+  DfaTierHits += O.DfaTierHits;
+  DfaTierMisses += O.DfaTierMisses;
+  DfaTierPuts += O.DfaTierPuts;
+  DfaTierPutsSkipped += O.DfaTierPutsSkipped;
+  DfaFlightServed += O.DfaFlightServed;
+  DfaFlightTimeouts += O.DfaFlightTimeouts;
   DfaStoreHits += O.DfaStoreHits;
   DfaStoreMisses += O.DfaStoreMisses;
   DfaStoreSize += O.DfaStoreSize;

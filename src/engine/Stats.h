@@ -84,9 +84,18 @@ struct StatsSnapshot {
   uint64_t DfaCompiles = 0;   ///< compilations actually paid
   double SynthMsTotal = 0;
 
-  /// DEPRECATED: the pre-split "smt_calls" aggregate (interval evals +
-  /// solves). Remove after one release; read the split fields instead.
-  uint64_t smtCalls() const { return SmtIntervalEvals + SmtSolves; }
+  // Shared DFA tier (zero when EngineConfig::DfaTier is off or no tier
+  // client is attached — see engine::TieredDfaStore). Tier hits are a
+  // subset of DfaSharedHits: a fetch served by the tier surfaces to the
+  // run as a shared-store hit, so the DfaGets partition above stays
+  // exact. FlightServed counts lookups that waited on another thread's
+  // in-flight compile/fetch instead of duplicating it (single-flight).
+  uint64_t DfaTierHits = 0;
+  uint64_t DfaTierMisses = 0;
+  uint64_t DfaTierPuts = 0;        ///< blobs published write-through
+  uint64_t DfaTierPutsSkipped = 0; ///< DFAs too large to serialize
+  uint64_t DfaFlightServed = 0;
+  uint64_t DfaFlightTimeouts = 0;
 
   /// Share of DFA requests served without compiling (local cache, shared
   /// store, or eviction-then-recompile absorbed elsewhere) — the

@@ -31,17 +31,13 @@ struct SynthStats {
   // SMT accounting, split by what actually ran (see InferStats):
   // interval sweeps are the cheap per-node pruning oracle, solves are
   // bounded DFS model searches, cache hits are solve() calls answered by
-  // the shared verdict store without a search. smtCalls() keeps the old
-  // aggregate for one release.
+  // the shared verdict store without a search. (The pre-split "smt_calls"
+  // aggregate is gone; read the split fields.)
   uint64_t SmtIntervalEvals = 0;
   uint64_t SmtSolves = 0;
   uint64_t SmtCacheHits = 0;
   uint64_t SmtUnsatShortCircuits = 0;
   uint64_t InferIterations = 0;
-
-  /// DEPRECATED: pre-split aggregate (interval evals + solves), the old
-  /// SmtSolveCalls. Remove after one release.
-  uint64_t smtCalls() const { return SmtIntervalEvals + SmtSolves; }
 
   // End-to-end DFA resolution for this run: how the run's DFA needs were
   // met. DfaGets = DfaLocalHits + shared-store hits + DfaCompiles; the

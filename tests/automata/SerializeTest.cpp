@@ -1,0 +1,155 @@
+//===- tests/automata/SerializeTest.cpp -----------------------------------===//
+//
+// The DFA wire codec (automata/Serialize.h): round-trip exactness over
+// the whole regex corpus, canonical-encoding (blob-as-fingerprint), and
+// the defensive rejections a hostile or truncated blob must draw — the
+// tier trusts parseDfa to keep bad blobs out of the shared store.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Serialize.h"
+
+#include "automata/Compile.h"
+#include "regex/Parser.h"
+
+#include "../common/TestCorpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace regel;
+
+class SerializeRoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(SerializeRoundTrip, ExactTablesAndCanonicalBytes) {
+  RegexPtr R = parseRegex(GetParam());
+  ASSERT_TRUE(R) << GetParam();
+  Dfa D = compileRegex(R);
+  const std::string Blob = serializeDfa(D);
+  ASSERT_FALSE(Blob.empty());
+
+  std::string Err;
+  std::shared_ptr<const Dfa> P = parseDfa(Blob, &Err);
+  ASSERT_TRUE(P) << GetParam() << ": " << Err;
+
+  // Byte-identical tables, not merely language equivalence: state count,
+  // start, acceptance and every transition survive the trip.
+  ASSERT_EQ(P->numStates(), D.numStates()) << GetParam();
+  EXPECT_EQ(P->start(), D.start()) << GetParam();
+  for (uint32_t S = 0; S < D.numStates(); ++S) {
+    EXPECT_EQ(P->isAccept(S), D.isAccept(S)) << GetParam();
+    for (unsigned C = 0; C < AlphabetSize; ++C) {
+      const char Ch = static_cast<char>(MinAlphabetChar + C);
+      ASSERT_EQ(P->step(S, Ch), D.step(S, Ch)) << GetParam();
+    }
+  }
+
+  // Canonical: re-serializing the parse reproduces the blob bit-for-bit,
+  // so a blob doubles as an equality fingerprint.
+  EXPECT_EQ(serializeDfa(*P), Blob) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SerializeRoundTrip,
+                         ::testing::ValuesIn(regel::tests::regexCorpus()));
+
+namespace {
+
+std::string corpusBlob() {
+  return serializeDfa(
+      compileRegex(parseRegex("Concat(<cap>,Repeat(<num>,2))")));
+}
+
+} // namespace
+
+TEST(Serialize, CorpusBlobsFitTheTierCap) {
+  // The tier's usefulness depends on typical DFAs fitting MaxDfaBlobBytes;
+  // every corpus regex must, with head-room.
+  for (const char *Src : regel::tests::regexCorpus()) {
+    RegexPtr R = parseRegex(Src);
+    ASSERT_TRUE(R) << Src;
+    EXPECT_LE(serializeDfa(compileRegex(R)).size(), MaxDfaBlobBytes) << Src;
+  }
+}
+
+TEST(Serialize, RejectsEmptyAndTruncatedHeader) {
+  std::string Err;
+  EXPECT_EQ(parseDfa("", &Err), nullptr);
+  EXPECT_EQ(parseDfa("R", &Err), nullptr);
+  EXPECT_EQ(parseDfa("RD", &Err), nullptr);
+  EXPECT_EQ(parseDfa(std::string("RD\x01", 3), &Err), nullptr);
+}
+
+TEST(Serialize, RejectsBadMagicAndUnknownVersion) {
+  std::string Blob = corpusBlob();
+  std::string BadMagic = Blob;
+  BadMagic[0] = 'X';
+  EXPECT_EQ(parseDfa(BadMagic), nullptr);
+  std::string BadVersion = Blob;
+  BadVersion[2] = 0x7f;
+  EXPECT_EQ(parseDfa(BadVersion), nullptr);
+}
+
+TEST(Serialize, RejectsTruncatedBody) {
+  const std::string Blob = corpusBlob();
+  // Every proper prefix must be rejected — no partial parse can succeed
+  // because the row run-lengths must sum exactly and trailing bytes are
+  // an error, so only the full blob is valid.
+  for (size_t Len = 0; Len < Blob.size(); ++Len)
+    EXPECT_EQ(parseDfa(Blob.substr(0, Len)), nullptr) << "prefix " << Len;
+}
+
+TEST(Serialize, RejectsTrailingBytes) {
+  std::string Blob = corpusBlob();
+  Blob.push_back('\0');
+  EXPECT_EQ(parseDfa(Blob), nullptr);
+}
+
+TEST(Serialize, RejectsOversizedBlob) {
+  std::string Err;
+  std::string Huge(MaxDfaBlobBytes + 1, 'R');
+  EXPECT_EQ(parseDfa(Huge, &Err), nullptr);
+  EXPECT_NE(Err.find("oversized"), std::string::npos) << Err;
+}
+
+TEST(Serialize, RejectsStateCountOutOfRange) {
+  // Hand-built header claiming 0 states, then one claiming more than
+  // MaxDfaBlobStates — both must die before any allocation-sized work.
+  std::string Zero("RD\x01", 3);
+  Zero.push_back('\0'); // varint NumStates = 0
+  EXPECT_EQ(parseDfa(Zero), nullptr);
+
+  std::string Huge("RD\x01", 3);
+  // varint 1,000,000 = 0xC0 0x84 0x3D
+  Huge.push_back(static_cast<char>(0xC0));
+  Huge.push_back(static_cast<char>(0x84));
+  Huge.push_back(static_cast<char>(0x3D));
+  EXPECT_EQ(parseDfa(Huge), nullptr);
+}
+
+TEST(Serialize, RejectsOutOfRangeStartAndTarget) {
+  std::string Blob = corpusBlob();
+  // Corrupt the start state varint (byte 4 for a small DFA: after magic
+  // and a 1-byte state count) to a value >= NumStates.
+  std::string Err;
+  std::shared_ptr<const Dfa> P = parseDfa(Blob, &Err);
+  ASSERT_TRUE(P);
+  std::string BadStart = Blob;
+  BadStart[4] = static_cast<char>(P->numStates()); // start >= N
+  EXPECT_EQ(parseDfa(BadStart), nullptr);
+}
+
+TEST(Serialize, EmptyLanguageAndSingleStateRoundTrip) {
+  const Dfa Empty = Dfa::emptyLanguage();
+  std::shared_ptr<const Dfa> P = parseDfa(serializeDfa(Empty));
+  ASSERT_TRUE(P);
+  EXPECT_TRUE(P->isEmpty());
+  EXPECT_TRUE(Dfa::equivalent(*P, Empty));
+}
+
+TEST(Serialize, BlobIsCompactForRangeHeavyDfas) {
+  // KleeneStar(<any>) minimizes to one state whose whole row is a single
+  // run — the RLE must exploit that (a dense row would be ~2 bytes per
+  // character).
+  const std::string Blob =
+      serializeDfa(compileRegex(parseRegex("KleeneStar(<any>)")));
+  EXPECT_LT(Blob.size(), 16u) << Blob.size();
+}

@@ -1,0 +1,307 @@
+//===- tests/dfad/TierE2eTest.cpp -----------------------------------------===//
+//
+// The shared DFA tier end to end over real TCP: a SocketServer hosting a
+// DfaTierService (the examples/regel_dfad shape), raw v2 `dfa` frames
+// from a line client, the RemoteDfaTier RPC client, and an engine-side
+// TieredDfaStore whose cold miss is served warm by a tier another store
+// populated — the fleet's compile-once path, wire and all.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Compile.h"
+#include "automata/Serialize.h"
+#include "dfad/RemoteTier.h"
+#include "dfad/Tier.h"
+#include "dfad/TierService.h"
+#include "engine/Caches.h"
+#include "regex/Parser.h"
+#include "server/SocketServer.h"
+#include "service/Protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+using namespace regel;
+using namespace regel::dfad;
+
+namespace {
+
+/// A blocking line-oriented test client (the SocketServerTest idiom).
+class LineClient {
+public:
+  bool connectTo(uint16_t Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(Port);
+    ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+    return ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr)) == 0;
+  }
+
+  ~LineClient() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  bool sendLine(const std::string &Line) {
+    std::string Data = Line + "\n";
+    size_t Off = 0;
+    while (Off < Data.size()) {
+      ssize_t Sent =
+          ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+      if (Sent <= 0)
+        return false;
+      Off += static_cast<size_t>(Sent);
+    }
+    return true;
+  }
+
+  std::string readLine(int TimeoutMs = 10000) {
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        std::string Line = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return Line;
+      }
+      pollfd P{Fd, POLLIN, 0};
+      int N = ::poll(&P, 1, TimeoutMs);
+      if (N <= 0)
+        return "";
+      char Tmp[4096];
+      ssize_t Got = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+      if (Got <= 0)
+        return "";
+      Buf.append(Tmp, static_cast<size_t>(Got));
+    }
+  }
+
+private:
+  int Fd = -1;
+  std::string Buf;
+};
+
+/// A standalone tier process in miniature: store + service + server loop
+/// thread, on an ephemeral port.
+class TierFixture {
+public:
+  explicit TierFixture(engine::CacheLimits Limits = {}) {
+    Store = std::make_shared<DfaTierStore>(4, Limits);
+    Svc = std::make_shared<DfaTierService>(Store);
+    Parser = std::make_shared<nlp::SemanticParser>();
+    server::ServerConfig SC;
+    SC.Port = 0; // ephemeral
+    SC.DfaTier = Store;
+    Server = std::make_unique<server::SocketServer>(Parser, Svc, SC);
+    Started = Server->start();
+    if (Started)
+      Loop = std::thread([this] { Server->run(); });
+  }
+
+  ~TierFixture() {
+    if (Started) {
+      Server->stop();
+      Loop.join();
+    }
+  }
+
+  bool started() const { return Started; }
+  uint16_t port() const { return Server->port(); }
+  DfaTierStore &store() { return *Store; }
+
+private:
+  std::shared_ptr<DfaTierStore> Store;
+  std::shared_ptr<DfaTierService> Svc;
+  std::shared_ptr<nlp::SemanticParser> Parser;
+  std::unique_ptr<server::SocketServer> Server;
+  std::thread Loop;
+  bool Started = false;
+};
+
+std::string blobFor(const char *Src) {
+  RegexPtr R = parseRegex(Src);
+  EXPECT_TRUE(R) << Src;
+  return serializeDfa(compileRegex(R));
+}
+
+} // namespace
+
+TEST(DfaTierE2e, RawV2FramesOverTcp) {
+  TierFixture F;
+  ASSERT_TRUE(F.started());
+  LineClient C;
+  ASSERT_TRUE(C.connectTo(F.port()));
+  EXPECT_NE(C.readLine(), ""); // v1 greeting banner
+
+  // Cold get: found=0, no blob token.
+  ASSERT_TRUE(C.sendLine("v2 dfa get key=k1"));
+  std::string Reply = C.readLine();
+  EXPECT_EQ(Reply, "v2 dfa found=0 key=k1") << Reply;
+
+  // Put a real blob (percent-escaped for the wire), then read it back.
+  const std::string Blob = blobFor("Concat(<cap>,Repeat(<num>,2))");
+  ASSERT_TRUE(C.sendLine("v2 dfa put key=k1 blob=" +
+                         protocol::escapeValue(Blob)));
+  EXPECT_EQ(C.readLine(), "v2 ok");
+
+  ASSERT_TRUE(C.sendLine("v2 dfa get key=k1"));
+  Reply = C.readLine();
+  protocol::Response R;
+  ASSERT_EQ(protocol::decodeResponse(Reply, protocol::Version::V2, R),
+            protocol::ErrorCode::None)
+      << Reply;
+  EXPECT_EQ(R.K, protocol::Response::Kind::Dfa);
+  EXPECT_TRUE(R.Found);
+  EXPECT_EQ(R.Key, "k1");
+  EXPECT_EQ(R.Detail, Blob); // byte-exact through the escaping
+
+  // Stats reflect the traffic.
+  ASSERT_TRUE(C.sendLine("v2 dfa stats"));
+  Reply = C.readLine();
+  ASSERT_EQ(protocol::decodeResponse(Reply, protocol::Version::V2, R),
+            protocol::ErrorCode::None)
+      << Reply;
+  EXPECT_EQ(R.K, protocol::Response::Kind::Stats);
+  EXPECT_NE(R.Detail.find("\"puts\":1"), std::string::npos) << R.Detail;
+  EXPECT_NE(R.Detail.find("\"hits\":1"), std::string::npos) << R.Detail;
+
+  // A malformed blob still answers `v2 ok` (keep-or-drop is cache
+  // policy, not a client error) but is rejected, not stored.
+  ASSERT_TRUE(C.sendLine("v2 dfa put key=bad blob=nope"));
+  EXPECT_EQ(C.readLine(), "v2 ok");
+  ASSERT_TRUE(C.sendLine("v2 dfa get key=bad"));
+  EXPECT_EQ(C.readLine(), "v2 dfa found=0 key=bad");
+  EXPECT_EQ(F.store().putRejected(), 1u);
+
+  // Malformed frames draw the taxonomy, not a hang.
+  ASSERT_TRUE(C.sendLine("v2 dfa get"));
+  EXPECT_EQ(C.readLine().rfind("v2 error code=malformed", 0), 0u);
+  ASSERT_TRUE(C.sendLine("v2 dfa put key=x"));
+  EXPECT_EQ(C.readLine().rfind("v2 error code=malformed", 0), 0u);
+
+  // Synthesis on a tier process: accepted, completes rejected.
+  ASSERT_TRUE(C.sendLine("v2 submit id=1 pos=ab"));
+  EXPECT_EQ(C.readLine(), "v2 queued id=1");
+  std::string Done = C.readLine();
+  EXPECT_NE(Done.find("status=rejected"), std::string::npos) << Done;
+  // And health shows the zero-worker tier shape.
+  ASSERT_TRUE(C.sendLine("v2 health"));
+  std::string Health = C.readLine();
+  EXPECT_NE(Health.find("workers=0"), std::string::npos) << Health;
+}
+
+TEST(DfaTierE2e, DfaFramesWithoutATierAnswerUnavailable) {
+  // A plain synthesis server (no SC.DfaTier) must answer the dfa frames
+  // with the unavailable code, not crash or hang.
+  auto Eng = std::make_shared<engine::Engine>(engine::EngineConfig{});
+  auto Parser = std::make_shared<nlp::SemanticParser>();
+  server::ServerConfig SC;
+  SC.Port = 0;
+  server::SocketServer Server(Parser, Eng, SC);
+  ASSERT_TRUE(Server.start());
+  std::thread Loop([&] { Server.run(); });
+
+  LineClient C;
+  ASSERT_TRUE(C.connectTo(Server.port()));
+  C.readLine(); // greeting
+  ASSERT_TRUE(C.sendLine("v2 dfa get key=k"));
+  EXPECT_EQ(C.readLine().rfind("v2 error code=unavailable", 0), 0u);
+  ASSERT_TRUE(C.sendLine("v2 dfa stats"));
+  EXPECT_EQ(C.readLine().rfind("v2 error code=unavailable", 0), 0u);
+
+  Server.stop();
+  Loop.join();
+}
+
+TEST(DfaTierE2e, RemoteClientGetPutStats) {
+  TierFixture F;
+  ASSERT_TRUE(F.started());
+  RemoteDfaTier Client("127.0.0.1", F.port());
+
+  std::string Out;
+  EXPECT_FALSE(Client.get("k", Out)); // cold miss over the wire
+
+  const std::string Blob = blobFor("KleeneStar(Concat(<a>,<b>))");
+  Client.put("k", Blob);
+  ASSERT_TRUE(Client.get("k", Out));
+  EXPECT_EQ(Out, Blob);
+  EXPECT_EQ(Client.rpcFailures(), 0u);
+
+  const std::string Stats = Client.statsJson();
+  EXPECT_NE(Stats.find("\"dfa_tier\""), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("\"entries\":1"), std::string::npos) << Stats;
+  // The server-side store saw exactly this traffic.
+  EXPECT_EQ(F.store().puts(), 1u);
+  EXPECT_EQ(F.store().hits(), 1u);
+}
+
+TEST(DfaTierE2e, DeadTierDegradesToMissesNotHangs) {
+  // Grab a port that is certainly closed: bind+release an ephemeral one.
+  int Probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Probe, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  ASSERT_EQ(::bind(Probe, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  socklen_t Len = sizeof(Addr);
+  ASSERT_EQ(::getsockname(Probe, reinterpret_cast<sockaddr *>(&Addr), &Len),
+            0);
+  const uint16_t DeadPort = ntohs(Addr.sin_port);
+  ::close(Probe);
+
+  RemoteDfaTier::Options O;
+  O.RpcTimeoutMs = 500;
+  RemoteDfaTier Client("127.0.0.1", DeadPort, O);
+  std::string Out;
+  EXPECT_FALSE(Client.get("k", Out)); // an RPC failure IS a miss
+  Client.put("k", blobFor("<num>"));  // dropped silently
+  EXPECT_EQ(Client.statsJson(), "");
+  EXPECT_GE(Client.rpcFailures(), 3u);
+}
+
+TEST(DfaTierE2e, EngineStoreWarmHitThroughRemoteTier) {
+  // The compile-once path across "processes": store A compiles and
+  // publishes write-through; a cold store B (fresh local cache) gets the
+  // same DFA from the tier over TCP instead of compiling.
+  TierFixture F;
+  ASSERT_TRUE(F.started());
+  RegexPtr R = parseRegex("Concat(<cap>,Repeat(<num>,2))");
+  ASSERT_TRUE(R);
+  const Dfa Compiled = compileRegex(R);
+
+  engine::ShardedDfaStore LocalA(4);
+  engine::TieredDfaStore::Config CA;
+  CA.Tier = std::make_shared<RemoteDfaTier>("127.0.0.1", F.port());
+  engine::TieredDfaStore A(LocalA, CA);
+  EXPECT_EQ(A.lookup(R), nullptr); // cold everywhere: caller compiles
+  EXPECT_EQ(A.tierMisses(), 1u);
+  A.publish(R, std::make_shared<Dfa>(Compiled)); // write-through
+  EXPECT_EQ(A.tierPuts(), 1u);
+  EXPECT_EQ(F.store().size(), 1u);
+
+  engine::ShardedDfaStore LocalB(4);
+  engine::TieredDfaStore::Config CB;
+  CB.Tier = std::make_shared<RemoteDfaTier>("127.0.0.1", F.port());
+  engine::TieredDfaStore B(LocalB, CB);
+  std::shared_ptr<const Dfa> D = B.lookup(R);
+  ASSERT_NE(D, nullptr) << "tier should have served the warm blob";
+  EXPECT_EQ(B.tierHits(), 1u);
+  EXPECT_TRUE(Dfa::equivalent(*D, Compiled));
+  // The fetched DFA landed in B's local store: the next lookup is local.
+  EXPECT_NE(B.lookup(R), nullptr);
+  EXPECT_EQ(B.tierHits(), 1u);
+}

@@ -1,0 +1,92 @@
+//===- tests/dfad/TierServiceTest.cpp -------------------------------------===//
+//
+// The standalone tier's SynthService facade (dfad/TierService.h): a tier
+// process never synthesizes, but it must still honour the service
+// contract the socket server stands on — exactly one completion per
+// submit (Rejected), wakeup pokes, zero-worker health, and stats/metrics
+// surfaces that mirror the store.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfad/TierService.h"
+
+#include "automata/Compile.h"
+#include "automata/Serialize.h"
+#include "regex/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+using namespace regel;
+using namespace regel::dfad;
+
+TEST(DfaTierService, SubmitCompletesRejectedWithWakeup) {
+  auto Store = std::make_shared<DfaTierStore>();
+  DfaTierService Svc(Store);
+  std::atomic<int> Pokes{0};
+  Svc.setWakeup([&] { Pokes.fetch_add(1); });
+
+  service::Ticket T = Svc.submit(engine::JobRequest{});
+  EXPECT_NE(T, 0u);
+  EXPECT_GE(Pokes.load(), 1); // poked when the completion became pollable
+
+  std::vector<service::Completion> Done = Svc.pollCompleted();
+  ASSERT_EQ(Done.size(), 1u);
+  EXPECT_EQ(Done[0].Id, T);
+  EXPECT_TRUE(Done[0].Result.Rejected);
+  EXPECT_TRUE(Done[0].Result.Answers.empty());
+  // Exactly one completion: a second drain is empty.
+  EXPECT_TRUE(Svc.pollCompleted().empty());
+}
+
+TEST(DfaTierService, WaitCompletedReturnsPendingWithoutBlocking) {
+  auto Store = std::make_shared<DfaTierStore>();
+  DfaTierService Svc(Store);
+  service::Ticket A = Svc.submit(engine::JobRequest{});
+  service::Ticket B = Svc.submit(engine::JobRequest{});
+  EXPECT_NE(A, B); // tickets are unique per instance
+
+  std::vector<service::Completion> Done = Svc.waitCompleted(10000);
+  ASSERT_EQ(Done.size(), 2u);
+  EXPECT_EQ(Done[0].Id, A);
+  EXPECT_EQ(Done[1].Id, B);
+}
+
+TEST(DfaTierService, CancelIsAlwaysUnknown) {
+  auto Store = std::make_shared<DfaTierStore>();
+  DfaTierService Svc(Store);
+  service::Ticket T = Svc.submit(engine::JobRequest{});
+  // The submit completed instantly, so there is never anything to cancel.
+  EXPECT_FALSE(Svc.cancel(T));
+  EXPECT_FALSE(Svc.cancel(999));
+}
+
+TEST(DfaTierService, HealthReportsZeroWorkers) {
+  auto Store = std::make_shared<DfaTierStore>();
+  DfaTierService Svc(Store);
+  service::ServiceHealth H = Svc.health();
+  EXPECT_TRUE(H.Healthy);
+  EXPECT_EQ(H.Workers, 0u); // a tier runs no synthesis workers
+  EXPECT_EQ(H.QueueDepth, 0u);
+}
+
+TEST(DfaTierService, StatsAndMetricsMirrorTheStore) {
+  auto Store = std::make_shared<DfaTierStore>();
+  DfaTierService Svc(Store);
+  const std::string Blob =
+      serializeDfa(compileRegex(parseRegex("Repeat(<num>,2)")));
+  ASSERT_TRUE(Store->put("k", Blob));
+  std::string Out;
+  ASSERT_TRUE(Store->get("k", Out));
+  Store->get("missing", Out);
+
+  EXPECT_EQ(Svc.statsJson(), Store->statsJson());
+
+  const std::string M = Svc.metricsText();
+  EXPECT_NE(M.find("regel_dfa_tier_hits_total 1"), std::string::npos) << M;
+  EXPECT_NE(M.find("regel_dfa_tier_misses_total 1"), std::string::npos) << M;
+  EXPECT_NE(M.find("regel_dfa_tier_puts_total 1"), std::string::npos) << M;
+  EXPECT_NE(M.find("regel_dfa_tier_entries 1"), std::string::npos) << M;
+}

@@ -1,0 +1,168 @@
+//===- tests/dfad/TierStoreTest.cpp ---------------------------------------===//
+//
+// The shared DFA tier's store (dfad/Tier.h): get/put semantics,
+// validate-on-put (no poison blob can enter a store the whole fleet
+// reads), duplicate-put-as-reference, second-chance LRU eviction under
+// CacheLimits, and the stats surfaces.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfad/Tier.h"
+
+#include "automata/Compile.h"
+#include "automata/Serialize.h"
+#include "regex/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace regel;
+using namespace regel::dfad;
+
+namespace {
+
+std::string blobFor(const char *Src) {
+  RegexPtr R = parseRegex(Src);
+  EXPECT_TRUE(R) << Src;
+  return serializeDfa(compileRegex(R));
+}
+
+} // namespace
+
+TEST(DfaTierStore, PutGetRoundTripAndCounters) {
+  DfaTierStore Store;
+  const std::string Blob = blobFor("Concat(<cap>,Repeat(<num>,2))");
+
+  std::string Out;
+  EXPECT_FALSE(Store.get("k", Out));
+  EXPECT_EQ(Store.misses(), 1u);
+
+  EXPECT_TRUE(Store.put("k", Blob));
+  EXPECT_EQ(Store.puts(), 1u);
+  EXPECT_EQ(Store.size(), 1u);
+  EXPECT_EQ(Store.blobBytes(), 1 + Blob.size()); // key + blob bytes
+
+  ASSERT_TRUE(Store.get("k", Out));
+  EXPECT_EQ(Out, Blob); // byte-identical, not just equivalent
+  EXPECT_EQ(Store.hits(), 1u);
+}
+
+TEST(DfaTierStore, ValidateOnPutRejectsGarbageAndOversized) {
+  DfaTierStore Store;
+  // Arbitrary bytes, truncated valid blob, empty key: all rejected and
+  // counted, none stored.
+  EXPECT_FALSE(Store.put("k1", "not a dfa blob"));
+  const std::string Valid = blobFor("<num>");
+  EXPECT_FALSE(Store.put("k2", Valid.substr(0, Valid.size() - 1)));
+  EXPECT_FALSE(Store.put("", Valid));
+  EXPECT_FALSE(Store.put("k3", std::string(MaxDfaBlobBytes + 1, 'x')));
+  EXPECT_EQ(Store.putRejected(), 4u);
+  EXPECT_EQ(Store.puts(), 0u);
+  EXPECT_EQ(Store.size(), 0u);
+}
+
+TEST(DfaTierStore, DuplicatePutIsAReferenceNotAReplace) {
+  DfaTierStore Store;
+  const std::string Blob = blobFor("<num>");
+  EXPECT_TRUE(Store.put("k", Blob));
+  EXPECT_TRUE(Store.put("k", Blob)); // second engine publishing the same
+  EXPECT_EQ(Store.puts(), 1u);       // first publisher wins
+  EXPECT_EQ(Store.size(), 1u);
+  EXPECT_EQ(Store.blobBytes(), 1 + Blob.size()); // no double charge
+}
+
+TEST(DfaTierStore, EvictsOverMaxEntriesSecondChance) {
+  engine::CacheLimits L;
+  L.MaxEntries = 2;
+  DfaTierStore Store(/*NumShards=*/1, L); // one shard: deterministic LRU
+  const std::string Blob = blobFor("<a>");
+
+  ASSERT_TRUE(Store.put("a", Blob));
+  ASSERT_TRUE(Store.put("b", Blob));
+  std::string Out;
+  ASSERT_TRUE(Store.get("a", Out)); // "a" is hot: survives one sweep
+
+  ASSERT_TRUE(Store.put("c", Blob)); // over cap: evict from the cold end
+  EXPECT_EQ(Store.size(), 2u);
+  EXPECT_EQ(Store.evictions(), 1u);
+  // Cold "b" was the victim; hot "a" got its second chance.
+  EXPECT_TRUE(Store.get("a", Out));
+  EXPECT_FALSE(Store.get("b", Out));
+  EXPECT_TRUE(Store.get("c", Out));
+}
+
+TEST(DfaTierStore, EvictsOverMaxCostBytes) {
+  const std::string Blob = blobFor("Concat(<let>,<num>)");
+  engine::CacheLimits L;
+  // Room for exactly two entries' worth of bytes (1-byte keys).
+  L.MaxCost = 2 * (1 + Blob.size());
+  DfaTierStore Store(/*NumShards=*/1, L);
+
+  ASSERT_TRUE(Store.put("a", Blob));
+  ASSERT_TRUE(Store.put("b", Blob));
+  EXPECT_EQ(Store.evictions(), 0u);
+  ASSERT_TRUE(Store.put("c", Blob));
+  EXPECT_EQ(Store.size(), 2u);
+  EXPECT_EQ(Store.evictions(), 1u);
+  EXPECT_LE(Store.blobBytes(), L.MaxCost);
+}
+
+TEST(DfaTierStore, ClearEmptiesEverything) {
+  DfaTierStore Store;
+  ASSERT_TRUE(Store.put("k", blobFor("<num>")));
+  Store.clear();
+  EXPECT_EQ(Store.size(), 0u);
+  EXPECT_EQ(Store.blobBytes(), 0u);
+  std::string Out;
+  EXPECT_FALSE(Store.get("k", Out));
+}
+
+TEST(DfaTierStore, StatsJsonCarriesTheCounters) {
+  DfaTierStore Store;
+  ASSERT_TRUE(Store.put("k", blobFor("<num>")));
+  std::string Out;
+  ASSERT_TRUE(Store.get("k", Out));
+  Store.get("missing", Out);
+  Store.put("bad", "garbage");
+
+  const std::string J = Store.statsJson();
+  EXPECT_NE(J.find("\"dfa_tier\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"entries\":1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"hits\":1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"misses\":1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"puts\":1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"put_rejected\":1"), std::string::npos) << J;
+}
+
+TEST(DfaTierStore, ConcurrentPutGetIsCoherent) {
+  // N threads hammer one store with overlapping keys: every successful
+  // get must return the exact published bytes (TSan runs this too).
+  DfaTierStore Store;
+  const std::vector<std::string> Blobs = {
+      blobFor("<num>"), blobFor("<let>"), blobFor("Concat(<a>,<b>)"),
+      blobFor("KleeneStar(<num>)")};
+  const unsigned NumThreads = 8;
+  std::vector<std::thread> Threads;
+  std::atomic<uint64_t> BadReads{0};
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I < 200; ++I) {
+        const size_t K = (T + static_cast<size_t>(I)) % Blobs.size();
+        const std::string Key = "key" + std::to_string(K);
+        if (I % 2 == 0) {
+          Store.put(Key, Blobs[K]);
+        } else {
+          std::string Out;
+          if (Store.get(Key, Out) && Out != Blobs[K])
+            BadReads.fetch_add(1);
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(BadReads.load(), 0u);
+  EXPECT_LE(Store.size(), Blobs.size());
+}

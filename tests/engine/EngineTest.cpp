@@ -178,12 +178,10 @@ TEST(EngineStats, CounterPartitionsReconcileWithStores) {
   EXPECT_EQ(Cold.DfaCompiles, Cold.DfaStoreMisses);
 
   // SMT accounting partitions the same way: every solve was a verdict-
-  // store miss, every cache hit a store answer (exact or implied), and
-  // the deprecated aggregate is exactly the sum of the split fields.
+  // store miss and every cache hit a store answer (exact or implied).
   ASSERT_GT(Cold.SmtSolves, 0u);
   EXPECT_EQ(Cold.SmtSolves, Cold.SmtStoreMisses);
   EXPECT_EQ(Cold.SmtCacheHits, Cold.SmtStoreHits + Cold.SmtStoreImpliedHits);
-  EXPECT_EQ(Cold.smtCalls(), Cold.SmtIntervalEvals + Cold.SmtSolves);
 
   // The warm pass repeats the same deterministic searches, so its
   // satisfiability checks are answered from the verdict store: strictly

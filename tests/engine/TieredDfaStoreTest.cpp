@@ -1,0 +1,240 @@
+//===- tests/engine/TieredDfaStoreTest.cpp --------------------------------===//
+//
+// The engine-side tier layering (engine::TieredDfaStore) and its engine
+// wiring: single-flight compile deduplication under real concurrency (K
+// concurrent gets of one cold key pay exactly ONE compile), bounded
+// flight waits, the EngineConfig::DfaTier kill-switch, and the tier
+// counters surfacing through Engine::snapshot with the DfaGets partition
+// kept exact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Caches.h"
+
+#include "automata/Compile.h"
+#include "automata/Sample.h"
+#include "dfad/Tier.h"
+#include "engine/Engine.h"
+#include "regex/Parser.h"
+#include "sketch/SketchParser.h"
+#include "support/Random.h"
+
+#include "common/TestCorpus.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace regel;
+using namespace regel::engine;
+
+TEST(TieredDfaStore, ConcurrentColdLookupsCompileExactlyOnce) {
+  // K threads race a cold key: exactly one (the flight leader) sees the
+  // miss and compiles; everyone else is served by the flight or by the
+  // local store the leader published into. No tier attached —
+  // single-flight is useful bare.
+  ShardedDfaStore Local(4);
+  TieredDfaStore Store(Local);
+  RegexPtr R = parseRegex("Concat(<cap>,Repeat(<num>,2))");
+  ASSERT_TRUE(R);
+
+  const unsigned K = 8;
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+  std::atomic<unsigned> Compiles{0};
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < K; ++I)
+    Threads.emplace_back([&] {
+      Ready.fetch_add(1);
+      while (!Go.load())
+        std::this_thread::yield();
+      std::shared_ptr<const Dfa> D = Store.lookup(R);
+      if (!D) {
+        Compiles.fetch_add(1);
+        // A deliberately slow leader: waiters must be served by the
+        // flight, not by racing past an instant publish.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        Store.publish(R, std::make_shared<Dfa>(compileRegex(R)));
+      }
+    });
+  while (Ready.load() < K)
+    std::this_thread::yield();
+  Go.store(true);
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Compiles.load(), 1u) << "single-flight must dedup the compile";
+  EXPECT_EQ(Store.flightTimeouts(), 0u);
+  // Everyone but the leader was served by the flight or (arriving after
+  // the publish) by the local store — the accounting partitions exactly.
+  EXPECT_EQ(Store.flightServed() + Local.hits(), K - 1);
+  // The published DFA is now a plain local hit.
+  EXPECT_NE(Store.lookup(R), nullptr);
+}
+
+TEST(TieredDfaStore, FlightWaitTimeoutFallsBackToCompiling) {
+  // A waiter whose flight-wait budget lapses compiles redundantly rather
+  // than blocking on a stuck leader — duplicate work, never a stall.
+  ShardedDfaStore Local(4);
+  TieredDfaStore::Config C;
+  C.FlightWaitMs = 20;
+  TieredDfaStore Store(Local, C);
+  RegexPtr R = parseRegex("KleeneStar(Concat(<a>,<b>))");
+  ASSERT_TRUE(R);
+
+  std::atomic<bool> LeaderHoldsFlight{false};
+  std::thread Leader([&] {
+    std::shared_ptr<const Dfa> D = Store.lookup(R); // opens the flight
+    EXPECT_EQ(D, nullptr);
+    LeaderHoldsFlight.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    Store.publish(R, std::make_shared<Dfa>(compileRegex(R)));
+  });
+  while (!LeaderHoldsFlight.load())
+    std::this_thread::yield();
+  // The waiter joins the open flight, waits out its 20ms budget while
+  // the leader stalls for 300ms, and gets nullptr: compile yourself.
+  std::shared_ptr<const Dfa> D = Store.lookup(R);
+  EXPECT_EQ(D, nullptr);
+  EXPECT_EQ(Store.flightTimeouts(), 1u);
+  EXPECT_EQ(Store.flightServed(), 0u);
+  Leader.join();
+}
+
+TEST(TieredDfaStore, TierHitPopulatesLocalStore) {
+  // Warm tier, cold local: lookup fetches the blob, parses it, publishes
+  // it locally, and the next lookup never touches the tier again.
+  auto Shared = std::make_shared<dfad::DfaTierStore>();
+  RegexPtr R = parseRegex("Repeat(<num>,3)");
+  ASSERT_TRUE(R);
+  const Dfa Compiled = compileRegex(R);
+
+  // Populate the tier through a first store's write-through publish.
+  {
+    ShardedDfaStore LocalA(4);
+    TieredDfaStore::Config CA;
+    CA.Tier = std::make_shared<dfad::LocalDfaTier>(Shared);
+    TieredDfaStore A(LocalA, CA);
+    EXPECT_EQ(A.lookup(R), nullptr);
+    A.publish(R, std::make_shared<Dfa>(Compiled));
+    EXPECT_EQ(A.tierMisses(), 1u);
+    EXPECT_EQ(A.tierPuts(), 1u);
+  }
+  ASSERT_EQ(Shared->size(), 1u);
+
+  ShardedDfaStore LocalB(4);
+  TieredDfaStore::Config CB;
+  CB.Tier = std::make_shared<dfad::LocalDfaTier>(Shared);
+  TieredDfaStore B(LocalB, CB);
+  std::shared_ptr<const Dfa> D = B.lookup(R);
+  ASSERT_NE(D, nullptr);
+  EXPECT_TRUE(Dfa::equivalent(*D, Compiled));
+  EXPECT_EQ(B.tierHits(), 1u);
+  EXPECT_NE(B.lookup(R), nullptr); // local now
+  EXPECT_EQ(B.tierHits(), 1u);     // no second tier round-trip
+  EXPECT_EQ(LocalB.hits(), 1u);
+}
+
+TEST(EngineDfaTier, KillSwitchGatesTheTierWiring) {
+  auto Shared = std::make_shared<dfad::DfaTierStore>();
+  auto Client = std::make_shared<dfad::LocalDfaTier>(Shared);
+
+  {
+    EngineConfig EC;
+    EC.Threads = 0;
+    EC.TierClient = Client;
+    Engine Eng(EC); // DfaTier defaults on
+    EXPECT_NE(Eng.tieredDfa(), nullptr);
+    EXPECT_EQ(Eng.tieredDfa()->tier(), Client);
+  }
+  {
+    EngineConfig EC;
+    EC.Threads = 0;
+    EC.TierClient = Client;
+    EC.DfaTier = false; // kill-switch: client attached but ignored
+    Engine Eng(EC);
+    EXPECT_EQ(Eng.tieredDfa(), nullptr);
+    StatsSnapshot S = Eng.snapshot();
+    EXPECT_EQ(S.DfaTierHits + S.DfaTierMisses + S.DfaTierPuts, 0u);
+  }
+  {
+    EngineConfig EC;
+    EC.Threads = 0;
+    Engine Eng(EC); // no client: default engines carry no tier layer
+    EXPECT_EQ(Eng.tieredDfa(), nullptr);
+  }
+}
+
+TEST(EngineDfaTier, WarmEngineHitsTierAndPartitionStaysExact) {
+  // Two engines share one in-process tier (the router-embedded shape).
+  // Engine A cold-compiles and write-through-publishes; engine B, with
+  // cold caches of its own, runs the identical deterministic job and is
+  // served by the tier. The DfaGets partition must stay exact on both.
+  auto Shared = std::make_shared<dfad::DfaTierStore>();
+
+  // Corpus-derived deterministic jobs (the EngineTest recipe): sampled
+  // positives, probe-string negatives, a concrete-bearing hole plus an
+  // unconstrained sketch so the search exercises the DFA path.
+  std::vector<JobRequest> Requests;
+  Rng Rand(0xc0ffee);
+  for (const char *Text : tests::regexCorpus()) {
+    if (Requests.size() >= 6)
+      break;
+    RegexPtr G = parseRegex(Text);
+    if (!G)
+      continue;
+    Dfa D = compileRegex(G);
+    JobRequest Req;
+    Req.E.Pos = sampleAcceptedSet(D, Rand, 3, 8);
+    if (Req.E.Pos.size() < 2)
+      continue;
+    for (const char *Probe : tests::probeStrings()) {
+      if (Req.E.Neg.size() >= 4)
+        break;
+      if (!D.matches(Probe))
+        Req.E.Neg.push_back(Probe);
+    }
+    if (Req.E.Neg.size() < 2)
+      continue;
+    Req.Sketches = {Sketch::hole({Sketch::concrete(G)}),
+                    Sketch::unconstrained()};
+    Req.TopK = 2;
+    Req.BudgetMs = 0;
+    Req.Synth.MaxPops = 3000;
+    Req.Deterministic = true;
+    Requests.push_back(std::move(Req));
+  }
+  ASSERT_GE(Requests.size(), 4u);
+
+  auto runOn = [&](const std::shared_ptr<dfad::DfaTierClient> &Tier) {
+    EngineConfig EC;
+    EC.Threads = 2;
+    EC.TierClient = Tier;
+    Engine Eng(EC);
+    std::vector<JobRequest> Batch = Requests;
+    std::vector<JobResult> Out = Eng.runBatch(std::move(Batch));
+    EXPECT_EQ(Out.size(), Requests.size());
+    return Eng.snapshot();
+  };
+
+  StatsSnapshot A = runOn(std::make_shared<dfad::LocalDfaTier>(Shared));
+  EXPECT_GT(A.DfaCompiles, 0u); // cold fleet: someone had to compile
+  EXPECT_GT(A.DfaTierPuts, 0u); // ...and published write-through
+  EXPECT_EQ(A.DfaGets, A.DfaLocalHits + A.DfaSharedHits + A.DfaCompiles);
+  EXPECT_GT(Shared->size(), 0u);
+
+  StatsSnapshot B = runOn(std::make_shared<dfad::LocalDfaTier>(Shared));
+  EXPECT_GT(B.DfaTierHits, 0u) << "warm tier should serve engine B";
+  EXPECT_LT(B.DfaCompiles, A.DfaCompiles)
+      << "tier-served engine must compile less than the cold one";
+  EXPECT_EQ(B.DfaGets, B.DfaLocalHits + B.DfaSharedHits + B.DfaCompiles);
+  // Tier hits surface as shared-store hits (they are a subset).
+  EXPECT_LE(B.DfaTierHits, B.DfaSharedHits);
+
+  // The tier block rides in the stats JSON for monitoring/federation.
+  EXPECT_NE(B.toJson().find("\"dfa_tier\":{\"hits\":"), std::string::npos);
+}

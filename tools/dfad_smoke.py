@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""End-to-end smoke client for the standalone DFA tier (examples/regel_dfad).
+
+Usage: dfad_smoke.py <port> <blob-file>
+
+Connects over TCP and drives the v2 `dfa` frames (docs/PROTOCOL.md)
+against a real tier process: a cold get must miss, a put of a valid
+serialized DFA (any fuzz/corpus/dfa_blob/valid_* seed) must be accepted,
+a warm get must return the identical bytes, and `dfa stats` must account
+for exactly that traffic. Exits non-zero with a diagnostic on the first
+deviation — CI runs this after spawning regel_dfad on an ephemeral port.
+
+Deliberately dependency-free (socket + stdlib only) and independent of
+the C++ codec: the value escaping is re-implemented here from the spec,
+so a unilateral change to either side fails the smoke instead of
+round-tripping by construction.
+"""
+
+import socket
+import sys
+
+KEY = "smoke-key"
+
+
+def escape(raw: bytes) -> str:
+    """protocol::escapeValue: %XX for bytes <= 0x20, >= 0x7f, '%', '='."""
+    out = []
+    for b in raw:
+        if b <= 0x20 or b >= 0x7F or b in (0x25, 0x3D):
+            out.append("%%%02X" % b)
+        else:
+            out.append(chr(b))
+    return "".join(out)
+
+
+def unescape(text: str) -> bytes:
+    out = bytearray()
+    i = 0
+    while i < len(text):
+        if text[i] == "%":
+            out.append(int(text[i + 1 : i + 3], 16))
+            i += 3
+        else:
+            out.append(ord(text[i]))
+            i += 1
+    return bytes(out)
+
+
+class Client:
+    def __init__(self, port: int):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        self.buf = b""
+
+    def read_line(self) -> str:
+        while b"\n" not in self.buf:
+            got = self.sock.recv(4096)
+            if not got:
+                raise RuntimeError("connection closed by tier")
+            self.buf += got
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode("ascii")
+
+    def ask(self, frame: str) -> str:
+        self.sock.sendall(frame.encode("ascii") + b"\n")
+        return self.read_line()
+
+
+def fail(what: str, got: str) -> None:
+    print(f"dfad_smoke: FAIL {what}: got '{got}'", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    port = int(sys.argv[1])
+    blob = open(sys.argv[2], "rb").read()
+
+    c = Client(port)
+    greeting = c.read_line()
+    if not greeting.startswith("regel ready"):
+        fail("greeting", greeting)
+
+    cold = c.ask(f"v2 dfa get key={KEY}")
+    if cold != f"v2 dfa found=0 key={KEY}":
+        fail("cold get", cold)
+
+    ok = c.ask(f"v2 dfa put key={KEY} blob={escape(blob)}")
+    if ok != "v2 ok":
+        fail("put", ok)
+
+    warm = c.ask(f"v2 dfa get key={KEY}")
+    prefix = f"v2 dfa found=1 key={KEY} blob="
+    if not warm.startswith(prefix):
+        fail("warm get", warm)
+    if unescape(warm[len(prefix) :]) != blob:
+        fail("warm get blob bytes", warm)
+
+    stats = c.ask("v2 dfa stats")
+    if not stats.startswith("v2 stats json="):
+        fail("stats", stats)
+    body = unescape(stats[len("v2 stats json=") :]).decode("utf-8")
+    for needle in ('"entries":1', '"puts":1', '"hits":1', '"misses":1'):
+        if needle not in body:
+            fail(f"stats counter {needle}", body)
+
+    print(f"dfad_smoke: OK — put/get round-tripped {len(blob)} blob bytes")
+
+
+if __name__ == "__main__":
+    main()
